@@ -1,0 +1,458 @@
+// Benchmarks regenerating every figure and measurable claim of the
+// paper, one benchmark (family) per experiment of EXPERIMENTS.md.
+// Run with: go test -bench=. -benchmem
+package cpplookup_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/parser"
+	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/gxx"
+	"cpplookup/internal/harness"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/interp"
+	"cpplookup/internal/layout"
+	"cpplookup/internal/paths"
+	"cpplookup/internal/subobject"
+	"cpplookup/internal/toposel"
+)
+
+// --- E1/E2: Figures 1 and 2 ---
+
+func BenchmarkFigure1Lookup(b *testing.B) {
+	g := hiergen.Figure1()
+	top, m := g.MustID("E"), g.MustMemberID("m")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(g).Lookup(top, m)
+	}
+}
+
+func BenchmarkFigure2Lookup(b *testing.B) {
+	g := hiergen.Figure2()
+	top, m := g.MustID("E"), g.MustMemberID("m")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(g).Lookup(top, m)
+	}
+}
+
+// --- E3: Figure 3's whole table, plus the enumeration oracle cost ---
+
+func BenchmarkFigure3Table(b *testing.B) {
+	g := hiergen.Figure3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(g).BuildTable()
+	}
+}
+
+func BenchmarkFigure3OracleEnumeration(b *testing.B) {
+	g := hiergen.Figure3()
+	h, foo := g.MustID("H"), g.MustMemberID("foo")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths.Lookup(g, h, foo, 0)
+	}
+}
+
+// --- E4/E5: the propagation variants on Figure 3 ---
+
+func BenchmarkFigure4PathPropagation(b *testing.B) {
+	g := hiergen.Figure3()
+	foo := g.MustMemberID("foo")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PropagateMember(g, foo)
+	}
+}
+
+func BenchmarkFigure6AbstractionTrace(b *testing.B) {
+	g := hiergen.Figure3()
+	foo := g.MustMemberID("foo")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(g).TraceMember(foo)
+	}
+}
+
+// --- E6: Figure 9, ours vs the two subobject-graph scans ---
+
+func BenchmarkFigure9(b *testing.B) {
+	g := hiergen.Figure9()
+	top, m := g.MustID("E"), g.MustMemberID("m")
+	sg, err := subobject.Build(g, top, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ours", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g).Lookup(top, m)
+		}
+	})
+	b.Run("gxx-bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gxx.Lookup(sg, m)
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gxx.Exhaustive(sg, m)
+		}
+	})
+}
+
+// --- E7(a): single uncached lookup, unambiguous family (linear) ---
+
+func BenchmarkSingleLookupUnambiguous(b *testing.B) {
+	for _, d := range []int{4, 8, 16, 32, 64} {
+		g := hiergen.Realistic(d, 4)
+		top := hiergen.RealisticTop(g, d, 4)
+		m := g.MustMemberID("rdstate")
+		b.Run(fmt.Sprintf("size=%d", g.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(g).Lookup(top, m)
+			}
+		})
+	}
+}
+
+// --- E7(b): single uncached lookup, ambiguous family (quadratic) ---
+
+func BenchmarkSingleLookupAmbiguous(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		g := hiergen.AmbiguousLadder(n, n)
+		top := hiergen.AmbiguousLadderTop(g, n)
+		m := g.MustMemberID("m")
+		b.Run(fmt.Sprintf("N=%d/size=%d", g.NumClasses(), g.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(g).Lookup(top, m)
+			}
+		})
+	}
+}
+
+// --- E7(c): whole-table construction ---
+
+func BenchmarkWholeTable(b *testing.B) {
+	for _, n := range []int{100, 200, 400, 800} {
+		g := hiergen.Random(hiergen.RandomConfig{
+			Classes: n, MaxBases: 2, VirtualProb: 0.3,
+			MemberNames: 8, MemberProb: 0.05, Seed: 7,
+		})
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(g).BuildTable()
+			}
+		})
+	}
+}
+
+// --- E8: exponential subobject graphs vs the CHG algorithm ---
+
+func BenchmarkOursVsSubobjectBFS(b *testing.B) {
+	for _, k := range []int{4, 8, 12} {
+		g := hiergen.DiamondChain(k, chg.NonVirtual)
+		top := hiergen.DiamondChainTop(g, k)
+		m := g.MustMemberID("m")
+		b.Run(fmt.Sprintf("k=%d/ours", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.New(g).Lookup(top, m)
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/subobject-bfs", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gxx.LookupFresh(g, top, m, 1<<18); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSubobjectGraphBuild(b *testing.B) {
+	for _, k := range []int{4, 8, 12} {
+		g := hiergen.DiamondChain(k, chg.NonVirtual)
+		top := hiergen.DiamondChainTop(g, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := subobject.Build(g, top, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E9: the front-end pipeline ---
+
+func BenchmarkFrontendPipeline(b *testing.B) {
+	g := hiergen.Realistic(16, 3)
+	src := harness.GenSource(g, 4000, 11)
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, errs := parser.Parse(src); len(errs) != 0 {
+				b.Fatal(errs[0])
+			}
+		}
+	})
+	b.Run("full-sema", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sema.AnalyzeSource(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The replayed lookup workload under the three strategies.
+	unit, err := sema.AnalyzeSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ug := unit.Graph
+	type query struct {
+		c chg.ClassID
+		m chg.MemberID
+	}
+	var qs []query
+	for _, r := range unit.Resolutions {
+		if m, ok := ug.MemberID(r.MemberName); ok {
+			qs = append(qs, query{r.Context, m})
+		}
+	}
+	b.Run("lookups-lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := core.New(ug, core.WithStaticRule(), core.WithTrackPaths())
+			for _, q := range qs {
+				a.Lookup(q.c, q.m)
+			}
+		}
+	})
+	b.Run("lookups-uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				core.New(ug, core.WithStaticRule()).Lookup(q.c, q.m)
+			}
+		}
+	})
+	graphs := map[chg.ClassID]*subobject.Graph{}
+	for _, q := range qs {
+		if graphs[q.c] == nil {
+			sg, err := subobject.Build(ug, q.c, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			graphs[q.c] = sg
+		}
+	}
+	b.Run("lookups-gxx-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				gxx.Lookup(graphs[q.c], q.m)
+			}
+		}
+	})
+}
+
+// --- E10: the top-sort shortcut ---
+
+func BenchmarkTopoSel(b *testing.B) {
+	g := hiergen.Realistic(16, 3)
+	table := core.New(g).BuildTable()
+	type query struct {
+		c chg.ClassID
+		m chg.MemberID
+	}
+	var qs []query
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, m := range table.Members(chg.ClassID(c)) {
+			qs = append(qs, query{chg.ClassID(c), m})
+		}
+	}
+	b.Run("core-lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := core.New(g)
+			for _, q := range qs {
+				a.Lookup(q.c, q.m)
+			}
+		}
+	})
+	b.Run("top-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				toposel.Lookup(g, q.c, q.m)
+			}
+		}
+	})
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationNoKilling(b *testing.B) {
+	g := hiergen.DiamondChain(12, chg.Virtual)
+	m := g.MustMemberID("m")
+	b.Run("with-killing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.PropagateMember(g, m)
+		}
+	})
+	b.Run("no-killing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.PropagateMemberNoKill(g, m, 1<<22); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationFullPaths(b *testing.B) {
+	g := hiergen.Random(hiergen.RandomConfig{
+		Classes: 600, MaxBases: 2, VirtualProb: 0.3,
+		MemberNames: 8, MemberProb: 0.05, Seed: 13,
+	})
+	b.Run("abstractions-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g).BuildTable()
+		}
+	})
+	b.Run("with-paths", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g, core.WithTrackPaths()).BuildTable()
+		}
+	})
+}
+
+func BenchmarkEagerVsLazy(b *testing.B) {
+	g := hiergen.Random(hiergen.RandomConfig{
+		Classes: 500, MaxBases: 2, VirtualProb: 0.3,
+		MemberNames: 8, MemberProb: 0.05, Seed: 17,
+	})
+	table := core.New(g).BuildTable()
+	type query struct {
+		c chg.ClassID
+		m chg.MemberID
+	}
+	var all []query
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, m := range table.Members(chg.ClassID(c)) {
+			all = append(all, query{chg.ClassID(c), m})
+		}
+	}
+	for _, q := range []int{1, 256, len(all)} {
+		qs := all[:q]
+		b.Run(fmt.Sprintf("queries=%d/eager", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tb := core.New(g).BuildTable()
+				for _, x := range qs {
+					tb.Lookup(x.c, x.m)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("queries=%d/lazy", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := core.New(g)
+				for _, x := range qs {
+					a.Lookup(x.c, x.m)
+				}
+			}
+		})
+	}
+}
+
+// Static-rule overhead on a static-heavy hierarchy.
+func BenchmarkStaticRule(b *testing.B) {
+	g := hiergen.Random(hiergen.RandomConfig{
+		Classes: 400, MaxBases: 3, VirtualProb: 0.3,
+		MemberNames: 6, MemberProb: 0.2, StaticProb: 0.5, Seed: 23,
+	})
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g).BuildTable()
+		}
+	})
+	b.Run("static-rule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.New(g, core.WithStaticRule()).BuildTable()
+		}
+	})
+}
+
+// --- E11: object model (layout + interpreter) ---
+
+func BenchmarkLayoutConstruction(b *testing.B) {
+	for _, k := range []int{4, 8, 12} {
+		g := hiergen.DiamondChain(k, chg.NonVirtual)
+		top := hiergen.DiamondChainTop(g, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := layout.Of(g, top, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	g := hiergen.Realistic(16, 3)
+	top := hiergen.RealisticTop(g, 16, 3)
+	b.Run("realistic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := layout.Of(g, top, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkInterpreterDispatch(b *testing.B) {
+	const src = `
+struct Base { virtual int who() { return 1; } };
+struct Left : virtual Base {};
+struct Right : virtual Base { virtual int who() { return 2; } };
+struct Join : Left, Right {};
+Join j;
+Base *p;
+int got;
+main() {
+  p = &j;
+  got = p->who();
+}
+`
+	m, err := interp.New(src, interp.WithMaxSteps(1<<31-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9Execution(b *testing.B) {
+	src := `
+struct S              { int m; };
+struct A : virtual S  { int m; };
+struct B : virtual S  { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+main() {
+  E e;
+s2:
+  e.m = 10;
+}
+`
+	m, err := interp.New(src, interp.WithMaxSteps(1<<31-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run("main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

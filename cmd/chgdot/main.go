@@ -1,0 +1,60 @@
+// Command chgdot renders a translation unit's class hierarchy graph —
+// or the subobject graph of one of its classes — in Graphviz DOT
+// form, reproducing the paper's Figure 1(b)/(c) style drawings.
+//
+// Usage:
+//
+//	chgdot file.cpp                 # CHG of the whole unit
+//	chgdot -subobjects E file.cpp   # subobject graph of class E
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cpplookup/internal/cli"
+)
+
+func main() {
+	sub := flag.String("subobjects", "", "render the subobject graph of this class instead of the CHG")
+	lookup := flag.String("lookup", "", "annotate every class with lookup results for this member name (Figures 6–7 as a picture)")
+	limit := flag.Int("limit", 1<<16, "max subobject-graph nodes")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: chgdot [-subobjects CLASS] file.cpp  (file may be -)")
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chgdot: %v\n", err)
+		os.Exit(2)
+	}
+	unit, _, err := cli.Analyze(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chgdot: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case *lookup != "":
+		err = cli.WriteLookupDot(os.Stdout, unit.Graph, *lookup)
+	case *sub != "":
+		err = cli.WriteSubobjectsDot(os.Stdout, unit.Graph, *sub, *limit)
+	default:
+		err = cli.WriteCHGDot(os.Stdout, unit.Graph)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chgdot: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,104 @@
+// Command cpplookup is the front door of the library: it parses a
+// C++-subset translation unit, resolves every member access with the
+// paper's lookup algorithm, and reports resolutions and diagnostics
+// the way a compiler front end would.
+//
+// Usage:
+//
+//	cpplookup file.cpp               # analyze; print resolutions + diagnostics
+//	cpplookup -table file.cpp        # print the whole lookup table
+//	cpplookup -lookup E::m file.cpp  # one query
+//	cpplookup -vtables file.cpp      # print virtual function tables
+//	cpplookup -slice E::m file.cpp   # print the sliced hierarchy as source
+//	cpplookup -ambiguities file.cpp  # list every ambiguous table entry
+//
+// The file may be "-" for stdin. Exit status 1 if any diagnostics
+// were produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cpplookup/internal/cli"
+)
+
+func main() {
+	table := flag.Bool("table", false, "print the full lookup table")
+	lookup := flag.String("lookup", "", "resolve a single qualified name Class::member")
+	vtables := flag.Bool("vtables", false, "print virtual function tables")
+	slice := flag.String("slice", "", "comma-separated Class::member criteria; print the sliced hierarchy")
+	ambiguities := flag.Bool("ambiguities", false, "list every ambiguous (class, member) pair")
+	layoutClass := flag.String("layout", "", "print the complete-object layout of this class")
+	run := flag.String("run", "", "execute this function with the interpreter and dump global objects")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cpplookup [flags] file.cpp  (file may be -)")
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+		os.Exit(2)
+	}
+	unit, clean, err := cli.Analyze(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *lookup != "":
+		class, member, ok := cli.SplitQualified(*lookup)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cpplookup: -lookup wants Class::member, got %q\n", *lookup)
+			os.Exit(2)
+		}
+		cli.PrintLookup(os.Stdout, unit.Graph, class, member)
+		return
+	case *table:
+		cli.PrintTable(os.Stdout, unit.Graph)
+	case *vtables:
+		if err := cli.PrintVTables(os.Stdout, unit.Graph); err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+	case *slice != "":
+		if err := cli.PrintSlice(os.Stdout, unit.Graph, *slice); err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+	case *ambiguities:
+		if n := cli.PrintAmbiguities(os.Stdout, unit.Graph); n > 0 {
+			os.Exit(1)
+		}
+	case *layoutClass != "":
+		if err := cli.PrintLayout(os.Stdout, unit.Graph, *layoutClass); err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+	case *run != "":
+		if err := cli.RunProgram(os.Stdout, src, *run); err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		cli.PrintResolutions(os.Stdout, unit)
+	}
+	if !clean {
+		cli.PrintDiags(os.Stderr, unit)
+		os.Exit(1)
+	}
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,78 @@
+// Command hiergen emits synthetic class hierarchies as C++-subset
+// source — the workload generator behind the benchmarks. Its output
+// round-trips through cmd/cpplookup and cmd/chgdot.
+//
+// Usage:
+//
+//	hiergen -family random -n 200 -seed 7 -virtual 0.3 -members 8
+//	hiergen -family diamond -k 12 -virtual 1
+//	hiergen -family chain -n 50
+//	hiergen -family wide -n 16
+//	hiergen -family ladder -n 8 -spread 4
+//	hiergen -family realistic -depth 8 -chain 3
+//	hiergen -family figure1|figure2|figure3|figure9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+)
+
+func main() {
+	family := flag.String("family", "random", "random|diamond|chain|wide|ladder|realistic|figure1|figure2|figure3|figure9")
+	n := flag.Int("n", 50, "class count (random/chain) or base count (wide) or rung count (ladder)")
+	k := flag.Int("k", 8, "diamond-chain depth")
+	seed := flag.Int64("seed", 1, "random seed")
+	virtualProb := flag.Float64("virtual", 0.3, "virtual-edge probability (random) or ≥0.5 means virtual (diamond)")
+	members := flag.Int("members", 4, "member-name pool size (random)")
+	memberProb := flag.Float64("memberprob", 0.3, "per-class member declaration probability (random)")
+	staticProb := flag.Float64("staticprob", 0, "probability a member is static (random)")
+	spread := flag.Int("spread", 2, "parallel ambiguous joints (ladder)")
+	depth := flag.Int("depth", 8, "layers (realistic)")
+	chainLen := flag.Int("chain", 3, "chain length per layer (realistic)")
+	flag.Parse()
+
+	var g *chg.Graph
+	switch *family {
+	case "random":
+		g = hiergen.Random(hiergen.RandomConfig{
+			Classes: *n, MaxBases: 3, VirtualProb: *virtualProb,
+			MemberNames: *members, MemberProb: *memberProb,
+			StaticProb: *staticProb, Seed: *seed,
+		})
+	case "diamond":
+		kind := chg.NonVirtual
+		if *virtualProb >= 0.5 {
+			kind = chg.Virtual
+		}
+		g = hiergen.DiamondChain(*k, kind)
+	case "chain":
+		g = hiergen.Chain(*n, true)
+	case "wide":
+		g = hiergen.WideMI(*n, true)
+	case "ladder":
+		g = hiergen.AmbiguousLadder(*n, *spread)
+	case "realistic":
+		g = hiergen.Realistic(*depth, *chainLen)
+	case "figure1":
+		g = hiergen.Figure1()
+	case "figure2":
+		g = hiergen.Figure2()
+	case "figure3":
+		g = hiergen.Figure3()
+	case "figure9":
+		g = hiergen.Figure9()
+	default:
+		fmt.Fprintf(os.Stderr, "hiergen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	fmt.Printf("// hiergen -family %s: %s\n", *family, g.ComputeStats())
+	if err := g.WriteSource(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "hiergen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command oraclefuzz cross-checks the efficient lookup algorithm
+// (internal/core, with and without the static-member rule) against
+// the Definition-9/Definition-17 enumeration oracles on a stream of
+// random hierarchies. It is the repository's deep-fuzz harness: both
+// known defects of the naive static-rule implementation were found by
+// exactly this sweep (see core.TestStaticSetRegressionK11 and the
+// StaticRed discussion in internal/core/result.go).
+//
+// Usage:
+//
+//	oraclefuzz -n 2500 -seeds 1,7,77
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/paths"
+)
+
+func main() {
+	n := flag.Int("n", 2500, "hierarchies per seed")
+	seedList := flag.String("seeds", "1,7,77,777,20260706,424242", "comma-separated outer seeds")
+	flag.Parse()
+
+	var seeds []int64
+	for _, s := range strings.Split(*seedList, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oraclefuzz: bad seed %q\n", s)
+			os.Exit(2)
+		}
+		seeds = append(seeds, v)
+	}
+
+	total, graphs := 0, 0
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < *n; i++ {
+			cfg := hiergen.RandomConfig{
+				Classes:     2 + rng.Intn(14),
+				MaxBases:    1 + rng.Intn(3),
+				VirtualProb: rng.Float64(),
+				MemberNames: 1 + rng.Intn(3),
+				MemberProb:  0.15 + 0.6*rng.Float64(),
+				StaticProb:  rng.Float64(),
+				Seed:        rng.Int63(),
+			}
+			g := hiergen.Random(cfg)
+			graphs++
+			plain := core.New(g)
+			static := core.New(g, core.WithStaticRule())
+			for c := 0; c < g.NumClasses(); c++ {
+				for m := 0; m < g.NumMemberNames(); m++ {
+					cid, mid := chg.ClassID(c), chg.MemberID(m)
+					if !agree(paths.Lookup(g, cid, mid, 1<<18), plain.Lookup(cid, mid)) {
+						report(g, "plain", seed, i, cid, mid)
+					}
+					if !agree(paths.LookupStatic(g, cid, mid, 1<<18), static.Lookup(cid, mid)) {
+						report(g, "static", seed, i, cid, mid)
+					}
+					total += 2
+				}
+			}
+		}
+	}
+	fmt.Printf("OK: %d lookups cross-checked over %d random hierarchies\n", total, graphs)
+}
+
+func agree(want paths.Result, got core.Result) bool {
+	switch {
+	case len(want.Defns) == 0:
+		return got.Kind == core.Undefined
+	case want.Ambiguous:
+		return got.Kind == core.BlueKind
+	default:
+		return got.Kind == core.RedKind && got.Class() == want.Subobject.Ldc()
+	}
+}
+
+func report(g *chg.Graph, mode string, seed int64, iter int, c chg.ClassID, m chg.MemberID) {
+	fmt.Printf("%s MISMATCH seed=%d iter=%d lookup(%s, %s)\n", mode, seed, iter, g.Name(c), g.MemberName(m))
+	if err := g.WriteSource(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	os.Exit(1)
+}

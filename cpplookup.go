@@ -1,0 +1,141 @@
+// Package cpplookup is a Go implementation of the member lookup
+// algorithm for C++ from G. Ramalingam and Harini Srinivasan, "A
+// Member Lookup Algorithm for C++", PLDI 1997 — together with every
+// substrate the paper builds on or compares against: the class
+// hierarchy graph, the path formalism and its ≈-equivalence, the
+// Rossie–Friedman subobject graph, the g++ 2.7.2.1 baseline, a C++
+// subset front end, access control, vtable construction, and class
+// hierarchy slicing.
+//
+// This package is the public facade: it re-exports the types and
+// constructors a downstream user needs. The implementation lives in
+// internal/ packages, one per subsystem (see DESIGN.md for the map).
+//
+// # Quick start
+//
+//	b := cpplookup.NewBuilder()
+//	base := b.Class("Base")
+//	derived := b.Class("Derived")
+//	b.Base(derived, base, cpplookup.Virtual)
+//	b.Method(base, "f")
+//	g, err := b.Build()
+//	...
+//	a := cpplookup.NewAnalyzer(g, cpplookup.WithTrackPaths())
+//	r := a.LookupByName("Derived", "f")   // red (Base, Base)
+//
+// Or run the whole front end over C++-subset source:
+//
+//	unit, err := cpplookup.AnalyzeSource(src)
+//	for _, res := range unit.Resolutions { ... }
+package cpplookup
+
+import (
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/interp"
+	"cpplookup/internal/layout"
+)
+
+// Class hierarchy graph types (see internal/chg).
+type (
+	// Graph is an immutable class hierarchy graph.
+	Graph = chg.Graph
+	// Builder accumulates classes, edges, and members into a Graph.
+	Builder = chg.Builder
+	// ClassID identifies a class in a Graph.
+	ClassID = chg.ClassID
+	// MemberID identifies an interned member name.
+	MemberID = chg.MemberID
+	// Member is one directly declared class member.
+	Member = chg.Member
+	// Edge is a direct-inheritance relation.
+	Edge = chg.Edge
+	// Kind distinguishes virtual from non-virtual inheritance.
+	Kind = chg.Kind
+	// MemberKind classifies members (method, field, type, enumerator).
+	MemberKind = chg.MemberKind
+)
+
+// Inheritance edge kinds.
+const (
+	NonVirtual = chg.NonVirtual
+	Virtual    = chg.Virtual
+)
+
+// Member kinds.
+const (
+	Method     = chg.Method
+	Field      = chg.Field
+	TypeName   = chg.TypeName
+	Enumerator = chg.Enumerator
+)
+
+// Omega is the paper's Ω sentinel in the leastVirtual abstract domain.
+const Omega = chg.Omega
+
+// NewBuilder returns an empty hierarchy builder.
+func NewBuilder() *Builder { return chg.NewBuilder() }
+
+// Lookup algorithm types (see internal/core).
+type (
+	// Analyzer runs the paper's lookup algorithm over one Graph.
+	Analyzer = core.Analyzer
+	// Table is the eagerly tabulated lookup function.
+	Table = core.Table
+	// Result is a lookup outcome: red (unambiguous), blue
+	// (ambiguous), or undefined (no such member).
+	Result = core.Result
+	// Def is the (ldc, leastVirtual) abstraction of a definition.
+	Def = core.Def
+	// Option configures an Analyzer.
+	Option = core.Option
+)
+
+// Result kinds.
+const (
+	Undefined = core.Undefined
+	Red       = core.RedKind
+	Blue      = core.BlueKind
+)
+
+// NewAnalyzer returns a lookup analyzer for g.
+func NewAnalyzer(g *Graph, opts ...Option) *Analyzer { return core.New(g, opts...) }
+
+// WithTrackPaths makes red results carry the full definition path.
+func WithTrackPaths() Option { return core.WithTrackPaths() }
+
+// WithStaticRule enables the static-member extension (Defs. 16–17).
+func WithStaticRule() Option { return core.WithStaticRule() }
+
+// Frontend types (see internal/cpp/sema).
+type (
+	// Unit is an analyzed C++-subset translation unit.
+	Unit = sema.Unit
+	// Resolution records the outcome of one member access.
+	Resolution = sema.Resolution
+	// Diagnostic is one front-end finding.
+	Diagnostic = sema.Diagnostic
+)
+
+// AnalyzeSource parses and analyzes a C++-subset translation unit:
+// it builds the hierarchy, resolves every member access with the
+// lookup algorithm, and applies access control.
+func AnalyzeSource(src string) (*Unit, error) { return sema.AnalyzeSource(src) }
+
+// Object model (see internal/layout and internal/interp).
+type (
+	// Layout is a complete-object layout: one offset per subobject.
+	Layout = layout.Layout
+	// Machine executes analyzed programs over concrete layouts.
+	Machine = interp.Machine
+)
+
+// LayoutOf computes the complete-object layout of class c (limit 0
+// means the default cap).
+func LayoutOf(g *Graph, c ClassID, limit int) (*Layout, error) {
+	return layout.Of(g, c, limit)
+}
+
+// NewMachine builds an interpreter for a clean translation unit.
+func NewMachine(src string) (*Machine, error) { return interp.New(src) }

@@ -1,0 +1,119 @@
+package cpplookup_test
+
+import (
+	"testing"
+
+	"cpplookup"
+)
+
+// The facade exercises the library end to end the way a downstream
+// user would.
+func TestFacadeBuilderAndAnalyzer(t *testing.T) {
+	b := cpplookup.NewBuilder()
+	base := b.Class("Base")
+	mid := b.Class("Mid")
+	derived := b.Class("Derived")
+	b.Base(mid, base, cpplookup.Virtual)
+	b.Base(derived, mid, cpplookup.NonVirtual)
+	b.Method(base, "f")
+	b.Member(mid, cpplookup.Member{Name: "s", Kind: cpplookup.Field, Static: true})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := cpplookup.NewAnalyzer(g, cpplookup.WithTrackPaths(), cpplookup.WithStaticRule())
+	r := a.LookupByName("Derived", "f")
+	if r.Kind != cpplookup.Red {
+		t.Fatalf("lookup(Derived, f) = %s", r.Format(g))
+	}
+	if g.Name(r.Class()) != "Base" {
+		t.Errorf("resolves to %s", g.Name(r.Class()))
+	}
+	if r.Def.V != g.MustID("Base") {
+		t.Errorf("leastVirtual = %v, want Base (virtual edge)", r.Def.V)
+	}
+	if len(r.Path) != 3 {
+		t.Errorf("path = %v", r.Path)
+	}
+	if rr := a.LookupByName("Derived", "nope"); rr.Kind != cpplookup.Undefined {
+		t.Errorf("unknown member = %s", rr.Format(g))
+	}
+}
+
+func TestFacadeFrontend(t *testing.T) {
+	unit, err := cpplookup.AnalyzeSource(`
+struct A { void m(); };
+struct B : A {};
+B b;
+void f() { b.m(); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unit.Diags) != 0 {
+		t.Fatalf("diags: %v", unit.Diags)
+	}
+	if len(unit.Resolutions) != 1 || !unit.Resolutions[0].Result.Found() {
+		t.Fatalf("resolutions: %+v", unit.Resolutions)
+	}
+}
+
+func TestFacadeTable(t *testing.T) {
+	b := cpplookup.NewBuilder()
+	x := b.Class("X")
+	y := b.Class("Y")
+	d := b.Class("D")
+	b.Base(d, x, cpplookup.NonVirtual)
+	b.Base(d, y, cpplookup.NonVirtual)
+	b.Method(x, "m")
+	b.Method(y, "m")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := cpplookup.NewAnalyzer(g).BuildTable()
+	if table.CountAmbiguous() != 1 {
+		t.Errorf("ambiguous entries = %d", table.CountAmbiguous())
+	}
+	if r := table.LookupByName("D", "m"); r.Kind != cpplookup.Blue {
+		t.Errorf("lookup(D, m) = %s", r.Format(g))
+	}
+	if cpplookup.Omega != -1 {
+		t.Error("Omega re-export wrong")
+	}
+}
+
+func TestFacadeObjectModel(t *testing.T) {
+	src := `
+struct Base { int v; virtual int who() { return 1; } };
+struct Derived : Base { virtual int who() { return 2; } };
+Derived d;
+Base *p;
+int got;
+main() {
+  p = &d;
+  got = p->who();
+  d.v = 5;
+}
+`
+	m, err := cpplookup.NewMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Global("got")
+	if got.Int != 2 {
+		t.Errorf("virtual dispatch through facade = %d, want 2", got.Int)
+	}
+	g := m.Graph()
+	l, err := cpplookup.LayoutOf(g, g.MustID("Derived"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 1 || l.NumSubobjects() != 2 {
+		t.Errorf("layout: size %d, %d subobjects", l.Size(), l.NumSubobjects())
+	}
+}

@@ -1,0 +1,86 @@
+package cpplookup_test
+
+import (
+	"fmt"
+
+	"cpplookup"
+)
+
+// Figure 2 of the paper through the public facade: virtual
+// inheritance shares the B (and A) subobject, so D::m dominates A::m
+// and the lookup is unambiguous.
+func Example() {
+	b := cpplookup.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	b.Base(bb, a, cpplookup.NonVirtual)
+	b.Base(c, bb, cpplookup.Virtual)
+	b.Base(d, bb, cpplookup.Virtual)
+	b.Base(e, c, cpplookup.NonVirtual)
+	b.Base(e, d, cpplookup.NonVirtual)
+	b.Method(a, "m")
+	b.Method(d, "m")
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	an := cpplookup.NewAnalyzer(g)
+	r := an.LookupByName("E", "m")
+	fmt.Println(r.Format(g))
+	fmt.Println("resolves to:", g.Name(r.Class()))
+	// Output:
+	// red (D, Ω)
+	// resolves to: D
+}
+
+// The whole-program front end: parse, build the hierarchy, resolve
+// every member access, report diagnostics.
+func ExampleAnalyzeSource() {
+	unit, err := cpplookup.AnalyzeSource(`
+struct A { void m(); };
+struct B : A {};
+struct C : B { void m(); };
+struct D : B {};
+struct E : C, D {};
+E *p;
+void f() { p->m(); }
+`)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range unit.Diags {
+		fmt.Println(d)
+	}
+	// C::m hides the A::m reached through C, but the copy of A::m
+	// reached through D is a different subobject: ambiguous.
+	// Output:
+	// 8:15: ambiguous-member: member m is ambiguous in E (blue {Ω})
+}
+
+// Eager tabulation (the paper's Figure 8 driver): every entry of
+// lookup[C,m] computed in one topological pass.
+func ExampleAnalyzer_BuildTable() {
+	b := cpplookup.NewBuilder()
+	base := b.Class("Base")
+	derived := b.Class("Derived")
+	b.Base(derived, base, cpplookup.NonVirtual)
+	b.Method(base, "f")
+	b.Method(derived, "f")
+	b.Method(base, "g")
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	table := cpplookup.NewAnalyzer(g).BuildTable()
+	fmt.Println("entries:", table.Entries(), "ambiguous:", table.CountAmbiguous())
+	fmt.Println("Derived::f ->", g.Name(table.LookupByName("Derived", "f").Class()))
+	fmt.Println("Derived::g ->", g.Name(table.LookupByName("Derived", "g").Class()))
+	// Output:
+	// entries: 4 ambiguous: 0
+	// Derived::f -> Derived
+	// Derived::g -> Base
+}

@@ -1,0 +1,62 @@
+// gxxbug reproduces Figure 9 of the paper: the program on which g++
+// 2.7.2.1 (and 3 of the 7 compilers the authors tried) reports a
+// false ambiguity, because its breadth-first subobject scan gives up
+// on the first incomparable pair of members instead of waiting for
+// the definition that dominates both.
+package main
+
+import (
+	"fmt"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/gxx"
+	"cpplookup/internal/subobject"
+)
+
+const program = `
+struct S              { int m; };
+struct A : virtual S  { int m; };
+struct B : virtual S  { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+main() {
+  E e;
+s2:
+  e.m = 10;
+}
+`
+
+func main() {
+	fmt.Print("Figure 9 program:", program, "\n")
+
+	unit, err := sema.AnalyzeSource(program)
+	if err != nil {
+		panic(err)
+	}
+	g := unit.Graph
+	m := g.MustMemberID("m")
+
+	// Our frontend accepts the program.
+	fmt.Printf("frontend diagnostics: %d\n", len(unit.Diags))
+	r := unit.Resolutions[0]
+	fmt.Printf("e.m resolves to %s::m (%s)\n\n", g.Name(r.Result.Class()), r.Result.Format(g))
+
+	// The three lookup implementations, side by side.
+	ours := core.New(g).LookupByName("E", "m")
+	fmt.Printf("paper's algorithm:          %s\n", ours.Format(g))
+
+	sg, err := subobject.Build(g, g.MustID("E"), 0)
+	if err != nil {
+		panic(err)
+	}
+	exhaustive := gxx.Exhaustive(sg, m)
+	fmt.Printf("exhaustive subobject scan:  %v -> %s::m\n", exhaustive.Outcome, g.Name(exhaustive.Class))
+
+	buggy := gxx.Lookup(sg, m)
+	fmt.Printf("g++ 2.7.2.1 BFS algorithm:  %v (after %d of %d subobjects)\n",
+		buggy.Outcome, buggy.Visited, sg.NumSubobjects())
+	fmt.Println("\nThe BFS meets A::m and B::m (incomparable) before C::m, which")
+	fmt.Println("dominates both — so it wrongly rejects a well-formed access.")
+}

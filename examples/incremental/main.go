@@ -1,0 +1,77 @@
+// incremental simulates an IDE editing session: the hierarchy is
+// built class by class, members are added and removed between
+// queries, and the incremental workspace keeps lookup answers valid
+// while recomputing only what each edit can affect.
+package main
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/incremental"
+)
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func main() {
+	ws := incremental.New()
+	method := func(name string) chg.Member { return chg.Member{Name: name, Kind: chg.Method} }
+
+	// The user types in a small hierarchy.
+	object := must(ws.AddClass("Object", nil))
+	if err := ws.AddMember(object, method("describe")); err != nil {
+		panic(err)
+	}
+	shape := must(ws.AddClass("Shape", []incremental.BaseDecl{{Class: object}}))
+	circle := must(ws.AddClass("Circle", []incremental.BaseDecl{{Class: shape}}))
+	square := must(ws.AddClass("Square", []incremental.BaseDecl{{Class: shape}}))
+
+	show := func(when string) {
+		fmt.Printf("%s:\n", when)
+		for _, c := range []chg.ClassID{circle, square} {
+			r := ws.Lookup(c, "describe")
+			name := map[chg.ClassID]string{circle: "Circle", square: "Square"}[c]
+			if r.Found() {
+				owner := map[chg.ClassID]string{object: "Object", shape: "Shape", circle: "Circle", square: "Square"}[r.Class()]
+				fmt.Printf("  %s.describe() -> %s::describe\n", name, owner)
+			} else {
+				fmt.Printf("  %s.describe() -> ambiguous or missing\n", name)
+			}
+		}
+		s := ws.Stats()
+		fmt.Printf("  cache: %d hits, %d misses, %d invalidations\n\n", s.Hits, s.Misses, s.Invalidations)
+	}
+
+	show("initial (both inherit Object::describe)")
+
+	// Edit 1: override in Shape. Only the Shape cone is recomputed.
+	if err := ws.AddMember(shape, method("describe")); err != nil {
+		panic(err)
+	}
+	show("after adding Shape::describe")
+
+	// Edit 2: override in Circle only.
+	if err := ws.AddMember(circle, method("describe")); err != nil {
+		panic(err)
+	}
+	show("after adding Circle::describe")
+
+	// Edit 3: the user deletes the Shape override again.
+	if err := ws.RemoveMember(shape, "describe"); err != nil {
+		panic(err)
+	}
+	show("after removing Shape::describe")
+
+	// The whole session can be frozen into an immutable graph for the
+	// batch tooling (tables, vtables, DOT export).
+	g, err := ws.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("snapshot: %s\n", g.ComputeStats())
+}

@@ -1,0 +1,59 @@
+// vtables shows the compiler application the paper names in its
+// introduction: building virtual-function tables from the lookup
+// table. Every vtable slot's implementation is lookup(C, m) — the
+// most dominant definition is the final overrider — and an ambiguous
+// final overrider in a virtual diamond is detected by the same
+// machinery.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/vtable"
+)
+
+const program = `
+struct Shape {
+  virtual void draw();
+  virtual void area();
+  virtual void name();
+};
+struct Circle : Shape {
+  virtual void draw();
+};
+struct Square : Shape {
+  virtual void draw();
+  virtual void area();
+};
+struct Sprite { virtual void tick(); };
+struct AnimatedSquare : Square, Sprite {
+  virtual void tick();
+};
+
+// A virtual diamond whose two arms both override f: the final
+// overrider in Joined is ambiguous.
+struct Device { virtual void f(); };
+struct NetDevice  : virtual Device { virtual void f(); };
+struct DiskDevice : virtual Device { virtual void f(); };
+struct Joined : NetDevice, DiskDevice {};
+`
+
+func main() {
+	unit, err := sema.AnalyzeSource(program)
+	if err != nil {
+		panic(err)
+	}
+	g := unit.Graph
+	builder := vtable.NewBuilder(g)
+	for _, vt := range builder.BuildAll() {
+		if err := vt.Write(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Joined's f slot is ambiguous: C++ makes a program that calls it")
+	fmt.Println("ill-formed, and the lookup algorithm is what detects that.")
+}

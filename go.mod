@@ -1,0 +1,3 @@
+module cpplookup
+
+go 1.22

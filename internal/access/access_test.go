@@ -1,0 +1,143 @@
+package access
+
+import (
+	"testing"
+
+	"cpplookup/internal/chg"
+)
+
+// linear hierarchy A ← B ← C with one member at A.
+func linear(t *testing.T) (*chg.Graph, *Table, []chg.ClassID, chg.MemberID) {
+	t.Helper()
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	b.Base(bb, a, chg.NonVirtual)
+	b.Base(c, bb, chg.NonVirtual)
+	b.Method(a, "m")
+	g := b.MustBuild()
+	m := g.MustMemberID("m")
+	return g, NewTable(g), []chg.ClassID{a, bb, c}, m
+}
+
+func TestDefaultsArePublic(t *testing.T) {
+	g, tab, path, m := linear(t)
+	_ = g
+	if !tab.Accessible(path, m) {
+		t.Error("unset table should default to public access")
+	}
+	if tab.AlongPath(path, m) != Public {
+		t.Errorf("AlongPath = %v", tab.AlongPath(path, m))
+	}
+}
+
+func TestMemberLevelRestricts(t *testing.T) {
+	_, tab, path, m := linear(t)
+	tab.SetMember(path[0], m, Protected)
+	if tab.AlongPath(path, m) != Protected {
+		t.Errorf("protected member should stay protected: %v", tab.AlongPath(path, m))
+	}
+	if tab.Accessible(path, m) {
+		t.Error("protected member should not be accessible from outside")
+	}
+}
+
+func TestEdgeLevelRestricts(t *testing.T) {
+	_, tab, path, m := linear(t)
+	// B : private A
+	tab.SetEdge(path[1], path[0], Private)
+	if got := tab.AlongPath(path, m); got != Private {
+		t.Errorf("private inheritance should hide the member: %v", got)
+	}
+}
+
+func TestRestrictTakesWorst(t *testing.T) {
+	for _, tc := range []struct{ a, b, want Level }{
+		{Public, Public, Public},
+		{Public, Protected, Protected},
+		{Protected, Private, Private},
+		{Private, Public, Private},
+	} {
+		if got := Restrict(tc.a, tc.b); got != tc.want {
+			t.Errorf("Restrict(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPathPrefixOnlyCountsEdgesOnPath(t *testing.T) {
+	// Diamond: A ← L, A ← R, {L,R} ← D. L-edge private, R-edge public:
+	// access through the R path is public even though the L path is not.
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	l := b.Class("L")
+	r := b.Class("R")
+	d := b.Class("D")
+	b.Base(l, a, chg.NonVirtual)
+	b.Base(r, a, chg.NonVirtual)
+	b.Base(d, l, chg.NonVirtual)
+	b.Base(d, r, chg.NonVirtual)
+	b.Method(a, "m")
+	g := b.MustBuild()
+	m := g.MustMemberID("m")
+	tab := NewTable(g)
+	tab.SetEdge(l, a, Private)
+
+	left := []chg.ClassID{a, l, d}
+	right := []chg.ClassID{a, r, d}
+	if tab.AlongPath(left, m) != Private {
+		t.Error("left path should be private")
+	}
+	if tab.AlongPath(right, m) != Public {
+		t.Error("right path should be public")
+	}
+	// BestPath finds the public route.
+	if got := tab.BestPath(a, d, m); got != Public {
+		t.Errorf("BestPath = %v, want public", got)
+	}
+	// Block the right edge too: best becomes protected/private.
+	tab.SetEdge(r, a, Protected)
+	if got := tab.BestPath(a, d, m); got != Protected {
+		t.Errorf("BestPath after restriction = %v, want protected", got)
+	}
+}
+
+func TestBestPathSameClass(t *testing.T) {
+	g, tab, path, m := linear(t)
+	_ = g
+	tab.SetMember(path[0], m, Protected)
+	if got := tab.BestPath(path[0], path[0], m); got != Protected {
+		t.Errorf("BestPath(declaring == ctx) = %v", got)
+	}
+}
+
+func TestAlongPathPanicsOnEmpty(t *testing.T) {
+	_, tab, _, m := linear(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty path should panic")
+		}
+	}()
+	tab.AlongPath(nil, m)
+}
+
+func TestLevelString(t *testing.T) {
+	if Public.String() != "public" || Protected.String() != "protected" || Private.String() != "private" {
+		t.Error("Level strings wrong")
+	}
+}
+
+func TestGetters(t *testing.T) {
+	_, tab, path, m := linear(t)
+	tab.SetMember(path[0], m, Private)
+	tab.SetEdge(path[1], path[0], Protected)
+	if tab.Member(path[0], m) != Private {
+		t.Error("Member getter wrong")
+	}
+	if tab.Edge(path[1], path[0]) != Protected {
+		t.Error("Edge getter wrong")
+	}
+	if tab.Edge(path[2], path[1]) != Public {
+		t.Error("unset edge should be public")
+	}
+}

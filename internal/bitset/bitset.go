@@ -1,0 +1,220 @@
+// Package bitset provides a dense bit-set over small integer universes.
+//
+// The member-lookup engine (internal/core) needs a constant-time test
+// "is class V a virtual base of class L?" (Lemma 4 of the paper). That
+// test is backed by a transitive-closure matrix of bit sets computed
+// once per hierarchy, exactly as the paper suggests in Section 5
+// ("we can construct a boolean matrix using a transitive closure -like
+// algorithm"). The same sets also serve the general base-class closure
+// used by the frontend and the slicing application.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-universe bit set. The zero value is an empty set over
+// an empty universe; use New to create a set able to hold n elements.
+type Set struct {
+	words []uint64
+	n     int // universe size
+}
+
+// New returns an empty set over the universe {0, …, n-1}.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe size " + strconv.Itoa(n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the universe size the set was created with.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+// The two sets must share a universe size.
+func (s *Set) UnionWith(t *Set) bool {
+	s.sameUniverse(t)
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes from s every element not in t.
+func (s *Set) IntersectWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// DifferenceWith removes from s every element of t.
+func (s *Set) DifferenceWith(t *Set) {
+	s.sameUniverse(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.sameUniverse(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t hold exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Elems returns the elements in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// ForEach calls f for each element in increasing order.
+func (s *Set) ForEach(f func(int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: element " + strconv.Itoa(i) + " out of universe [0," + strconv.Itoa(s.n) + ")")
+	}
+}
+
+func (s *Set) sameUniverse(t *Set) {
+	if s.n != t.n {
+		panic("bitset: universe mismatch " + strconv.Itoa(s.n) + " != " + strconv.Itoa(t.n))
+	}
+}
+
+// Matrix is a square boolean matrix stored as one Set per row. It backs
+// the reflexive-transitive closures over the class hierarchy graph.
+type Matrix struct {
+	rows []*Set
+}
+
+// NewMatrix returns an n×n all-false matrix.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{rows: make([]*Set, n)}
+	for i := range m.rows {
+		m.rows[i] = New(n)
+	}
+	return m
+}
+
+// Dim returns n for an n×n matrix.
+func (m *Matrix) Dim() int { return len(m.rows) }
+
+// Set sets entry (i, j) to true.
+func (m *Matrix) Set(i, j int) { m.rows[i].Add(j) }
+
+// Has reports entry (i, j).
+func (m *Matrix) Has(i, j int) bool { return m.rows[i].Has(j) }
+
+// Row returns row i. The returned set is shared, not a copy.
+func (m *Matrix) Row(i int) *Set { return m.rows[i] }
+
+// OrRow ors row src into row dst and reports whether dst changed.
+func (m *Matrix) OrRow(dst, src int) bool { return m.rows[dst].UnionWith(m.rows[src]) }

@@ -1,0 +1,108 @@
+package chg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Serialization: a Graph can be persisted and reloaded — the
+// "precompiled header" use case, where a compiler caches a library's
+// hierarchy between translation units. Only the declared facts
+// (classes, edges, members) are stored; derived data (topological
+// order, closures) is recomputed through Builder on load, which also
+// re-validates untrusted inputs.
+
+// graphWire is the stable wire form.
+type graphWire struct {
+	Classes []classWire
+}
+
+type classWire struct {
+	Name    string
+	Bases   []edgeWire
+	Members []Member
+}
+
+type edgeWire struct {
+	Base    int32
+	Virtual bool
+}
+
+func (g *Graph) wire() graphWire {
+	w := graphWire{Classes: make([]classWire, len(g.classes))}
+	for i := range g.classes {
+		c := &g.classes[i]
+		cw := classWire{Name: c.name, Members: append([]Member(nil), c.members...)}
+		for _, e := range c.bases {
+			cw.Bases = append(cw.Bases, edgeWire{Base: int32(e.Base), Virtual: e.Kind == Virtual})
+		}
+		w.Classes[i] = cw
+	}
+	return w
+}
+
+func fromWire(w graphWire) (*Graph, error) {
+	b := NewBuilder()
+	for _, c := range w.Classes {
+		b.Class(c.Name)
+	}
+	for i, c := range w.Classes {
+		id, ok := b.byName[c.Name]
+		if !ok || id != ClassID(i) {
+			return nil, fmt.Errorf("chg: decode: duplicate or reordered class %q", c.Name)
+		}
+		for _, e := range c.Bases {
+			if int(e.Base) < 0 || int(e.Base) >= len(w.Classes) {
+				return nil, fmt.Errorf("chg: decode: class %q has out-of-range base %d", c.Name, e.Base)
+			}
+			kind := NonVirtual
+			if e.Virtual {
+				kind = Virtual
+			}
+			b.Base(id, ClassID(e.Base), kind)
+		}
+		for _, m := range c.Members {
+			b.Member(id, m)
+		}
+	}
+	return b.Build()
+}
+
+// MarshalBinary encodes the graph with encoding/gob.
+func (g *Graph) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g.wire()); err != nil {
+		return nil, fmt.Errorf("chg: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a graph produced by MarshalBinary,
+// re-validating it and recomputing the derived structures.
+func UnmarshalBinary(data []byte) (*Graph, error) {
+	var w graphWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("chg: decode: %w", err)
+	}
+	return fromWire(w)
+}
+
+// WriteJSON writes the graph's declared facts as JSON (stable,
+// human-inspectable interop form).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g.wire())
+}
+
+// ReadJSON reads a graph from WriteJSON output.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var w graphWire
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("chg: decode json: %w", err)
+	}
+	return fromWire(w)
+}

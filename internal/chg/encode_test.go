@@ -1,0 +1,140 @@
+package chg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func graphsIsomorphic(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumClasses() != b.NumClasses() || a.NumEdges() != b.NumEdges() ||
+		a.NumVirtualEdges() != b.NumVirtualEdges() {
+		t.Fatalf("shape differs: %s vs %s", a.ComputeStats(), b.ComputeStats())
+	}
+	for c := 0; c < a.NumClasses(); c++ {
+		ca := ClassID(c)
+		cb, ok := b.ID(a.Name(ca))
+		if !ok {
+			t.Fatalf("class %s missing after round trip", a.Name(ca))
+		}
+		ba, bb := a.DirectBases(ca), b.DirectBases(cb)
+		if len(ba) != len(bb) {
+			t.Fatalf("%s: base count differs", a.Name(ca))
+		}
+		for i := range ba {
+			if a.Name(ba[i].Base) != b.Name(bb[i].Base) || ba[i].Kind != bb[i].Kind {
+				t.Fatalf("%s: base %d differs", a.Name(ca), i)
+			}
+		}
+		ma, mb := a.DeclaredMembers(ca), b.DeclaredMembers(cb)
+		if len(ma) != len(mb) {
+			t.Fatalf("%s: member count differs", a.Name(ca))
+		}
+		for i := range ma {
+			if ma[i] != mb[i] {
+				t.Fatalf("%s: member %d differs: %+v vs %+v", a.Name(ca), i, ma[i], mb[i])
+			}
+		}
+		// Derived data recomputed identically.
+		for d := 0; d < a.NumClasses(); d++ {
+			da := ClassID(d)
+			db := b.MustID(a.Name(da))
+			if a.IsBase(da, ca) != b.IsBase(db, cb) ||
+				a.IsVirtualBase(da, ca) != b.IsVirtualBase(db, cb) {
+				t.Fatalf("closures differ at (%s, %s)", a.Name(da), a.Name(ca))
+			}
+		}
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	g := figure2(t)
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIsomorphic(t, g, g2)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := figure2(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Name": "A"`) {
+		t.Errorf("JSON not human-shaped:\n%s", buf.String())
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIsomorphic(t, g, g2)
+}
+
+func TestRoundTripRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 20; i++ {
+		g := randomGraph(rng, 3+rng.Intn(25))
+		// add some members of each kind
+		data, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsIsomorphic(t, g, g2)
+	}
+}
+
+func TestRoundTripAllMemberKinds(t *testing.T) {
+	b := NewBuilder()
+	x := b.Class("X")
+	b.Member(x, Member{Name: "f", Kind: Method, Virtual: true})
+	b.Member(x, Member{Name: "s", Kind: Field, Static: true})
+	b.Member(x, Member{Name: "T", Kind: TypeName})
+	b.Member(x, Member{Name: "K", Kind: Enumerator})
+	g := b.MustBuild()
+	data, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIsomorphic(t, g, g2)
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalBinary([]byte("not gob at all")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+}
+
+func TestUnmarshalRejectsInvalidStructure(t *testing.T) {
+	// Out-of-range base index.
+	if _, err := ReadJSON(strings.NewReader(`{"Classes":[{"Name":"A","Bases":[{"Base":7,"Virtual":false}]}]}`)); err == nil {
+		t.Error("out-of-range base should fail")
+	}
+	// Duplicate class names.
+	if _, err := ReadJSON(strings.NewReader(`{"Classes":[{"Name":"A"},{"Name":"A"}]}`)); err == nil {
+		t.Error("duplicate class should fail")
+	}
+	// A decoded cycle must be rejected by Build's validation.
+	if _, err := ReadJSON(strings.NewReader(
+		`{"Classes":[{"Name":"A","Bases":[{"Base":1}]},{"Name":"B","Bases":[{"Base":0}]}]}`)); err == nil {
+		t.Error("cycle should fail")
+	}
+}

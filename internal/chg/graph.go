@@ -1,0 +1,301 @@
+// Package chg implements the Class Hierarchy Graph (CHG) of Section 2
+// of Ramalingam & Srinivasan, "A Member Lookup Algorithm for C++"
+// (PLDI 1997).
+//
+// The CHG is a directed acyclic graph (N, E) whose nodes are classes
+// and whose edges are inheritance relations. An edge X → Y means X is
+// a *direct base* of Y; each edge is either virtual (E_v) or
+// non-virtual (E_nv). Every class declares a set of members M[X].
+//
+// A Graph is immutable once constructed via Builder.Build, which also
+// precomputes the topological order and two reflexive-free closures:
+//
+//   - bases:    X ∈ Bases(Y)        iff there is a nonempty path X → Y;
+//   - virtual:  X ∈ VirtualBases(Y) iff some path X → Y starts with a
+//     virtual edge (the paper's "virtual base class" definition).
+//
+// The virtual-bases closure is what makes the Lemma-4 dominance test of
+// the lookup algorithm (internal/core) a constant-time bit probe.
+package chg
+
+import (
+	"fmt"
+	"sort"
+
+	"cpplookup/internal/bitset"
+)
+
+// ClassID identifies a class in a Graph. IDs are dense: 0 … NumClasses-1.
+type ClassID int32
+
+// Omega is the paper's Ω: the sentinel "not a virtual path" value in the
+// abstract domain N ∪ {Ω} over which leastVirtual and the ∘ operator
+// work. It is not a valid class.
+const Omega ClassID = -1
+
+// Kind distinguishes virtual from non-virtual inheritance edges.
+type Kind uint8
+
+const (
+	// NonVirtual is an E_nv edge: each occurrence creates a distinct
+	// subobject of the base class.
+	NonVirtual Kind = iota
+	// Virtual is an E_v edge: all virtual occurrences of the base are
+	// shared within one complete object.
+	Virtual
+)
+
+func (k Kind) String() string {
+	if k == Virtual {
+		return "virtual"
+	}
+	return "non-virtual"
+}
+
+// Edge is one direct-inheritance relation as seen from the derived
+// class: Base is a direct base reached through an edge of kind Kind.
+type Edge struct {
+	Base ClassID
+	Kind Kind
+}
+
+// MemberKind classifies what a class member is. Type names and
+// enumerators are treated exactly like static data members during
+// lookup (paper, Section 6).
+type MemberKind uint8
+
+const (
+	Method MemberKind = iota
+	Field
+	TypeName
+	Enumerator
+)
+
+func (k MemberKind) String() string {
+	switch k {
+	case Method:
+		return "method"
+	case Field:
+		return "field"
+	case TypeName:
+		return "type"
+	case Enumerator:
+		return "enumerator"
+	}
+	return fmt.Sprintf("MemberKind(%d)", uint8(k))
+}
+
+// Member is one directly declared member of a class.
+type Member struct {
+	Name    string
+	Kind    MemberKind
+	Static  bool // static member (incl. type names and enumerators)
+	Virtual bool // virtual member function (used by internal/vtable)
+}
+
+// StaticForLookup reports whether the member follows the static-member
+// dominance rule of Definition 17: declared static, a nested type
+// name, or an enumerator.
+func (m Member) StaticForLookup() bool {
+	return m.Static || m.Kind == TypeName || m.Kind == Enumerator
+}
+
+// MemberID identifies an interned member name. The universe of member
+// names is shared across the whole Graph so the lookup table can be a
+// dense |N| × |M| array.
+type MemberID int32
+
+// NoMember is returned by MemberID lookups for unknown names.
+const NoMember MemberID = -1
+
+type class struct {
+	name    string
+	bases   []Edge
+	derived []ClassID // classes that list this class as a direct base
+	// members declared directly in this class, position-indexed by
+	// declaration order; declared[m] indexes into members for name m.
+	members  []Member
+	declared map[MemberID]int
+}
+
+// Graph is an immutable class hierarchy graph.
+type Graph struct {
+	classes []class
+	byName  map[string]ClassID
+
+	memberNames []string
+	memberIDs   map[string]MemberID
+
+	topo    []ClassID // bases strictly before derived
+	topoPos []int     // topoPos[c] = index of c in topo
+
+	bases    *bitset.Matrix // row d: strict bases of d
+	virtuals *bitset.Matrix // row d: virtual bases of d
+
+	numEdges        int
+	numVirtualEdges int
+}
+
+// NumClasses returns |N|.
+func (g *Graph) NumClasses() int { return len(g.classes) }
+
+// NumEdges returns |E| (virtual + non-virtual).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumVirtualEdges returns |E_v|.
+func (g *Graph) NumVirtualEdges() int { return g.numVirtualEdges }
+
+// NumMemberNames returns the number of distinct member names |M|.
+func (g *Graph) NumMemberNames() int { return len(g.memberNames) }
+
+// Name returns the class's name.
+func (g *Graph) Name(c ClassID) string { return g.classes[c].name }
+
+// ID returns the class with the given name.
+func (g *Graph) ID(name string) (ClassID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MustID is ID but panics on unknown names; convenient in tests and
+// generators where the name is known statically.
+func (g *Graph) MustID(name string) ClassID {
+	id, ok := g.byName[name]
+	if !ok {
+		panic("chg: unknown class " + name)
+	}
+	return id
+}
+
+// Valid reports whether c is a class of this graph.
+func (g *Graph) Valid(c ClassID) bool { return c >= 0 && int(c) < len(g.classes) }
+
+// DirectBases returns the ordered direct bases of c. The slice is
+// shared with the graph and must not be modified.
+func (g *Graph) DirectBases(c ClassID) []Edge { return g.classes[c].bases }
+
+// DirectDerived returns the classes that have c as a direct base, in
+// insertion order. Shared slice; do not modify.
+func (g *Graph) DirectDerived(c ClassID) []ClassID { return g.classes[c].derived }
+
+// DeclaredMembers returns the members declared directly in c (the
+// paper's M[c]) in declaration order. Shared slice; do not modify.
+func (g *Graph) DeclaredMembers(c ClassID) []Member { return g.classes[c].members }
+
+// MemberID returns the interned id for a member name.
+func (g *Graph) MemberID(name string) (MemberID, bool) {
+	id, ok := g.memberIDs[name]
+	return id, ok
+}
+
+// MustMemberID is MemberID but panics on unknown names.
+func (g *Graph) MustMemberID(name string) MemberID {
+	id, ok := g.memberIDs[name]
+	if !ok {
+		panic("chg: unknown member name " + name)
+	}
+	return id
+}
+
+// MemberName returns the name for an interned member id.
+func (g *Graph) MemberName(m MemberID) string { return g.memberNames[m] }
+
+// MemberNames returns all interned member names, indexed by MemberID.
+// Shared slice; do not modify.
+func (g *Graph) MemberNames() []string { return g.memberNames }
+
+// Declares reports whether class c directly declares member name m
+// (the paper's test "m ∈ M[c]").
+func (g *Graph) Declares(c ClassID, m MemberID) bool {
+	_, ok := g.classes[c].declared[m]
+	return ok
+}
+
+// DeclaredMember returns the declaration of member name m in class c.
+func (g *Graph) DeclaredMember(c ClassID, m MemberID) (Member, bool) {
+	i, ok := g.classes[c].declared[m]
+	if !ok {
+		return Member{}, false
+	}
+	return g.classes[c].members[i], true
+}
+
+// IsBase reports whether b is a (strict, possibly indirect) base of d:
+// there is a nonempty CHG path b → d.
+func (g *Graph) IsBase(b, d ClassID) bool { return g.bases.Has(int(d), int(b)) }
+
+// IsVirtualBase reports whether b is a virtual base of d: some path
+// b → d starts with a virtual edge.
+func (g *Graph) IsVirtualBase(b, d ClassID) bool {
+	if b == Omega || d == Omega {
+		return false
+	}
+	return g.virtuals.Has(int(d), int(b))
+}
+
+// Bases returns the strict bases of d as a shared bit set (universe =
+// class ids). Do not modify.
+func (g *Graph) Bases(d ClassID) *bitset.Set { return g.bases.Row(int(d)) }
+
+// VirtualBases returns the virtual bases of d as a shared bit set.
+// Do not modify.
+func (g *Graph) VirtualBases(d ClassID) *bitset.Set { return g.virtuals.Row(int(d)) }
+
+// Topo returns a topological order of the classes in which every base
+// precedes every class derived from it. Shared slice; do not modify.
+func (g *Graph) Topo() []ClassID { return g.topo }
+
+// TopoPos returns the position of c in Topo(). Base classes have
+// smaller positions than their derived classes; this is the
+// "topological number" of Section 7.2.
+func (g *Graph) TopoPos(c ClassID) int { return g.topoPos[c] }
+
+// Roots returns the classes with no bases, in id order.
+func (g *Graph) Roots() []ClassID {
+	var out []ClassID
+	for i := range g.classes {
+		if len(g.classes[i].bases) == 0 {
+			out = append(out, ClassID(i))
+		}
+	}
+	return out
+}
+
+// Leaves returns the classes with no derived classes, in id order.
+func (g *Graph) Leaves() []ClassID {
+	var out []ClassID
+	for i := range g.classes {
+		if len(g.classes[i].derived) == 0 {
+			out = append(out, ClassID(i))
+		}
+	}
+	return out
+}
+
+// ClassNames returns all class names in id order.
+func (g *Graph) ClassNames() []string {
+	out := make([]string, len(g.classes))
+	for i := range g.classes {
+		out[i] = g.classes[i].name
+	}
+	return out
+}
+
+// Size returns |N| + |E|, the paper's measure of hierarchy size.
+func (g *Graph) Size() int { return g.NumClasses() + g.NumEdges() }
+
+// MembersDeclaringClasses returns, for each member id, the classes
+// that declare it, sorted by id. Useful for whole-program analyses.
+func (g *Graph) MembersDeclaringClasses() map[MemberID][]ClassID {
+	out := make(map[MemberID][]ClassID, len(g.memberNames))
+	for ci := range g.classes {
+		for m := range g.classes[ci].declared {
+			out[m] = append(out[m], ClassID(ci))
+		}
+	}
+	for m := range out {
+		cs := out[m]
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package cli
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestWidgetsProgramIsClean(t *testing.T) {
+	unit, clean, err := Analyze(load(t, "widgets.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean {
+		t.Fatalf("widgets.cpp should be clean, got: %v", unit.Diags)
+	}
+	if len(unit.Resolutions) != 12 {
+		t.Errorf("resolutions = %d, want 12", len(unit.Resolutions))
+	}
+	var out strings.Builder
+	PrintResolutions(&out, unit)
+	for _, want := range []string{
+		"Button.draw -> Button::draw",
+		"Button.layout -> Widget::layout",
+		"Button.retain -> Object::retain",
+		"Checkbox.invalidate -> Renderable::invalidate",
+		"Dialog.destroy -> Object::destroy",
+		"Object.liveCount -> Object::liveCount",
+		"Widget.Visible -> Widget::Visible",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("resolutions missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestWidgetsTableAndVTables(t *testing.T) {
+	unit, _, err := Analyze(load(t, "widgets.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table strings.Builder
+	PrintTable(&table, unit.Graph)
+	for _, want := range []string{
+		"Button:",
+		"draw                 red (Button, Ω)",
+		"retain               red (Object, Object)",
+	} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+
+	var vts strings.Builder
+	if err := PrintVTables(&vts, unit.Graph); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"vtable for Button:",
+		"draw -> Button::draw",
+		"destroy -> Object::destroy",
+		"invalidate -> Renderable::invalidate",
+	} {
+		if !strings.Contains(vts.String(), want) {
+			t.Errorf("vtables missing %q in:\n%s", want, vts.String())
+		}
+	}
+}
+
+func TestWidgetsNoAmbiguities(t *testing.T) {
+	unit, _, err := Analyze(load(t, "widgets.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if n := PrintAmbiguities(&out, unit.Graph); n != 0 {
+		t.Errorf("ambiguities = %d:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "no ambiguous lookups") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestFigure9EndToEnd(t *testing.T) {
+	unit, clean, err := Analyze(load(t, "figure9.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean {
+		t.Fatalf("figure9.cpp should be accepted: %v", unit.Diags)
+	}
+	var out strings.Builder
+	PrintLookup(&out, unit.Graph, "E", "m")
+	if !strings.Contains(out.String(), "lookup(E, m) = C::m") {
+		t.Errorf("lookup output: %s", out.String())
+	}
+	out.Reset()
+	PrintLookup(&out, unit.Graph, "E", "ghost")
+	if !strings.Contains(out.String(), "no such member") {
+		t.Errorf("missing-member output: %s", out.String())
+	}
+}
+
+func TestErrorsProgramDiagnostics(t *testing.T) {
+	unit, clean, err := Analyze(load(t, "errors.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean {
+		t.Fatal("errors.cpp should produce diagnostics")
+	}
+	var diags strings.Builder
+	PrintDiags(&diags, unit)
+	out := diags.String()
+	for _, want := range []string{
+		"unknown-class: base class Missing",
+		"ambiguous-member: member id is ambiguous in Both",
+		"unknown-member: no member named nothing",
+		"inaccessible-member: Secret::hidden is private",
+		"pointer-mismatch",
+		"not-a-class",
+		"unknown-name: use of undeclared identifier ghost",
+		"unknown-class: unknown class Missing in qualified name",
+		"did you mean id?",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q in:\n%s", want, out)
+		}
+	}
+	var res strings.Builder
+	PrintResolutions(&res, unit)
+	if !strings.Contains(res.String(), "Both.id -> AMBIGUOUS") {
+		t.Errorf("resolutions: %s", res.String())
+	}
+}
+
+func TestPrintSlice(t *testing.T) {
+	unit, _, err := Analyze(load(t, "widgets.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := PrintSlice(&out, unit.Graph, "Button::draw"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "// slice:") || !strings.Contains(s, "struct Button") {
+		t.Errorf("slice output:\n%s", s)
+	}
+	// Classes not on Button's ancestry are gone.
+	if strings.Contains(s, "Dialog") || strings.Contains(s, "Checkbox") {
+		t.Errorf("slice kept unrelated classes:\n%s", s)
+	}
+	// The sliced source re-analyzes cleanly and preserves the lookup.
+	unit2, clean, err := Analyze(s)
+	if err != nil || !clean {
+		t.Fatalf("sliced source broken: %v %v", err, unit2.Diags)
+	}
+	var lk strings.Builder
+	PrintLookup(&lk, unit2.Graph, "Button", "draw")
+	if !strings.Contains(lk.String(), "Button::draw") {
+		t.Errorf("sliced lookup: %s", lk.String())
+	}
+
+	// Error paths.
+	for _, bad := range []string{"nope", "Ghost::draw", "Button::ghost"} {
+		if err := PrintSlice(&strings.Builder{}, unit.Graph, bad); err == nil {
+			t.Errorf("PrintSlice(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDotOutputs(t *testing.T) {
+	unit, _, err := Analyze(load(t, "figure9.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chgDot strings.Builder
+	if err := WriteCHGDot(&chgDot, unit.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chgDot.String(), `"S" -> "A" [style=dashed];`) {
+		t.Errorf("CHG DOT:\n%s", chgDot.String())
+	}
+	var subDot strings.Builder
+	if err := WriteSubobjectsDot(&subDot, unit.Graph, "E", 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(subDot.String(), "label=") != 6 {
+		t.Errorf("subobject DOT should have 6 nodes:\n%s", subDot.String())
+	}
+	if err := WriteSubobjectsDot(&strings.Builder{}, unit.Graph, "Ghost", 0); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestAmbiguitiesListing(t *testing.T) {
+	unit, _, err := Analyze(load(t, "errors.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	n := PrintAmbiguities(&out, unit.Graph)
+	if n == 0 || !strings.Contains(out.String(), "Both::id is ambiguous") {
+		t.Errorf("ambiguities (%d):\n%s", n, out.String())
+	}
+}
+
+func TestSplitQualified(t *testing.T) {
+	for _, tc := range []struct {
+		in         string
+		class, mem string
+		ok         bool
+	}{
+		{"A::m", "A", "m", true},
+		{"ios_base::rdstate", "ios_base", "rdstate", true},
+		{"::m", "", "", false},
+		{"A::", "", "", false},
+		{"Am", "", "", false},
+	} {
+		c, m, ok := SplitQualified(tc.in)
+		if c != tc.class || m != tc.mem || ok != tc.ok {
+			t.Errorf("SplitQualified(%q) = %q %q %v", tc.in, c, m, ok)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+)
+
+// WriteLookupDot renders the CHG annotated with the lookup results
+// for one member name, reproducing the paper's Figures 6 and 7 as a
+// picture: every class whose lookup is unambiguous is drawn with its
+// red abstraction, ambiguous classes are drawn blue with their
+// abstraction set, declaring classes are outlined bold.
+func WriteLookupDot(w io.Writer, g *chg.Graph, member string) error {
+	mid, ok := g.MemberID(member)
+	if !ok {
+		return fmt.Errorf("unknown member %q", member)
+	}
+	a := core.New(g, core.WithStaticRule())
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph \"lookup-%s\" {\n", member)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for c := 0; c < g.NumClasses(); c++ {
+		cid := chg.ClassID(c)
+		r := a.Lookup(cid, mid)
+		label := g.Name(cid)
+		attrs := []string{}
+		switch r.Kind {
+		case core.RedKind:
+			label += "\n" + r.Format(g)
+			attrs = append(attrs, "color=red")
+		case core.BlueKind:
+			label += "\n" + r.Format(g)
+			attrs = append(attrs, "color=blue")
+		default:
+			attrs = append(attrs, "color=gray")
+		}
+		if g.Declares(cid, mid) {
+			attrs = append(attrs, "penwidth=2")
+		}
+		fmt.Fprintf(&b, "  %q [label=%q, %s];\n", g.Name(cid), label, strings.Join(attrs, ", "))
+	}
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, e := range g.DirectBases(chg.ClassID(c)) {
+			style := "solid"
+			if e.Kind == chg.Virtual {
+				style = "dashed"
+			}
+			fmt.Fprintf(&b, "  %q -> %q [style=%s];\n",
+				g.Name(e.Base), g.Name(chg.ClassID(c)), style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

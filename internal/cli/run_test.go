@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProgramFigure9(t *testing.T) {
+	src := load(t, "figure9.cpp")
+	var out strings.Builder
+	if err := RunProgram(&out, src, "main"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "main returned") {
+		t.Errorf("missing return line:\n%s", s)
+	}
+	// E has exactly 4 m cells: the shared virtual S, A, B plus the C
+	// subobject inside D.
+	if !strings.Contains(s, "e: E object, 4 field cells") {
+		t.Errorf("missing object dump header:\n%s", s)
+	}
+	// The C::m cell carries 10; every other m copy is 0.
+	if !strings.Contains(s, ".m = 10") {
+		t.Errorf("no cell holds 10:\n%s", s)
+	}
+	if strings.Count(s, ".m = 0") != 3 {
+		t.Errorf("want 3 untouched m copies (S, A, B):\n%s", s)
+	}
+	// Specifically the C region holds it.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "= 10") && !strings.Contains(line, "[C@") {
+			t.Errorf("the 10 is not in the C region: %q", line)
+		}
+	}
+}
+
+func TestRunProgramErrors(t *testing.T) {
+	if err := RunProgram(&strings.Builder{}, "struct A {", "main"); err == nil {
+		t.Error("broken source should fail")
+	}
+	if err := RunProgram(&strings.Builder{}, "main() {}", "nope"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestPrintLayout(t *testing.T) {
+	unit, _, err := Analyze(load(t, "figure9.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := PrintLayout(&out, unit.Graph, "E"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "layout of E (size 4):") {
+		t.Errorf("layout header wrong:\n%s", s)
+	}
+	// 6 regions: E, D, C (nonvirtual chain) + virtual S, A, B.
+	if strings.Count(s, "\n") != 7 {
+		t.Errorf("expected 6 region lines:\n%s", s)
+	}
+	if err := PrintLayout(&strings.Builder{}, unit.Graph, "Ghost"); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestWriteLookupDot(t *testing.T) {
+	src := `
+struct A { void foo(); };
+struct B : A {};
+struct C : A {};
+struct D : B, C {};
+`
+	unit, _, err := Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := WriteLookupDot(&out, unit.Graph, "foo"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		`"A" [label="A\nred (A, Ω)", color=red, penwidth=2];`,
+		`"D" [label="D\nblue {(A, Ω)}", color=blue];`,
+		`"A" -> "B" [style=solid];`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("lookup DOT missing %q:\n%s", want, s)
+		}
+	}
+	if err := WriteLookupDot(&strings.Builder{}, unit.Graph, "ghost"); err == nil {
+		t.Error("unknown member should fail")
+	}
+}

@@ -1,0 +1,217 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/interp"
+	"cpplookup/internal/layout"
+	"cpplookup/internal/paths"
+	"cpplookup/internal/subobject"
+	"cpplookup/internal/vtable"
+)
+
+// The scene corpus: a 30-class library analyzed as two files
+// (header + implementation) — the closest thing to a real program in
+// the test suite. Every subsystem runs over it.
+func sceneUnit(t *testing.T) *sema.Unit {
+	t.Helper()
+	u, err := sema.AnalyzeSources(load(t, "scene_header.cpp"), load(t, "scene_main.cpp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Diags) != 0 {
+		t.Fatalf("scene corpus should be clean, got %d diags; first: %v", len(u.Diags), u.Diags[0])
+	}
+	return u
+}
+
+func TestSceneAnalyzesClean(t *testing.T) {
+	u := sceneUnit(t)
+	g := u.Graph
+	if g.NumClasses() < 20 {
+		t.Errorf("scene corpus has %d classes, want a real library", g.NumClasses())
+	}
+	if len(u.Resolutions) < 15 {
+		t.Errorf("resolutions = %d", len(u.Resolutions))
+	}
+	for _, r := range u.Resolutions {
+		if r.Result.Ambiguous() {
+			t.Errorf("unexpected ambiguity at %v: %s.%s", r.Pos, g.Name(r.Context), r.MemberName)
+		}
+	}
+}
+
+func TestSceneKeyResolutions(t *testing.T) {
+	u := sceneUnit(t)
+	g := u.Graph
+	find := func(ctx, member string) sema.Resolution {
+		t.Helper()
+		for _, r := range u.Resolutions {
+			if g.Name(r.Context) == ctx && r.MemberName == member {
+				return r
+			}
+		}
+		t.Fatalf("no resolution for %s.%s", ctx, member)
+		panic("unreachable")
+	}
+	for _, tc := range []struct{ ctx, member, owner string }{
+		{"Button", "retain", "RefCounted"},
+		{"Toggle", "addListener", "EventTarget"},
+		{"Dialog", "setProp", "Themed"}, // the using-declaration re-declares it
+		{"Dialog", "getProp", "Themed"},
+		{"Button", "onFocus", "Control"}, // Control's override dominates
+		{"Dialog", "addChild", "Panel"},
+	} {
+		r := find(tc.ctx, tc.member)
+		if !r.Result.Found() || g.Name(r.Result.Class()) != tc.owner {
+			t.Errorf("%s.%s resolved to %s, want %s::%s",
+				tc.ctx, tc.member, r.Result.Format(g), tc.owner, tc.member)
+		}
+	}
+}
+
+func TestSceneWholeTableUnambiguousExceptNothing(t *testing.T) {
+	u := sceneUnit(t)
+	table := core.New(u.Graph, core.WithStaticRule()).BuildTable()
+	if amb := table.CountAmbiguous(); amb != 0 {
+		t.Errorf("scene table has %d ambiguous entries", amb)
+	}
+	if table.Entries() < 200 {
+		t.Errorf("table entries = %d, expected a few hundred", table.Entries())
+	}
+}
+
+func TestSceneOracleSpotChecks(t *testing.T) {
+	u := sceneUnit(t)
+	g := u.Graph
+	// Cross-check a handful of deep lookups against the Definition-9
+	// enumeration oracle.
+	for _, tc := range []struct{ ctx, member string }{
+		{"Button", "retain"}, {"Dialog", "draw"}, {"Toggle", "onHover"},
+		{"Dialog", "setProp"}, {"Button", "depth"}, {"Dialog", "VisibleFlag"},
+	} {
+		cid := g.MustID(tc.ctx)
+		mid := g.MustMemberID(tc.member)
+		want := paths.LookupStatic(g, cid, mid, 1<<18)
+		got := core.New(g, core.WithStaticRule()).Lookup(cid, mid)
+		if want.Ambiguous != got.Ambiguous() {
+			t.Errorf("%s.%s: oracle ambiguous=%v core=%v", tc.ctx, tc.member, want.Ambiguous, got.Ambiguous())
+			continue
+		}
+		if !want.Ambiguous && want.Subobject.Ldc() != got.Class() {
+			t.Errorf("%s.%s: oracle %s core %s", tc.ctx, tc.member,
+				g.Name(want.Subobject.Ldc()), g.Name(got.Class()))
+		}
+	}
+}
+
+func TestSceneVTables(t *testing.T) {
+	u := sceneUnit(t)
+	g := u.Graph
+	vts := vtable.NewBuilder(g).BuildAll()
+	byClass := map[string]vtable.VTable{}
+	for _, vt := range vts {
+		byClass[g.Name(vt.Class)] = vt
+	}
+	btn := byClass["Button"]
+	impl := map[string]string{}
+	for _, s := range btn.Slots {
+		if !s.Ambiguous {
+			impl[g.MemberName(s.Member)] = g.Name(s.Impl)
+		}
+	}
+	if impl["draw"] != "Button" || impl["onFocus"] != "Control" || impl["onHover"] != "Button" {
+		t.Errorf("Button vtable: %v", impl)
+	}
+}
+
+func TestSceneLayoutAndSubobjects(t *testing.T) {
+	u := sceneUnit(t)
+	g := u.Graph
+	btn := g.MustID("Button")
+	l, err := layout.Of(g, btn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := subobject.Build(g, btn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumSubobjects() != sg.NumSubobjects() {
+		t.Errorf("layout %d regions vs %d subobjects", l.NumSubobjects(), sg.NumSubobjects())
+	}
+	// The shared virtual bases appear exactly once.
+	rc := 0
+	for _, r := range l.Regions() {
+		if g.Name(r.Class) == "RefCounted" {
+			rc++
+		}
+	}
+	if rc != 1 {
+		t.Errorf("RefCounted regions = %d, want 1 (shared virtual base)", rc)
+	}
+}
+
+func TestSceneExecutes(t *testing.T) {
+	src := load(t, "scene_header.cpp") + "\n" + load(t, "scene_main.cpp")
+	m, err := interp.New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	lastDraw, _ := m.Global("lastDraw")
+	if lastDraw.Int != 4 {
+		t.Errorf("lastDraw = %d, want 4 (Dialog::draw via Renderable*)", lastDraw.Int)
+	}
+	lastFocus, _ := m.Global("lastFocus")
+	if lastFocus.Int != 2 {
+		t.Errorf("lastFocus = %d, want 2 (Control::onFocus)", lastFocus.Int)
+	}
+	cell, err := m.Static("Dialog", "openDialogs")
+	if err != nil || *cell != 1 {
+		t.Errorf("Dialog::openDialogs = %v (%v)", cell, err)
+	}
+	cell, err = m.Static("RefCounted", "liveObjects")
+	if err != nil || *cell != 4 {
+		t.Errorf("RefCounted::liveObjects = %v (%v)", cell, err)
+	}
+	tog, _ := m.Global("theToggle")
+	on, err := m.ReadField(tog.Ref.Obj, []string{"Toggle"}, "on")
+	if err != nil || on != 1 {
+		t.Errorf("theToggle.on = %d (%v)", on, err)
+	}
+	dlg, _ := m.Global("theDialog")
+	off, err := m.ReadField(dlg.Ref.Obj, []string{"ScrollPanel", "Dialog"}, "offset")
+	if err != nil || off != 40 {
+		t.Errorf("theDialog.offset = %d (%v)", off, err)
+	}
+}
+
+func TestSceneSlicePreservesDriverLookups(t *testing.T) {
+	u := sceneUnit(t)
+	g := u.Graph
+	// Slice to exactly what the driver uses.
+	spec := []string{}
+	seen := map[string]bool{}
+	for _, r := range u.Resolutions {
+		k := g.Name(r.Context) + "::" + r.MemberName
+		if !seen[k] {
+			seen[k] = true
+			spec = append(spec, k)
+		}
+	}
+	var out strings.Builder
+	if err := PrintSlice(&out, g, strings.Join(spec, ",")); err != nil {
+		t.Fatal(err)
+	}
+	// The sliced program re-analyzes cleanly.
+	u2, clean, err := Analyze(out.String()[strings.Index(out.String(), "\n")+1:])
+	if err != nil || !clean {
+		t.Fatalf("sliced scene broken: %v %v", err, u2.Diags)
+	}
+}

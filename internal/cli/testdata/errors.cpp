@@ -1,0 +1,29 @@
+// Deliberately broken program: one of every diagnostic the frontend
+// produces.
+struct Tag { int id; };
+struct LeftTag  : Tag {};
+struct RightTag : Tag {};
+struct Both : LeftTag, RightTag {};
+
+class Secret {
+  void hidden();
+public:
+  void open();
+};
+
+struct Orphan : Missing {};    // unknown base class
+
+Both b;
+Secret s;
+int n;
+
+void broken() {
+  b.id;                // ambiguous: two Tag subobjects
+  b.nothing;           // unknown member
+  s.hidden();          // private member
+  s->open();           // -> on a non-pointer
+  n.field;             // member access on a non-class
+  ghost.spook();       // undeclared identifier
+  Missing::piece;      // unknown class in qualified name
+  b.ix;                // unknown member, suggestion: id
+}

@@ -1,0 +1,13 @@
+// Figure 9 of the paper: the counterexample on which g++ 2.7.2.1
+// reported a false ambiguity. e.m is well-formed and means C::m.
+struct S              { int m; };
+struct A : virtual S  { int m; };
+struct B : virtual S  { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+main() {
+  E e;
+s2:
+  e.m = 10;
+}

@@ -1,0 +1,123 @@
+// "Header" of the scene corpus: a larger, realistic class library —
+// 30+ classes combining deep single inheritance, repeated and shared
+// diamonds, using-declarations, statics, nested types, access
+// control, and virtual dispatch. Analyzed together with
+// scene_main.cpp as one translation unit.
+
+// --- reference counting root ---
+class RefCounted {
+public:
+  void retain() { refs = refs; }
+  void release() { refs = refs; }
+  static int liveObjects;
+protected:
+  int refs;
+};
+
+// --- math-ish value types ---
+struct Vec2 { int x; int y; };
+struct Rect { int w; int h; };
+
+// --- property system: a non-virtual diamond resolved by using ---
+class PropertyBag {
+public:
+  void setProp(int key, int value);
+  int getProp(int key);
+};
+class Styleable : public PropertyBag {};
+class Animatable : public PropertyBag {};
+class Themed : public Styleable, public Animatable {
+public:
+  using Styleable::setProp;   // pick one arm for the mutator
+  using Animatable::getProp;  // and the other for the getter
+};
+
+// --- event system: shared virtual base ---
+class EventTarget : public virtual RefCounted {
+public:
+  void addListener();
+  void removeListener();
+  typedef int handler_id;
+};
+class Focusable : public virtual EventTarget {
+public:
+  void focus();
+  virtual int onFocus() { return 1; }
+};
+class Hoverable : public virtual EventTarget {
+public:
+  void hover();
+  virtual int onHover() { return 1; }
+};
+
+// --- render tree ---
+class Renderable : public virtual RefCounted {
+public:
+  virtual int draw() { return 0; }
+  virtual void invalidate();
+  static int drawCalls;
+};
+
+// --- the node hierarchy ---
+// Node shares the EventTarget spine virtually: Control later mixes in
+// Focusable/Hoverable, which reach EventTarget through their own
+// virtual edges, and all copies must unify.
+class Node : public virtual EventTarget, public Renderable {
+public:
+  void attach();
+  void detach();
+  int depth;
+  enum Flags { VisibleFlag, EnabledFlag, FocusedFlag };
+};
+class Widget : public Node, public Themed {
+public:
+  virtual int draw() { return 1; }
+  void layoutNow();
+  int width;
+  int height;
+};
+class Control : public Widget, public Focusable, public Hoverable {
+public:
+  virtual int onFocus() { return 2; }
+  void enable();
+  void disable();
+};
+class Button : public Control {
+public:
+  virtual int draw() { return 2; }
+  virtual int onHover() { return 3; }
+  void click() { clicks = clicks; }
+private:
+  int clicks;
+public:
+  int pressCount() { return presses; }
+  int presses;
+};
+class Toggle : public Control {
+public:
+  virtual int draw() { return 3; }
+  int on;
+  void flip(int v) { on = v; }
+};
+class Label : public Widget {
+public:
+  void setText();
+  int glyphs;
+};
+class Panel : public Widget {
+public:
+  void addChild();
+  int childCount;
+};
+class ScrollPanel : public Panel {
+public:
+  void scrollTo(int y) { offset = y; }
+  int offset;
+};
+class Dialog : public ScrollPanel {
+public:
+  virtual int draw() { return 4; }
+  void open();
+  void close();
+  static int openDialogs;
+};

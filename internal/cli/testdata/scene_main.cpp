@@ -1,0 +1,41 @@
+// "Implementation file" of the scene corpus; see scene_header.cpp.
+// Exercises lookups across the whole library, plus execution.
+
+Button theButton;
+Toggle theToggle;
+Dialog theDialog;
+Label theLabel;
+Widget *anyWidget;
+Renderable *anyRenderable;
+
+int lastDraw;
+int lastFocus;
+
+void build() {
+  theButton.attach();
+  theDialog.addChild();
+  theDialog.open();
+  theLabel.setText();
+  theButton.retain();        // through Node → EventTarget → virtual RefCounted
+  theToggle.addListener();   // through Control → Focusable/Hoverable → shared EventTarget
+  theDialog.setProp(1, 2);   // via Themed's using-declaration
+  theDialog.getProp(1);
+}
+
+void interact() {
+  anyWidget = &theButton;
+  lastDraw = anyWidget->draw();        // virtual: Button::draw
+  anyRenderable = &theDialog;
+  lastDraw = anyRenderable->draw();    // virtual: Dialog::draw
+  lastFocus = theButton.onFocus();     // Control::onFocus dominates Focusable's
+  theToggle.flip(1);
+  theDialog.scrollTo(40);
+  Dialog::openDialogs = 1;
+  RefCounted::liveObjects = 4;
+  Widget::VisibleFlag;
+}
+
+main() {
+  build();
+  interact();
+}

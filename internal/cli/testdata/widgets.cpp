@@ -1,0 +1,87 @@
+// A small widget library: deep single inheritance, one virtual
+// diamond, static members, nested types, and access control. The
+// program is clean: every member access resolves unambiguously and
+// accessibly.
+
+class Object {
+public:
+  virtual void destroy();
+  void retain();
+  void release();
+  static int liveCount;
+  typedef int id_type;
+protected:
+  int refs;
+};
+
+class EventSource : public virtual Object {
+public:
+  void subscribe();
+  void unsubscribe();
+};
+
+class Renderable : public virtual Object {
+public:
+  virtual void draw();
+  virtual void invalidate();
+};
+
+class Widget : public EventSource, public Renderable {
+public:
+  virtual void draw();
+  void layout();
+  enum State { Hidden, Visible, Focused };
+};
+
+class Control : public Widget {
+public:
+  void enable();
+  void disable();
+};
+
+class Button : public Control {
+public:
+  virtual void draw();
+  void click();
+};
+
+class Checkbox : public Control {
+public:
+  virtual void draw();
+  void toggle();
+};
+
+class Label : public Widget {
+public:
+  void setText();
+};
+
+class Panel : public Widget {
+public:
+  void addChild();
+};
+
+class Dialog : public Panel {
+public:
+  void open();
+  void close();
+};
+
+Button *btn;
+Checkbox box;
+Dialog dlg;
+
+void interact() {
+  btn->click();
+  btn->draw();        // Button::draw
+  btn->layout();      // Widget::layout
+  btn->subscribe();   // EventSource::subscribe
+  btn->retain();      // Object::retain, through the shared virtual base
+  box.toggle();
+  box.invalidate();   // Renderable::invalidate
+  dlg.open();
+  dlg.addChild();
+  dlg.destroy();      // Object::destroy
+  Object::liveCount = 0;
+  Widget::Visible;
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/paths"
+)
+
+// --- headline results on the paper's figures ---
+
+func TestFigure1Ambiguous(t *testing.T) {
+	g := hiergen.Figure1()
+	a := New(g)
+	r := a.LookupByName("E", "m")
+	if !r.Ambiguous() {
+		t.Fatalf("Figure 1: lookup(E, m) = %s, want ambiguous", r.Format(g))
+	}
+}
+
+func TestFigure2ResolvesToD(t *testing.T) {
+	g := hiergen.Figure2()
+	a := New(g)
+	r := a.LookupByName("E", "m")
+	if !r.Found() {
+		t.Fatalf("Figure 2: lookup(E, m) = %s, want red", r.Format(g))
+	}
+	if g.Name(r.Class()) != "D" {
+		t.Errorf("Figure 2: resolves to %s::m, want D::m", g.Name(r.Class()))
+	}
+}
+
+func TestFigure3Lookups(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g)
+	foo := a.LookupByName("H", "foo")
+	if !foo.Found() || g.Name(foo.Class()) != "G" {
+		t.Errorf("lookup(H, foo) = %s, want red (G, Ω)", foo.Format(g))
+	}
+	if foo.Def.V != chg.Omega {
+		t.Errorf("lookup(H, foo).V = %s, want Ω", className(g, foo.Def.V))
+	}
+	bar := a.LookupByName("H", "bar")
+	if !bar.Ambiguous() {
+		t.Errorf("lookup(H, bar) = %s, want blue", bar.Format(g))
+	}
+}
+
+func TestFigure9Unambiguous(t *testing.T) {
+	g := hiergen.Figure9()
+	a := New(g)
+	r := a.LookupByName("E", "m")
+	if !r.Found() {
+		t.Fatalf("Figure 9: lookup(E, m) = %s, want red (the g++ bug case)", r.Format(g))
+	}
+	if g.Name(r.Class()) != "C" {
+		t.Errorf("Figure 9: resolves to %s::m, want C::m", g.Name(r.Class()))
+	}
+}
+
+// --- Figure 6: abstraction propagation for foo ---
+
+func TestFigure6Trace(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g)
+	traces := a.TraceMember(g.MustMemberID("foo"))
+	want := map[string]string{
+		"A": "red (A, Ω)",
+		"B": "red (A, Ω)",
+		"C": "red (A, Ω)",
+		"D": "blue {Ω}",
+		"F": "blue {D}",
+		"G": "red (G, Ω)",
+		"H": "red (G, Ω)",
+	}
+	for name, wantStr := range want {
+		got := traces[g.MustID(name)].Result.Format(g)
+		if got != wantStr {
+			t.Errorf("Figure 6 at %s: %s, want %s", name, got, wantStr)
+		}
+	}
+	// E has no foo at all.
+	if traces[g.MustID("E")].Result.Kind != Undefined {
+		t.Error("E should have no foo entry")
+	}
+	// The blue set reaching G from D is {D} after ∘ over the virtual
+	// edge ("transformed into D by propagation along D → F" — same
+	// for D → G), but G's own declaration wins.
+	gTrace := traces[g.MustID("G")]
+	if !gTrace.Generated || len(gTrace.Incoming) != 1 || len(gTrace.Incoming[0].Defs) != 1 ||
+		gTrace.Incoming[0].Defs[0].V != g.MustID("D") {
+		t.Errorf("Figure 6 at G: incoming = %+v", gTrace.Incoming)
+	}
+}
+
+// --- Figure 7: abstraction propagation for bar ---
+
+func TestFigure7Trace(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g)
+	traces := a.TraceMember(g.MustMemberID("bar"))
+	want := map[string]string{
+		"D": "red (D, Ω)",
+		"E": "red (E, Ω)",
+		"G": "red (G, Ω)",
+		"F": "blue {Ω, D}",
+		"H": "blue {Ω}",
+	}
+	for name, wantStr := range want {
+		got := traces[g.MustID(name)].Result.Format(g)
+		if got != wantStr {
+			t.Errorf("Figure 7 at %s: %s, want %s", name, got, wantStr)
+		}
+	}
+	// At F the two red definitions (D,D) and (E,Ω) collide; Figure 7's
+	// node F reads "(D, D), (E, Ω) ⇒ blue".
+	fTrace := traces[g.MustID("F")]
+	if len(fTrace.Incoming) != 2 {
+		t.Fatalf("F should have two incoming flows, got %+v", fTrace.Incoming)
+	}
+	if d := fTrace.Incoming[0].Defs[0]; d.L != g.MustID("D") || d.V != g.MustID("D") {
+		t.Errorf("F incoming from D = (%s, %s), want (D, D)",
+			className(g, d.L), className(g, d.V))
+	}
+	if d := fTrace.Incoming[1].Defs[0]; d.L != g.MustID("E") || d.V != chg.Omega {
+		t.Errorf("F incoming from E = (%s, %s), want (E, Ω)",
+			className(g, d.L), className(g, d.V))
+	}
+}
+
+// --- cross-validation against the Definition-9 oracle ---
+
+func agreeWithOracle(t *testing.T, g *chg.Graph, label string) {
+	t.Helper()
+	a := New(g)
+	table := New(g).BuildTable()
+	for c := 0; c < g.NumClasses(); c++ {
+		for m := 0; m < g.NumMemberNames(); m++ {
+			cid, mid := chg.ClassID(c), chg.MemberID(m)
+			want := paths.Lookup(g, cid, mid, 0)
+			lazy := a.Lookup(cid, mid)
+			eager := table.Lookup(cid, mid)
+			checkEqualResult(t, lazy, eager, g, label, cid, mid)
+			switch {
+			case len(want.Defns) == 0:
+				if lazy.Kind != Undefined {
+					t.Errorf("%s: lookup(%s,%s) = %s, oracle says undefined",
+						label, g.Name(cid), g.MemberName(mid), lazy.Format(g))
+				}
+			case want.Ambiguous:
+				if lazy.Kind != BlueKind {
+					t.Errorf("%s: lookup(%s,%s) = %s, oracle says ambiguous",
+						label, g.Name(cid), g.MemberName(mid), lazy.Format(g))
+				}
+			default:
+				if lazy.Kind != RedKind {
+					t.Errorf("%s: lookup(%s,%s) = %s, oracle says red %s",
+						label, g.Name(cid), g.MemberName(mid), lazy.Format(g), want.Subobject.Rep)
+				} else if lazy.Class() != want.Subobject.Ldc() {
+					t.Errorf("%s: lookup(%s,%s) class = %s, oracle says %s",
+						label, g.Name(cid), g.MemberName(mid),
+						g.Name(lazy.Class()), g.Name(want.Subobject.Ldc()))
+				}
+			}
+		}
+	}
+}
+
+// checkEqualResult checks lazy and eager agree.
+func checkEqualResult(t *testing.T, lazy, eager Result, g *chg.Graph, label string, c chg.ClassID, m chg.MemberID) {
+	t.Helper()
+	if lazy.Kind != eager.Kind || lazy.Def != eager.Def || len(lazy.Blue) != len(eager.Blue) {
+		t.Errorf("%s: lazy %s vs eager %s at (%s,%s)",
+			label, lazy.Format(g), eager.Format(g), g.Name(c), g.MemberName(m))
+	}
+	for i := range lazy.Blue {
+		if i < len(eager.Blue) && lazy.Blue[i] != eager.Blue[i] {
+			t.Errorf("%s: lazy/eager blue sets differ at (%s,%s)", label, g.Name(c), g.MemberName(m))
+			break
+		}
+	}
+}
+
+func TestAgreesWithOracleOnFigures(t *testing.T) {
+	agreeWithOracle(t, hiergen.Figure1(), "Figure1")
+	agreeWithOracle(t, hiergen.Figure2(), "Figure2")
+	agreeWithOracle(t, hiergen.Figure3(), "Figure3")
+	agreeWithOracle(t, hiergen.Figure9(), "Figure9")
+}
+
+func TestAgreesWithOracleOnRandomHierarchies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 150; i++ {
+		cfg := hiergen.RandomConfig{
+			Classes:     3 + rng.Intn(12),
+			MaxBases:    1 + rng.Intn(3),
+			VirtualProb: rng.Float64(),
+			MemberNames: 1 + rng.Intn(3),
+			MemberProb:  0.2 + 0.5*rng.Float64(),
+			Seed:        rng.Int63(),
+		}
+		agreeWithOracle(t, hiergen.Random(cfg), "random")
+	}
+}
+
+func TestStaticRuleAgreesWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		cfg := hiergen.RandomConfig{
+			Classes:     3 + rng.Intn(10),
+			MaxBases:    1 + rng.Intn(3),
+			VirtualProb: rng.Float64(),
+			MemberNames: 1 + rng.Intn(2),
+			MemberProb:  0.3 + 0.4*rng.Float64(),
+			StaticProb:  0.5,
+			Seed:        rng.Int63(),
+		}
+		g := hiergen.Random(cfg)
+		a := New(g, WithStaticRule())
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				cid, mid := chg.ClassID(c), chg.MemberID(m)
+				want := paths.LookupStatic(g, cid, mid, 0)
+				got := a.Lookup(cid, mid)
+				switch {
+				case len(want.Defns) == 0:
+					if got.Kind != Undefined {
+						t.Fatalf("iter %d: static lookup(%s,%s) = %s, oracle undefined (seed %d)",
+							i, g.Name(cid), g.MemberName(mid), got.Format(g), cfg.Seed)
+					}
+				case want.Ambiguous:
+					if got.Kind != BlueKind {
+						t.Fatalf("iter %d: static lookup(%s,%s) = %s, oracle ambiguous (seed %d)",
+							i, g.Name(cid), g.MemberName(mid), got.Format(g), cfg.Seed)
+					}
+				default:
+					if got.Kind != RedKind {
+						t.Fatalf("iter %d: static lookup(%s,%s) = %s, oracle red at %s (seed %d)",
+							i, g.Name(cid), g.MemberName(mid), got.Format(g),
+							g.Name(want.Subobject.Ldc()), cfg.Seed)
+					}
+					if got.Class() != want.Subobject.Ldc() {
+						t.Fatalf("iter %d: static lookup(%s,%s) class %s, oracle %s (seed %d)",
+							i, g.Name(cid), g.MemberName(mid), g.Name(got.Class()),
+							g.Name(want.Subobject.Ldc()), cfg.Seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- path tracking ---
+
+func TestTrackPathsProducesMostDominantDefinition(t *testing.T) {
+	for _, g := range []*chg.Graph{hiergen.Figure1(), hiergen.Figure2(), hiergen.Figure3(), hiergen.Figure9()} {
+		a := New(g, WithTrackPaths())
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
+				if r.Kind != RedKind {
+					continue
+				}
+				p, err := paths.New(g, r.Path...)
+				if err != nil {
+					t.Fatalf("result path invalid: %v", err)
+				}
+				if p.Ldc() != r.Def.L {
+					t.Errorf("path ldc %s != result class %s", g.Name(p.Ldc()), g.Name(r.Def.L))
+				}
+				if p.Mdc() != chg.ClassID(c) {
+					t.Errorf("path mdc %s != context %s", g.Name(p.Mdc()), g.Name(chg.ClassID(c)))
+				}
+				if p.LeastVirtual() != r.Def.V {
+					t.Errorf("path leastVirtual mismatch for %s", p)
+				}
+				// The returned path must be a most-dominant element of
+				// DefnsPath (Definition 11).
+				for _, q := range paths.DefnsPath(g, chg.ClassID(c), chg.MemberID(m), 0) {
+					if !paths.Dominates(p, q) {
+						t.Errorf("returned path %s does not dominate %s", p, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFigure3TrackedPath(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g, WithTrackPaths())
+	r := a.LookupByName("H", "foo")
+	p := paths.MustNew(g, r.Path...)
+	if p.String() != "GH" {
+		t.Errorf("lookup(H, foo) path = %s, want GH", p)
+	}
+}
+
+// --- results & formatting ---
+
+func TestResultFormat(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g)
+	r := a.LookupByName("A", "foo")
+	if got := r.Format(g); got != "red (A, Ω)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := (Result{}).Format(g); got != "undefined" {
+		t.Errorf("undefined Format = %q", got)
+	}
+	blue := a.LookupByName("D", "foo")
+	if got := blue.Format(g); got != "blue {Ω}" {
+		t.Errorf("blue Format = %q", got)
+	}
+	if Undefined.String() != "undefined" || RedKind.String() != "red" || BlueKind.String() != "blue" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestLookupInvalidInputs(t *testing.T) {
+	g := hiergen.Figure1()
+	a := New(g)
+	if r := a.Lookup(chg.ClassID(-1), 0); r.Kind != Undefined {
+		t.Error("invalid class should be Undefined")
+	}
+	if r := a.Lookup(0, chg.MemberID(99)); r.Kind != Undefined {
+		t.Error("invalid member should be Undefined")
+	}
+	if r := a.LookupByName("Nope", "m"); r.Kind != Undefined {
+		t.Error("unknown class name should be Undefined")
+	}
+	if r := a.LookupByName("E", "nope"); r.Kind != Undefined {
+		t.Error("unknown member name should be Undefined")
+	}
+}
+
+func TestMemoizationStable(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g)
+	first := a.LookupByName("H", "bar")
+	second := a.LookupByName("H", "bar")
+	if first.Kind != second.Kind || len(first.Blue) != len(second.Blue) {
+		t.Error("memoized result differs")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"cpplookup/internal/chg"
+)
+
+// Table is the fully tabulated lookup function: one entry per class C
+// and member name m ∈ Members[C]. After construction every lookup is
+// a binary search in the class's member list — effectively the
+// constant-time table access the paper describes ("once the table has
+// been constructed, every lookup operation takes constant time").
+type Table struct {
+	g       *chg.Graph
+	members [][]chg.MemberID // per class, sorted: the paper's Members[C]
+	results [][]Result       // parallel to members
+}
+
+// BuildTable eagerly computes lookup[C,m] for every class C and every
+// m ∈ Members[C] in one topological pass — the algorithm of Figure 8
+// exactly: Members[C] = M[C] ∪ ⋃ Members[X] over direct bases X
+// (lines [6]–[9]), then the dominating-definition computation per
+// member (lines [11]–[45]).
+//
+// Complexity: O(|M| · |N| · (|N|+|E|)) worst case, and
+// O((|M|+|N|) · (|N|+|E|)) when no table entry is ambiguous, matching
+// Section 5's analysis.
+func (a *Analyzer) BuildTable() *Table {
+	g := a.g
+	n := g.NumClasses()
+	t := &Table{
+		g:       g,
+		members: make([][]chg.MemberID, n),
+		results: make([][]Result, n),
+	}
+	for _, c := range g.Topo() {
+		// Members[C] := M[C] ∪ Members of direct bases (merged sorted).
+		t.members[c] = mergeMembers(g, c, t.members)
+		ms := t.members[c]
+		rs := make([]Result, len(ms))
+		for i, m := range ms {
+			rs[i] = a.resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) })
+		}
+		t.results[c] = rs
+	}
+	return t
+}
+
+// mergeMembers computes the sorted union of c's declared member ids
+// and its direct bases' member sets.
+func mergeMembers(g *chg.Graph, c chg.ClassID, members [][]chg.MemberID) []chg.MemberID {
+	own := make([]chg.MemberID, 0, len(g.DeclaredMembers(c)))
+	for _, mem := range g.DeclaredMembers(c) {
+		id, _ := g.MemberID(mem.Name)
+		own = append(own, id)
+	}
+	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+
+	acc := own
+	for _, e := range g.DirectBases(c) {
+		acc = mergeSorted(acc, members[e.Base])
+	}
+	return acc
+}
+
+// mergeSorted returns the deduplicated merge of two sorted id slices.
+func mergeSorted(a, b []chg.MemberID) []chg.MemberID {
+	if len(a) == 0 {
+		return append([]chg.MemberID(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]chg.MemberID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Lookup returns lookup[c,m]; Undefined when m ∉ Members[c].
+func (t *Table) Lookup(c chg.ClassID, m chg.MemberID) Result {
+	if !t.g.Valid(c) {
+		return Result{Kind: Undefined}
+	}
+	ms := t.members[c]
+	i := sort.Search(len(ms), func(k int) bool { return ms[k] >= m })
+	if i < len(ms) && ms[i] == m {
+		return t.results[c][i]
+	}
+	return Result{Kind: Undefined}
+}
+
+// LookupByName resolves by names; Undefined for unknown names.
+func (t *Table) LookupByName(class, member string) Result {
+	c, ok := t.g.ID(class)
+	if !ok {
+		return Result{Kind: Undefined}
+	}
+	m, ok := t.g.MemberID(member)
+	if !ok {
+		return Result{Kind: Undefined}
+	}
+	return t.Lookup(c, m)
+}
+
+// Members returns Members[c]: every member name visible in class c,
+// sorted by id. Shared slice; do not modify.
+func (t *Table) Members(c chg.ClassID) []chg.MemberID { return t.members[c] }
+
+// Graph returns the underlying CHG.
+func (t *Table) Graph() *chg.Graph { return t.g }
+
+// Entries returns the total number of table entries Σ|Members[C]|.
+func (t *Table) Entries() int {
+	n := 0
+	for _, ms := range t.members {
+		n += len(ms)
+	}
+	return n
+}
+
+// CountAmbiguous returns how many table entries are Blue — the
+// "program with no ambiguous lookups" of the complexity analysis has
+// zero.
+func (t *Table) CountAmbiguous() int {
+	n := 0
+	for _, rs := range t.results {
+		for _, r := range rs {
+			if r.Kind == BlueKind {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"os"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+// Reproduce Figure 7 of the paper: the abstraction propagation for
+// member bar over the running example's hierarchy.
+func ExampleAnalyzer_TraceMember() {
+	g := hiergen.Figure3()
+	a := core.New(g)
+	traces := a.TraceMember(g.MustMemberID("bar"))
+	core.WriteTrace(os.Stdout, g, traces)
+	// Output:
+	// E: [declares] => red (E, Ω)
+	// D: [declares] => red (D, Ω)
+	// F: from D: (D, D); from E: (E, Ω) => blue {Ω, D}
+	// G: [declares] from D: (D, D) => red (G, Ω)
+	// H: from F: Ω, D; from G: (G, Ω) => blue {Ω}
+}
+
+// The lazy lookup on Figure 3: foo resolves to G::foo, bar is
+// ambiguous at H.
+func ExampleAnalyzer_Lookup() {
+	g := hiergen.Figure3()
+	a := core.New(g)
+	println := func(s string) { os.Stdout.WriteString(s + "\n") }
+	println(a.LookupByName("H", "foo").Format(g))
+	println(a.LookupByName("H", "bar").Format(g))
+	// Output:
+	// red (G, Ω)
+	// blue {Ω}
+}

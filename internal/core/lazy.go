@@ -1,0 +1,47 @@
+package core
+
+import "cpplookup/internal/chg"
+
+// Lookup resolves member m in the context of class c — the memoising
+// lazy variant described in Section 5: a request for lookup[C,m]
+// recursively invokes lookup[B,m] for every direct base class B of C,
+// caching every entry it computes so that the total work over any
+// sequence of queries never exceeds the eager algorithm's.
+//
+// Results: Undefined when m is not a member of c at all, Red when the
+// lookup unambiguously resolves (Result.Class() is the declaring
+// class), Blue when ambiguous.
+func (a *Analyzer) Lookup(c chg.ClassID, m chg.MemberID) Result {
+	if !a.g.Valid(c) || m < 0 || int(m) >= a.g.NumMemberNames() {
+		return Result{Kind: Undefined}
+	}
+	return a.lookup(c, m)
+}
+
+func (a *Analyzer) lookup(c chg.ClassID, m chg.MemberID) Result {
+	if row := a.memo[c]; row != nil {
+		if r, ok := row[m]; ok {
+			return r
+		}
+	}
+	r := a.resolve(c, m, func(x chg.ClassID) Result { return a.lookup(x, m) })
+	if a.memo[c] == nil {
+		a.memo[c] = make(map[chg.MemberID]Result)
+	}
+	a.memo[c][m] = r
+	return r
+}
+
+// LookupByName resolves a member by class and member name; it returns
+// an Undefined result if either name is unknown.
+func (a *Analyzer) LookupByName(class, member string) Result {
+	c, ok := a.g.ID(class)
+	if !ok {
+		return Result{Kind: Undefined}
+	}
+	m, ok := a.g.MemberID(member)
+	if !ok {
+		return Result{Kind: Undefined}
+	}
+	return a.Lookup(c, m)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/paths"
+)
+
+// This file implements the path-level propagation algorithms of
+// Section 4 — the "simple, but inefficient" algorithm the paper
+// derives Figure 8 from. They exist for three reasons: they are the
+// executable counterparts of Figures 4 and 5 (definition propagation
+// with killing), they serve as mid-level oracles between the
+// Definition-9 enumeration (internal/paths) and the abstract
+// algorithm, and the no-killing variant is the ablation baseline
+// showing why killing matters.
+
+// NodeFlow records, for one class, the definition flow of a single
+// member name — the content of one node of Figures 4 and 5.
+type NodeFlow struct {
+	Class    chg.ClassID
+	Reaching []paths.Path // all definitions reaching the class (generated first)
+	Killed   []paths.Path // reaching definitions killed at this class
+	// Propagated = Reaching − Killed: what flows along outgoing edges.
+	Propagated []paths.Path
+	// MostDominant is set when the lookup is unambiguous here.
+	MostDominant paths.Path
+	Ambiguous    bool // true when ≥1 definition reaches but none dominates
+	Found        bool // false when no definition reaches this class
+}
+
+// PropagateMember runs the killing propagation of Section 4 for one
+// member name over the whole CHG and returns the per-class flow,
+// indexed by class id. Definitions are concrete paths, kills follow
+// Corollary 1 (a strictly dominated definition may be dropped), and
+// ≈-duplicates are collapsed to their first representative.
+func PropagateMember(g *chg.Graph, m chg.MemberID) []NodeFlow {
+	flows := make([]NodeFlow, g.NumClasses())
+	for _, c := range g.Topo() {
+		flow := NodeFlow{Class: c}
+
+		var reaching []paths.Path
+		if g.Declares(c, m) {
+			reaching = append(reaching, paths.MustNew(g, c))
+		}
+		for _, e := range g.DirectBases(c) {
+			for _, p := range flows[e.Base].Propagated {
+				reaching = append(reaching, p.ExtendEdge(c))
+			}
+		}
+		flow.Reaching = reaching
+		flow.Found = len(reaching) > 0
+
+		// Collapse ≈-duplicates (same subobject), keeping the first.
+		seen := map[string]bool{}
+		var unique []paths.Path
+		for _, p := range reaching {
+			k := p.Key()
+			if seen[k] {
+				flow.Killed = append(flow.Killed, p)
+				continue
+			}
+			seen[k] = true
+			unique = append(unique, p)
+		}
+
+		// Kill strictly dominated definitions (Corollary 1).
+		for _, p := range unique {
+			dominated := false
+			for _, q := range unique {
+				if !paths.Equivalent(p, q) && paths.Dominates(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				flow.Killed = append(flow.Killed, p)
+			} else {
+				flow.Propagated = append(flow.Propagated, p)
+			}
+		}
+
+		if len(flow.Propagated) == 1 && flow.Found {
+			flow.MostDominant = flow.Propagated[0]
+		} else if flow.Found {
+			flow.Ambiguous = true
+		}
+		flows[c] = flow
+	}
+	return flows
+}
+
+// NoKillResult is the outcome of the no-killing ablation at one class.
+type NoKillResult struct {
+	MostDominant paths.Path
+	Ambiguous    bool
+	Found        bool
+}
+
+// PropagateMemberNoKill is the ablation baseline: the two-phase naive
+// algorithm with no killing — every definition (generated and
+// inherited) is propagated along every edge, and the most-dominant
+// check runs over the full reaching sets afterwards. The number of
+// definitions is the number of definition *paths*, which is
+// exponential in the worst case; limit caps the total (0 means
+// paths.DefaultLimit) and the function returns an error past it.
+//
+// TotalDefs reports the propagation volume, the quantity the paper's
+// killing optimization shrinks.
+func PropagateMemberNoKill(g *chg.Graph, m chg.MemberID, limit int) (results []NoKillResult, totalDefs int, err error) {
+	if limit <= 0 {
+		limit = paths.DefaultLimit
+	}
+	reaching := make([][]paths.Path, g.NumClasses())
+	for _, c := range g.Topo() {
+		var defs []paths.Path
+		if g.Declares(c, m) {
+			defs = append(defs, paths.MustNew(g, c))
+		}
+		for _, e := range g.DirectBases(c) {
+			for _, p := range reaching[e.Base] {
+				defs = append(defs, p.ExtendEdge(c))
+			}
+		}
+		totalDefs += len(defs)
+		if totalDefs > limit {
+			return nil, totalDefs, fmt.Errorf("core: no-kill propagation exceeded %d definitions", limit)
+		}
+		reaching[c] = defs
+	}
+	results = make([]NoKillResult, g.NumClasses())
+	for c := range reaching {
+		defs := reaching[c]
+		if len(defs) == 0 {
+			continue
+		}
+		results[c].Found = true
+		if md, ok := paths.MostDominantPath(defs); ok {
+			results[c].MostDominant = md
+		} else {
+			results[c].Ambiguous = true
+		}
+	}
+	return results, totalDefs, nil
+}

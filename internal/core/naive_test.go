@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/paths"
+)
+
+func pathSet(ps []paths.Path) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range ps {
+		out[p.String()] = true
+	}
+	return out
+}
+
+// Figure 4: propagation of definitions of foo. Reaching sets, kills
+// and most-dominant per node as drawn in the figure.
+func TestFigure4Propagation(t *testing.T) {
+	g := hiergen.Figure3()
+	flows := PropagateMember(g, g.MustMemberID("foo"))
+
+	d := flows[g.MustID("D")]
+	if got := pathSet(d.Reaching); !got["ABD"] || !got["ACD"] || len(got) != 2 {
+		t.Errorf("reaching at D = %v", got)
+	}
+	if !d.Ambiguous {
+		t.Error("lookup at D should be ambiguous")
+	}
+
+	// At G the generated definition G::foo kills ABDG::foo and
+	// ACDG::foo (paper: "G::foo kills ABDG::foo and ACDG::foo").
+	gg := flows[g.MustID("G")]
+	if got := pathSet(gg.Killed); !got["ABDG"] || !got["ACDG"] {
+		t.Errorf("killed at G = %v", got)
+	}
+	if got := pathSet(gg.Propagated); !got["G"] || len(got) != 1 {
+		t.Errorf("propagated at G = %v", got)
+	}
+	if gg.MostDominant.String() != "G" {
+		t.Errorf("most-dominant at G = %s", gg.MostDominant)
+	}
+
+	// At H: GH dominates ABDFH and ACDFH, so both die (the paper's
+	// "this kind of killing does not happen in the reaching-definitions
+	// problem").
+	h := flows[g.MustID("H")]
+	if got := pathSet(h.Killed); !got["ABDFH"] || !got["ACDFH"] {
+		t.Errorf("killed at H = %v", got)
+	}
+	if h.Ambiguous || h.MostDominant.String() != "GH" {
+		t.Errorf("H should resolve to GH, got %+v", h)
+	}
+}
+
+// Figure 5: propagation of definitions of bar; the blue pair EF/DF at
+// F must keep flowing so H correctly reports ambiguity.
+func TestFigure5Propagation(t *testing.T) {
+	g := hiergen.Figure3()
+	flows := PropagateMember(g, g.MustMemberID("bar"))
+
+	f := flows[g.MustID("F")]
+	if got := pathSet(f.Reaching); !got["DF"] || !got["EF"] || len(got) != 2 {
+		t.Errorf("reaching at F = %v", got)
+	}
+	if !f.Ambiguous || len(f.Propagated) != 2 {
+		t.Errorf("F should propagate both blue definitions: %+v", f)
+	}
+
+	h := flows[g.MustID("H")]
+	if !h.Ambiguous {
+		t.Error("lookup(H, bar) should be ambiguous")
+	}
+	// DFH is killed (dominated by GH); EFH and GH survive.
+	if got := pathSet(h.Killed); !got["DFH"] {
+		t.Errorf("killed at H = %v", got)
+	}
+	if got := pathSet(h.Propagated); !got["EFH"] || !got["GH"] || len(got) != 2 {
+		t.Errorf("surviving at H = %v", got)
+	}
+}
+
+// The propagation algorithm and the abstract algorithm agree
+// everywhere, on the figures and on random hierarchies.
+func TestPropagateMatchesAnalyzer(t *testing.T) {
+	graphs := []*chg.Graph{hiergen.Figure1(), hiergen.Figure2(), hiergen.Figure3(), hiergen.Figure9()}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		graphs = append(graphs, hiergen.Random(hiergen.RandomConfig{
+			Classes: 3 + rng.Intn(12), MaxBases: 3, VirtualProb: 0.35,
+			MemberNames: 2, MemberProb: 0.5, Seed: rng.Int63(),
+		}))
+	}
+	for gi, g := range graphs {
+		a := New(g)
+		for m := 0; m < g.NumMemberNames(); m++ {
+			flows := PropagateMember(g, chg.MemberID(m))
+			for c := 0; c < g.NumClasses(); c++ {
+				r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
+				flow := flows[c]
+				switch {
+				case !flow.Found:
+					if r.Kind != Undefined {
+						t.Errorf("graph %d (%s,%s): flow empty but analyzer %s",
+							gi, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)), r.Format(g))
+					}
+				case flow.Ambiguous:
+					if r.Kind != BlueKind {
+						t.Errorf("graph %d (%s,%s): flow ambiguous but analyzer %s",
+							gi, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)), r.Format(g))
+					}
+				default:
+					if r.Kind != RedKind || r.Class() != flow.MostDominant.Ldc() {
+						t.Errorf("graph %d (%s,%s): flow %s but analyzer %s",
+							gi, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)),
+							flow.MostDominant, r.Format(g))
+					}
+				}
+			}
+		}
+	}
+}
+
+// The no-kill ablation computes the same answers (it is the pure
+// two-phase algorithm) but propagates strictly more definitions.
+func TestNoKillMatchesAndCostsMore(t *testing.T) {
+	g := hiergen.Figure3()
+	for _, member := range []string{"foo", "bar"} {
+		m := g.MustMemberID(member)
+		noKill, totalNoKill, err := PropagateMemberNoKill(g, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := PropagateMember(g, m)
+		totalKill := 0
+		for c := range flows {
+			totalKill += len(flows[c].Propagated)
+			nk := noKill[c]
+			if nk.Found != flows[c].Found || nk.Ambiguous != flows[c].Ambiguous {
+				t.Errorf("%s at %s: no-kill %+v vs kill %+v", member, g.Name(chg.ClassID(c)), nk, flows[c])
+			}
+			if nk.Found && !nk.Ambiguous &&
+				nk.MostDominant.Ldc() != flows[c].MostDominant.Ldc() {
+				t.Errorf("%s at %s: different winners", member, g.Name(chg.ClassID(c)))
+			}
+		}
+		if totalNoKill <= totalKill {
+			t.Errorf("%s: killing should reduce propagation volume (%d vs %d)",
+				member, totalNoKill, totalKill)
+		}
+	}
+}
+
+func TestNoKillLimit(t *testing.T) {
+	g := hiergen.DiamondChain(14, chg.NonVirtual)
+	m := g.MustMemberID("m")
+	if _, _, err := PropagateMemberNoKill(g, m, 1000); err == nil {
+		t.Error("no-kill propagation should exceed the limit on a 2^14 family")
+	}
+	// On the virtual family the ≈-collapse keeps the killing
+	// propagation linear, and the shared L0 subobject makes the
+	// lookup unambiguous.
+	gv := hiergen.DiamondChain(14, chg.Virtual)
+	mv := gv.MustMemberID("m")
+	flows := PropagateMember(gv, mv)
+	top := hiergen.DiamondChainTop(gv, 14)
+	if flows[top].Ambiguous || flows[top].MostDominant.Ldc() != gv.MustID("L0") {
+		t.Errorf("virtual diamond chain should resolve to L0::m, got %+v", flows[top])
+	}
+	// The abstract algorithm agrees on both families: ambiguous on the
+	// non-virtual one (two distinct L0 subobjects — Figure 1's point),
+	// unambiguous on the virtual one.
+	if r := New(g).Lookup(hiergen.DiamondChainTop(g, 14), m); !r.Ambiguous() {
+		t.Errorf("non-virtual diamond chain lookup = %s, want blue", r.Format(g))
+	}
+	if r := New(gv).Lookup(top, mv); !r.Found() || gv.Name(r.Class()) != "L0" {
+		t.Errorf("virtual diamond chain lookup = %s, want red (L0, …)", r.Format(gv))
+	}
+}
+
+func TestWriteTraceOutput(t *testing.T) {
+	g := hiergen.Figure3()
+	a := New(g)
+	traces := a.TraceMember(g.MustMemberID("bar"))
+	var sb strings.Builder
+	if err := WriteTrace(&sb, g, traces); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"D: [declares] => red (D, Ω)",
+		"F: from D: (D, D); from E: (E, Ω) => blue {Ω, D}",
+		"H: from F: Ω, D; from G: (G, Ω) => blue {Ω}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"cpplookup/internal/chg"
+)
+
+// BuildTableParallel builds the same table as BuildTable using up to
+// `workers` goroutines (≤ 0 means GOMAXPROCS).
+//
+// The parallel decomposition falls directly out of the algorithm's
+// structure: Figure 8's per-member computations are independent — the
+// entry lookup[C,m] reads only entries lookup[X,m] for the *same*
+// member name m at C's bases — so member names partition the table
+// into disjoint dataflow problems. Each worker runs the topological
+// pass for its share of the member names; the shared Members[C] sets
+// are computed once, serially, up front.
+func (a *Analyzer) BuildTableParallel(workers int) *Table {
+	g := a.g
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumClasses()
+	t := &Table{
+		g:       g,
+		members: make([][]chg.MemberID, n),
+		results: make([][]Result, n),
+	}
+	for _, c := range g.Topo() {
+		t.members[c] = mergeMembers(g, c, t.members)
+		t.results[c] = make([]Result, len(t.members[c]))
+	}
+	m := g.NumMemberNames()
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		for mid := 0; mid < m; mid++ {
+			a.fillMember(t, chg.MemberID(mid))
+		}
+		return t
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for mid := w; mid < m; mid += workers {
+				a.fillMember(t, chg.MemberID(mid))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return t
+}
+
+// fillMember runs the topological pass of Figure 8 for one member
+// name, writing only that member's entries. Distinct member names
+// touch disjoint entries, so concurrent fillMember calls are safe.
+func (a *Analyzer) fillMember(t *Table, m chg.MemberID) {
+	for _, c := range t.g.Topo() {
+		i := memberIndex(t.members[c], m)
+		if i < 0 {
+			continue
+		}
+		t.results[c][i] = a.resolve(c, m, func(x chg.ClassID) Result {
+			return t.Lookup(x, m)
+		})
+	}
+}
+
+// memberIndex finds m in a sorted member list, or -1.
+func memberIndex(ms []chg.MemberID, m chg.MemberID) int {
+	lo, hi := 0, len(ms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ms[mid] < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ms) && ms[lo] == m {
+		return lo
+	}
+	return -1
+}

@@ -1,0 +1,168 @@
+// Package core implements the paper's member lookup algorithm
+// (Figure 8 of Ramalingam & Srinivasan, PLDI 1997): a single
+// topological pass over the class hierarchy graph that propagates
+// *abstractions* of definitions instead of the definitions (paths)
+// themselves.
+//
+// For every class C and member name m the algorithm computes
+// lookup[C,m], which is either
+//
+//	Red (L, V)  — the lookup is unambiguous; L = ldc of the winning
+//	              definition (the class whose member is found) and
+//	              V = leastVirtual of the definition path (Ω if the
+//	              path has no virtual edge);
+//	Blue S      — the lookup is ambiguous; S abstracts the
+//	              definitions that caused the ambiguity.
+//
+// Dominance between two red abstractions is decided by Lemma 4 with
+// two constant-time probes: (L1,V1) dominates (L2,V2) iff V2 is a
+// virtual base of L1, or V1 = V2 ≠ Ω. The full path of a winning
+// definition can optionally be carried along (TrackPaths) without
+// changing the complexity, since at most one red definition crosses
+// each edge.
+//
+// The package provides an eager, whole-table construction
+// (Analyzer.BuildTable — the paper's tabulating algorithm), a lazy
+// memoizing variant (Analyzer.Lookup — the paper's "memoising lazy
+// algorithm"), the static-member extension of Definitions 16–17
+// (WithStaticRule), and reference/naive variants used for the
+// figures and the ablation benchmarks.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpplookup/internal/chg"
+)
+
+// Kind discriminates the outcome of a lookup.
+type Kind uint8
+
+const (
+	// Undefined: m is not a member of C at all (Defns(C, m) = ∅).
+	Undefined Kind = iota
+	// RedKind: the lookup is unambiguous.
+	RedKind
+	// BlueKind: the lookup is ambiguous.
+	BlueKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Undefined:
+		return "undefined"
+	case RedKind:
+		return "red"
+	case BlueKind:
+		return "blue"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Def is the abstraction of a definition: the pair
+// (ldc(α), leastVirtual(α)) of Section 4 ("Abstracting Paths").
+// V may be chg.Omega. In blue sets produced without the static rule,
+// only V is meaningful (the paper propagates bare leastVirtual values
+// for blue definitions); L is then chg.Omega.
+type Def struct {
+	L chg.ClassID
+	V chg.ClassID
+}
+
+// Result is the value of lookup[C,m].
+type Result struct {
+	Kind Kind
+	// Def is the winning abstraction for RedKind results.
+	Def Def
+	// StaticSet holds, for RedKind results under the static rule,
+	// every leastVirtual abstraction of the resolved static member's
+	// subobject copies (Definition 17 lets several same-class copies
+	// be maximal together). nil means the singleton {Def.V}. The set
+	// must be carried: a later definition dominates this result only
+	// if it dominates *every* copy, and dropping a copy's abstraction
+	// can turn a truly ambiguous lookup into a false resolution.
+	StaticSet []chg.ClassID
+	// StaticRed is the subset of StaticSet whose copies were resolved
+	// as genuinely red (most-dominant) definitions; nil means all of
+	// StaticSet. Copies absorbed from ambiguous inheritances by the
+	// same-static-member rule are covered (they must be dominated by
+	// any later winner) but give no kill power through Lemma 4's
+	// equality condition, whose proof needs the dominator to be red.
+	StaticRed []chg.ClassID
+	// Blue holds the abstraction set S for BlueKind results, sorted
+	// and deduplicated.
+	Blue []Def
+	// Path is the full node sequence of the winning definition path
+	// (ldc … C) when the analyzer was built WithTrackPaths; nil
+	// otherwise. Compilers need this to generate subobject casts for
+	// the access (Section 4).
+	Path []chg.ClassID
+}
+
+// vset returns the result's leastVirtual coverage set (RedKind).
+func (r Result) vset() []chg.ClassID {
+	if r.StaticSet != nil {
+		return r.StaticSet
+	}
+	return []chg.ClassID{r.Def.V}
+}
+
+// redset returns the subset of vset usable as Lemma-4 equality
+// dominators.
+func (r Result) redset() []chg.ClassID {
+	if r.StaticRed != nil {
+		return r.StaticRed
+	}
+	return r.vset()
+}
+
+// Ambiguous reports whether the lookup failed due to ambiguity.
+func (r Result) Ambiguous() bool { return r.Kind == BlueKind }
+
+// Found reports whether the lookup resolved to a member.
+func (r Result) Found() bool { return r.Kind == RedKind }
+
+// Class returns the class declaring the resolved member (ldc), valid
+// only for RedKind results.
+func (r Result) Class() chg.ClassID { return r.Def.L }
+
+// format helpers — these render results in the notation of the
+// paper's Figures 6 and 7, e.g. "red (A, Ω)" or "blue {Ω}".
+
+func className(g *chg.Graph, c chg.ClassID) string {
+	if c == chg.Omega {
+		return "Ω"
+	}
+	return g.Name(c)
+}
+
+// Format renders the result in the figures' notation.
+func (r Result) Format(g *chg.Graph) string {
+	switch r.Kind {
+	case RedKind:
+		return fmt.Sprintf("red (%s, %s)", className(g, r.Def.L), className(g, r.Def.V))
+	case BlueKind:
+		parts := make([]string, len(r.Blue))
+		for i, d := range r.Blue {
+			if d.L == chg.Omega {
+				parts[i] = className(g, d.V)
+			} else {
+				parts[i] = fmt.Sprintf("(%s, %s)", className(g, d.L), className(g, d.V))
+			}
+		}
+		return "blue {" + strings.Join(parts, ", ") + "}"
+	}
+	return "undefined"
+}
+
+// sortDefs orders a blue set deterministically (by V then L).
+func sortDefs(ds []Def) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].V != ds[j].V {
+			return ds[i].V < ds[j].V
+		}
+		return ds[i].L < ds[j].L
+	})
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+)
+
+// Scale smoke test: a 5000-class hierarchy's full table builds in
+// well under a second — the guard against accidentally reintroducing
+// a quadratic factor into the unambiguous path. (The paper's bound
+// for this configuration is O((|M|+|N|)·(|N|+|E|)).)
+func TestScaleWholeTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	g := hiergen.Random(hiergen.RandomConfig{
+		Classes: 5000, MaxBases: 2, VirtualProb: 0.3,
+		MemberNames: 24, MemberProb: 0.02, Seed: 31,
+	})
+	start := time.Now()
+	table := New(g).BuildTable()
+	elapsed := time.Since(start)
+	if table.Entries() == 0 {
+		t.Fatal("empty table")
+	}
+	// Generous bound: ~60s would indicate an accidental blowup; a
+	// healthy build is a few ms.
+	if elapsed > 30*time.Second {
+		t.Fatalf("table build took %v for %d entries", elapsed, table.Entries())
+	}
+	t.Logf("5000 classes: %d entries in %v (%d ambiguous)",
+		table.Entries(), elapsed, table.CountAmbiguous())
+
+	// Deep chain: single lookup through 5000 ancestors.
+	chain := hiergen.Chain(5000, false)
+	start = time.Now()
+	r := New(chain).Lookup(hiergen.ChainTop(chain, 5000), chain.MustMemberID("m"))
+	if !r.Found() {
+		t.Fatal("chain lookup failed")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deep-chain lookup took %v", elapsed)
+	}
+}
+
+// Wide blue sets at scale: the ambiguous path stays within its
+// quadratic bound rather than exploding.
+func TestScaleAmbiguous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	g := hiergen.AmbiguousLadder(128, 128)
+	start := time.Now()
+	r := New(g).Lookup(hiergen.AmbiguousLadderTop(g, 128), g.MustMemberID("m"))
+	if !r.Ambiguous() {
+		t.Fatal("expected ambiguity")
+	}
+	if len(r.Blue) != 256 {
+		t.Errorf("blue set = %d, want 256", len(r.Blue))
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("ambiguous lookup took %v", elapsed)
+	}
+}
+
+// The deepest realistic pipeline at scale: source generation →
+// parse → sema → full resolution on a ~600-class unit.
+func TestScaleFrontend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	g := hiergen.Realistic(100, 4)
+	var sb chg.Stats = g.ComputeStats()
+	if sb.Classes < 500 {
+		t.Fatalf("expected a large hierarchy, got %s", sb)
+	}
+	table := New(g).BuildTable()
+	if table.CountAmbiguous() != 0 {
+		t.Fatalf("realistic family should stay unambiguous")
+	}
+}

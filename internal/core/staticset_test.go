@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/paths"
+)
+
+// Regression: found by a deep fuzz sweep against the Definition-17
+// oracle. When two subobject copies of the same static member merge
+// (same declaring class), the red result must keep *both* copies'
+// leastVirtual abstractions: here lookup(K9, m0) merges the
+// non-virtual K1 copy (leastVirtual Ω, which extends to K9 on the
+// way up) with the shared virtual copy (leastVirtual K1). At K11,
+// K5::m0 dominates everything reachable through virtual bases — but
+// NOT the copy whose fixed part runs through K9 non-virtually, so
+// lookup(K11, m0) is ambiguous (maximal set {K1-copy, K5}, different
+// ldcs). Keeping only one abstraction reported a false resolution.
+func TestStaticSetRegressionK11(t *testing.T) {
+	b := chg.NewBuilder()
+	k := make([]chg.ClassID, 13)
+	for i := range k {
+		k[i] = b.Class("K" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+	}
+	base := func(d, bs int, kind chg.Kind) { b.Base(k[d], k[bs], kind) }
+	static := func(c int, name string) {
+		b.Member(k[c], chg.Member{Name: name, Kind: chg.Method, Static: true})
+	}
+	method := func(c int, name string) { b.Method(k[c], name) }
+
+	base(1, 0, chg.Virtual)
+	base(2, 0, chg.NonVirtual)
+	base(2, 1, chg.Virtual)
+	base(3, 2, chg.Virtual)
+	base(4, 1, chg.NonVirtual)
+	base(4, 2, chg.Virtual)
+	base(5, 1, chg.Virtual)
+	base(5, 2, chg.NonVirtual)
+	base(6, 2, chg.Virtual)
+	base(6, 0, chg.NonVirtual)
+	base(12, 2, chg.Virtual)
+	base(7, 0, chg.Virtual)
+	base(7, 5, chg.Virtual)
+	base(8, 3, chg.NonVirtual)
+	base(8, 6, chg.Virtual)
+	base(9, 1, chg.NonVirtual)
+	base(9, 6, chg.Virtual)
+	base(10, 7, chg.Virtual)
+	base(11, 9, chg.Virtual)
+	base(11, 1, chg.Virtual)
+	base(11, 5, chg.Virtual)
+
+	method(0, "m2")
+	static(1, "m0")
+	static(1, "m1")
+	static(1, "m2")
+	method(2, "m1")
+	static(3, "m0")
+	static(3, "m1")
+	static(3, "m2")
+	static(4, "m0")
+	static(4, "m1")
+	static(5, "m0")
+	static(5, "m1")
+	static(12, "m0")
+	method(7, "m0")
+	static(8, "m0")
+	static(8, "m1")
+	static(8, "m2")
+	method(9, "m2")
+	static(11, "m2")
+
+	g := b.MustBuild()
+	a := New(g, WithStaticRule())
+	m0 := g.MustMemberID("m0")
+
+	// The merged result at K9 carries both abstractions.
+	r9 := a.Lookup(k[9], m0)
+	if r9.Kind != RedKind || r9.Class() != k[1] {
+		t.Fatalf("lookup(K9, m0) = %s, want red K1", r9.Format(g))
+	}
+	if len(r9.vset()) != 2 {
+		t.Errorf("lookup(K9, m0) abstraction set = %v, want both copies", r9.vset())
+	}
+
+	// The headline: lookup(K11, m0) is ambiguous (K1-copy via K9 vs
+	// K5::m0), which the single-abstraction representation missed.
+	r11 := a.Lookup(k[11], m0)
+	if r11.Kind != BlueKind {
+		t.Fatalf("lookup(K11, m0) = %s, want ambiguous", r11.Format(g))
+	}
+	// Cross-check with the oracle.
+	want := paths.LookupStatic(g, k[11], m0, 0)
+	if !want.Ambiguous {
+		t.Fatal("oracle disagrees with the test's premise")
+	}
+}
+
+// Broader regime than the default property test: larger hierarchies,
+// high virtual probability, static-heavy — the regime the regression
+// came from.
+func TestStaticRuleDeepSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 400; i++ {
+		cfg := hiergen.RandomConfig{
+			Classes:     8 + rng.Intn(8),
+			MaxBases:    3,
+			VirtualProb: 0.5 + 0.5*rng.Float64(),
+			MemberNames: 2,
+			MemberProb:  0.4 + 0.4*rng.Float64(),
+			StaticProb:  0.7,
+			Seed:        rng.Int63(),
+		}
+		g := hiergen.Random(cfg)
+		a := New(g, WithStaticRule())
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				cid, mid := chg.ClassID(c), chg.MemberID(m)
+				want := paths.LookupStatic(g, cid, mid, 1<<18)
+				got := a.Lookup(cid, mid)
+				switch {
+				case len(want.Defns) == 0:
+					if got.Kind != Undefined {
+						t.Fatalf("iter %d seed %d (%s,%s): got %s, oracle undefined",
+							i, cfg.Seed, g.Name(cid), g.MemberName(mid), got.Format(g))
+					}
+				case want.Ambiguous:
+					if got.Kind != BlueKind {
+						t.Fatalf("iter %d seed %d (%s,%s): got %s, oracle ambiguous",
+							i, cfg.Seed, g.Name(cid), g.MemberName(mid), got.Format(g))
+					}
+				default:
+					if got.Kind != RedKind || got.Class() != want.Subobject.Ldc() {
+						t.Fatalf("iter %d seed %d (%s,%s): got %s, oracle red %s",
+							i, cfg.Seed, g.Name(cid), g.MemberName(mid), got.Format(g),
+							g.Name(want.Subobject.Ldc()))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package ast defines the abstract syntax tree of the C++ subset: a
+// translation unit of class definitions, global variables, and
+// function definitions whose bodies contain the member-access
+// expressions the lookup algorithm resolves.
+package ast
+
+import (
+	"cpplookup/internal/cpp/token"
+)
+
+// Access is a C++ access specifier.
+type Access uint8
+
+const (
+	Public Access = iota
+	Protected
+	Private
+)
+
+func (a Access) String() string {
+	switch a {
+	case Public:
+		return "public"
+	case Protected:
+		return "protected"
+	case Private:
+		return "private"
+	}
+	return "access(?)"
+}
+
+// Restrict returns the more restrictive of two access levels (used to
+// combine member access with inheritance-path access).
+func (a Access) Restrict(b Access) Access {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ declNode() }
+
+// ClassDecl is a class or struct definition.
+type ClassDecl struct {
+	Pos      token.Pos
+	Name     string
+	IsStruct bool // struct: default access public; class: private
+	Bases    []BaseSpec
+	Members  []MemberDecl
+}
+
+// BaseSpec is one entry of a base clause.
+type BaseSpec struct {
+	Pos     token.Pos
+	Name    string
+	Virtual bool
+	Access  Access // explicit or default (public for struct, private for class)
+}
+
+// MemberKind classifies a member declaration.
+type MemberKind uint8
+
+const (
+	MethodMember MemberKind = iota
+	FieldMember
+	TypedefMember
+	EnumeratorMember
+	// UsingMember is a using-declaration `using Base::name;`, which
+	// re-declares an inherited member in the class — C++'s idiom for
+	// resolving what would otherwise be an ambiguous lookup.
+	UsingMember
+)
+
+// MemberDecl is one member declared in a class body.
+type MemberDecl struct {
+	Pos     token.Pos
+	Name    string
+	Kind    MemberKind
+	Static  bool
+	Virtual bool
+	Access  Access
+	Type    TypeRef // field/method return/typedef target type
+	// Body holds an inline method definition's statements; HasBody
+	// distinguishes `void f() {}` (empty body) from `void f();`.
+	Body    []Stmt
+	HasBody bool
+	// Params holds a method's named parameters.
+	Params []*VarDecl
+	// UsingOf names the base class of a UsingMember declaration.
+	UsingOf string
+}
+
+// TypeRef names a type: a builtin or a class name, possibly a pointer.
+type TypeRef struct {
+	Pos     token.Pos
+	Name    string // "int", "void", …, or a class name
+	Builtin bool
+	Pointer bool
+}
+
+// VarDecl is a global or local variable declaration.
+type VarDecl struct {
+	Pos  token.Pos
+	Name string
+	Type TypeRef
+}
+
+// FuncDecl is a function definition with a body. When Class is
+// nonempty the declaration is an out-of-class method definition
+// (`void C::m() { … }`).
+type FuncDecl struct {
+	Pos    token.Pos
+	Name   string
+	Class  string // receiver class for out-of-class definitions
+	Result TypeRef
+	Params []*VarDecl
+	Body   []Stmt
+}
+
+func (*ClassDecl) declNode() {}
+func (*VarDecl) declNode()   {}
+func (*FuncDecl) declNode()  {}
+
+// Stmt is a statement in a function body.
+type Stmt interface{ stmtNode() }
+
+// ExprStmt is an expression statement.
+type ExprStmt struct {
+	Label string // optional statement label ("s2: e.m = 10;")
+	X     Expr
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Label string
+	Var   *VarDecl
+}
+
+// ReturnStmt is a return statement (expression optional).
+type ReturnStmt struct {
+	X Expr // may be nil
+}
+
+// IfStmt is `if (Cond) Then [else Else]`.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is `while (Cond) Body`.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (*ExprStmt) stmtNode()   {}
+func (*DeclStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+
+// Expr is an expression.
+type Expr interface {
+	exprNode()
+	Position() token.Pos
+}
+
+// Ident is a name use.
+type Ident struct {
+	Pos  token.Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos  token.Pos
+	Text string
+}
+
+// Member is a member access: X.Sel or X->Sel.
+type Member struct {
+	Pos   token.Pos // position of Sel
+	X     Expr
+	Sel   string
+	Arrow bool
+}
+
+// Qualified is a qualified name: Class::Member.
+type Qualified struct {
+	Pos    token.Pos
+	Class  string
+	Member string
+}
+
+// This is the `this` expression, valid inside method bodies.
+type This struct {
+	Pos token.Pos
+}
+
+// Call is a call expression F(args...).
+type Call struct {
+	Pos  token.Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// Assign is an assignment L = R.
+type Assign struct {
+	Pos  token.Pos
+	L, R Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp uint8
+
+const (
+	OpEq  BinaryOp = iota // ==
+	OpNe                  // !=
+	OpLt                  // <
+	OpGt                  // >
+	OpAdd                 // +
+	OpSub                 // -
+)
+
+func (o BinaryOp) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpGt:
+		return ">"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	}
+	return "?"
+}
+
+// Binary is a binary expression L Op R.
+type Binary struct {
+	Pos  token.Pos
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (e *Ident) exprNode()     {}
+func (e *IntLit) exprNode()    {}
+func (e *Member) exprNode()    {}
+func (e *Qualified) exprNode() {}
+func (e *This) exprNode()      {}
+func (e *Call) exprNode()      {}
+func (e *Assign) exprNode()    {}
+func (e *Binary) exprNode()    {}
+
+func (e *Ident) Position() token.Pos     { return e.Pos }
+func (e *IntLit) Position() token.Pos    { return e.Pos }
+func (e *Member) Position() token.Pos    { return e.Pos }
+func (e *Qualified) Position() token.Pos { return e.Pos }
+func (e *This) Position() token.Pos      { return e.Pos }
+func (e *Call) Position() token.Pos      { return e.Pos }
+func (e *Assign) Position() token.Pos    { return e.Pos }
+func (e *Binary) Position() token.Pos    { return e.Pos }

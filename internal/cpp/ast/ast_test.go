@@ -1,0 +1,57 @@
+package ast
+
+import (
+	"testing"
+
+	"cpplookup/internal/cpp/token"
+)
+
+func TestAccessRestrict(t *testing.T) {
+	for _, tc := range []struct{ a, b, want Access }{
+		{Public, Public, Public},
+		{Public, Protected, Protected},
+		{Protected, Public, Protected},
+		{Protected, Private, Private},
+		{Private, Public, Private},
+	} {
+		if got := tc.a.Restrict(tc.b); got != tc.want {
+			t.Errorf("%v.Restrict(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if Public.String() != "public" || Protected.String() != "protected" ||
+		Private.String() != "private" {
+		t.Error("Access strings wrong")
+	}
+	if Access(9).String() != "access(?)" {
+		t.Error("unknown access should render placeholder")
+	}
+}
+
+func TestExprPositions(t *testing.T) {
+	p := token.Pos{Line: 2, Col: 5}
+	exprs := []Expr{
+		&Ident{Pos: p, Name: "x"},
+		&IntLit{Pos: p, Text: "1"},
+		&Member{Pos: p, Sel: "m"},
+		&Qualified{Pos: p, Class: "A", Member: "m"},
+		&This{Pos: p},
+		&Call{Pos: p},
+		&Assign{Pos: p},
+	}
+	for _, e := range exprs {
+		if e.Position() != p {
+			t.Errorf("%T.Position() = %v", e, e.Position())
+		}
+	}
+}
+
+func TestNodeInterfaces(t *testing.T) {
+	// Compile-time checks that the node kinds satisfy their
+	// interfaces; listed here so a refactor that drops one fails loudly.
+	var _ = []Decl{&ClassDecl{}, &VarDecl{}, &FuncDecl{}}
+	var _ = []Stmt{&ExprStmt{}, &DeclStmt{}, &ReturnStmt{}}
+	var _ = []Expr{&Ident{}, &IntLit{}, &Member{}, &Qualified{}, &This{}, &Call{}, &Assign{}}
+}

@@ -1,0 +1,204 @@
+// Package lexer scans the C++ subset into tokens. It handles line and
+// block comments, preprocessor-style lines (skipped wholesale, so
+// headers with #include guards lex cleanly), and tracks precise
+// source positions for diagnostics.
+package lexer
+
+import (
+	"fmt"
+
+	"cpplookup/internal/cpp/token"
+)
+
+// Lexer scans an input buffer.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errs = append(l.errs, fmt.Errorf("%s: unterminated block comment", start))
+			}
+		case c == '#' && l.col == 1:
+			// Preprocessor line: skip to end of line.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token; EOF forever at end of input.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+	c := l.advance()
+	switch {
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: kw, Text: text, Pos: p}
+		}
+		return token.Token{Kind: token.Ident, Text: text, Pos: p}
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == 'x' || l.peek() == 'X' ||
+			('a' <= l.peek() && l.peek() <= 'f') || ('A' <= l.peek() && l.peek() <= 'F')) {
+			l.advance()
+		}
+		return token.Token{Kind: token.IntLit, Text: l.src[start:l.off], Pos: p}
+	}
+	switch c {
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: p}
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: p}
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: p}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: p}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: p}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: p}
+	case ';':
+		return token.Token{Kind: token.Semi, Pos: p}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: p}
+	case '.':
+		return token.Token{Kind: token.Dot, Pos: p}
+	case '*':
+		return token.Token{Kind: token.Star, Pos: p}
+	case '&':
+		return token.Token{Kind: token.Amp, Pos: p}
+	case '~':
+		return token.Token{Kind: token.TildeKind, Pos: p}
+	case ':':
+		if l.peek() == ':' {
+			l.advance()
+			return token.Token{Kind: token.ColonCol, Pos: p}
+		}
+		return token.Token{Kind: token.Colon, Pos: p}
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.Arrow, Pos: p}
+		}
+		return token.Token{Kind: token.Minus, Pos: p}
+	case '+':
+		return token.Token{Kind: token.Plus, Pos: p}
+	case '<':
+		return token.Token{Kind: token.Lt, Pos: p}
+	case '>':
+		return token.Token{Kind: token.Gt, Pos: p}
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.NotEq, Pos: p}
+		}
+		l.errs = append(l.errs, fmt.Errorf("%s: unexpected character '!'", p))
+		return l.Next()
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.EqEq, Pos: p}
+		}
+		return token.Token{Kind: token.Assign, Pos: p}
+	}
+	l.errs = append(l.errs, fmt.Errorf("%s: unexpected character %q", p, c))
+	return l.Next()
+}
+
+// Tokenize scans the whole input, returning tokens (ending with EOF)
+// and any lexical errors.
+func Tokenize(src string) ([]token.Token, []error) {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package lexer
+
+import (
+	"testing"
+
+	"cpplookup/internal/cpp/token"
+)
+
+func kinds(ts []token.Token) []token.Kind {
+	out := make([]token.Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	ts, errs := Tokenize("class A : virtual B { void m(); };")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KwClass, token.Ident, token.Colon, token.KwVirtual, token.Ident,
+		token.LBrace, token.KwVoid, token.Ident, token.LParen, token.RParen,
+		token.Semi, token.RBrace, token.Semi, token.EOF,
+	}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	ts, errs := Tokenize("p->m(); e.m = 10; X::m; a == b; *p; &x; arr[3]; ~X();")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	wantSome := map[token.Kind]bool{
+		token.Arrow: false, token.Dot: false, token.Assign: false,
+		token.ColonCol: false, token.EqEq: false, token.Star: false,
+		token.Amp: false, token.LBracket: false, token.RBracket: false,
+		token.TildeKind: false, token.IntLit: false,
+	}
+	for _, tok := range ts {
+		if _, ok := wantSome[tok.Kind]; ok {
+			wantSome[tok.Kind] = true
+		}
+	}
+	for k, seen := range wantSome {
+		if !seen {
+			t.Errorf("token kind %v not produced", k)
+		}
+	}
+}
+
+func TestCommentsAndPreprocessor(t *testing.T) {
+	src := `// line comment
+#include <iostream>
+/* block
+   comment */ struct S { int m; };
+`
+	ts, errs := Tokenize(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if ts[0].Kind != token.KwStruct {
+		t.Errorf("first token = %v, want struct", ts[0])
+	}
+	if ts[0].Pos.Line != 4 {
+		t.Errorf("struct line = %d, want 4", ts[0].Pos.Line)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	_, errs := Tokenize("struct S {}; /* oops")
+	if len(errs) == 0 {
+		t.Error("unterminated comment should be an error")
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	ts, errs := Tokenize("a $ b")
+	if len(errs) == 0 {
+		t.Error("unexpected character should be an error")
+	}
+	// Both identifiers still arrive.
+	ids := 0
+	for _, tok := range ts {
+		if tok.Kind == token.Ident {
+			ids++
+		}
+	}
+	if ids != 2 {
+		t.Errorf("identifiers = %d, want 2", ids)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	ts, _ := Tokenize("a\n  bb\n   ccc")
+	if ts[0].Pos.Line != 1 || ts[0].Pos.Col != 1 {
+		t.Errorf("a at %v", ts[0].Pos)
+	}
+	if ts[1].Pos.Line != 2 || ts[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", ts[1].Pos)
+	}
+	if ts[2].Pos.Line != 3 || ts[2].Pos.Col != 4 {
+		t.Errorf("ccc at %v", ts[2].Pos)
+	}
+	if !ts[0].Pos.IsValid() || (token.Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}
+
+func TestKeywordsComplete(t *testing.T) {
+	for kw, kind := range token.Keywords {
+		ts, errs := Tokenize(kw)
+		if len(errs) != 0 || len(ts) != 2 || ts[0].Kind != kind {
+			t.Errorf("keyword %q lexed wrong: %v", kw, ts)
+		}
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	ts, errs := Tokenize("10 0xFF 007")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	for i, want := range []string{"10", "0xFF", "007"} {
+		if ts[i].Kind != token.IntLit || ts[i].Text != want {
+			t.Errorf("literal %d = %v", i, ts[i])
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after end = %v", tok)
+		}
+	}
+}

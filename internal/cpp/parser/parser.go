@@ -1,0 +1,653 @@
+// Package parser is a recursive-descent parser for the C++ subset:
+// class/struct definitions with base clauses and access specifiers,
+// member declarations, global/local variables, and function bodies
+// with member-access expressions. It recovers from errors at
+// statement/declaration boundaries and accumulates diagnostics rather
+// than stopping at the first problem.
+package parser
+
+import (
+	"fmt"
+
+	"cpplookup/internal/cpp/ast"
+	"cpplookup/internal/cpp/lexer"
+	"cpplookup/internal/cpp/token"
+)
+
+// Parser consumes a token stream into an ast.File.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*ast.File, []error) {
+	toks, lexErrs := lexer.Tokenize(src)
+	p := &Parser{toks: toks}
+	p.errs = append(p.errs, lexErrs...)
+	file := &ast.File{}
+	for !p.at(token.EOF) {
+		before := p.pos
+		d := p.parseTopDecl()
+		if d != nil {
+			file.Decls = append(file.Decls, d)
+		}
+		if p.pos == before { // no progress: skip a token to avoid looping
+			p.advance()
+		}
+	}
+	return file, p.errs
+}
+
+func (p *Parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *Parser) at(k token.Kind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *Parser) peekKind(n int) token.Kind {
+	if p.pos+n >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) advance() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+}
+
+// syncTo skips tokens until one of the kinds (or EOF); consumes it if
+// it is a ';'.
+func (p *Parser) syncTo(kinds ...token.Kind) {
+	for !p.at(token.EOF) {
+		for _, k := range kinds {
+			if p.at(k) {
+				if k == token.Semi {
+					p.advance()
+				}
+				return
+			}
+		}
+		p.advance()
+	}
+}
+
+// --- top-level declarations ---
+
+func (p *Parser) parseTopDecl() ast.Decl {
+	switch p.cur().Kind {
+	case token.KwClass, token.KwStruct:
+		return p.parseClassDecl()
+	case token.Semi:
+		p.advance()
+		return nil
+	}
+	if p.cur().Kind.IsBuiltinType() || p.at(token.Ident) || p.at(token.KwConst) {
+		return p.parseVarOrFunc()
+	}
+	p.errorf("unexpected %s at top level", p.cur())
+	p.syncTo(token.Semi, token.KwClass, token.KwStruct)
+	return nil
+}
+
+func (p *Parser) parseClassDecl() ast.Decl {
+	kw := p.advance() // class | struct
+	isStruct := kw.Kind == token.KwStruct
+	name := p.expect(token.Ident)
+	cd := &ast.ClassDecl{Pos: kw.Pos, Name: name.Text, IsStruct: isStruct}
+
+	// Forward declaration: "class X;".
+	if p.at(token.Semi) {
+		p.advance()
+		return cd
+	}
+
+	defAccess := ast.Private
+	if isStruct {
+		defAccess = ast.Public
+	}
+
+	if p.at(token.Colon) {
+		p.advance()
+		for {
+			cd.Bases = append(cd.Bases, p.parseBaseSpec(defAccess))
+			if !p.at(token.Comma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	p.expect(token.LBrace)
+	cur := defAccess
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwPublic, token.KwProtected, token.KwPrivate:
+			cur = accessOf(p.advance().Kind)
+			p.expect(token.Colon)
+		default:
+			before := p.pos
+			p.parseMember(cd, cur)
+			if p.pos == before {
+				p.advance()
+			}
+		}
+	}
+	p.expect(token.RBrace)
+	p.expect(token.Semi)
+	return cd
+}
+
+func accessOf(k token.Kind) ast.Access {
+	switch k {
+	case token.KwProtected:
+		return ast.Protected
+	case token.KwPrivate:
+		return ast.Private
+	}
+	return ast.Public
+}
+
+func (p *Parser) parseBaseSpec(def ast.Access) ast.BaseSpec {
+	bs := ast.BaseSpec{Pos: p.cur().Pos, Access: def}
+	// "virtual" and the access specifier may come in either order.
+	for {
+		switch p.cur().Kind {
+		case token.KwVirtual:
+			bs.Virtual = true
+			p.advance()
+			continue
+		case token.KwPublic, token.KwProtected, token.KwPrivate:
+			bs.Access = accessOf(p.advance().Kind)
+			continue
+		}
+		break
+	}
+	bs.Name = p.expect(token.Ident).Text
+	return bs
+}
+
+// parseMember parses one member declaration inside a class body.
+func (p *Parser) parseMember(cd *ast.ClassDecl, access ast.Access) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.KwUsing:
+		// using Base::name; — re-declares an inherited member here.
+		p.advance()
+		base := p.expect(token.Ident)
+		p.expect(token.ColonCol)
+		name := p.expect(token.Ident)
+		p.expect(token.Semi)
+		cd.Members = append(cd.Members, ast.MemberDecl{
+			Pos: name.Pos, Name: name.Text, Kind: ast.UsingMember,
+			Access: access, UsingOf: base.Text,
+		})
+		return
+	case token.KwTypedef:
+		p.advance()
+		p.parseTypeRef() // aliased type (ignored semantically)
+		name := p.expect(token.Ident)
+		p.expect(token.Semi)
+		cd.Members = append(cd.Members, ast.MemberDecl{
+			Pos: name.Pos, Name: name.Text, Kind: ast.TypedefMember, Access: access,
+		})
+		return
+	case token.KwEnum:
+		p.advance()
+		if p.at(token.Ident) { // optional enum tag; the tag itself is a type name
+			tag := p.advance()
+			cd.Members = append(cd.Members, ast.MemberDecl{
+				Pos: tag.Pos, Name: tag.Text, Kind: ast.TypedefMember, Access: access,
+			})
+		}
+		p.expect(token.LBrace)
+		for p.at(token.Ident) {
+			id := p.advance()
+			cd.Members = append(cd.Members, ast.MemberDecl{
+				Pos: id.Pos, Name: id.Text, Kind: ast.EnumeratorMember, Access: access,
+			})
+			if p.at(token.Assign) { // enumerator value
+				p.advance()
+				p.expect(token.IntLit)
+			}
+			if p.at(token.Comma) {
+				p.advance()
+			}
+		}
+		p.expect(token.RBrace)
+		p.expect(token.Semi)
+		return
+	case token.TildeKind:
+		// Destructor: "~X();" — parsed and discarded (destructors do
+		// not participate in named member lookup).
+		p.advance()
+		p.expect(token.Ident)
+		p.expect(token.LParen)
+		p.expect(token.RParen)
+		p.skipMethodTail()
+		return
+	}
+
+	var isStatic, isVirtual bool
+	for {
+		switch p.cur().Kind {
+		case token.KwStatic:
+			isStatic = true
+			p.advance()
+			continue
+		case token.KwVirtual:
+			isVirtual = true
+			p.advance()
+			continue
+		}
+		break
+	}
+
+	typ := p.parseTypeRef()
+	name := p.expect(token.Ident)
+	md := ast.MemberDecl{
+		Pos: pos, Name: name.Text, Static: isStatic, Virtual: isVirtual,
+		Access: access, Type: typ,
+	}
+	switch p.cur().Kind {
+	case token.LParen:
+		md.Params = p.parseParams()
+		md.Kind = ast.MethodMember
+		md.Body, md.HasBody = p.parseMethodTail()
+	case token.Assign:
+		p.advance()
+		p.expect(token.IntLit)
+		p.expect(token.Semi)
+		md.Kind = ast.FieldMember
+	default:
+		p.expect(token.Semi)
+		md.Kind = ast.FieldMember
+	}
+	cd.Members = append(cd.Members, md)
+}
+
+// parseMethodTail consumes ";" or an inline body "{ … }" after a
+// method declarator, returning the parsed body statements.
+func (p *Parser) parseMethodTail() (body []ast.Stmt, hasBody bool) {
+	if p.at(token.Semi) {
+		p.advance()
+		return nil, false
+	}
+	if p.at(token.LBrace) {
+		p.advance()
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			before := p.pos
+			if s := p.parseStmt(); s != nil {
+				body = append(body, s)
+			}
+			if p.pos == before {
+				p.advance()
+			}
+		}
+		p.expect(token.RBrace)
+		if p.at(token.Semi) {
+			p.advance()
+		}
+		return body, true
+	}
+	p.errorf("expected ';' or method body, found %s", p.cur())
+	p.syncTo(token.Semi, token.RBrace)
+	return nil, false
+}
+
+// skipMethodTail consumes a destructor's ";" or body without keeping
+// statements (destructors do not participate in named lookup).
+func (p *Parser) skipMethodTail() {
+	p.parseMethodTail()
+}
+
+// parseParams parses "(" [param {"," param}] ")" where a param is a
+// type with an optional name; "(void)" means no parameters. Only
+// named parameters are returned (they become body-scope bindings).
+func (p *Parser) parseParams() []*ast.VarDecl {
+	p.expect(token.LParen)
+	if p.at(token.RParen) {
+		p.advance()
+		return nil
+	}
+	if p.at(token.KwVoid) && p.peekKind(1) == token.RParen {
+		p.advance()
+		p.advance()
+		return nil
+	}
+	var out []*ast.VarDecl
+	for {
+		pos := p.cur().Pos
+		typ := p.parseTypeRef()
+		if p.at(token.Ident) {
+			name := p.advance()
+			out = append(out, &ast.VarDecl{Pos: pos, Name: name.Text, Type: typ})
+		}
+		if !p.at(token.Comma) {
+			break
+		}
+		p.advance()
+	}
+	p.expect(token.RParen)
+	return out
+}
+
+func (p *Parser) parseTypeRef() ast.TypeRef {
+	tr := ast.TypeRef{Pos: p.cur().Pos}
+	if p.at(token.KwConst) {
+		p.advance()
+	}
+	switch {
+	case p.cur().Kind.IsBuiltinType():
+		tr.Builtin = true
+		tr.Name = p.cur().Kind.String()
+		p.advance()
+		// consume multi-word builtins: unsigned long, long long, …
+		for p.cur().Kind.IsBuiltinType() {
+			p.advance()
+		}
+	case p.at(token.Ident):
+		tr.Name = p.advance().Text
+	default:
+		p.errorf("expected type, found %s", p.cur())
+	}
+	for p.at(token.Star) || p.at(token.Amp) {
+		tr.Pointer = true
+		p.advance()
+	}
+	return tr
+}
+
+// --- functions and variables ---
+
+func (p *Parser) parseVarOrFunc() ast.Decl {
+	pos := p.cur().Pos
+	typ := p.parseTypeRef()
+	// Allow "main() { … }" with implicit return type.
+	var name token.Token
+	var class string
+	if p.at(token.LParen) && !typ.Builtin && !typ.Pointer {
+		name = token.Token{Kind: token.Ident, Text: typ.Name, Pos: typ.Pos}
+		typ = ast.TypeRef{Pos: typ.Pos, Name: "'int'", Builtin: true}
+	} else {
+		name = p.expect(token.Ident)
+		// Out-of-class method definition: `type C::m(...) {...}`.
+		if p.at(token.ColonCol) {
+			p.advance()
+			class = name.Text
+			name = p.expect(token.Ident)
+		}
+	}
+	if p.at(token.LParen) {
+		params := p.parseParams()
+		fd := &ast.FuncDecl{Pos: pos, Name: name.Text, Class: class, Result: typ, Params: params}
+		if p.at(token.Semi) { // prototype
+			p.advance()
+			return fd
+		}
+		p.expect(token.LBrace)
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			before := p.pos
+			if s := p.parseStmt(); s != nil {
+				fd.Body = append(fd.Body, s)
+			}
+			if p.pos == before {
+				p.advance()
+			}
+		}
+		p.expect(token.RBrace)
+		return fd
+	}
+	vd := &ast.VarDecl{Pos: pos, Name: name.Text, Type: typ}
+	if p.at(token.Assign) {
+		p.advance()
+		p.parseExpr()
+	}
+	p.expect(token.Semi)
+	return vd
+}
+
+// --- statements ---
+
+func (p *Parser) parseStmt() ast.Stmt {
+	label := ""
+	if p.at(token.Ident) && p.peekKind(1) == token.Colon {
+		label = p.advance().Text
+		p.advance() // ':'
+	}
+	switch {
+	case p.at(token.Semi):
+		p.advance()
+		return nil
+	case p.at(token.KwIf):
+		return p.parseIf()
+	case p.at(token.KwWhile):
+		return p.parseWhile()
+	case p.at(token.KwReturn):
+		p.advance()
+		var x ast.Expr
+		if !p.at(token.Semi) {
+			x = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return &ast.ReturnStmt{X: x}
+	case p.cur().Kind.IsBuiltinType() || p.at(token.KwConst):
+		return p.parseDeclStmt(label)
+	case p.at(token.Ident) && p.looksLikeDecl():
+		return p.parseDeclStmt(label)
+	default:
+		x := p.parseExpr()
+		p.expect(token.Semi)
+		return &ast.ExprStmt{Label: label, X: x}
+	}
+}
+
+// looksLikeDecl disambiguates "E e;" / "E *p;" (declaration) from
+// "e.m = 1;" / "p->m();" (expression) without a symbol table: an
+// identifier starts a declaration iff it is followed by another
+// identifier, or by '*'/'&' and then an identifier and then ';' or
+// '='.
+func (p *Parser) looksLikeDecl() bool {
+	if p.peekKind(1) == token.Ident {
+		return true
+	}
+	if p.peekKind(1) == token.Star || p.peekKind(1) == token.Amp {
+		if p.peekKind(2) == token.Ident {
+			k := p.peekKind(3)
+			return k == token.Semi || k == token.Assign
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseDeclStmt(label string) ast.Stmt {
+	pos := p.cur().Pos
+	typ := p.parseTypeRef()
+	name := p.expect(token.Ident)
+	if p.at(token.Assign) {
+		p.advance()
+		p.parseExpr()
+	}
+	p.expect(token.Semi)
+	return &ast.DeclStmt{Label: label, Var: &ast.VarDecl{Pos: pos, Name: name.Text, Type: typ}}
+}
+
+// parseIf parses `if (cond) body [else body]`.
+func (p *Parser) parseIf() ast.Stmt {
+	p.advance() // if
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	s := &ast.IfStmt{Cond: cond, Then: p.parseStmtOrBlock()}
+	if p.at(token.KwElse) {
+		p.advance()
+		if p.at(token.KwIf) {
+			s.Else = []ast.Stmt{p.parseIf()}
+		} else {
+			s.Else = p.parseStmtOrBlock()
+		}
+	}
+	return s
+}
+
+// parseWhile parses `while (cond) body`.
+func (p *Parser) parseWhile() ast.Stmt {
+	p.advance() // while
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	return &ast.WhileStmt{Cond: cond, Body: p.parseStmtOrBlock()}
+}
+
+// parseStmtOrBlock parses either a braced block or a single statement.
+func (p *Parser) parseStmtOrBlock() []ast.Stmt {
+	if p.at(token.LBrace) {
+		p.advance()
+		var out []ast.Stmt
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			before := p.pos
+			if s := p.parseStmt(); s != nil {
+				out = append(out, s)
+			}
+			if p.pos == before {
+				p.advance()
+			}
+		}
+		p.expect(token.RBrace)
+		return out
+	}
+	if s := p.parseStmt(); s != nil {
+		return []ast.Stmt{s}
+	}
+	return nil
+}
+
+// --- expressions ---
+
+// Precedence (loosest to tightest): assignment, comparison, additive,
+// postfix.
+func (p *Parser) parseExpr() ast.Expr {
+	l := p.parseComparison()
+	if p.at(token.Assign) {
+		pos := p.advance().Pos
+		r := p.parseExpr()
+		return &ast.Assign{Pos: pos, L: l, R: r}
+	}
+	return l
+}
+
+func (p *Parser) parseComparison() ast.Expr {
+	l := p.parseAdditive()
+	for {
+		var op ast.BinaryOp
+		switch p.cur().Kind {
+		case token.EqEq:
+			op = ast.OpEq
+		case token.NotEq:
+			op = ast.OpNe
+		case token.Lt:
+			op = ast.OpLt
+		case token.Gt:
+			op = ast.OpGt
+		default:
+			return l
+		}
+		pos := p.advance().Pos
+		r := p.parseAdditive()
+		l = &ast.Binary{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseAdditive() ast.Expr {
+	l := p.parsePostfix()
+	for {
+		var op ast.BinaryOp
+		switch p.cur().Kind {
+		case token.Plus:
+			op = ast.OpAdd
+		case token.Minus:
+			op = ast.OpSub
+		default:
+			return l
+		}
+		pos := p.advance().Pos
+		r := p.parsePostfix()
+		l = &ast.Binary{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			p.advance()
+			sel := p.expect(token.Ident)
+			x = &ast.Member{Pos: sel.Pos, X: x, Sel: sel.Text}
+		case token.Arrow:
+			p.advance()
+			sel := p.expect(token.Ident)
+			x = &ast.Member{Pos: sel.Pos, X: x, Sel: sel.Text, Arrow: true}
+		case token.LParen:
+			pos := p.advance().Pos
+			call := &ast.Call{Pos: pos, Fun: x}
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				call.Args = append(call.Args, p.parseExpr())
+				if !p.at(token.Comma) {
+					break
+				}
+				p.advance()
+			}
+			p.expect(token.RParen)
+			x = call
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	switch p.cur().Kind {
+	case token.KwThis:
+		t := p.advance()
+		return &ast.This{Pos: t.Pos}
+	case token.IntLit:
+		t := p.advance()
+		return &ast.IntLit{Pos: t.Pos, Text: t.Text}
+	case token.Ident:
+		t := p.advance()
+		if p.at(token.ColonCol) {
+			p.advance()
+			m := p.expect(token.Ident)
+			return &ast.Qualified{Pos: m.Pos, Class: t.Text, Member: m.Text}
+		}
+		return &ast.Ident{Pos: t.Pos, Name: t.Text}
+	case token.LParen:
+		p.advance()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	case token.Star, token.Amp:
+		// *p / &x: dereference and address-of do not change which
+		// class a member access resolves against in the subset.
+		p.advance()
+		return p.parsePrimary()
+	}
+	p.errorf("expected expression, found %s", p.cur())
+	t := p.cur()
+	p.advance()
+	return &ast.Ident{Pos: t.Pos, Name: "<error>"}
+}

@@ -1,0 +1,206 @@
+package parser
+
+import (
+	"testing"
+
+	"cpplookup/internal/cpp/ast"
+)
+
+func TestParseUsingDeclaration(t *testing.T) {
+	f := parseOK(t, `
+struct A { void m(); };
+struct D : A {
+  using A::m;
+};
+`)
+	d := classByName(f, "D")
+	if d == nil || len(d.Members) != 1 {
+		t.Fatalf("D: %+v", d)
+	}
+	m := d.Members[0]
+	if m.Kind != ast.UsingMember || m.Name != "m" || m.UsingOf != "A" {
+		t.Errorf("using member: %+v", m)
+	}
+}
+
+func TestParseMethodParameters(t *testing.T) {
+	f := parseOK(t, `
+struct T {};
+struct X {
+  void f(int a, T *b, double);
+  void g(void);
+  void h();
+};
+`)
+	x := classByName(f, "X")
+	if len(x.Members) != 3 {
+		t.Fatalf("members: %+v", x.Members)
+	}
+	fm := x.Members[0]
+	if len(fm.Params) != 2 { // the unnamed double is not bound
+		t.Fatalf("f params: %+v", fm.Params)
+	}
+	if fm.Params[0].Name != "a" || fm.Params[0].Type.Name != "'int'" && !fm.Params[0].Type.Builtin {
+		t.Errorf("param a: %+v", fm.Params[0])
+	}
+	if fm.Params[1].Name != "b" || !fm.Params[1].Type.Pointer || fm.Params[1].Type.Name != "T" {
+		t.Errorf("param b: %+v", fm.Params[1])
+	}
+	if len(x.Members[1].Params) != 0 || len(x.Members[2].Params) != 0 {
+		t.Errorf("(void) and () should have no params")
+	}
+}
+
+func TestParseFunctionParameters(t *testing.T) {
+	f := parseOK(t, `
+struct E {};
+void run(E e, E *p) { e; p; }
+`)
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fn = fd
+		}
+	}
+	if fn == nil || len(fn.Params) != 2 {
+		t.Fatalf("fn: %+v", fn)
+	}
+	if fn.Params[0].Name != "e" || fn.Params[1].Name != "p" || !fn.Params[1].Type.Pointer {
+		t.Errorf("params: %+v, %+v", fn.Params[0], fn.Params[1])
+	}
+}
+
+func TestParseInlineBodyStatements(t *testing.T) {
+	f := parseOK(t, `
+struct X {
+  int v;
+  void set() {
+    v = 1;
+    this->v = 2;
+    int local;
+    local = 3;
+  }
+};
+`)
+	x := classByName(f, "X")
+	var set *ast.MemberDecl
+	for i := range x.Members {
+		if x.Members[i].Name == "set" {
+			set = &x.Members[i]
+		}
+	}
+	if set == nil || !set.HasBody || len(set.Body) != 4 {
+		t.Fatalf("set: %+v", set)
+	}
+	// Second statement is this->v = 2.
+	es, ok := set.Body[1].(*ast.ExprStmt)
+	if !ok {
+		t.Fatalf("stmt 1: %T", set.Body[1])
+	}
+	asn := es.X.(*ast.Assign)
+	mem := asn.L.(*ast.Member)
+	if _, ok := mem.X.(*ast.This); !ok || !mem.Arrow {
+		t.Errorf("this->v: %+v", mem)
+	}
+}
+
+func TestParseEmptyInlineBody(t *testing.T) {
+	f := parseOK(t, `struct X { void f() {} void g(); };`)
+	x := classByName(f, "X")
+	if !x.Members[0].HasBody || len(x.Members[0].Body) != 0 {
+		t.Errorf("f: %+v", x.Members[0])
+	}
+	if x.Members[1].HasBody {
+		t.Errorf("g should have no body")
+	}
+}
+
+func TestParseCallArguments(t *testing.T) {
+	f := parseOK(t, `
+struct L { void log(int a, int b); };
+L l;
+void f() { l.log(1, 2); }
+`)
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fn = fd
+		}
+	}
+	call := fn.Body[0].(*ast.ExprStmt).X.(*ast.Call)
+	if len(call.Args) != 2 {
+		t.Fatalf("args: %+v", call.Args)
+	}
+	for _, a := range call.Args {
+		if _, ok := a.(*ast.IntLit); !ok {
+			t.Errorf("arg %T, want IntLit", a)
+		}
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := parseOK(t, `
+int fib(int n) {
+  if (n < 2) return n;
+  else { n = n - 1; }
+  while (n > 0) {
+    n = n - 1;
+  }
+  return fib(n - 1) + fib(n - 2);
+}
+`)
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fn = fd
+		}
+	}
+	if fn == nil || len(fn.Body) != 3 {
+		t.Fatalf("body: %+v", fn)
+	}
+	ifs, ok := fn.Body[0].(*ast.IfStmt)
+	if !ok || len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Fatalf("if: %+v", fn.Body[0])
+	}
+	cond, ok := ifs.Cond.(*ast.Binary)
+	if !ok || cond.Op != ast.OpLt {
+		t.Fatalf("cond: %+v", ifs.Cond)
+	}
+	wh, ok := fn.Body[1].(*ast.WhileStmt)
+	if !ok || len(wh.Body) != 1 {
+		t.Fatalf("while: %+v", fn.Body[1])
+	}
+	ret, ok := fn.Body[2].(*ast.ReturnStmt)
+	if !ok {
+		t.Fatalf("return: %+v", fn.Body[2])
+	}
+	add, ok := ret.X.(*ast.Binary)
+	if !ok || add.Op != ast.OpAdd {
+		t.Fatalf("return expr: %+v", ret.X)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// a = b + 1 < c - 2 parses as a = ((b+1) < (c-2)).
+	f := parseOK(t, `
+int a; int b; int c;
+void f() { a = b + 1 < c - 2; }
+`)
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fn = fd
+		}
+	}
+	asn := fn.Body[0].(*ast.ExprStmt).X.(*ast.Assign)
+	cmp, ok := asn.R.(*ast.Binary)
+	if !ok || cmp.Op != ast.OpLt {
+		t.Fatalf("rhs: %+v", asn.R)
+	}
+	if l, ok := cmp.L.(*ast.Binary); !ok || l.Op != ast.OpAdd {
+		t.Fatalf("lhs of <: %+v", cmp.L)
+	}
+	if r, ok := cmp.R.(*ast.Binary); !ok || r.Op != ast.OpSub {
+		t.Fatalf("rhs of <: %+v", cmp.R)
+	}
+}

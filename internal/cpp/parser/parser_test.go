@@ -1,0 +1,306 @@
+package parser
+
+import (
+	"testing"
+
+	"cpplookup/internal/cpp/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, errs := Parse(src)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return f
+}
+
+func classByName(f *ast.File, name string) *ast.ClassDecl {
+	for _, d := range f.Decls {
+		if cd, ok := d.(*ast.ClassDecl); ok && cd.Name == name {
+			return cd
+		}
+	}
+	return nil
+}
+
+// The program of Figure 2, verbatim (modulo the paper's OCR damage).
+const figure2Src = `
+class A { void m(); };
+class B : A {};
+class C : virtual B {};
+class D : virtual B { void m(); };
+class E : C, D {};
+E *p;
+void f() { p->m(); }
+`
+
+func TestParseFigure2(t *testing.T) {
+	f := parseOK(t, figure2Src)
+	if len(f.Decls) != 7 {
+		t.Fatalf("decls = %d, want 7", len(f.Decls))
+	}
+	c := classByName(f, "C")
+	if c == nil || len(c.Bases) != 1 || !c.Bases[0].Virtual || c.Bases[0].Name != "B" {
+		t.Errorf("class C bases wrong: %+v", c)
+	}
+	d := classByName(f, "D")
+	if d == nil || len(d.Members) != 1 || d.Members[0].Name != "m" || d.Members[0].Kind != ast.MethodMember {
+		t.Errorf("class D members wrong: %+v", d)
+	}
+	e := classByName(f, "E")
+	if e == nil || len(e.Bases) != 2 || e.Bases[0].Virtual || e.Bases[0].Name != "C" || e.Bases[1].Name != "D" {
+		t.Errorf("class E bases wrong: %+v", e)
+	}
+	// class defaults to private inheritance and private members.
+	if c.Bases[0].Access != ast.Private {
+		t.Errorf("class default base access = %v, want private", c.Bases[0].Access)
+	}
+	if d.Members[0].Access != ast.Private {
+		t.Errorf("class default member access = %v, want private", d.Members[0].Access)
+	}
+}
+
+// The program of Figure 9, verbatim.
+const figure9Src = `
+struct S { int m; };
+struct A : virtual S { int m; };
+struct B : virtual S { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+main() {
+  E e;
+s2:
+  e.m = 10;
+}
+`
+
+func TestParseFigure9(t *testing.T) {
+	f := parseOK(t, figure9Src)
+	e := classByName(f, "E")
+	if e == nil || len(e.Bases) != 3 {
+		t.Fatalf("class E: %+v", e)
+	}
+	if !e.Bases[0].Virtual || !e.Bases[1].Virtual || e.Bases[2].Virtual {
+		t.Errorf("E base virtuality wrong: %+v", e.Bases)
+	}
+	// struct defaults are public.
+	if e.Bases[0].Access != ast.Public {
+		t.Errorf("struct default base access = %v", e.Bases[0].Access)
+	}
+	s := classByName(f, "S")
+	if s.Members[0].Kind != ast.FieldMember {
+		t.Errorf("S::m kind = %v, want field", s.Members[0].Kind)
+	}
+	// main with implicit return type and a labeled statement.
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name == "main" {
+			fn = fd
+		}
+	}
+	if fn == nil || len(fn.Body) != 2 {
+		t.Fatalf("main: %+v", fn)
+	}
+	ds, ok := fn.Body[0].(*ast.DeclStmt)
+	if !ok || ds.Var.Name != "e" || ds.Var.Type.Name != "E" || ds.Var.Type.Pointer {
+		t.Errorf("first stmt: %+v", fn.Body[0])
+	}
+	es, ok := fn.Body[1].(*ast.ExprStmt)
+	if !ok || es.Label != "s2" {
+		t.Fatalf("second stmt: %+v", fn.Body[1])
+	}
+	asn, ok := es.X.(*ast.Assign)
+	if !ok {
+		t.Fatalf("expected assignment, got %T", es.X)
+	}
+	mem, ok := asn.L.(*ast.Member)
+	if !ok || mem.Sel != "m" || mem.Arrow {
+		t.Fatalf("lhs: %+v", asn.L)
+	}
+}
+
+func TestParseMemberVarieties(t *testing.T) {
+	src := `
+struct X {
+public:
+  static int count;
+  static void reset();
+  virtual void draw();
+  typedef int size_type;
+  enum Color { Red, Green, Blue };
+  int width;
+  double scale = 2;
+protected:
+  void helper();
+private:
+  int secret;
+  ~X();
+};
+`
+	f := parseOK(t, src)
+	x := classByName(f, "X")
+	if x == nil {
+		t.Fatal("no class X")
+	}
+	byName := map[string]ast.MemberDecl{}
+	for _, m := range x.Members {
+		byName[m.Name] = m
+	}
+	check := func(name string, kind ast.MemberKind, static, virtual bool, acc ast.Access) {
+		t.Helper()
+		m, ok := byName[name]
+		if !ok {
+			t.Errorf("member %s missing", name)
+			return
+		}
+		if m.Kind != kind || m.Static != static || m.Virtual != virtual || m.Access != acc {
+			t.Errorf("member %s = %+v", name, m)
+		}
+	}
+	check("count", ast.FieldMember, true, false, ast.Public)
+	check("reset", ast.MethodMember, true, false, ast.Public)
+	check("draw", ast.MethodMember, false, true, ast.Public)
+	check("size_type", ast.TypedefMember, false, false, ast.Public)
+	check("Color", ast.TypedefMember, false, false, ast.Public)
+	check("Red", ast.EnumeratorMember, false, false, ast.Public)
+	check("Blue", ast.EnumeratorMember, false, false, ast.Public)
+	check("width", ast.FieldMember, false, false, ast.Public)
+	check("scale", ast.FieldMember, false, false, ast.Public)
+	check("helper", ast.MethodMember, false, false, ast.Protected)
+	check("secret", ast.FieldMember, false, false, ast.Private)
+	if _, ok := byName["X"]; ok {
+		t.Error("destructor should not become a member")
+	}
+}
+
+func TestParseInlineMethodBody(t *testing.T) {
+	f := parseOK(t, `struct X { void f() { int a; a = 1; } void g(); };`)
+	x := classByName(f, "X")
+	if len(x.Members) != 2 || x.Members[0].Name != "f" || x.Members[1].Name != "g" {
+		t.Errorf("members: %+v", x.Members)
+	}
+}
+
+func TestParseBaseClauseAccess(t *testing.T) {
+	f := parseOK(t, `
+struct A {};
+struct B {};
+struct C {};
+struct D : public A, private virtual B, virtual protected C {};
+`)
+	d := classByName(f, "D")
+	if len(d.Bases) != 3 {
+		t.Fatalf("bases: %+v", d.Bases)
+	}
+	if d.Bases[0].Access != ast.Public || d.Bases[0].Virtual {
+		t.Errorf("base A: %+v", d.Bases[0])
+	}
+	if d.Bases[1].Access != ast.Private || !d.Bases[1].Virtual {
+		t.Errorf("base B: %+v", d.Bases[1])
+	}
+	if d.Bases[2].Access != ast.Protected || !d.Bases[2].Virtual {
+		t.Errorf("base C: %+v", d.Bases[2])
+	}
+}
+
+func TestParseQualifiedAndCalls(t *testing.T) {
+	f := parseOK(t, `
+struct X { static void f(); };
+void g() { X::f(); }
+`)
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name == "g" {
+			fn = fd
+		}
+	}
+	es := fn.Body[0].(*ast.ExprStmt)
+	call, ok := es.X.(*ast.Call)
+	if !ok {
+		t.Fatalf("expected call, got %T", es.X)
+	}
+	q, ok := call.Fun.(*ast.Qualified)
+	if !ok || q.Class != "X" || q.Member != "f" {
+		t.Fatalf("qualified: %+v", call.Fun)
+	}
+}
+
+func TestParseChainedAccess(t *testing.T) {
+	f := parseOK(t, `
+struct Inner { int v; };
+struct Outer { Inner in; };
+Outer o;
+void g() { o.in.v = 1; (&o)->in; }
+`)
+	if classByName(f, "Outer") == nil {
+		t.Fatal("missing Outer")
+	}
+}
+
+func TestParseErrorsRecover(t *testing.T) {
+	f, errs := Parse(`
+struct A { void m(); };
+struct B : {};
+struct C : A {};
+`)
+	if len(errs) == 0 {
+		t.Error("expected a parse error for the empty base clause")
+	}
+	// C still parsed despite the bad B.
+	if classByName(f, "C") == nil {
+		t.Error("parser did not recover to parse C")
+	}
+}
+
+func TestParseForwardDeclaration(t *testing.T) {
+	f := parseOK(t, `class X; class X { void m(); };`)
+	count := 0
+	for _, d := range f.Decls {
+		if cd, ok := d.(*ast.ClassDecl); ok && cd.Name == "X" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("X declarations = %d, want 2 (forward + definition)", count)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	f := parseOK(t, `
+struct E {};
+E *p;
+E e;
+int n = 3;
+`)
+	var vars []*ast.VarDecl
+	for _, d := range f.Decls {
+		if vd, ok := d.(*ast.VarDecl); ok {
+			vars = append(vars, vd)
+		}
+	}
+	if len(vars) != 3 {
+		t.Fatalf("vars = %d", len(vars))
+	}
+	if !vars[0].Type.Pointer || vars[0].Name != "p" {
+		t.Errorf("p: %+v", vars[0])
+	}
+	if vars[1].Type.Pointer || vars[1].Name != "e" {
+		t.Errorf("e: %+v", vars[1])
+	}
+	if !vars[2].Type.Builtin {
+		t.Errorf("n: %+v", vars[2])
+	}
+}
+
+func TestAccessHelpers(t *testing.T) {
+	if ast.Public.Restrict(ast.Private) != ast.Private ||
+		ast.Private.Restrict(ast.Public) != ast.Private ||
+		ast.Protected.Restrict(ast.Public) != ast.Protected {
+		t.Error("Restrict wrong")
+	}
+	if ast.Public.String() != "public" || ast.Protected.String() != "protected" || ast.Private.String() != "private" {
+		t.Error("Access strings wrong")
+	}
+}

@@ -1,0 +1,189 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+)
+
+// §6: unqualified names inside member functions resolve through the
+// nested-scope stack, with class scopes delegating to member lookup.
+
+func TestMethodBodyUnqualifiedMemberResolves(t *testing.T) {
+	u := analyze(t, `
+struct Base { int counter; void tick(); };
+struct Derived : Base {
+  void work() {
+    counter = 1;   // implicit this->counter, found by member lookup
+    tick();        // implicit this->tick
+  }
+};
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if len(u.Resolutions) != 2 {
+		t.Fatalf("resolutions = %d, want 2", len(u.Resolutions))
+	}
+	for _, r := range u.Resolutions {
+		if !r.Result.Found() || u.Graph.Name(r.Result.Class()) != "Base" {
+			t.Errorf("%s resolved to %s", r.MemberName, r.Result.Format(u.Graph))
+		}
+		if u.Graph.Name(r.Context) != "Derived" {
+			t.Errorf("%s context = %s", r.MemberName, u.Graph.Name(r.Context))
+		}
+		if !r.Accessible {
+			t.Errorf("%s should be accessible from the class's own scope", r.MemberName)
+		}
+	}
+}
+
+func TestMethodBodyLocalShadowsMember(t *testing.T) {
+	u := analyze(t, `
+struct Gadget { int value; };
+struct X {
+  int value;
+  void set() {
+    int value;
+    value = 3;      // the local, not the member
+  }
+};
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	// No member resolution is recorded — the local won.
+	if len(u.Resolutions) != 0 {
+		t.Errorf("resolutions: %+v", u.Resolutions)
+	}
+}
+
+func TestMethodBodyAmbiguousUnqualifiedName(t *testing.T) {
+	u := analyze(t, `
+struct A { int v; };
+struct L : A {};
+struct R : A {};
+struct D : L, R {
+  void use() { v = 1; }   // two A::v subobjects: ambiguous
+};
+`)
+	diags := diagsOf(u, ErrAmbiguousMember)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "unqualified name v is ambiguous in D") {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+}
+
+func TestMethodBodyFallsThroughToGlobals(t *testing.T) {
+	u := analyze(t, `
+struct Helper { void assist(); };
+Helper h;
+struct Worker {
+  void run() {
+    h.assist();   // h is a global, found past the class scope
+  }
+};
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if len(u.Resolutions) != 1 || u.Graph.Name(u.Resolutions[0].Result.Class()) != "Helper" {
+		t.Fatalf("resolutions: %+v", u.Resolutions)
+	}
+}
+
+func TestMethodBodyThis(t *testing.T) {
+	u := analyze(t, `
+struct Base { void ping(); };
+struct Node : Base {
+  void touch() {
+    this->ping();      // explicit this
+  }
+};
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	r := u.Resolutions[0]
+	if u.Graph.Name(r.Context) != "Node" || u.Graph.Name(r.Result.Class()) != "Base" {
+		t.Errorf("this->ping: %+v", r)
+	}
+}
+
+func TestThisOutsideMethodIsDiagnosed(t *testing.T) {
+	u := analyze(t, `void f() { this; }`)
+	diags := diagsOf(u, ErrUnknownName)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "'this' used outside") {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+}
+
+func TestMethodBodyPrivateOwnMemberAccessible(t *testing.T) {
+	u := analyze(t, `
+class Vault {
+  int gold;
+public:
+  void deposit() { gold = 1; }   // private member, own scope: fine
+};
+Vault v;
+void rob() { v.gold; }           // outside: inaccessible
+`)
+	inacc := diagsOf(u, ErrInaccessibleMember)
+	if len(inacc) != 1 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if inacc[0].Pos.Line != 8 {
+		t.Errorf("inaccessible diag at %v, want the outside access (line 8)", inacc[0].Pos)
+	}
+}
+
+func TestMethodBodyUndeclaredName(t *testing.T) {
+	u := analyze(t, `
+struct X {
+  void f() { mystery = 1; }
+};
+`)
+	diags := diagsOf(u, ErrUnknownName)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "mystery") {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+}
+
+func TestMethodBodyVirtualDiamondUnqualified(t *testing.T) {
+	// With a shared virtual base the unqualified name resolves (the
+	// Figure 2 situation, seen from inside a method).
+	u := analyze(t, `
+struct A { int v; };
+struct B : A {};
+struct C : virtual B {};
+struct D : virtual B { int v; };
+struct E : C, D {
+  void use() { v = 1; }
+};
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if len(u.Resolutions) != 1 || u.Graph.Name(u.Resolutions[0].Result.Class()) != "D" {
+		t.Fatalf("resolutions: %+v", u.Resolutions)
+	}
+}
+
+func TestMethodBodyChainedMemberAccess(t *testing.T) {
+	u := analyze(t, `
+struct Inner { int depth; };
+struct Outer {
+  Inner in;
+  void dig() {
+    in.depth = 2;   // member's member
+  }
+};
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if len(u.Resolutions) != 2 {
+		t.Fatalf("resolutions = %d, want 2 (in, then depth)", len(u.Resolutions))
+	}
+	if u.Graph.Name(u.Resolutions[1].Context) != "Inner" {
+		t.Errorf("chained access context = %s", u.Graph.Name(u.Resolutions[1].Context))
+	}
+}

@@ -1,0 +1,80 @@
+package sema
+
+import (
+	"math/rand"
+
+	"testing"
+)
+
+// Frontend-level fuzz: sema must never panic on any AST the parser
+// produces from mutated real programs.
+
+var seedPrograms = []string{
+	`class A { void m(); };
+class B : A {};
+class C : virtual B {};
+class D : virtual B { void m(); };
+class E : C, D {};
+E *p;
+void f() { p->m(); }`,
+	`struct S { int m; };
+struct A : virtual S { int m; };
+struct E : virtual A, S {};
+main() { E e; e.m = 10; }`,
+	`class X {
+public:
+  static int count;
+  virtual void draw(int depth, X *other);
+  typedef int id;
+  enum Color { Red, Green };
+  using X::draw;
+private:
+  int secret;
+};
+void g(X a) { a.draw(1, &a); X::count = 2; this; return 3; }`,
+}
+
+const fuzzAlphabet = "abcxyzABC(){};:,.*&=-><0123456789 \n\tclass struct virtual public private static void int using this return enum typedef"
+
+func TestFrontendNeverPanicsOnMutatedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(8765))
+	mutate := func(s string) string {
+		b := []byte(s)
+		if len(b) == 0 {
+			return s
+		}
+		switch rng.Intn(4) {
+		case 0: // delete a span
+			i := rng.Intn(len(b))
+			j := i + rng.Intn(len(b)-i)
+			return string(b[:i]) + string(b[j:])
+		case 1: // duplicate a span
+			i := rng.Intn(len(b))
+			j := i + rng.Intn(len(b)-i)
+			return string(b[:j]) + string(b[i:j]) + string(b[j:])
+		case 2: // overwrite a byte
+			i := rng.Intn(len(b))
+			b[i] = fuzzAlphabet[rng.Intn(len(fuzzAlphabet))]
+			return string(b)
+		default: // swap two spans' order
+			i := rng.Intn(len(b))
+			return string(b[i:]) + string(b[:i])
+		}
+	}
+	for i := 0; i < 400; i++ {
+		src := seedPrograms[rng.Intn(len(seedPrograms))]
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			src = mutate(src)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("frontend panicked on mutated input: %v\n%s", r, src)
+				}
+			}()
+			// AnalyzeSource returns errors for structural
+			// problems; panics are the only failure.
+			_, _ = AnalyzeSource(src)
+		}()
+	}
+}

@@ -1,0 +1,73 @@
+package sema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+// chg.WriteSource documents that its output round-trips through this
+// frontend into an isomorphic graph. Verify on the figures and on
+// random hierarchies: same shape, same edges, and — the property that
+// matters — the same lookup table.
+func TestWriteSourceRoundTrip(t *testing.T) {
+	graphs := []*chg.Graph{
+		hiergen.Figure1(), hiergen.Figure2(), hiergen.Figure3(), hiergen.Figure9(),
+		hiergen.Realistic(4, 2), hiergen.DiamondChain(4, chg.Virtual),
+	}
+	rng := rand.New(rand.NewSource(606))
+	for i := 0; i < 25; i++ {
+		graphs = append(graphs, hiergen.Random(hiergen.RandomConfig{
+			Classes: 3 + rng.Intn(20), MaxBases: 3, VirtualProb: 0.4,
+			MemberNames: 3, MemberProb: 0.4, StaticProb: 0.3, Seed: rng.Int63(),
+		}))
+	}
+	for gi, g := range graphs {
+		var src strings.Builder
+		if err := g.WriteSource(&src); err != nil {
+			t.Fatal(err)
+		}
+		u, err := AnalyzeSource(src.String())
+		if err != nil {
+			t.Fatalf("graph %d: %v\nsource:\n%s", gi, err, src.String())
+		}
+		if len(u.Diags) != 0 {
+			t.Fatalf("graph %d: diagnostics %v\nsource:\n%s", gi, u.Diags, src.String())
+		}
+		g2 := u.Graph
+		if g2.NumClasses() != g.NumClasses() || g2.NumEdges() != g.NumEdges() ||
+			g2.NumVirtualEdges() != g.NumVirtualEdges() {
+			t.Fatalf("graph %d: shape changed: %s vs %s", gi, g.ComputeStats(), g2.ComputeStats())
+		}
+		// Same lookup table, entry by entry (static rule on both sides
+		// so typedefs/enumerators/statics keep Definition-17 behaviour).
+		a1 := core.New(g, core.WithStaticRule())
+		a2 := core.New(g2, core.WithStaticRule())
+		for c := 0; c < g.NumClasses(); c++ {
+			name := g.Name(chg.ClassID(c))
+			c2, ok := g2.ID(name)
+			if !ok {
+				t.Fatalf("graph %d: class %s lost", gi, name)
+			}
+			for m := 0; m < g.NumMemberNames(); m++ {
+				mname := g.MemberName(chg.MemberID(m))
+				r1 := a1.Lookup(chg.ClassID(c), chg.MemberID(m))
+				var r2 core.Result
+				if m2, ok := g2.MemberID(mname); ok {
+					r2 = a2.Lookup(c2, m2)
+				}
+				if r1.Kind != r2.Kind {
+					t.Fatalf("graph %d: lookup(%s, %s) kind changed: %s vs %s",
+						gi, name, mname, r1.Format(g), r2.Format(g2))
+				}
+				if r1.Kind == core.RedKind && g.Name(r1.Class()) != g2.Name(r2.Class()) {
+					t.Fatalf("graph %d: lookup(%s, %s) class changed", gi, name, mname)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return u
+}
+
+func diagsOf(u *Unit, kind DiagKind) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range u.Diags {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Figure 1: p->m() must be diagnosed as ambiguous.
+func TestFigure1ProgramAmbiguous(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+struct B : A {};
+struct C : B {};
+struct D : B { void m(); };
+struct E : C, D {};
+E *p;
+void f() { p->m(); }
+`)
+	amb := diagsOf(u, ErrAmbiguousMember)
+	if len(amb) != 1 {
+		t.Fatalf("ambiguous diagnostics = %v; all: %v", amb, u.Diags)
+	}
+	if amb[0].Pos.Line != 8 {
+		t.Errorf("diagnostic at %v, want line 8", amb[0].Pos)
+	}
+	if len(u.AmbiguousAccesses()) != 1 {
+		t.Error("AmbiguousAccesses should report the failed resolution")
+	}
+}
+
+// Figure 2: same program with virtual inheritance resolves to D::m.
+func TestFigure2ProgramResolves(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+struct B : A {};
+struct C : virtual B {};
+struct D : virtual B { void m(); };
+struct E : C, D {};
+E *p;
+void f() { p->m(); }
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", u.Diags)
+	}
+	if len(u.Resolutions) != 1 {
+		t.Fatalf("resolutions = %d", len(u.Resolutions))
+	}
+	r := u.Resolutions[0]
+	if !r.Result.Found() || u.Graph.Name(r.Result.Class()) != "D" {
+		t.Errorf("p->m resolved to %s", r.Result.Format(u.Graph))
+	}
+	if !r.Accessible {
+		t.Error("struct members should be accessible")
+	}
+}
+
+// Figure 9's program: e.m is well-formed (C::m); our frontend must
+// accept it even though g++ 2.7.2.1 rejected it.
+func TestFigure9ProgramAccepted(t *testing.T) {
+	u := analyze(t, `
+struct S { int m; };
+struct A : virtual S { int m; };
+struct B : virtual S { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+main() {
+  E e;
+s2:
+  e.m = 10;
+}
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diagnostics: %v", u.Diags)
+	}
+	r := u.Resolutions[0]
+	if !r.Result.Found() || u.Graph.Name(r.Result.Class()) != "C" {
+		t.Errorf("e.m resolved to %s, want C::m", r.Result.Format(u.Graph))
+	}
+}
+
+func TestUnknownMember(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+A a;
+void f() { a.nope(); a.m(); }
+`)
+	if len(diagsOf(u, ErrUnknownMember)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+	// a.m still resolves.
+	if !u.Resolutions[1].Result.Found() {
+		t.Error("a.m should resolve")
+	}
+}
+
+func TestUnknownMemberNameInOtherClass(t *testing.T) {
+	// "v" exists as a member name in the program but not in A's
+	// hierarchy: lookup is Undefined (not just an unknown string).
+	u := analyze(t, `
+struct Other { int v; };
+struct A { void m(); };
+A a;
+void f() { a.v = 1; }
+`)
+	if len(diagsOf(u, ErrUnknownMember)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestStaticMemberThroughDiamond(t *testing.T) {
+	// Non-virtual diamond: the instance field is ambiguous but the
+	// static member, type name, and enumerator are not (Definition 17).
+	u := analyze(t, `
+struct Top { static int s; int f; typedef int T; enum { K }; };
+struct L : Top {};
+struct R : Top {};
+struct D : L, R {};
+D d;
+void f() {
+  d.s = 1;
+  d.f = 2;
+  D::K;
+  D::T;
+}
+`)
+	amb := diagsOf(u, ErrAmbiguousMember)
+	if len(amb) != 1 || !strings.Contains(amb[0].Msg, "member f") {
+		t.Fatalf("want exactly the f access ambiguous, got %v", u.Diags)
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	u := analyze(t, `
+class Base {
+public:
+  void pub();
+protected:
+  void prot();
+private:
+  void priv();
+};
+class Derived : public Base {};
+class Hidden : private Base {};
+Derived d;
+Hidden h;
+void f() {
+  d.pub();
+  d.prot();
+  d.priv();
+  h.pub();
+}
+`)
+	inacc := diagsOf(u, ErrInaccessibleMember)
+	if len(inacc) != 3 {
+		t.Fatalf("inaccessible diags = %d (%v), want 3", len(inacc), u.Diags)
+	}
+	msgs := []string{inacc[0].Msg, inacc[1].Msg, inacc[2].Msg}
+	if !strings.Contains(msgs[0], "protected") {
+		t.Errorf("d.prot: %s", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "private") {
+		t.Errorf("d.priv: %s", msgs[1])
+	}
+	if !strings.Contains(msgs[2], "private") {
+		t.Errorf("h.pub via private inheritance: %s", msgs[2])
+	}
+}
+
+func TestPointerMismatch(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+A a;
+A *p;
+void f() { a->m(); p.m(); }
+`)
+	if len(diagsOf(u, ErrPointerMismatch)) != 2 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+	// Both still resolve (error recovery).
+	for _, r := range u.Resolutions {
+		if !r.Result.Found() {
+			t.Error("resolution should proceed despite ./-> mismatch")
+		}
+	}
+}
+
+func TestChainedMemberAccess(t *testing.T) {
+	u := analyze(t, `
+struct Inner { int v; };
+struct Outer { Inner in; Inner *pin; };
+Outer o;
+void f() { o.in.v = 1; o.pin->v = 2; }
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if len(u.Resolutions) != 4 {
+		t.Fatalf("resolutions = %d, want 4", len(u.Resolutions))
+	}
+}
+
+func TestQualifiedUnknownClass(t *testing.T) {
+	u := analyze(t, `void f() { Nope::x; }`)
+	if len(diagsOf(u, ErrUnknownClass)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestUndeclaredIdentifier(t *testing.T) {
+	u := analyze(t, `void f() { ghost.m; }`)
+	if len(diagsOf(u, ErrUnknownName)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestMemberAccessOnNonClass(t *testing.T) {
+	u := analyze(t, `
+int n;
+void f() { n.m; }
+`)
+	if len(diagsOf(u, ErrNotAClass)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestUndefinedBaseClass(t *testing.T) {
+	u := analyze(t, `struct D : Missing { void m(); };`)
+	if len(diagsOf(u, ErrUnknownClass)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+	// D itself still exists.
+	if _, ok := u.Graph.ID("D"); !ok {
+		t.Error("D should still be defined")
+	}
+}
+
+func TestRedefinedClass(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+struct A { void n(); };
+`)
+	if len(diagsOf(u, ErrRedefinedClass)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestOverloadsCollapse(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); void m(); };
+A a;
+void f() { a.m(); }
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("overloads should not be an error: %v", u.Diags)
+	}
+}
+
+func TestFieldMethodClash(t *testing.T) {
+	u := analyze(t, `struct A { void m(); int m; };`)
+	if len(diagsOf(u, ErrDuplicateMember)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestInheritanceCycleIsHardError(t *testing.T) {
+	// Impossible to write in source order with our "base must be
+	// defined" rule, so simulate via forward-defined classes: the
+	// unknown-base diagnostic fires instead, and no hard error occurs.
+	u, err := AnalyzeSource(`struct A : B {}; struct B : A {};`)
+	if err != nil {
+		t.Fatalf("unexpected hard error: %v", err)
+	}
+	if len(diagsOf(u, ErrUnknownClass)) != 1 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+struct B { void n(); };
+A x;
+void f() {
+  B x;
+  x.n();
+}
+`)
+	if len(u.Diags) != 0 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	r := u.Resolutions[0]
+	if u.Graph.Name(r.Context) != "B" {
+		t.Errorf("x should be the local B, resolved against %s", u.Graph.Name(r.Context))
+	}
+}
+
+func TestParseErrorsBecomeDiagnostics(t *testing.T) {
+	u := analyze(t, `struct A { void m() };`) // missing ';' after ()
+	if len(diagsOf(u, ErrParse)) == 0 {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestResolutionsCarryPaths(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+struct B : A {};
+struct C : B {};
+C c;
+void f() { c.m(); }
+`)
+	r := u.Resolutions[0]
+	if len(r.Result.Path) != 3 {
+		t.Fatalf("path = %v, want A→B→C", r.Result.Path)
+	}
+	names := []string{}
+	for _, id := range r.Result.Path {
+		names = append(names, u.Graph.Name(id))
+	}
+	if names[0] != "A" || names[2] != "C" {
+		t.Errorf("path = %v", names)
+	}
+}
+
+func TestDiagnosticStrings(t *testing.T) {
+	u := analyze(t, `void f() { ghost.m; }`)
+	s := u.Diags[0].String()
+	if !strings.Contains(s, "unknown-name") || !strings.Contains(s, "ghost") {
+		t.Errorf("diagnostic string = %q", s)
+	}
+	for k := ErrUnknownClass; k <= ErrParse; k++ {
+		if strings.Contains(k.String(), "?") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if u.ErrorCount() != len(u.Diags) {
+		t.Error("ErrorCount mismatch")
+	}
+}

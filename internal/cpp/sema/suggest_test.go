@@ -1,0 +1,64 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownMemberSuggestion(t *testing.T) {
+	u := analyze(t, `
+struct Base { void rdstate(); };
+struct Stream : Base {};
+Stream s;
+void f() { s.rdstat(); }
+`)
+	diags := diagsOf(u, ErrUnknownMember)
+	if len(diags) != 1 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if !strings.Contains(diags[0].Msg, "did you mean rdstate?") {
+		t.Errorf("no suggestion in %q", diags[0].Msg)
+	}
+}
+
+func TestUnknownMemberSuggestionUsesInheritedMembers(t *testing.T) {
+	// The suggestion pool is Members[C], so a typo on a member
+	// declared three levels up still gets a hit.
+	u := analyze(t, `
+struct A { void widget(); };
+struct B : A {};
+struct C : B {};
+C c;
+void f() { c.wigdet(); }
+`)
+	diags := diagsOf(u, ErrUnknownMember)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "did you mean widget?") {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}
+
+func TestUnknownMemberNoSuggestionWhenImplausible(t *testing.T) {
+	u := analyze(t, `
+struct A { void m(); };
+A a;
+void f() { a.completely_unrelated(); }
+`)
+	diags := diagsOf(u, ErrUnknownMember)
+	if len(diags) != 1 {
+		t.Fatalf("diags: %v", u.Diags)
+	}
+	if strings.Contains(diags[0].Msg, "did you mean") {
+		t.Errorf("implausible suggestion in %q", diags[0].Msg)
+	}
+}
+
+func TestUnknownClassSuggestion(t *testing.T) {
+	u := analyze(t, `
+struct Widget { static int count; };
+void f() { Widgit::count; }
+`)
+	diags := diagsOf(u, ErrUnknownClass)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "did you mean Widget?") {
+		t.Errorf("diags: %v", u.Diags)
+	}
+}

@@ -1,0 +1,142 @@
+// Package token defines the lexical tokens of the C++ subset accepted
+// by this repository's frontend (internal/cpp/...): enough of C++ to
+// write every program in the paper — class and struct definitions with
+// virtual/non-virtual bases and access specifiers, member
+// declarations (fields, methods, static members, typedefs, enums),
+// global variables, and function bodies containing the member-access
+// expressions whose resolution the lookup algorithm decides.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+
+	// punctuation
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	Semi      // ;
+	Colon     // :
+	ColonCol  // ::
+	Comma     // ,
+	Dot       // .
+	Arrow     // ->
+	Star      // *
+	Amp       // &
+	Assign    // =
+	EqEq      // ==
+	NotEq     // !=
+	Lt        // <
+	Gt        // >
+	Plus      // +
+	Minus     // -
+	LBracket  // [
+	RBracket  // ]
+	TildeKind // ~
+
+	// keywords
+	KwClass
+	KwStruct
+	KwVirtual
+	KwStatic
+	KwPublic
+	KwProtected
+	KwPrivate
+	KwTypedef
+	KwEnum
+	KwVoid
+	KwInt
+	KwChar
+	KwBool
+	KwFloat
+	KwDouble
+	KwLong
+	KwShort
+	KwUnsigned
+	KwSigned
+	KwConst
+	KwReturn
+	KwThis
+	KwUsing
+	KwIf
+	KwElse
+	KwWhile
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer",
+	LBrace: "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'",
+	Semi: "';'", Colon: "':'", ColonCol: "'::'", Comma: "','",
+	Dot: "'.'", Arrow: "'->'", Star: "'*'", Amp: "'&'",
+	Assign: "'='", EqEq: "'=='", NotEq: "'!='", Lt: "'<'", Gt: "'>'",
+	Plus: "'+'", Minus: "'-'", LBracket: "'['", RBracket: "']'",
+	TildeKind: "'~'",
+	KwClass:   "'class'", KwStruct: "'struct'", KwVirtual: "'virtual'",
+	KwStatic: "'static'", KwPublic: "'public'", KwProtected: "'protected'",
+	KwPrivate: "'private'", KwTypedef: "'typedef'", KwEnum: "'enum'",
+	KwVoid: "'void'", KwInt: "'int'", KwChar: "'char'", KwBool: "'bool'",
+	KwFloat: "'float'", KwDouble: "'double'", KwLong: "'long'",
+	KwShort: "'short'", KwUnsigned: "'unsigned'", KwSigned: "'signed'",
+	KwConst: "'const'", KwReturn: "'return'", KwThis: "'this'",
+	KwUsing: "'using'", KwIf: "'if'", KwElse: "'else'", KwWhile: "'while'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"class": KwClass, "struct": KwStruct, "virtual": KwVirtual,
+	"static": KwStatic, "public": KwPublic, "protected": KwProtected,
+	"private": KwPrivate, "typedef": KwTypedef, "enum": KwEnum,
+	"void": KwVoid, "int": KwInt, "char": KwChar, "bool": KwBool,
+	"float": KwFloat, "double": KwDouble, "long": KwLong,
+	"short": KwShort, "unsigned": KwUnsigned, "signed": KwSigned,
+	"const": KwConst, "return": KwReturn, "this": KwThis,
+	"using": KwUsing, "if": KwIf, "else": KwElse, "while": KwWhile,
+}
+
+// IsBuiltinType reports whether k begins a builtin type name.
+func (k Kind) IsBuiltinType() bool {
+	switch k {
+	case KwVoid, KwInt, KwChar, KwBool, KwFloat, KwDouble, KwLong, KwShort, KwUnsigned, KwSigned:
+		return true
+	}
+	return false
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling or literal text
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == Ident || t.Kind == IntLit {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,68 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EOF: "EOF", Ident: "identifier", IntLit: "integer",
+		LBrace: "'{'", Arrow: "'->'", ColonCol: "'::'",
+		KwClass: "'class'", KwVirtual: "'virtual'", KwTypedef: "'typedef'",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(250).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestIsBuiltinType(t *testing.T) {
+	builtins := []Kind{KwVoid, KwInt, KwChar, KwBool, KwFloat, KwDouble, KwLong, KwShort, KwUnsigned, KwSigned}
+	for _, k := range builtins {
+		if !k.IsBuiltinType() {
+			t.Errorf("%v should be a builtin type", k)
+		}
+	}
+	for _, k := range []Kind{KwClass, KwStruct, KwStatic, Ident, KwConst, KwReturn} {
+		if k.IsBuiltinType() {
+			t.Errorf("%v should not be a builtin type", k)
+		}
+	}
+}
+
+func TestKeywordTableConsistent(t *testing.T) {
+	// Every keyword maps to a kind whose String is the quoted keyword.
+	for spelling, kind := range Keywords {
+		if want := "'" + spelling + "'"; kind.String() != want {
+			t.Errorf("keyword %q: kind string %q, want %q", spelling, kind.String(), want)
+		}
+	}
+	if len(Keywords) != 26 {
+		t.Errorf("keyword count = %d", len(Keywords))
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Errorf("Pos.String = %q", p.String())
+	}
+	if !p.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: Ident, Text: "foo"}
+	if id.String() != `identifier("foo")` {
+		t.Errorf("ident String = %q", id.String())
+	}
+	lit := Token{Kind: IntLit, Text: "42"}
+	if lit.String() != `integer("42")` {
+		t.Errorf("intlit String = %q", lit.String())
+	}
+	if (Token{Kind: Arrow}).String() != "'->'" {
+		t.Errorf("punct String = %q", Token{Kind: Arrow}.String())
+	}
+}

@@ -1,0 +1,156 @@
+// Package gxx reimplements the member lookup of GNU g++ 2.7.2.1 as
+// Section 7.1 of the paper describes it — the baseline whose
+// incorrectness Figure 9 demonstrates.
+//
+// The g++ algorithm breadth-first-traverses the subobject graph of the
+// context class. It keeps a single "most dominant member found so
+// far"; whenever it finds another subobject declaring the member, it
+// compares the two: if one dominates the other, the dominator is kept;
+// *if neither dominates the other, it reports ambiguity and quits*.
+// That last step is the bug: a breadth-first scan can meet two
+// incomparable definitions d1, d2 before reaching a definition d3 that
+// dominates both. On Figure 9, g++ (and 3 of the 7 compilers the
+// authors tried) therefore rejects a well-formed lookup.
+//
+// Exhaustive is the corrected variant — collect every definition, then
+// select the most dominant — which is correct but still walks the
+// worst-case-exponential subobject graph, unlike the paper's
+// polynomial algorithm in internal/core.
+package gxx
+
+import (
+	"cpplookup/internal/chg"
+	"cpplookup/internal/subobject"
+)
+
+// Outcome classifies what the g++-style lookup did.
+type Outcome uint8
+
+const (
+	// NotFound: no subobject declares the member.
+	NotFound Outcome = iota
+	// Resolved: the scan completed with a single dominant member.
+	Resolved
+	// ReportedAmbiguous: the scan saw two incomparable members and
+	// quit — which may be a *false* ambiguity (Figure 9).
+	ReportedAmbiguous
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case NotFound:
+		return "not found"
+	case Resolved:
+		return "resolved"
+	case ReportedAmbiguous:
+		return "reported ambiguous"
+	}
+	return "unknown"
+}
+
+// Result is the outcome of a g++-style lookup.
+type Result struct {
+	Outcome   Outcome
+	Subobject subobject.ID // resolved subobject, when Resolved
+	Class     chg.ClassID  // its class, when Resolved
+	Visited   int          // subobjects dequeued before the scan ended
+}
+
+// Lookup runs the g++ 2.7.2.1 algorithm for member m over a prebuilt
+// subobject graph, bug included.
+func Lookup(sg *subobject.Graph, m chg.MemberID) Result {
+	g := sg.CHG()
+	res := Result{Outcome: NotFound}
+
+	root := sg.Root()
+	// "If class X itself does not have a member called m, the
+	// algorithm performs a scan of all the subobjects of an X object,
+	// in breadth-first order."
+	if g.Declares(sg.Class(root), m) {
+		res.Outcome = Resolved
+		res.Subobject = root
+		res.Class = sg.Class(root)
+		res.Visited = 1
+		return res
+	}
+
+	type state struct {
+		id subobject.ID
+	}
+	var queue []state
+	enqueued := make([]bool, sg.NumSubobjects())
+	for _, c := range sg.Subobject(root).Contains {
+		if !enqueued[c] {
+			enqueued[c] = true
+			queue = append(queue, state{c})
+		}
+	}
+
+	haveBest := false
+	var best subobject.ID
+	for len(queue) > 0 {
+		cur := queue[0].id
+		queue = queue[1:]
+		res.Visited++
+		if g.Declares(sg.Class(cur), m) {
+			switch {
+			case !haveBest:
+				haveBest = true
+				best = cur
+			case sg.Dominates(best, cur):
+				// keep best
+			case sg.Dominates(cur, best):
+				best = cur
+			default:
+				// The incorrect step: neither dominates the other →
+				// report ambiguity and quit, even though a dominator
+				// of both may still be waiting in the queue.
+				res.Outcome = ReportedAmbiguous
+				return res
+			}
+		}
+		for _, c := range sg.Subobject(cur).Contains {
+			if !enqueued[c] {
+				enqueued[c] = true
+				queue = append(queue, state{c})
+			}
+		}
+	}
+	if haveBest {
+		res.Outcome = Resolved
+		res.Subobject = best
+		res.Class = sg.Class(best)
+	}
+	return res
+}
+
+// Exhaustive is the corrected subobject-graph lookup: scan everything,
+// then select the most dominant definition (the direct implementation
+// of the Rossie–Friedman specification). Correct, but its cost is the
+// size of the subobject graph.
+func Exhaustive(sg *subobject.Graph, m chg.MemberID) Result {
+	r := sg.Lookup(m)
+	out := Result{Visited: sg.NumSubobjects()}
+	switch {
+	case len(r.Defs) == 0:
+		out.Outcome = NotFound
+	case r.Ambiguous:
+		out.Outcome = ReportedAmbiguous
+	default:
+		out.Outcome = Resolved
+		out.Subobject = r.Target
+		out.Class = sg.Class(r.Target)
+	}
+	return out
+}
+
+// LookupFresh builds the subobject graph of class c and runs Lookup —
+// the full cost a compiler without a cached subobject graph would pay.
+// limit bounds the graph size (0 = subobject.DefaultLimit).
+func LookupFresh(g *chg.Graph, c chg.ClassID, m chg.MemberID, limit int) (Result, error) {
+	sg, err := subobject.Build(g, c, limit)
+	if err != nil {
+		return Result{}, err
+	}
+	return Lookup(sg, m), nil
+}

@@ -1,0 +1,189 @@
+package gxx
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/subobject"
+)
+
+func mustBuild(t testing.TB, g *chg.Graph, class string) *subobject.Graph {
+	t.Helper()
+	sg, err := subobject.Build(g, g.MustID(class), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+// The headline reproduction: on Figure 9, the lookup e.m is
+// unambiguous (C::m), but the g++ algorithm reports ambiguity —
+// "3 of the 7 compilers we tried this example on reported this lookup
+// as being ambiguous".
+func TestFigure9GxxBug(t *testing.T) {
+	g := hiergen.Figure9()
+	sg := mustBuild(t, g, "E")
+	m := g.MustMemberID("m")
+
+	buggy := Lookup(sg, m)
+	if buggy.Outcome != ReportedAmbiguous {
+		t.Fatalf("g++ lookup = %v, want reported-ambiguous (the bug)", buggy.Outcome)
+	}
+
+	correct := Exhaustive(sg, m)
+	if correct.Outcome != Resolved || g.Name(correct.Class) != "C" {
+		t.Fatalf("exhaustive lookup = %v (%s), want resolved C",
+			correct.Outcome, g.Name(correct.Class))
+	}
+
+	ours := core.New(g).LookupByName("E", "m")
+	if !ours.Found() || g.Name(ours.Class()) != "C" {
+		t.Fatalf("core lookup = %s, want red C", ours.Format(g))
+	}
+}
+
+// The buggy cutoff fires before the dominator is dequeued: the scan
+// must have stopped early.
+func TestFigure9StopsEarly(t *testing.T) {
+	g := hiergen.Figure9()
+	sg := mustBuild(t, g, "E")
+	r := Lookup(sg, g.MustMemberID("m"))
+	if r.Visited >= sg.NumSubobjects() {
+		t.Errorf("buggy scan visited %d of %d subobjects; should stop early",
+			r.Visited, sg.NumSubobjects())
+	}
+}
+
+// On Figures 1–3 (no early-cutoff trap), g++ agrees with the correct
+// answer — the bug needs the Figure 9 shape to manifest.
+func TestGxxCorrectOnSimpleFigures(t *testing.T) {
+	for _, tc := range []struct {
+		name, top, member string
+		g                 *chg.Graph
+		wantAmbiguous     bool
+		wantClass         string
+	}{
+		{"fig1", "E", "m", hiergen.Figure1(), true, ""},
+		{"fig2", "E", "m", hiergen.Figure2(), false, "D"},
+		{"fig3-foo", "H", "foo", hiergen.Figure3(), false, "G"},
+		{"fig3-bar", "H", "bar", hiergen.Figure3(), true, ""},
+	} {
+		sg := mustBuild(t, tc.g, tc.top)
+		r := Lookup(sg, tc.g.MustMemberID(tc.member))
+		if tc.wantAmbiguous {
+			if r.Outcome != ReportedAmbiguous {
+				t.Errorf("%s: outcome %v, want ambiguous", tc.name, r.Outcome)
+			}
+		} else if r.Outcome != Resolved || tc.g.Name(r.Class) != tc.wantClass {
+			t.Errorf("%s: outcome %v class %v, want %s", tc.name, r.Outcome, r.Class, tc.wantClass)
+		}
+	}
+}
+
+func TestRootDeclaresShortCircuit(t *testing.T) {
+	g := hiergen.Figure3()
+	sg := mustBuild(t, g, "G") // G declares foo itself
+	r := Lookup(sg, g.MustMemberID("foo"))
+	if r.Outcome != Resolved || g.Name(r.Class) != "G" || r.Visited != 1 {
+		t.Errorf("root-declared lookup = %+v", r)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	g := hiergen.Figure3()
+	sg := mustBuild(t, g, "E") // E sees only bar
+	if r := Lookup(sg, g.MustMemberID("foo")); r.Outcome != NotFound {
+		t.Errorf("lookup(E, foo) = %v, want not found", r.Outcome)
+	}
+	if r := Exhaustive(sg, g.MustMemberID("foo")); r.Outcome != NotFound {
+		t.Errorf("exhaustive(E, foo) = %v, want not found", r.Outcome)
+	}
+}
+
+// Exhaustive always agrees with the core algorithm; the buggy variant
+// agrees except that it may report false ambiguities (never a wrong
+// resolution, never a false "unambiguous").
+func TestAgainstCoreOnRandomHierarchies(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	falseAmbiguities := 0
+	for i := 0; i < 120; i++ {
+		g := hiergen.Random(hiergen.RandomConfig{
+			Classes: 3 + rng.Intn(10), MaxBases: 3, VirtualProb: 0.4,
+			MemberNames: 2, MemberProb: 0.5, Seed: rng.Int63(),
+		})
+		a := core.New(g)
+		for c := 0; c < g.NumClasses(); c++ {
+			sg, err := subobject.Build(g, chg.ClassID(c), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := 0; m < g.NumMemberNames(); m++ {
+				want := a.Lookup(chg.ClassID(c), chg.MemberID(m))
+				ex := Exhaustive(sg, chg.MemberID(m))
+				switch want.Kind {
+				case core.Undefined:
+					if ex.Outcome != NotFound {
+						t.Fatalf("exhaustive disagrees (undefined) seed case %d", i)
+					}
+				case core.BlueKind:
+					if ex.Outcome != ReportedAmbiguous {
+						t.Fatalf("exhaustive disagrees (ambiguous) seed case %d", i)
+					}
+				case core.RedKind:
+					if ex.Outcome != Resolved || ex.Class != want.Class() {
+						t.Fatalf("exhaustive disagrees (resolved) seed case %d", i)
+					}
+				}
+				buggy := Lookup(sg, chg.MemberID(m))
+				switch want.Kind {
+				case core.Undefined:
+					if buggy.Outcome != NotFound {
+						t.Fatalf("g++ invented a member, case %d", i)
+					}
+				case core.BlueKind:
+					if buggy.Outcome != ReportedAmbiguous {
+						t.Fatalf("g++ silently resolved a true ambiguity, case %d", i)
+					}
+				case core.RedKind:
+					switch buggy.Outcome {
+					case Resolved:
+						if buggy.Class != want.Class() {
+							t.Fatalf("g++ resolved to the wrong class, case %d", i)
+						}
+					case ReportedAmbiguous:
+						falseAmbiguities++ // the Figure 9 failure mode
+					default:
+						t.Fatalf("g++ lost a member, case %d", i)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("g++ false ambiguities over random hierarchies: %d", falseAmbiguities)
+}
+
+func TestLookupFresh(t *testing.T) {
+	g := hiergen.Figure9()
+	r, err := LookupFresh(g, g.MustID("E"), g.MustMemberID("m"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != ReportedAmbiguous {
+		t.Errorf("LookupFresh outcome = %v", r.Outcome)
+	}
+	// Limit trips on the exponential family.
+	ge := hiergen.DiamondChain(15, chg.NonVirtual)
+	if _, err := LookupFresh(ge, hiergen.DiamondChainTop(ge, 15), ge.MustMemberID("m"), 500); err == nil {
+		t.Error("LookupFresh should fail on exponential graph with small limit")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if NotFound.String() != "not found" || Resolved.String() != "resolved" ||
+		ReportedAmbiguous.String() != "reported ambiguous" || Outcome(9).String() != "unknown" {
+		t.Error("Outcome strings wrong")
+	}
+}

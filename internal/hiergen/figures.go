@@ -1,0 +1,141 @@
+// Package hiergen constructs class hierarchies: the paper's worked
+// figures, pathological families with exponential subobject graphs,
+// seeded random hierarchies, and realistic library-shaped hierarchies.
+// All generators are deterministic; the experiment harness and the
+// test suites share these fixtures.
+package hiergen
+
+import "cpplookup/internal/chg"
+
+// Figure1 builds the non-virtual inheritance example of Figure 1:
+//
+//	class A { void m(); };
+//	class B : A {};
+//	class C : B {};
+//	class D : B { void m(); };
+//	class E : C, D {};
+//
+// An E object contains two A subobjects, and lookup(E, m) is
+// ambiguous.
+func Figure1() *chg.Graph {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	b.Base(bb, a, chg.NonVirtual)
+	b.Base(c, bb, chg.NonVirtual)
+	b.Base(d, bb, chg.NonVirtual)
+	b.Base(e, c, chg.NonVirtual)
+	b.Base(e, d, chg.NonVirtual)
+	b.Method(a, "m")
+	b.Method(d, "m")
+	return b.MustBuild()
+}
+
+// Figure2 builds the virtual inheritance example of Figure 2 — the
+// same program as Figure 1 except that C and D inherit from B
+// virtually:
+//
+//	class A { void m(); };
+//	class B : A {};
+//	class C : virtual B {};
+//	class D : virtual B { void m(); };
+//	class E : C, D {};
+//
+// An E object contains a single A subobject, and lookup(E, m)
+// unambiguously resolves to D::m.
+func Figure2() *chg.Graph {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	b.Base(bb, a, chg.NonVirtual)
+	b.Base(c, bb, chg.Virtual)
+	b.Base(d, bb, chg.Virtual)
+	b.Base(e, c, chg.NonVirtual)
+	b.Base(e, d, chg.NonVirtual)
+	b.Method(a, "m")
+	b.Method(d, "m")
+	return b.MustBuild()
+}
+
+// Figure3 builds the running example of Figures 3–7:
+//
+//	A → B, A → C (non-virtual)        A declares foo
+//	B → D, C → D (non-virtual)        D declares bar
+//	D ⇢ F, D ⇢ G (virtual)            G declares foo, bar
+//	F → H, G → H (non-virtual)        E declares bar
+//	E → F (non-virtual)
+//
+// Four paths run from A to H with fixed parts ABD (×2) and ACD (×2),
+// so an H object holds two A subobjects. lookup(H, foo) = {GH};
+// lookup(H, bar) = ⊥.
+func Figure3() *chg.Graph {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	f := b.Class("F")
+	g := b.Class("G")
+	h := b.Class("H")
+	b.Base(bb, a, chg.NonVirtual)
+	b.Base(c, a, chg.NonVirtual)
+	b.Base(d, bb, chg.NonVirtual)
+	b.Base(d, c, chg.NonVirtual)
+	b.Base(f, d, chg.Virtual)
+	b.Base(g, d, chg.Virtual)
+	b.Base(f, e, chg.NonVirtual)
+	b.Base(h, f, chg.NonVirtual)
+	b.Base(h, g, chg.NonVirtual)
+	b.Method(a, "foo")
+	b.Method(g, "foo")
+	b.Method(d, "bar")
+	b.Method(e, "bar")
+	b.Method(g, "bar")
+	return b.MustBuild()
+}
+
+// Figure9 builds the counterexample on which g++ 2.7.2.1 (and 3 of
+// the 7 compilers the authors tried) incorrectly reports ambiguity:
+//
+//	struct S              { int m; };
+//	struct A : virtual S  { int m; };
+//	struct B : virtual S  { int m; };
+//	struct C : virtual A, virtual B { int m; };
+//	struct D : C {};
+//	struct E : virtual A, virtual B, D {};
+//
+// lookup(E, m) is unambiguous (C::m), but a breadth-first scan that
+// cuts off at the first incomparable pair sees A::m and B::m before
+// C::m and wrongly reports ambiguity.
+func Figure9() *chg.Graph {
+	b := chg.NewBuilder()
+	s := b.Class("S")
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	b.Base(a, s, chg.Virtual)
+	b.Base(bb, s, chg.Virtual)
+	b.Base(c, a, chg.Virtual)
+	b.Base(c, bb, chg.Virtual)
+	b.Base(d, c, chg.NonVirtual)
+	b.Base(e, a, chg.Virtual)
+	b.Base(e, bb, chg.Virtual)
+	b.Base(e, d, chg.NonVirtual)
+	field := func(c chg.ClassID) {
+		b.Member(c, chg.Member{Name: "m", Kind: chg.Field})
+	}
+	field(s)
+	field(a)
+	field(bb)
+	field(c)
+	return b.MustBuild()
+}

@@ -1,0 +1,226 @@
+package hiergen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cpplookup/internal/chg"
+)
+
+// DiamondChain builds k stacked diamonds — the family on which the
+// subobject graph is exponential in the CHG (Section 7.1):
+//
+//	L0           declares m
+//	Xi, Yi : L(i-1)   (edge kind `kind`)
+//	Li : Xi, Yi       (non-virtual)
+//
+// With kind == NonVirtual there are 2^k paths from L0 to Lk, hence at
+// least 2^k subobjects in an Lk object; with kind == Virtual each
+// level is shared and the subobject graph is linear in k. The graph
+// has 3k+1 classes and 4k edges either way.
+func DiamondChain(k int, kind chg.Kind) *chg.Graph {
+	b := chg.NewBuilder()
+	prev := b.Class("L0")
+	b.Method(prev, "m")
+	for i := 1; i <= k; i++ {
+		x := b.Class(fmt.Sprintf("X%d", i))
+		y := b.Class(fmt.Sprintf("Y%d", i))
+		l := b.Class(fmt.Sprintf("L%d", i))
+		b.Base(x, prev, kind)
+		b.Base(y, prev, kind)
+		b.Base(l, x, chg.NonVirtual)
+		b.Base(l, y, chg.NonVirtual)
+		prev = l
+	}
+	return b.MustBuild()
+}
+
+// DiamondChainTop returns the apex class Lk of a DiamondChain graph.
+func DiamondChainTop(g *chg.Graph, k int) chg.ClassID {
+	return g.MustID(fmt.Sprintf("L%d", k))
+}
+
+// Chain builds a single-inheritance chain C0 ← C1 ← … ← Cn-1, with a
+// member m declared at the root and (if withOverride) redeclared at
+// the midpoint — the "nested scopes" easy case of Section 1.
+func Chain(n int, withOverride bool) *chg.Graph {
+	b := chg.NewBuilder()
+	prev := b.Class("C0")
+	b.Method(prev, "m")
+	for i := 1; i < n; i++ {
+		cur := b.Class(fmt.Sprintf("C%d", i))
+		b.Base(cur, prev, chg.NonVirtual)
+		if withOverride && i == n/2 {
+			b.Method(cur, "m")
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// ChainTop returns the most derived class Cn-1 of a Chain graph.
+func ChainTop(g *chg.Graph, n int) chg.ClassID {
+	return g.MustID(fmt.Sprintf("C%d", n-1))
+}
+
+// WideMI builds one class Top deriving (non-virtually) from n root
+// bases. If conflicting, every base declares m (a maximally ambiguous
+// lookup whose blue set is Θ(n)); otherwise only the first does.
+func WideMI(n int, conflicting bool) *chg.Graph {
+	b := chg.NewBuilder()
+	top := b.Class("Top")
+	for i := 0; i < n; i++ {
+		base := b.Class(fmt.Sprintf("B%d", i))
+		b.Base(top, base, chg.NonVirtual)
+		if conflicting || i == 0 {
+			b.Method(base, "m")
+		}
+	}
+	return b.MustBuild()
+}
+
+// AmbiguousLadder builds a hierarchy where a blue (ambiguous) pair of
+// definitions is propagated down a chain of length n before every
+// class — the worst case that makes a single lookup Θ(|N|·(|N|+|E|)):
+//
+//	X, Y both declare m;  J : X, Y;  R1 : J;  R2 : R1; …; Rn : Rn-1
+//
+// Every Ri inherits the ambiguous pair, so blue sets flow along every
+// edge. Pass spread > 1 to give each rung `spread` parallel ambiguous
+// joints, growing the blue sets to Θ(spread).
+func AmbiguousLadder(n, spread int) *chg.Graph {
+	b := chg.NewBuilder()
+	prev := make([]chg.ClassID, 0, spread)
+	for s := 0; s < spread; s++ {
+		x := b.Class(fmt.Sprintf("X%d", s))
+		y := b.Class(fmt.Sprintf("Y%d", s))
+		// Virtual self-roots so the blue abstractions stay distinct
+		// classes rather than collapsing to Ω.
+		vx := b.Class(fmt.Sprintf("VX%d", s))
+		vy := b.Class(fmt.Sprintf("VY%d", s))
+		b.Method(vx, "m")
+		b.Method(vy, "m")
+		b.Base(x, vx, chg.Virtual)
+		b.Base(y, vy, chg.Virtual)
+		j := b.Class(fmt.Sprintf("J%d", s))
+		b.Base(j, x, chg.NonVirtual)
+		b.Base(j, y, chg.NonVirtual)
+		prev = append(prev, j)
+	}
+	cur := b.Class("R0")
+	for _, j := range prev {
+		b.Base(cur, j, chg.NonVirtual)
+	}
+	for i := 1; i < n; i++ {
+		next := b.Class(fmt.Sprintf("R%d", i))
+		b.Base(next, cur, chg.NonVirtual)
+		cur = next
+	}
+	return b.MustBuild()
+}
+
+// AmbiguousLadderTop returns Rn-1 of an AmbiguousLadder graph.
+func AmbiguousLadderTop(g *chg.Graph, n int) chg.ClassID {
+	return g.MustID(fmt.Sprintf("R%d", n-1))
+}
+
+// RandomConfig parameterises Random.
+type RandomConfig struct {
+	Classes     int     // |N|
+	MaxBases    int     // max direct bases per class (uniform 0..MaxBases)
+	VirtualProb float64 // probability an edge is virtual
+	MemberNames int     // size of the member-name pool
+	MemberProb  float64 // probability a class declares each name
+	StaticProb  float64 // probability a declared member is static
+	Seed        int64
+}
+
+// Random builds a seeded random hierarchy: class i may derive from any
+// classes j < i, so the result is acyclic by construction. Names are
+// K0, K1, … and member names m0, m1, ….
+func Random(cfg RandomConfig) *chg.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := chg.NewBuilder()
+	ids := make([]chg.ClassID, cfg.Classes)
+	for i := 0; i < cfg.Classes; i++ {
+		ids[i] = b.Class(fmt.Sprintf("K%d", i))
+	}
+	for i := 1; i < cfg.Classes; i++ {
+		n := rng.Intn(cfg.MaxBases + 1)
+		if n > i {
+			n = i
+		}
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			base := rng.Intn(i)
+			if seen[base] {
+				continue
+			}
+			seen[base] = true
+			kind := chg.NonVirtual
+			if rng.Float64() < cfg.VirtualProb {
+				kind = chg.Virtual
+			}
+			b.Base(ids[i], ids[base], kind)
+		}
+	}
+	for i := 0; i < cfg.Classes; i++ {
+		for m := 0; m < cfg.MemberNames; m++ {
+			if rng.Float64() < cfg.MemberProb {
+				b.Member(ids[i], chg.Member{
+					Name:   fmt.Sprintf("m%d", m),
+					Kind:   chg.Method,
+					Static: rng.Float64() < cfg.StaticProb,
+				})
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Realistic builds a library-shaped hierarchy modelled on the iostream
+// pattern that motivates virtual inheritance: `depth` layers, each
+// layer a pair of siblings deriving virtually from a shared base and a
+// joining class deriving from both siblings, plus non-virtual
+// utility chains hanging off the joins. Members: a handful of
+// interface names declared at the roots and overridden sparsely, so
+// almost all lookups are unambiguous — the paper's "common case".
+func Realistic(depth, chainLen int) *chg.Graph {
+	b := chg.NewBuilder()
+	ios := b.Class("ios_base")
+	b.Method(ios, "rdstate")
+	b.Method(ios, "flags")
+	b.Method(ios, "width")
+	prev := ios
+	for d := 0; d < depth; d++ {
+		in := b.Class(fmt.Sprintf("istream%d", d))
+		out := b.Class(fmt.Sprintf("ostream%d", d))
+		b.Base(in, prev, chg.Virtual)
+		b.Base(out, prev, chg.Virtual)
+		b.Method(in, fmt.Sprintf("get%d", d))
+		b.Method(out, fmt.Sprintf("put%d", d))
+		join := b.Class(fmt.Sprintf("iostream%d", d))
+		b.Base(join, in, chg.NonVirtual)
+		b.Base(join, out, chg.NonVirtual)
+		if d%2 == 0 {
+			b.Method(join, "flags") // sparse override
+		}
+		cur := join
+		for c := 0; c < chainLen; c++ {
+			nxt := b.Class(fmt.Sprintf("stream%d_%d", d, c))
+			b.Base(nxt, cur, chg.NonVirtual)
+			b.Method(nxt, fmt.Sprintf("op%d_%d", d, c))
+			cur = nxt
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}
+
+// RealisticTop returns the most derived class of a Realistic graph.
+func RealisticTop(g *chg.Graph, depth, chainLen int) chg.ClassID {
+	if chainLen == 0 {
+		return g.MustID(fmt.Sprintf("iostream%d", depth-1))
+	}
+	return g.MustID(fmt.Sprintf("stream%d_%d", depth-1, chainLen-1))
+}

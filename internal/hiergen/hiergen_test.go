@@ -1,0 +1,153 @@
+package hiergen
+
+import (
+	"testing"
+
+	"cpplookup/internal/chg"
+)
+
+func TestFigureShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		g               *chg.Graph
+		classes, edges  int
+		virtuals, decls int
+	}{
+		{"fig1", Figure1(), 5, 5, 0, 2},
+		{"fig2", Figure2(), 5, 5, 2, 2},
+		{"fig3", Figure3(), 8, 9, 2, 5},
+		{"fig9", Figure9(), 6, 8, 6, 4},
+	} {
+		s := tc.g.ComputeStats()
+		if s.Classes != tc.classes || s.Edges != tc.edges ||
+			s.VirtualEdges != tc.virtuals || s.Declarations != tc.decls {
+			t.Errorf("%s: stats %s", tc.name, s)
+		}
+	}
+}
+
+func TestDiamondChainShape(t *testing.T) {
+	for _, k := range []int{1, 3, 7} {
+		g := DiamondChain(k, chg.NonVirtual)
+		if g.NumClasses() != 3*k+1 || g.NumEdges() != 4*k {
+			t.Errorf("k=%d: |N|=%d |E|=%d", k, g.NumClasses(), g.NumEdges())
+		}
+		top := DiamondChainTop(g, k)
+		if len(g.DirectDerived(top)) != 0 {
+			t.Errorf("k=%d: top should be a leaf", k)
+		}
+		if g.NumVirtualEdges() != 0 {
+			t.Errorf("k=%d: non-virtual family has %d virtual edges", k, g.NumVirtualEdges())
+		}
+	}
+	gv := DiamondChain(3, chg.Virtual)
+	if gv.NumVirtualEdges() != 6 {
+		t.Errorf("virtual family should have 2k virtual edges, got %d", gv.NumVirtualEdges())
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	g := Chain(10, true)
+	if g.NumClasses() != 10 || g.NumEdges() != 9 {
+		t.Errorf("chain stats: %s", g.ComputeStats())
+	}
+	if got := g.ComputeStats().Depth; got != 9 {
+		t.Errorf("depth = %d", got)
+	}
+	if ChainTop(g, 10) != g.MustID("C9") {
+		t.Error("ChainTop wrong")
+	}
+	// Without override only one declaration.
+	if Chain(10, false).ComputeStats().Declarations != 1 {
+		t.Error("no-override chain should have 1 declaration")
+	}
+}
+
+func TestWideMIShape(t *testing.T) {
+	g := WideMI(16, true)
+	if g.NumClasses() != 17 || g.NumEdges() != 16 {
+		t.Errorf("wide stats: %s", g.ComputeStats())
+	}
+	if g.ComputeStats().MaxBases != 16 {
+		t.Errorf("MaxBases = %d", g.ComputeStats().MaxBases)
+	}
+	if g.ComputeStats().Declarations != 16 {
+		t.Error("conflicting WideMI should declare m in every base")
+	}
+	if WideMI(16, false).ComputeStats().Declarations != 1 {
+		t.Error("non-conflicting WideMI should declare m once")
+	}
+}
+
+func TestAmbiguousLadderShape(t *testing.T) {
+	g := AmbiguousLadder(5, 3)
+	top := AmbiguousLadderTop(g, 5)
+	if g.Name(top) != "R4" {
+		t.Errorf("top = %s", g.Name(top))
+	}
+	// 3 joint columns of 5 classes each (VX, VY, X, Y, J) + 5 rungs.
+	if g.NumClasses() != 5*3+5 {
+		t.Errorf("|N| = %d", g.NumClasses())
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := RandomConfig{
+		Classes: 30, MaxBases: 3, VirtualProb: 0.4,
+		MemberNames: 4, MemberProb: 0.4, StaticProb: 0.2, Seed: 12345,
+	}
+	g1 := Random(cfg)
+	g2 := Random(cfg)
+	s1, s2 := g1.ComputeStats(), g2.ComputeStats()
+	if s1 != s2 {
+		t.Errorf("same seed, different stats: %s vs %s", s1, s2)
+	}
+	// And actually identical edges.
+	for c := 0; c < g1.NumClasses(); c++ {
+		b1, b2 := g1.DirectBases(chg.ClassID(c)), g2.DirectBases(chg.ClassID(c))
+		if len(b1) != len(b2) {
+			t.Fatalf("class %d: base count differs", c)
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("class %d: base %d differs", c, i)
+			}
+		}
+	}
+	// A different seed must differ somewhere (overwhelmingly likely).
+	cfg.Seed = 54321
+	if Random(cfg).ComputeStats() == s1 {
+		t.Error("different seeds should give different hierarchies")
+	}
+}
+
+func TestRandomIsAcyclicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := Random(RandomConfig{
+			Classes: 40, MaxBases: 4, VirtualProb: 0.5,
+			MemberNames: 3, MemberProb: 0.5, Seed: seed,
+		})
+		// Build succeeded → acyclic. Topo covers all classes.
+		if len(g.Topo()) != g.NumClasses() {
+			t.Fatalf("seed %d: topo incomplete", seed)
+		}
+	}
+}
+
+func TestRealisticShape(t *testing.T) {
+	g := Realistic(4, 3)
+	// 1 root + per depth: 2 siblings + 1 join + 3 chain = 6.
+	if g.NumClasses() != 1+4*6 {
+		t.Errorf("|N| = %d", g.NumClasses())
+	}
+	if g.NumVirtualEdges() != 8 {
+		t.Errorf("|Ev| = %d, want 2 per layer", g.NumVirtualEdges())
+	}
+	top := RealisticTop(g, 4, 3)
+	if g.Name(top) != "stream3_2" {
+		t.Errorf("top = %s", g.Name(top))
+	}
+	if g2 := Realistic(2, 0); g2.Name(RealisticTop(g2, 2, 0)) != "iostream1" {
+		t.Error("chainless top wrong")
+	}
+}

@@ -1,0 +1,347 @@
+// Package incremental maintains member-lookup results across class
+// hierarchy edits — the "lookup table maintenance" a compiler driver
+// or IDE needs when declarations are added and removed between
+// queries. The paper computes its table for a fixed hierarchy; this
+// package extends the algorithm with the dependency structure needed
+// to keep answers valid under edits, re-deriving only what an edit
+// can affect.
+//
+// The key observation is the same one that makes Figure 8 a single
+// topological pass: lookup[C, m] depends only on the declarations of
+// the *same* member name m in C and C's ancestors. Hence:
+//
+//   - adding a class (C++ classes are closed at definition, so edges
+//     never appear later) invalidates nothing;
+//   - adding or removing a declaration of m in class X invalidates
+//     exactly the entries (D, m) with D = X or D a descendant of X.
+//
+// A Workspace keeps a mutable hierarchy, a memoized result cache, and
+// the virtual-base sets updated incrementally; Snapshot freezes the
+// current state into a chg.Graph so results can be cross-checked
+// against the batch algorithm (internal/core), which the tests do
+// after every edit.
+package incremental
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+)
+
+// BaseDecl names one direct base in an AddClass call.
+type BaseDecl struct {
+	Class   chg.ClassID
+	Virtual bool
+}
+
+// Stats counts cache behaviour; the benchmarks report these.
+type Stats struct {
+	Hits          int // Lookup answered from cache
+	Misses        int // Lookup computed (including recursive fills)
+	Invalidations int // cache entries dropped by edits
+}
+
+type cacheKey struct {
+	c chg.ClassID
+	m chg.MemberID
+}
+
+// Workspace is a mutable hierarchy with memoized lookups.
+type Workspace struct {
+	names   []string
+	byName  map[string]chg.ClassID
+	bases   [][]chg.Edge
+	derived [][]chg.ClassID
+	members []map[chg.MemberID]chg.Member
+
+	memberNames []string
+	memberIDs   map[string]chg.MemberID
+
+	// vbases[c] is the set of virtual bases of c, maintained
+	// incrementally with the same recurrence chg.Builder uses.
+	vbases []map[chg.ClassID]bool
+
+	cache map[cacheKey]core.Result
+	stats Stats
+}
+
+// New returns an empty workspace.
+func New() *Workspace {
+	return &Workspace{
+		byName:    make(map[string]chg.ClassID),
+		memberIDs: make(map[string]chg.MemberID),
+		cache:     make(map[cacheKey]core.Result),
+	}
+}
+
+// NumClasses returns the number of classes defined so far.
+func (w *Workspace) NumClasses() int { return len(w.names) }
+
+// Stats returns cache counters.
+func (w *Workspace) Stats() Stats { return w.stats }
+
+// ID returns the class named name.
+func (w *Workspace) ID(name string) (chg.ClassID, bool) {
+	id, ok := w.byName[name]
+	return id, ok
+}
+
+// AddClass defines a new class with the given (already defined)
+// direct bases. Like C++, a class's base clause is fixed at
+// definition time, so no existing lookup result can change: nothing
+// is invalidated.
+func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("incremental: empty class name")
+	}
+	if _, dup := w.byName[name]; dup {
+		return 0, fmt.Errorf("incremental: class %s already defined", name)
+	}
+	seen := map[chg.ClassID]bool{}
+	for _, b := range bases {
+		if int(b.Class) < 0 || int(b.Class) >= len(w.names) {
+			return 0, fmt.Errorf("incremental: base %d of %s is not defined", b.Class, name)
+		}
+		if seen[b.Class] {
+			return 0, fmt.Errorf("incremental: class %s repeats direct base %s", name, w.names[b.Class])
+		}
+		seen[b.Class] = true
+	}
+	id := chg.ClassID(len(w.names))
+	w.names = append(w.names, name)
+	w.byName[name] = id
+	vb := map[chg.ClassID]bool{}
+	var edges []chg.Edge
+	for _, b := range bases {
+		kind := chg.NonVirtual
+		if b.Virtual {
+			kind = chg.Virtual
+			vb[b.Class] = true
+		}
+		edges = append(edges, chg.Edge{Base: b.Class, Kind: kind})
+		for v := range w.vbases[b.Class] {
+			vb[v] = true
+		}
+		w.derived[b.Class] = append(w.derived[b.Class], id)
+	}
+	w.bases = append(w.bases, edges)
+	w.derived = append(w.derived, nil)
+	w.members = append(w.members, map[chg.MemberID]chg.Member{})
+	w.vbases = append(w.vbases, vb)
+	return id, nil
+}
+
+// AddMember declares member m directly in class c, invalidating the
+// affected entries.
+func (w *Workspace) AddMember(c chg.ClassID, m chg.Member) error {
+	if err := w.checkClass(c); err != nil {
+		return err
+	}
+	if m.Name == "" {
+		return fmt.Errorf("incremental: empty member name")
+	}
+	id := w.internMember(m.Name)
+	if _, dup := w.members[c][id]; dup {
+		return fmt.Errorf("incremental: %s::%s already declared", w.names[c], m.Name)
+	}
+	w.members[c][id] = m
+	w.invalidate(c, id)
+	return nil
+}
+
+// RemoveMember deletes the direct declaration of name in c,
+// invalidating the affected entries.
+func (w *Workspace) RemoveMember(c chg.ClassID, name string) error {
+	if err := w.checkClass(c); err != nil {
+		return err
+	}
+	id, ok := w.memberIDs[name]
+	if !ok {
+		return fmt.Errorf("incremental: unknown member name %s", name)
+	}
+	if _, declared := w.members[c][id]; !declared {
+		return fmt.Errorf("incremental: %s does not declare %s", w.names[c], name)
+	}
+	delete(w.members[c], id)
+	w.invalidate(c, id)
+	return nil
+}
+
+// invalidate drops cache entries (d, m) for c and every descendant d.
+func (w *Workspace) invalidate(c chg.ClassID, m chg.MemberID) {
+	seen := make(map[chg.ClassID]bool)
+	stack := []chg.ClassID{c}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if _, ok := w.cache[cacheKey{cur, m}]; ok {
+			delete(w.cache, cacheKey{cur, m})
+			w.stats.Invalidations++
+		}
+		stack = append(stack, w.derived[cur]...)
+	}
+}
+
+// Lookup resolves member `name` in class c, reusing every cached
+// entry an edit has not touched.
+func (w *Workspace) Lookup(c chg.ClassID, name string) core.Result {
+	if err := w.checkClass(c); err != nil {
+		return core.Result{Kind: core.Undefined}
+	}
+	id, ok := w.memberIDs[name]
+	if !ok {
+		return core.Result{Kind: core.Undefined}
+	}
+	return w.lookup(c, id)
+}
+
+func (w *Workspace) lookup(c chg.ClassID, m chg.MemberID) core.Result {
+	if r, ok := w.cache[cacheKey{c, m}]; ok {
+		w.stats.Hits++
+		return r
+	}
+	w.stats.Misses++
+	r := w.resolve(c, m)
+	w.cache[cacheKey{c, m}] = r
+	return r
+}
+
+// resolve is Figure 8's per-entry body against the mutable hierarchy
+// (without the static rule or path tracking; use the batch analyzer
+// for those).
+func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
+	if _, declared := w.members[c][m]; declared {
+		return core.Result{Kind: core.RedKind, Def: core.Def{L: c, V: chg.Omega}}
+	}
+	var blue []core.Def
+	addBlue := func(d core.Def) {
+		for _, e := range blue {
+			if e.V == d.V {
+				return
+			}
+		}
+		blue = append(blue, d)
+	}
+	nocandidate, found := true, false
+	var cand core.Def
+	for _, e := range w.bases[c] {
+		r := w.lookup(e.Base, m)
+		switch r.Kind {
+		case core.Undefined:
+			continue
+		case core.RedKind:
+			found = true
+			v := r.Def.V
+			if v == chg.Omega && e.Kind == chg.Virtual {
+				v = e.Base
+			}
+			d := core.Def{L: r.Def.L, V: v}
+			switch {
+			case nocandidate:
+				nocandidate, cand = false, d
+			case w.dominates(d, cand):
+				cand = d
+			case !w.dominates(cand, d):
+				addBlue(core.Def{L: chg.Omega, V: cand.V})
+				addBlue(core.Def{L: chg.Omega, V: d.V})
+				nocandidate = true
+			}
+		case core.BlueKind:
+			found = true
+			for _, bd := range r.Blue {
+				v := bd.V
+				if v == chg.Omega && e.Kind == chg.Virtual {
+					v = e.Base
+				}
+				addBlue(core.Def{L: chg.Omega, V: v})
+			}
+		}
+	}
+	if !found {
+		return core.Result{Kind: core.Undefined}
+	}
+	if nocandidate {
+		sortBlue(blue)
+		return core.Result{Kind: core.BlueKind, Blue: blue}
+	}
+	var surviving []core.Def
+	for _, b := range blue {
+		if !w.dominates(cand, core.Def{L: chg.Omega, V: b.V}) {
+			surviving = append(surviving, b)
+		}
+	}
+	if len(surviving) == 0 {
+		return core.Result{Kind: core.RedKind, Def: cand}
+	}
+	dup := false
+	for _, b := range surviving {
+		if b.V == cand.V {
+			dup = true
+		}
+	}
+	if !dup {
+		surviving = append(surviving, core.Def{L: chg.Omega, V: cand.V})
+	}
+	sortBlue(surviving)
+	return core.Result{Kind: core.BlueKind, Blue: surviving}
+}
+
+// dominates is Lemma 4 against the incremental virtual-base sets.
+func (w *Workspace) dominates(d1, d2 core.Def) bool {
+	if d2.V != chg.Omega && d1.L != chg.Omega && w.vbases[d1.L][d2.V] {
+		return true
+	}
+	return d1.V == d2.V && d1.V != chg.Omega
+}
+
+func sortBlue(ds []core.Def) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].V < ds[j-1].V; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func (w *Workspace) checkClass(c chg.ClassID) error {
+	if int(c) < 0 || int(c) >= len(w.names) {
+		return fmt.Errorf("incremental: invalid class id %d", c)
+	}
+	return nil
+}
+
+func (w *Workspace) internMember(name string) chg.MemberID {
+	if id, ok := w.memberIDs[name]; ok {
+		return id
+	}
+	id := chg.MemberID(len(w.memberNames))
+	w.memberNames = append(w.memberNames, name)
+	w.memberIDs[name] = id
+	return id
+}
+
+// Snapshot freezes the current hierarchy into an immutable chg.Graph
+// (fresh member interning; same class ids, since classes are appended
+// in definition order on both sides).
+func (w *Workspace) Snapshot() (*chg.Graph, error) {
+	b := chg.NewBuilder()
+	for i, name := range w.names {
+		id := b.Class(name)
+		if id != chg.ClassID(i) {
+			return nil, fmt.Errorf("incremental: snapshot id drift")
+		}
+	}
+	for i := range w.names {
+		for _, e := range w.bases[i] {
+			b.Base(chg.ClassID(i), e.Base, e.Kind)
+		}
+		for _, mem := range w.members[i] {
+			b.Member(chg.ClassID(i), mem)
+		}
+	}
+	return b.Build()
+}

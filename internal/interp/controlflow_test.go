@@ -1,0 +1,186 @@
+package interp
+
+import "testing"
+
+func TestIfElse(t *testing.T) {
+	m := machine(t, `
+int r;
+int classify(int x) {
+  if (x == 0) { return 100; }
+  else if (x < 5) { return 200; }
+  else return 300;
+}
+main() {
+  r = classify(0) + classify(3) + classify(9);
+}
+`)
+	run(t, m, "main")
+	r, _ := m.Global("r")
+	if r.Int != 600 {
+		t.Errorf("r = %d, want 600", r.Int)
+	}
+}
+
+func TestWhileLoopArithmetic(t *testing.T) {
+	m := machine(t, `
+int sum;
+main() {
+  int i;
+  i = 0;
+  sum = 0;
+  while (i < 10) {
+    sum = sum + i;
+    i = i + 1;
+  }
+}
+`)
+	run(t, m, "main")
+	sum, _ := m.Global("sum")
+	if sum.Int != 45 {
+		t.Errorf("sum = %d, want 45", sum.Int)
+	}
+}
+
+// Virtual dispatch inside a loop: the classic OO benchmark shape,
+// now executable — each iteration re-runs dyn(m, σ) on the dynamic
+// class.
+func TestDispatchInLoop(t *testing.T) {
+	m := machine(t, `
+struct Shape { virtual int area() { return 0; } };
+struct Square : Shape { virtual int area() { return 4; } };
+Square s;
+Shape *p;
+int total;
+main() {
+  p = &s;
+  int i;
+  i = 0;
+  total = 0;
+  while (i < 6) {
+    total = total + p->area();
+    i = i + 1;
+  }
+}
+`)
+	run(t, m, "main")
+	total, _ := m.Global("total")
+	if total.Int != 24 {
+		t.Errorf("total = %d, want 24", total.Int)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	m := machine(t, `
+int a; int b; int c; int d;
+main() {
+  a = 3 == 3;
+  b = 3 != 3;
+  c = 2 < 3;
+  d = 2 > 3;
+}
+`)
+	run(t, m, "main")
+	for name, want := range map[string]int64{"a": 1, "b": 0, "c": 1, "d": 0} {
+		v, _ := m.Global(name)
+		if v.Int != want {
+			t.Errorf("%s = %d, want %d", name, v.Int, want)
+		}
+	}
+}
+
+func TestInfiniteLoopHitsStepBudget(t *testing.T) {
+	m, err := New(`main() { while (1 == 1) { } }`, WithMaxSteps(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err == nil {
+		t.Error("infinite loop should exhaust the step budget")
+	}
+}
+
+func TestRecursionWithControlFlow(t *testing.T) {
+	m := machine(t, `
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int r;
+main() { r = fib(12); }
+`)
+	run(t, m, "main")
+	r, _ := m.Global("r")
+	if r.Int != 144 {
+		t.Errorf("fib(12) = %d, want 144", r.Int)
+	}
+}
+
+func TestBinaryOnObjectFails(t *testing.T) {
+	m := machine(t, `
+struct A {};
+A a;
+int n;
+main() { n = a + 1; }
+`)
+	if _, err := m.Run("main"); err == nil {
+		t.Error("binary op on object should fail at runtime")
+	}
+}
+
+// State-machine flavored integration: the branch a method takes
+// depends on a field it reads through the shared virtual base, and
+// the result flows back out through virtual dispatch.
+func TestConditionalDispatchOnSharedState(t *testing.T) {
+	m := machine(t, `
+struct State { int mode; };
+struct Reader : virtual State { int readCost() { return 1; } };
+struct Writer : virtual State { int writeCost() { return 2; } };
+struct Pipe : Reader, Writer {
+  virtual int step() {
+    if (mode == 0) return readCost();
+    return writeCost();
+  }
+};
+Pipe pipe;
+int r1; int r2;
+main() {
+  pipe.mode = 0;
+  r1 = pipe.step();
+  pipe.mode = 1;
+  r2 = pipe.step();
+}
+`)
+	run(t, m, "main")
+	r1, _ := m.Global("r1")
+	r2, _ := m.Global("r2")
+	if r1.Int != 1 || r2.Int != 2 {
+		t.Errorf("r1=%d r2=%d, want 1 and 2", r1.Int, r2.Int)
+	}
+}
+
+func TestOutOfClassMethodExecutes(t *testing.T) {
+	m := machine(t, `
+struct Counter {
+  int n;
+  void bump(int by);
+  virtual int read();
+};
+void Counter::bump(int by) { n = n + by; }
+int Counter::read() { return n; }
+struct Doubler : Counter { virtual int read(); };
+int Doubler::read() { return n + n; }
+Doubler d;
+Counter *p;
+int r;
+main() {
+  d.bump(3);
+  d.bump(4);
+  p = &d;
+  r = p->read();   // virtual dispatch to Doubler::read, body out of class
+}
+`)
+	run(t, m, "main")
+	r, _ := m.Global("r")
+	if r.Int != 14 {
+		t.Errorf("r = %d, want 14 (Doubler::read doubles 7)", r.Int)
+	}
+}

@@ -1,0 +1,228 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectRunError(t *testing.T, src, want string) {
+	t.Helper()
+	m, err := New(src)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run("main"); err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %v, want contains %q", err, want)
+	}
+}
+
+func TestMethodUsedAsValue(t *testing.T) {
+	expectRunError(t, `
+struct X { void f(); int g; };
+X x;
+int n;
+main() { n = x.f; }
+`, "used as a value")
+}
+
+func TestQualifiedNonStaticRead(t *testing.T) {
+	expectRunError(t, `
+struct X { int v; };
+int n;
+main() { n = X::v; }
+`, "not a static member")
+}
+
+func TestQualifiedStaticReadWrite(t *testing.T) {
+	m := machine(t, `
+struct X { static int v; };
+int n;
+main() {
+  X::v = 9;
+  n = X::v;
+}
+`)
+	run(t, m, "main")
+	n, _ := m.Global("n")
+	if n.Int != 9 {
+		t.Errorf("n = %d, want 9", n.Int)
+	}
+}
+
+func TestConvertToNonBaseFails(t *testing.T) {
+	expectRunError(t, `
+struct A {};
+struct B {};
+A a;
+B *p;
+main() { p = &a; }
+`, "cannot convert")
+}
+
+func TestAssignIntToPointerFails(t *testing.T) {
+	expectRunError(t, `
+struct A {};
+A *p;
+main() { p = 3; }
+`, "non-reference")
+}
+
+func TestAssignRefToIntVar(t *testing.T) {
+	// Assigning an object to an int variable is unsupported.
+	expectRunError(t, `
+struct A {};
+A a;
+int n;
+main() { n = a; }
+`, "unsupported assignment")
+}
+
+func TestObjectAssignDifferentTypesFails(t *testing.T) {
+	expectRunError(t, `
+struct A { int v; };
+struct B : A {};
+A a;
+B b;
+main() { a = b; }
+`, "unsupported object assignment")
+}
+
+func TestHexLiteralEvaluatesToZero(t *testing.T) {
+	// The subset's evaluator treats non-decimal literals as 0 (the
+	// lexer accepts them for realism; no program in the paper needs
+	// their value).
+	m := machine(t, `
+int n;
+main() { n = 0xFF; }
+`)
+	run(t, m, "main")
+	n, _ := m.Global("n")
+	if n.Int != 0 {
+		t.Errorf("n = %d, want 0 for hex literal", n.Int)
+	}
+}
+
+func TestStaticMethodCall(t *testing.T) {
+	m := machine(t, `
+struct Util { static int answer() { return 42; } };
+Util u;
+int n;
+main() { n = u.answer(); }
+`)
+	run(t, m, "main")
+	n, _ := m.Global("n")
+	if n.Int != 42 {
+		t.Errorf("n = %d, want 42", n.Int)
+	}
+}
+
+func TestImplicitThisCallAndField(t *testing.T) {
+	m := machine(t, `
+struct Counter {
+  int n;
+  int bump() { n = inc(n); return n; }
+  int inc(int x) { return x; }
+};
+Counter c;
+int r;
+main() { r = c.bump(); }
+`)
+	run(t, m, "main")
+	cv, _ := m.Global("c")
+	if got, _ := m.ReadField(cv.Ref.Obj, []string{"Counter"}, "n"); got != 0 {
+		t.Errorf("n = %d (inc returns its argument unchanged)", got)
+	}
+}
+
+func TestVirtualDispatchAmbiguousAtRuntime(t *testing.T) {
+	// The static context sees an unambiguous virtual member, but the
+	// dynamic class has two final overriders: dispatch must fail.
+	m := machine(t, `
+struct Base { virtual void f(); };
+struct L : virtual Base { virtual void f(); };
+struct R : virtual Base { virtual void f(); };
+struct D : L, R {};
+L *p;
+D d;
+main() {
+  p = &d;
+  p->f();
+}
+`)
+	if _, err := m.Run("main"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("err = %v, want ambiguous virtual dispatch", err)
+	}
+}
+
+func TestGlobalObjectsAndStaticsAccessors(t *testing.T) {
+	m := machine(t, `
+struct S { static int x; };
+S s;
+main() {}
+`)
+	run(t, m, "main")
+	names := m.GlobalNames()
+	if len(names) != 1 || names[0] != "s" {
+		t.Errorf("GlobalNames = %v", names)
+	}
+	if _, err := m.Static("Ghost", "x"); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := m.Static("S", "ghost"); err == nil {
+		t.Error("unknown member should fail")
+	}
+	cell, err := m.Static("S", "x")
+	if err != nil || *cell != 0 {
+		t.Errorf("static cell: %v %v", cell, err)
+	}
+	if m.Unit() == nil || m.Graph() == nil {
+		t.Error("accessors returned nil")
+	}
+}
+
+func TestReadFieldErrors(t *testing.T) {
+	m := machine(t, `
+struct A { int v; };
+A a;
+main() {}
+`)
+	run(t, m, "main")
+	av, _ := m.Global("a")
+	if _, err := m.ReadField(av.Ref.Obj, []string{"Ghost"}, "v"); err == nil {
+		t.Error("bad path should fail")
+	}
+	if _, err := m.ReadField(av.Ref.Obj, []string{"A"}, "ghost"); err == nil {
+		t.Error("bad member should fail")
+	}
+}
+
+func TestLocalObjectInspection(t *testing.T) {
+	m := machine(t, `
+struct A { int v; void set() { v = 5; } };
+main() {
+  A a;
+  a.set();
+}
+`)
+	run(t, m, "main")
+	av, ok := m.Local("a")
+	if !ok {
+		t.Fatalf("Local(a) missing; locals = %v", m.LocalNames())
+	}
+	if got, _ := m.ReadField(av.Ref.Obj, []string{"A"}, "v"); got != 5 {
+		t.Errorf("a.v = %d, want 5", got)
+	}
+}
+
+func TestEnumeratorReadThroughQualified(t *testing.T) {
+	m := machine(t, `
+struct Flags { enum { On }; };
+int n;
+main() { n = Flags::On; }
+`)
+	run(t, m, "main")
+	n, _ := m.Global("n")
+	if n.Int != 0 {
+		t.Errorf("enumerator value = %d", n.Int)
+	}
+}

@@ -1,0 +1,590 @@
+package interp
+
+import (
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/ast"
+	"cpplookup/internal/paths"
+)
+
+// frame is one activation record.
+type frame struct {
+	vars map[string]*Value
+	this *Ref // nil in free functions and static methods
+}
+
+func newFrame(this *Ref) *frame {
+	return &frame{vars: make(map[string]*Value), this: this}
+}
+
+// Ptr augments Value for pointer variables: the declared pointee
+// class governs derived-to-base conversion on assignment, so that
+// `Base *p = &derived` really makes p a Base* — the distinction that
+// separates static from dynamic binding at dispatch time.
+type Ptr struct {
+	Declared chg.ClassID
+	Target   Ref
+	Set      bool
+}
+
+func (m *Machine) step() error {
+	m.steps++
+	if m.steps > m.maxSteps {
+		return errf("step budget exceeded (%d)", m.maxSteps)
+	}
+	return nil
+}
+
+// execBody runs statements; the bool reports whether a return was
+// executed.
+func (m *Machine) execBody(body []ast.Stmt, fr *frame) (Value, error) {
+	v, _, err := m.execStmts(body, fr)
+	return v, err
+}
+
+func (m *Machine) execStmts(body []ast.Stmt, fr *frame) (Value, bool, error) {
+	for _, s := range body {
+		if err := m.step(); err != nil {
+			return Value{}, false, err
+		}
+		switch ss := s.(type) {
+		case *ast.DeclStmt:
+			v, err := m.newLocal(ss.Var)
+			if err != nil {
+				return Value{}, false, err
+			}
+			fr.vars[ss.Var.Name] = v
+		case *ast.ExprStmt:
+			if _, err := m.eval(ss.X, fr); err != nil {
+				return Value{}, false, err
+			}
+		case *ast.ReturnStmt:
+			if ss.X == nil {
+				return Value{}, true, nil
+			}
+			v, err := m.eval(ss.X, fr)
+			if err != nil {
+				return Value{}, false, err
+			}
+			return v, true, nil
+		case *ast.IfStmt:
+			cond, err := m.truthy(ss.Cond, fr)
+			if err != nil {
+				return Value{}, false, err
+			}
+			branch := ss.Then
+			if !cond {
+				branch = ss.Else
+			}
+			if v, ret, err := m.execStmts(branch, fr); err != nil || ret {
+				return v, ret, err
+			}
+		case *ast.WhileStmt:
+			for {
+				cond, err := m.truthy(ss.Cond, fr)
+				if err != nil {
+					return Value{}, false, err
+				}
+				if !cond {
+					break
+				}
+				if v, ret, err := m.execStmts(ss.Body, fr); err != nil || ret {
+					return v, ret, err
+				}
+				if err := m.step(); err != nil {
+					return Value{}, false, err
+				}
+			}
+		}
+	}
+	return Value{}, false, nil
+}
+
+// truthy evaluates a condition: a nonzero int is true.
+func (m *Machine) truthy(e ast.Expr, fr *frame) (bool, error) {
+	v, err := m.eval(e, fr)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != Int {
+		return false, errf("condition is not an integer")
+	}
+	return v.Int != 0, nil
+}
+
+// newLocal allocates a local variable (same rules as globals).
+func (m *Machine) newLocal(vd *ast.VarDecl) (*Value, error) {
+	return m.newVar(vd)
+}
+
+// eval evaluates an expression to a value.
+func (m *Machine) eval(e ast.Expr, fr *frame) (Value, error) {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		var n int64
+		for _, c := range ex.Text {
+			if c < '0' || c > '9' {
+				// hex etc.: fall back to zero-preserving simple parse
+				n = 0
+				break
+			}
+			n = n*10 + int64(c-'0')
+		}
+		return Value{Kind: Int, Int: n}, nil
+
+	case *ast.This:
+		if fr.this == nil {
+			return Value{}, errf("'this' outside a method")
+		}
+		return Value{Kind: Reference, Ref: *fr.this}, nil
+
+	case *ast.Ident:
+		return m.evalIdent(ex, fr)
+
+	case *ast.Qualified:
+		return m.evalQualified(ex)
+
+	case *ast.Member:
+		ref, err := m.receiver(ex, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return m.readMember(ref, ex.Sel)
+
+	case *ast.Assign:
+		rhs, err := m.eval(ex.R, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if err := m.assign(ex.L, rhs, fr); err != nil {
+			return Value{}, err
+		}
+		return rhs, nil
+
+	case *ast.Call:
+		return m.evalCall(ex, fr)
+
+	case *ast.Binary:
+		l, err := m.eval(ex.L, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := m.eval(ex.R, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind != Int || r.Kind != Int {
+			return Value{}, errf("binary %s on non-integers", ex.Op)
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch ex.Op {
+		case ast.OpEq:
+			return Value{Kind: Int, Int: b2i(l.Int == r.Int)}, nil
+		case ast.OpNe:
+			return Value{Kind: Int, Int: b2i(l.Int != r.Int)}, nil
+		case ast.OpLt:
+			return Value{Kind: Int, Int: b2i(l.Int < r.Int)}, nil
+		case ast.OpGt:
+			return Value{Kind: Int, Int: b2i(l.Int > r.Int)}, nil
+		case ast.OpAdd:
+			return Value{Kind: Int, Int: l.Int + r.Int}, nil
+		case ast.OpSub:
+			return Value{Kind: Int, Int: l.Int - r.Int}, nil
+		}
+		return Value{}, errf("unknown operator %s", ex.Op)
+	}
+	return Value{}, errf("cannot evaluate %T", e)
+}
+
+// evalIdent resolves a bare name: locals, implicit this-members,
+// globals.
+func (m *Machine) evalIdent(ex *ast.Ident, fr *frame) (Value, error) {
+	if v, ok := fr.vars[ex.Name]; ok {
+		return m.load(v)
+	}
+	if fr.this != nil {
+		if mid, ok := m.g.MemberID(ex.Name); ok {
+			if r := m.an.Lookup(fr.this.Class(), mid); r.Found() {
+				return m.readMember(*fr.this, ex.Name)
+			}
+		}
+	}
+	if v, ok := m.globals[ex.Name]; ok {
+		return m.load(v)
+	}
+	return Value{}, errf("undefined name %s", ex.Name)
+}
+
+// load reads a variable slot: pointer slots yield their target ref.
+func (m *Machine) load(v *Value) (Value, error) {
+	if v.ptr != nil {
+		if !v.ptr.Set {
+			return Value{}, errf("use of unset pointer")
+		}
+		return Value{Kind: Reference, Ref: v.ptr.Target}, nil
+	}
+	return *v, nil
+}
+
+func (m *Machine) evalQualified(ex *ast.Qualified) (Value, error) {
+	cid, ok := m.g.ID(ex.Class)
+	if !ok {
+		return Value{}, errf("unknown class %s", ex.Class)
+	}
+	mid, ok := m.g.MemberID(ex.Member)
+	if !ok {
+		return Value{}, errf("unknown member %s", ex.Member)
+	}
+	r := m.an.Lookup(cid, mid)
+	if !r.Found() {
+		return Value{}, errf("%s::%s does not resolve", ex.Class, ex.Member)
+	}
+	mem, _ := m.g.DeclaredMember(r.Class(), mid)
+	if !mem.StaticForLookup() {
+		return Value{}, errf("%s::%s is not a static member", ex.Class, ex.Member)
+	}
+	return Value{Kind: Int, Int: *m.staticCell(r.Class(), mid)}, nil
+}
+
+// receiver evaluates the base of a member access to a subobject ref.
+func (m *Machine) receiver(ex *ast.Member, fr *frame) (Ref, error) {
+	base, err := m.eval(ex.X, fr)
+	if err != nil {
+		return Ref{}, err
+	}
+	if base.Kind != Reference {
+		return Ref{}, errf(".%s on a non-object", ex.Sel)
+	}
+	return base.Ref, nil
+}
+
+// resolveAt runs the member lookup against the subobject's static
+// class and composes the winning definition path onto the receiver —
+// the stat staging equation.
+func (m *Machine) resolveAt(ref Ref, name string) (core.Result, paths.Path, chg.MemberID, error) {
+	mid, ok := m.g.MemberID(name)
+	if !ok {
+		return core.Result{}, paths.Path{}, 0, errf("unknown member %s", name)
+	}
+	r := m.an.Lookup(ref.Class(), mid)
+	switch {
+	case r.Ambiguous():
+		return core.Result{}, paths.Path{}, 0, errf("member %s is ambiguous in %s", name, m.g.Name(ref.Class()))
+	case !r.Found():
+		return core.Result{}, paths.Path{}, 0, errf("no member %s in %s", name, m.g.Name(ref.Class()))
+	}
+	defPath, err := paths.New(m.g, r.Path...)
+	if err != nil {
+		return core.Result{}, paths.Path{}, 0, err
+	}
+	// [defPath] ∘ [ref.Path]: the member's subobject within the
+	// complete object.
+	composed := defPath.Concat(ref.Path)
+	return r, composed, mid, nil
+}
+
+// readMember reads a data member (or static) through a ref.
+func (m *Machine) readMember(ref Ref, name string) (Value, error) {
+	r, composed, mid, err := m.resolveAt(ref, name)
+	if err != nil {
+		return Value{}, err
+	}
+	mem, _ := m.g.DeclaredMember(r.Class(), mid)
+	if mem.StaticForLookup() {
+		return Value{Kind: Int, Int: *m.staticCell(r.Class(), mid)}, nil
+	}
+	switch mem.Kind {
+	case chg.Field:
+		off, ok := ref.Obj.Layout.FieldOffset(composed, mid)
+		if !ok {
+			return Value{}, errf("field %s not laid out at %s", name, composed)
+		}
+		return Value{Kind: Int, Int: ref.Obj.Mem[off]}, nil
+	case chg.Method:
+		return Value{}, errf("method %s used as a value", name)
+	}
+	return Value{}, errf("member %s is not readable", name)
+}
+
+// assign stores a value through an lvalue expression.
+func (m *Machine) assign(lhs ast.Expr, rhs Value, fr *frame) error {
+	switch ex := lhs.(type) {
+	case *ast.Ident:
+		if v, ok := fr.vars[ex.Name]; ok {
+			return m.storeVar(v, rhs)
+		}
+		if fr.this != nil {
+			if mid, ok := m.g.MemberID(ex.Name); ok {
+				if r := m.an.Lookup(fr.this.Class(), mid); r.Found() {
+					return m.writeMember(*fr.this, ex.Name, rhs)
+				}
+			}
+		}
+		if v, ok := m.globals[ex.Name]; ok {
+			return m.storeVar(v, rhs)
+		}
+		return errf("undefined name %s", ex.Name)
+
+	case *ast.Member:
+		ref, err := m.receiver(ex, fr)
+		if err != nil {
+			return err
+		}
+		return m.writeMember(ref, ex.Sel, rhs)
+
+	case *ast.Qualified:
+		cid, ok := m.g.ID(ex.Class)
+		if !ok {
+			return errf("unknown class %s", ex.Class)
+		}
+		mid, ok := m.g.MemberID(ex.Member)
+		if !ok {
+			return errf("unknown member %s", ex.Member)
+		}
+		r := m.an.Lookup(cid, mid)
+		if !r.Found() {
+			return errf("%s::%s does not resolve", ex.Class, ex.Member)
+		}
+		if rhs.Kind != Int {
+			return errf("storing non-int into static member")
+		}
+		*m.staticCell(r.Class(), mid) = rhs.Int
+		return nil
+	}
+	return errf("cannot assign to %T", lhs)
+}
+
+// storeVar assigns into a variable slot, applying pointer conversion
+// when the slot is a pointer.
+func (m *Machine) storeVar(v *Value, rhs Value) error {
+	if v.ptr != nil {
+		if rhs.Kind != Reference {
+			return errf("assigning non-reference to pointer")
+		}
+		conv, err := m.convertRef(rhs.Ref, v.ptr.Declared)
+		if err != nil {
+			return err
+		}
+		v.ptr.Target = conv
+		v.ptr.Set = true
+		return nil
+	}
+	switch {
+	case v.Kind == Reference && rhs.Kind == Reference:
+		// Object assignment: memberwise copy for identical dynamic
+		// types of whole objects.
+		dst, src := v.Ref, rhs.Ref
+		if dst.Class() != src.Class() || dst.Obj.Class != src.Obj.Class ||
+			dst.Path.NumEdges() != 0 || src.Path.NumEdges() != 0 {
+			return errf("unsupported object assignment (%s = %s)",
+				m.g.Name(dst.Class()), m.g.Name(src.Class()))
+		}
+		copy(dst.Obj.Mem, src.Obj.Mem)
+		return nil
+	case rhs.Kind == Int:
+		v.Kind = Int
+		v.Int = rhs.Int
+		return nil
+	}
+	return errf("unsupported assignment")
+}
+
+// convertRef converts a subobject reference to one of class `want` —
+// the derived-to-base pointer conversion. The target subobject must
+// be unique ([conv.ptr]: the base must be unambiguous).
+func (m *Machine) convertRef(ref Ref, want chg.ClassID) (Ref, error) {
+	if ref.Class() == want {
+		return ref, nil
+	}
+	if !m.g.IsBase(want, ref.Class()) {
+		return Ref{}, errf("cannot convert %s* to %s*", m.g.Name(ref.Class()), m.g.Name(want))
+	}
+	var reps []paths.Path
+	seen := map[string]bool{}
+	for _, p := range paths.AllPathsBetween(m.g, want, ref.Class(), 0) {
+		q := p.Concat(ref.Path)
+		if !seen[q.Key()] {
+			seen[q.Key()] = true
+			reps = append(reps, q)
+		}
+	}
+	if len(reps) != 1 {
+		return Ref{}, errf("conversion to %s* is ambiguous (%d %s subobjects)",
+			m.g.Name(want), len(reps), m.g.Name(want))
+	}
+	return Ref{Obj: ref.Obj, Path: reps[0]}, nil
+}
+
+// writeMember stores into a data member (or static) through a ref.
+func (m *Machine) writeMember(ref Ref, name string, rhs Value) error {
+	r, composed, mid, err := m.resolveAt(ref, name)
+	if err != nil {
+		return err
+	}
+	if rhs.Kind != Int {
+		return errf("storing non-int into field %s", name)
+	}
+	mem, _ := m.g.DeclaredMember(r.Class(), mid)
+	if mem.StaticForLookup() {
+		*m.staticCell(r.Class(), mid) = rhs.Int
+		return nil
+	}
+	if mem.Kind != chg.Field {
+		return errf("member %s is not assignable", name)
+	}
+	off, ok := ref.Obj.Layout.FieldOffset(composed, mid)
+	if !ok {
+		return errf("field %s not laid out at %s", name, composed)
+	}
+	ref.Obj.Mem[off] = rhs.Int
+	return nil
+}
+
+// evalCall dispatches and executes a call expression.
+func (m *Machine) evalCall(ex *ast.Call, fr *frame) (Value, error) {
+	args := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := m.eval(a, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch fun := ex.Fun.(type) {
+	case *ast.Ident:
+		// Free function, or implicit this-> method.
+		if fr.this != nil {
+			if mid, ok := m.g.MemberID(fun.Name); ok {
+				if r := m.an.Lookup(fr.this.Class(), mid); r.Found() {
+					return m.callMethod(*fr.this, fun.Name, args)
+				}
+			}
+		}
+		if fd, ok := m.funcs[fun.Name]; ok {
+			return m.callFunction(fd, args)
+		}
+		return Value{}, errf("no function or method named %s", fun.Name)
+
+	case *ast.Member:
+		ref, err := m.receiver(fun, fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return m.callMethod(ref, fun.Sel, args)
+
+	case *ast.Qualified:
+		// Qualified call: non-virtual even for virtual members.
+		cid, ok := m.g.ID(fun.Class)
+		if !ok {
+			return Value{}, errf("unknown class %s", fun.Class)
+		}
+		mid, ok := m.g.MemberID(fun.Member)
+		if !ok {
+			return Value{}, errf("unknown member %s", fun.Member)
+		}
+		r := m.an.Lookup(cid, mid)
+		if !r.Found() {
+			return Value{}, errf("%s::%s does not resolve", fun.Class, fun.Member)
+		}
+		return m.invoke(r.Class(), fun.Member, nil, args)
+	}
+	return Value{}, errf("cannot call %T", ex.Fun)
+}
+
+// callMethod performs member dispatch on a receiver:
+//
+//   - static resolution first (stat): lookup in the receiver's static
+//     class picks the member and the receiver subobject adjustment;
+//   - if that member is virtual, dynamic dispatch (dyn): the lookup
+//     re-runs against the object's *dynamic* class — the paper's
+//     dyn(m, σ) = lookup(mdc(σ), m) — to find the final overrider.
+func (m *Machine) callMethod(ref Ref, name string, args []Value) (Value, error) {
+	r, composed, mid, err := m.resolveAt(ref, name)
+	if err != nil {
+		return Value{}, err
+	}
+	mem, _ := m.g.DeclaredMember(r.Class(), mid)
+	if mem.Kind != chg.Method {
+		return Value{}, errf("%s is not a method", name)
+	}
+	implClass := r.Class()
+	this := Ref{Obj: ref.Obj, Path: composed}
+	if mem.Virtual {
+		dyn := m.an.Lookup(ref.Obj.Class, mid)
+		switch {
+		case dyn.Ambiguous():
+			return Value{}, errf("virtual dispatch of %s is ambiguous in %s",
+				name, m.g.Name(ref.Obj.Class))
+		case !dyn.Found():
+			return Value{}, errf("virtual dispatch of %s found nothing", name)
+		}
+		implClass = dyn.Class()
+		dynPath, err := paths.New(m.g, dyn.Path...)
+		if err != nil {
+			return Value{}, err
+		}
+		this = Ref{Obj: ref.Obj, Path: dynPath}
+	}
+	if mem.Static {
+		return m.invoke(implClass, name, nil, args)
+	}
+	return m.invoke(implClass, name, &this, args)
+}
+
+// invoke runs the body of class::name with the given receiver.
+// Methods declared without a body behave as extern no-ops.
+func (m *Machine) invoke(class chg.ClassID, name string, this *Ref, args []Value) (Value, error) {
+	md, ok := m.methods[methodKey{class, name}]
+	if !ok || !md.HasBody {
+		return Value{}, nil
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > m.maxDepth {
+		return Value{}, errf("call depth exceeded (%d)", m.maxDepth)
+	}
+	fr := newFrame(this)
+	for i, p := range md.Params {
+		v, err := m.newLocal(p)
+		if err != nil {
+			return Value{}, err
+		}
+		if i < len(args) {
+			if err := m.storeVar(v, args[i]); err != nil {
+				return Value{}, err
+			}
+		}
+		fr.vars[p.Name] = v
+	}
+	v, _, err := m.execStmts(md.Body, fr)
+	return v, err
+}
+
+// callFunction runs a free function.
+func (m *Machine) callFunction(fd *ast.FuncDecl, args []Value) (Value, error) {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > m.maxDepth {
+		return Value{}, errf("call depth exceeded (%d)", m.maxDepth)
+	}
+	fr := newFrame(nil)
+	for i, p := range fd.Params {
+		v, err := m.newLocal(p)
+		if err != nil {
+			return Value{}, err
+		}
+		if i < len(args) {
+			if err := m.storeVar(v, args[i]); err != nil {
+				return Value{}, err
+			}
+		}
+		fr.vars[p.Name] = v
+	}
+	v, _, err := m.execStmts(fd.Body, fr)
+	return v, err
+}

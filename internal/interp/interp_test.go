@@ -1,0 +1,424 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+func machine(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func run(t *testing.T, m *Machine, fn string) Value {
+	t.Helper()
+	v, err := m.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The Figure 9 program actually runs: e.m = 10 writes the C::m copy,
+// and the other m fields of the E object are untouched.
+func TestFigure9Executes(t *testing.T) {
+	m := machine(t, `
+struct S              { int m; };
+struct A : virtual S  { int m; };
+struct B : virtual S  { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+E e;
+main() {
+s2:
+  e.m = 10;
+}
+`)
+	run(t, m, "main")
+	ev, _ := m.Global("e")
+	obj := ev.Ref.Obj
+
+	read := func(path ...string) int64 {
+		t.Helper()
+		v, err := m.ReadField(obj, path, "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// C::m (via the C subobject inside D inside E) got the 10.
+	if got := read("C", "D", "E"); got != 10 {
+		t.Errorf("C::m = %d, want 10", got)
+	}
+	// The dominated copies are untouched.
+	if got := read("A", "E"); got != 0 {
+		t.Errorf("A::m = %d, want 0", got)
+	}
+	if got := read("B", "E"); got != 0 {
+		t.Errorf("B::m = %d, want 0", got)
+	}
+	if got := read("S", "A", "E"); got != 0 {
+		t.Errorf("S::m = %d, want 0", got)
+	}
+}
+
+// Figure 1 made concrete: qualified writes reach the two distinct A
+// subobjects independently.
+func TestTwoSubobjectCopiesAreDistinct(t *testing.T) {
+	m := machine(t, `
+struct A { int v; };
+struct B : A {};
+struct C : B {};
+struct D : B {};
+struct E : C, D {};
+E e;
+main() {}
+`)
+	run(t, m, "main")
+	ev, _ := m.Global("e")
+	obj := ev.Ref.Obj
+	// Both copies start zeroed.
+	lv, err := m.ReadField(obj, []string{"A", "B", "C", "E"}, "v")
+	if err != nil || lv != 0 {
+		t.Fatalf("left A::v = %d, %v", lv, err)
+	}
+	rv, err := m.ReadField(obj, []string{"A", "B", "D", "E"}, "v")
+	if err != nil || rv != 0 {
+		t.Fatalf("right A::v = %d, %v", rv, err)
+	}
+	// Writing the copies through unambiguous arms keeps them distinct.
+	m2 := machine(t, `
+struct A { int v; };
+struct B : A {};
+struct C : B { void setLeft(int x) { v = x; } };
+struct D : B { void setRight(int x) { v = x; } };
+struct E : C, D {};
+E e;
+main() {
+  e.setLeft(7);
+  e.setRight(9);
+}
+`)
+	run(t, m2, "main")
+	ev2, _ := m2.Global("e")
+	obj2 := ev2.Ref.Obj
+	l, err := m2.ReadField(obj2, []string{"A", "B", "C", "E"}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m2.ReadField(obj2, []string{"A", "B", "D", "E"}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 7 || r != 9 {
+		t.Errorf("left=%d right=%d, want 7 and 9 (distinct A copies)", l, r)
+	}
+}
+
+// Virtual inheritance shares the copy: both arms see the same cell.
+func TestVirtualBaseShared(t *testing.T) {
+	m := machine(t, `
+struct A { int v; };
+struct B : A {};
+struct C : virtual B { void setLeft(int x) { v = x; } };
+struct D : virtual B { int getRight() { return v; } };
+struct E : C, D {};
+E e;
+main() {
+  e.setLeft(42);
+}
+`)
+	run(t, m, "main")
+	ev, _ := m.Global("e")
+	got, err := m.ReadField(ev.Ref.Obj, []string{"A", "B", "C", "E"}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("shared A::v = %d, want 42", got)
+	}
+	// Read the same storage through the other arm's path (≈-equal key).
+	got2, err := m.ReadField(ev.Ref.Obj, []string{"A", "B", "D", "E"}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 42 {
+		t.Errorf("other arm sees %d, want 42 (shared virtual base)", got2)
+	}
+}
+
+// Virtual dispatch runs the final overrider; non-virtual calls bind
+// statically — dyn vs stat, executable.
+func TestVirtualVsNonVirtualDispatch(t *testing.T) {
+	m := machine(t, `
+struct Shape {
+  virtual int area() { return 1; }
+  int tag() { return 10; }
+};
+struct Circle : Shape {
+  virtual int area() { return 2; }
+  int tag() { return 20; }
+};
+Circle c;
+Shape *p;
+int viaPtrArea;
+int viaPtrTag;
+main() {
+  p = &c;
+  viaPtrArea = p->area();
+  viaPtrTag = p->tag();
+}
+`)
+	run(t, m, "main")
+	area, _ := m.Global("viaPtrArea")
+	tag, _ := m.Global("viaPtrTag")
+	if area.Int != 2 {
+		t.Errorf("virtual call through Shape* = %d, want 2 (Circle::area)", area.Int)
+	}
+	if tag.Int != 10 {
+		t.Errorf("non-virtual call through Shape* = %d, want 10 (Shape::tag)", tag.Int)
+	}
+}
+
+// Dispatch through a shared virtual base finds the overrider on the
+// other arm — the classic mixin pattern needs exactly the Figure 8
+// machinery on the dynamic class.
+func TestDispatchAcrossVirtualDiamond(t *testing.T) {
+	m := machine(t, `
+struct Base { virtual int who() { return 1; } };
+struct Left : virtual Base {};
+struct Right : virtual Base { virtual int who() { return 2; } };
+struct Join : Left, Right {};
+Join j;
+Base *p;
+int got;
+main() {
+  p = &j;
+  got = p->who();
+}
+`)
+	run(t, m, "main")
+	got, _ := m.Global("got")
+	if got.Int != 2 {
+		t.Errorf("who() = %d, want 2 (Right::who dominates via shared base)", got.Int)
+	}
+}
+
+// Static members are one cell per class, Definition 17 in action.
+func TestStaticMemberSharedStorage(t *testing.T) {
+	m := machine(t, `
+struct Counter { static int n; };
+struct A : Counter {};
+struct B : Counter {};
+struct D : A, B {};
+D d;
+main() {
+  d.n = 5;
+  D::n = D::n;
+  d.n = 7;
+}
+`)
+	run(t, m, "main")
+	cell, err := m.Static("Counter", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *cell != 7 {
+		t.Errorf("Counter::n = %d, want 7", *cell)
+	}
+}
+
+func TestAmbiguousPointerConversionFails(t *testing.T) {
+	m := machine(t, `
+struct A { int v; };
+struct L : A {};
+struct R : A {};
+struct D : L, R {};
+D d;
+A *p;
+main() {
+  p = &d;
+}
+`)
+	if _, err := m.Run("main"); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous conversion should fail at runtime, got %v", err)
+	}
+}
+
+func TestUnambiguousBaseConversionAdjusts(t *testing.T) {
+	m := machine(t, `
+struct A { int v; };
+struct B : A { int w; };
+B b;
+A *p;
+int got;
+main() {
+  b.v = 3;
+  p = &b;
+  got = p->v;
+}
+`)
+	run(t, m, "main")
+	got, _ := m.Global("got")
+	if got.Int != 3 {
+		t.Errorf("p->v = %d, want 3", got.Int)
+	}
+}
+
+func TestMethodParamsAndReturn(t *testing.T) {
+	m := machine(t, `
+struct Adder {
+  int bias;
+  int add(int x) { return x; }
+  void setBias(int b) { bias = b; }
+};
+Adder a;
+int r;
+main() {
+  a.setBias(4);
+  r = a.add(38);
+}
+`)
+	run(t, m, "main")
+	r, _ := m.Global("r")
+	if r.Int != 38 {
+		t.Errorf("r = %d, want 38", r.Int)
+	}
+	av, _ := m.Global("a")
+	bias, err := m.ReadField(av.Ref.Obj, []string{"Adder"}, "bias")
+	if err != nil || bias != 4 {
+		t.Errorf("bias = %d, %v", bias, err)
+	}
+}
+
+func TestFreeFunctionCalls(t *testing.T) {
+	m := machine(t, `
+int helper(int x) { return x; }
+int r;
+main() {
+  r = helper(11);
+}
+`)
+	run(t, m, "main")
+	r, _ := m.Global("r")
+	if r.Int != 11 {
+		t.Errorf("r = %d, want 11", r.Int)
+	}
+}
+
+func TestBodylessMethodIsNoOp(t *testing.T) {
+	m := machine(t, `
+struct X { void ping(); };
+X x;
+main() { x.ping(); }
+`)
+	run(t, m, "main")
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src, fn, want string
+	}{
+		{`main() { ghost = 1; }`, "main", "undefined name"},
+		{`int n; main() { n.field; }`, "main", "non-object"},
+		{`struct X {}; X *p; main() { p->nope; }`, "main", "unset pointer"},
+		{`struct X { void f() { f(); } }; X x; main() { x.f(); }`, "main", "depth"},
+	}
+	for _, tc := range cases {
+		m, err := New(tc.src)
+		if err != nil {
+			// Some cases may be rejected at analysis; skip those here —
+			// they are covered by sema tests.
+			continue
+		}
+		_, err = m.Run(tc.fn)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: err = %v, want contains %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestRejectsDiagnosedPrograms(t *testing.T) {
+	if _, err := New(`struct A { void m(); }; struct B { void m(); }; struct D : A, B {}; D d; main() { d.m(); }`); err == nil {
+		t.Error("program with ambiguity diagnostics should be rejected")
+	}
+	if _, err := New(`struct A {`); err == nil {
+		t.Error("unparseable program should be rejected")
+	}
+}
+
+func TestRunUnknownFunction(t *testing.T) {
+	m := machine(t, `main() {}`)
+	if _, err := m.Run("nope"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `
+int f(int x) { return f(x); }
+main() { f(1); }
+`
+	m, err := New(src, WithMaxSteps(100), WithMaxDepth(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v, want step budget", err)
+	}
+}
+
+func TestObjectCopy(t *testing.T) {
+	m := machine(t, `
+struct P { int x; void set(int v) { x = v; } };
+P a;
+P b;
+main() {
+  a.set(9);
+  b = a;
+  a.set(1);
+}
+`)
+	run(t, m, "main")
+	bv, _ := m.Global("b")
+	got, err := m.ReadField(bv.Ref.Obj, []string{"P"}, "x")
+	if err != nil || got != 9 {
+		t.Errorf("b.x = %d, %v; want 9 (copied before a changed)", got, err)
+	}
+}
+
+func TestThisExplicit(t *testing.T) {
+	m := machine(t, `
+struct S { int v; void set() { this->v = 6; } };
+S s;
+main() { s.set(); }
+`)
+	run(t, m, "main")
+	sv, _ := m.Global("s")
+	if got, _ := m.ReadField(sv.Ref.Obj, []string{"S"}, "v"); got != 6 {
+		t.Errorf("v = %d, want 6", got)
+	}
+}
+
+func TestQualifiedCallIsStaticBinding(t *testing.T) {
+	m := machine(t, `
+struct Base { virtual int who() { return 1; } };
+struct Derived : Base { virtual int who() { return 2; } };
+Derived d;
+int viaQualified;
+main() {
+  viaQualified = Base::who();
+}
+`)
+	run(t, m, "main")
+	v, _ := m.Global("viaQualified")
+	if v.Int != 1 {
+		t.Errorf("Base::who() = %d, want 1 (no dynamic dispatch)", v.Int)
+	}
+}

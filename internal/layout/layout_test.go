@@ -1,0 +1,311 @@
+package layout
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/paths"
+	"cpplookup/internal/subobject"
+)
+
+func of(t testing.TB, g *chg.Graph, name string) *Layout {
+	t.Helper()
+	l, err := Of(g, g.MustID(name), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// fielded builds Figure 1/2 variants whose classes all carry one
+// field, so offsets are observable.
+func fielded(virtual bool) *chg.Graph {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	kind := chg.NonVirtual
+	if virtual {
+		kind = chg.Virtual
+	}
+	b.Base(bb, a, chg.NonVirtual)
+	b.Base(c, bb, kind)
+	b.Base(d, bb, kind)
+	b.Base(e, c, chg.NonVirtual)
+	b.Base(e, d, chg.NonVirtual)
+	field := func(cl chg.ClassID, n string) {
+		b.Member(cl, chg.Member{Name: n, Kind: chg.Field})
+	}
+	field(a, "fa")
+	field(bb, "fb")
+	field(c, "fc")
+	field(d, "fd")
+	field(e, "fe")
+	return b.MustBuild()
+}
+
+// Figure 1 shape: two distinct A subobjects at distinct offsets.
+func TestNonVirtualDuplication(t *testing.T) {
+	g := fielded(false)
+	l := of(t, g, "E")
+	// Size: E's field (1) + C-arm (C 1 + B 1 + A 1) + D-arm (3) = 7 —
+	// one cell per subobject since every class declares one field.
+	if l.Size() != 7 {
+		t.Errorf("size = %d, want 7", l.Size())
+	}
+	if l.NumSubobjects() != 7 {
+		t.Errorf("subobjects = %d, want 7", l.NumSubobjects())
+	}
+	left := paths.MustByNames(g, "A", "B", "C", "E")
+	right := paths.MustByNames(g, "A", "B", "D", "E")
+	lo, ok1 := l.SubobjectOffset(left)
+	ro, ok2 := l.SubobjectOffset(right)
+	if !ok1 || !ok2 {
+		t.Fatal("A subobjects not placed")
+	}
+	if lo == ro {
+		t.Errorf("two A subobjects share offset %d", lo)
+	}
+	// Each A copy has its own fa cell.
+	fa := g.MustMemberID("fa")
+	fl, _ := l.FieldOffset(left, fa)
+	fr, _ := l.FieldOffset(right, fa)
+	if fl == fr {
+		t.Errorf("two A::fa fields share cell %d", fl)
+	}
+}
+
+// Figure 2 shape: virtual inheritance shares one B (and hence A).
+func TestVirtualSharing(t *testing.T) {
+	g := fielded(true)
+	l := of(t, g, "E")
+	// Size: E region (E 1 + C 1 + D 1) + virtual B region (B 1 + A 1) = 5.
+	if l.Size() != 5 {
+		t.Errorf("size = %d, want 5", l.Size())
+	}
+	if l.NumSubobjects() != 5 {
+		t.Errorf("subobjects = %d, want 5", l.NumSubobjects())
+	}
+	// Both inheritance paths to B land on the same region.
+	viaC := paths.MustByNames(g, "B", "C", "E")
+	viaD := paths.MustByNames(g, "B", "D", "E")
+	oc, ok1 := l.SubobjectOffset(viaC)
+	od, ok2 := l.SubobjectOffset(viaD)
+	if !ok1 || !ok2 || oc != od {
+		t.Errorf("shared virtual base at different offsets: %d vs %d", oc, od)
+	}
+	// The virtual base region sits after the main region.
+	if oc < 3 {
+		t.Errorf("virtual base region at %d, want appended at the end", oc)
+	}
+}
+
+// Field cells never overlap, and the object is exactly full: the sum
+// of field counts over subobjects equals the size.
+func TestFieldCellsPartitionObject(t *testing.T) {
+	check := func(g *chg.Graph, top string) {
+		t.Helper()
+		l := of(t, g, top)
+		used := map[int]string{}
+		totalFields := 0
+		for _, r := range l.Regions() {
+			rep := repPath(t, g, r.Key)
+			for _, mem := range g.DeclaredMembers(r.Class) {
+				if mem.Kind != chg.Field || mem.Static {
+					continue
+				}
+				totalFields++
+				off, ok := l.FieldOffset(rep, g.MustMemberID(mem.Name))
+				if !ok {
+					t.Fatalf("field %s of %s not placed", mem.Name, r.Key)
+				}
+				if off < 0 || off >= l.Size() {
+					t.Fatalf("field offset %d outside [0,%d)", off, l.Size())
+				}
+				tag := r.Key + "." + mem.Name
+				if prev, clash := used[off]; clash {
+					t.Fatalf("cell %d used by both %s and %s", off, prev, tag)
+				}
+				used[off] = tag
+			}
+		}
+		if totalFields != l.Size() {
+			t.Errorf("%s: fields %d != size %d", top, totalFields, l.Size())
+		}
+	}
+	check(fielded(false), "E")
+	check(fielded(true), "E")
+	check(hiergen.Figure9(), "E")
+}
+
+// repPath reconstructs a representative path for a region key by
+// consulting the enumeration (test helper, small graphs only).
+func repPath(t *testing.T, g *chg.Graph, key string) paths.Path {
+	t.Helper()
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, p := range paths.AllPathsTo(g, chg.ClassID(c), 0) {
+			if p.Key() == key {
+				return p
+			}
+		}
+	}
+	t.Fatalf("no path with key %s", key)
+	panic("unreachable")
+}
+
+// The region set is exactly the subobject set: count and keys match
+// the subobject graph on figures and random hierarchies.
+func TestRegionsMatchSubobjectGraph(t *testing.T) {
+	graphs := []*chg.Graph{
+		fielded(false), fielded(true),
+		hiergen.Figure1(), hiergen.Figure2(), hiergen.Figure3(), hiergen.Figure9(),
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		graphs = append(graphs, hiergen.Random(hiergen.RandomConfig{
+			Classes: 3 + rng.Intn(12), MaxBases: 3, VirtualProb: 0.4,
+			MemberNames: 2, MemberProb: 0.5, Seed: rng.Int63(),
+		}))
+	}
+	for gi, g := range graphs {
+		for c := 0; c < g.NumClasses(); c++ {
+			l, err := Of(g, chg.ClassID(c), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sg, err := subobject.Build(g, chg.ClassID(c), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.NumSubobjects() != sg.NumSubobjects() {
+				t.Fatalf("graph %d class %s: %d regions vs %d subobjects",
+					gi, g.Name(chg.ClassID(c)), l.NumSubobjects(), sg.NumSubobjects())
+			}
+			for _, key := range sg.Keys() {
+				if _, ok := l.OffsetByKey(key); !ok {
+					t.Fatalf("graph %d: subobject %s not placed", gi, key)
+				}
+			}
+			// And the count formula agrees.
+			if want := subobject.Count(g, chg.ClassID(c)); want.Cmp(big.NewInt(int64(l.NumSubobjects()))) != 0 {
+				t.Fatalf("graph %d: Count says %v, layout has %d", gi, want, l.NumSubobjects())
+			}
+		}
+	}
+}
+
+func TestAdjustment(t *testing.T) {
+	g := fielded(false)
+	l := of(t, g, "E")
+	self := paths.MustByNames(g, "E")
+	base := paths.MustByNames(g, "A", "B", "D", "E")
+	delta, ok := l.Adjustment(self, base)
+	if !ok {
+		t.Fatal("Adjustment failed")
+	}
+	so, _ := l.SubobjectOffset(self)
+	bo, _ := l.SubobjectOffset(base)
+	if delta != bo-so {
+		t.Errorf("delta = %d, want %d", delta, bo-so)
+	}
+	if _, ok := l.Adjustment(self, paths.MustByNames(g, "A")); ok {
+		t.Error("Adjustment to a foreign object's path should fail")
+	}
+}
+
+func TestLayoutLimit(t *testing.T) {
+	g := hiergen.DiamondChain(15, chg.NonVirtual)
+	if _, err := Of(g, hiergen.DiamondChainTop(g, 15), 100); err == nil {
+		t.Error("limit should trip on the exponential family")
+	}
+}
+
+func TestLayoutInvalidClass(t *testing.T) {
+	g := hiergen.Figure1()
+	if _, err := Of(g, chg.ClassID(-1), 0); err == nil {
+		t.Error("invalid class should fail")
+	}
+}
+
+func TestEmptyClass(t *testing.T) {
+	b := chg.NewBuilder()
+	b.Class("Empty")
+	g := b.MustBuild()
+	l := of(t, g, "Empty")
+	if l.Size() != 0 || l.NumSubobjects() != 1 {
+		t.Errorf("empty class: size %d, %d subobjects", l.Size(), l.NumSubobjects())
+	}
+}
+
+func TestStaticFieldsAndMethodsTakeNoSpace(t *testing.T) {
+	b := chg.NewBuilder()
+	x := b.Class("X")
+	b.Member(x, chg.Member{Name: "f", Kind: chg.Field})
+	b.Member(x, chg.Member{Name: "s", Kind: chg.Field, Static: true})
+	b.Member(x, chg.Member{Name: "m", Kind: chg.Method})
+	b.Member(x, chg.Member{Name: "T", Kind: chg.TypeName})
+	g := b.MustBuild()
+	l := of(t, g, "X")
+	if l.Size() != 1 {
+		t.Errorf("size = %d, want 1 (only the instance field)", l.Size())
+	}
+}
+
+func TestNestedVirtualBases(t *testing.T) {
+	// V is a virtual base of M; M is a virtual base of C: the complete
+	// C object has exactly one V region and one M region, and M's
+	// region must not re-include V.
+	b := chg.NewBuilder()
+	v := b.Class("V")
+	m := b.Class("M")
+	c := b.Class("C")
+	b.Base(m, v, chg.Virtual)
+	b.Base(c, m, chg.Virtual)
+	b.Member(v, chg.Member{Name: "x", Kind: chg.Field})
+	b.Member(m, chg.Member{Name: "y", Kind: chg.Field})
+	b.Member(c, chg.Member{Name: "z", Kind: chg.Field})
+	g := b.MustBuild()
+	l := of(t, g, "C")
+	if l.Size() != 3 {
+		t.Errorf("size = %d, want 3", l.Size())
+	}
+	if l.NumSubobjects() != 3 {
+		t.Errorf("subobjects = %d, want 3", l.NumSubobjects())
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	g := fielded(true)
+	l := of(t, g, "E")
+	var sb strings.Builder
+	if err := l.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "layout of E (size 5):") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 6 {
+		t.Errorf("want 6 lines:\n%s", out)
+	}
+}
+
+func TestAccessorsAndOrdering(t *testing.T) {
+	g := fielded(false)
+	l := of(t, g, "E")
+	if l.Graph() != g || g.Name(l.Complete()) != "E" {
+		t.Error("accessors wrong")
+	}
+	regions := l.Regions()
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Offset < regions[i-1].Offset {
+			t.Error("regions not sorted by offset")
+		}
+	}
+}

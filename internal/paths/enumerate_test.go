@@ -1,0 +1,188 @@
+package paths
+
+import (
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+)
+
+func TestAllPathsBetweenFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := AllPathsBetween(g, g.MustID("A"), g.MustID("H"), 0)
+	if len(ps) != 4 {
+		t.Fatalf("paths A→H = %d, want 4 (paper, Section 3)", len(ps))
+	}
+	got := map[string]bool{}
+	for _, p := range ps {
+		got[p.String()] = true
+	}
+	for _, want := range []string{"ABDFH", "ABDGH", "ACDFH", "ACDGH"} {
+		if !got[want] {
+			t.Errorf("missing path %s in %v", want, got)
+		}
+	}
+}
+
+func TestAllPathsBetweenSameNode(t *testing.T) {
+	g := hiergen.Figure3()
+	a := g.MustID("A")
+	ps := AllPathsBetween(g, a, a, 0)
+	if len(ps) != 1 || ps[0].NumEdges() != 0 {
+		t.Errorf("paths A→A = %v, want the zero-edge path", ps)
+	}
+}
+
+func TestAllPathsBetweenDisconnected(t *testing.T) {
+	g := hiergen.Figure3()
+	// H is not a base of A.
+	if ps := AllPathsBetween(g, g.MustID("H"), g.MustID("A"), 0); len(ps) != 0 {
+		t.Errorf("paths H→A = %v, want none", ps)
+	}
+	// E and G are unrelated.
+	if ps := AllPathsBetween(g, g.MustID("E"), g.MustID("G"), 0); len(ps) != 0 {
+		t.Errorf("paths E→G = %v, want none", ps)
+	}
+}
+
+func TestAllPathsToCountsAndDedup(t *testing.T) {
+	g := hiergen.Figure3()
+	h := g.MustID("H")
+	ps := AllPathsTo(g, h, 0)
+	// Count against the DP.
+	if int64(len(ps)) != CountPathsTo(g, h) {
+		t.Errorf("AllPathsTo = %d paths, CountPathsTo = %d", len(ps), CountPathsTo(g, h))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		s := p.String()
+		if seen[s] {
+			t.Errorf("duplicate path %s", s)
+		}
+		seen[s] = true
+		if p.Mdc() != h {
+			t.Errorf("path %s does not end at H", s)
+		}
+	}
+	if !seen["H"] {
+		t.Error("zero-edge path H missing")
+	}
+}
+
+func TestCountPathsToFigures(t *testing.T) {
+	g1 := hiergen.Figure1()
+	// Paths to E: E, CE, DE, BCE, BDE, ABCE, ABDE = 7.
+	if got := CountPathsTo(g1, g1.MustID("E")); got != 7 {
+		t.Errorf("Figure 1 paths to E = %d, want 7", got)
+	}
+	g3 := hiergen.Figure3()
+	// Paths to H: H, FH, GH, DFH, DGH, EFH, BDFH, BDGH, CDFH, CDGH,
+	// ABDFH, ABDGH, ACDFH, ACDGH = 14.
+	if got := CountPathsTo(g3, g3.MustID("H")); got != 14 {
+		t.Errorf("Figure 3 paths to H = %d, want 14", got)
+	}
+}
+
+func TestEnumerationLimitPanics(t *testing.T) {
+	g := hiergen.Figure3()
+	defer func() {
+		if recover() == nil {
+			t.Error("limit exceeded should panic")
+		}
+	}()
+	AllPathsTo(g, g.MustID("H"), 3)
+}
+
+func TestSubobjectsFigure2SharedVirtual(t *testing.T) {
+	g := hiergen.Figure2()
+	subs := Subobjects(g, g.MustID("E"), 0)
+	// E, C·E, D·E, one shared B (via virtual), one A inside it = 5.
+	if len(subs) != 5 {
+		t.Fatalf("Figure 2: E has %d subobjects, want 5", len(subs))
+	}
+	// The B subobject is reached by two paths (BCE and BDE).
+	var bClass *EquivClass
+	for i := range subs {
+		if g.Name(subs[i].Ldc()) == "B" {
+			bClass = &subs[i]
+		}
+	}
+	if bClass == nil || len(bClass.Members) != 2 {
+		t.Errorf("shared B subobject should have 2 member paths, got %+v", bClass)
+	}
+}
+
+func TestSubobjectsFigure1NoSharing(t *testing.T) {
+	g := hiergen.Figure1()
+	subs := Subobjects(g, g.MustID("E"), 0)
+	// Without virtual inheritance every path is its own subobject: 7.
+	if len(subs) != 7 {
+		t.Fatalf("Figure 1: E has %d subobjects, want 7", len(subs))
+	}
+	for _, ec := range subs {
+		if len(ec.Members) != 1 {
+			t.Errorf("non-virtual subobject %s has %d paths", ec.Rep, len(ec.Members))
+		}
+	}
+}
+
+func TestDefnsPathFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := DefnsPath(g, g.MustID("H"), g.MustMemberID("foo"), 0)
+	if len(ps) != 5 {
+		t.Fatalf("DefnsPath(H, foo) = %d paths, want 5", len(ps))
+	}
+	for _, p := range ps {
+		name := g.Name(p.Ldc())
+		if name != "A" && name != "G" {
+			t.Errorf("definition path %s has ldc %s", p, name)
+		}
+	}
+}
+
+func TestSortPaths(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := []Path{
+		MustByNames(g, "A", "B", "D", "G", "H"),
+		MustByNames(g, "G", "H"),
+		MustByNames(g, "A", "B", "D", "F", "H"),
+		MustByNames(g, "H"),
+	}
+	SortPaths(ps)
+	want := []string{"H", "GH", "ABDFH", "ABDGH"}
+	for i, p := range ps {
+		if p.String() != want[i] {
+			t.Fatalf("SortPaths order %v", ps)
+		}
+	}
+}
+
+func TestEquivClassAccessors(t *testing.T) {
+	g := hiergen.Figure3()
+	defns := Defns(g, g.MustID("H"), g.MustMemberID("foo"), 0)
+	for _, ec := range defns {
+		if ec.Ldc() != ec.Rep.Ldc() || ec.Mdc() != ec.Rep.Mdc() || ec.Key() != ec.Rep.Key() {
+			t.Errorf("EquivClass accessors disagree with representative")
+		}
+		for _, p := range ec.Members {
+			if !Equivalent(p, ec.Rep) {
+				t.Errorf("member %s not equivalent to rep %s", p, ec.Rep)
+			}
+		}
+	}
+}
+
+func TestDeepChainPathsLinear(t *testing.T) {
+	// A simple chain has exactly depth+1 paths to the leaf.
+	b := chg.NewBuilder()
+	prev := b.Class("C0")
+	for i := 1; i <= 20; i++ {
+		cur := b.Class("C" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+		b.Base(cur, prev, chg.NonVirtual)
+		prev = cur
+	}
+	g := b.MustBuild()
+	if got := CountPathsTo(g, prev); got != 21 {
+		t.Errorf("chain paths = %d, want 21", got)
+	}
+}

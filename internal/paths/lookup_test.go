@@ -1,0 +1,250 @@
+package paths
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+)
+
+func classKeys(ecs []EquivClass) []string {
+	out := make([]string, len(ecs))
+	for i, ec := range ecs {
+		members := make([]string, len(ec.Members))
+		for j, p := range ec.Members {
+			members[j] = p.String()
+		}
+		sort.Strings(members)
+		out[i] = "{" + strings.Join(members, ", ") + "}"
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Paper, Section 3 example:
+// Defns(H, foo) = {{ABDFH, ABDGH}, {ACDFH, ACDGH}, {GH}}.
+func TestDefnsFooFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	foo := g.MustMemberID("foo")
+	got := classKeys(Defns(g, g.MustID("H"), foo, 0))
+	want := []string{"{ABDFH, ABDGH}", "{ACDFH, ACDGH}", "{GH}"}
+	if len(got) != len(want) {
+		t.Fatalf("Defns(H,foo) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Defns(H,foo) = %v, want %v", got, want)
+		}
+	}
+}
+
+// Paper: Defns(H, bar) = {{EFH}, {DFH, DGH}, {GH}}.
+func TestDefnsBarFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	bar := g.MustMemberID("bar")
+	got := classKeys(Defns(g, g.MustID("H"), bar, 0))
+	want := []string{"{DFH, DGH}", "{EFH}", "{GH}"}
+	if len(got) != len(want) {
+		t.Fatalf("Defns(H,bar) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Defns(H,bar) = %v, want %v", got, want)
+		}
+	}
+}
+
+// Paper: lookup(H, foo) = {GH}; lookup(H, bar) = ⊥.
+func TestLookupFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	h := g.MustID("H")
+	res := Lookup(g, h, g.MustMemberID("foo"), 0)
+	if res.Ambiguous {
+		t.Fatal("lookup(H, foo) should be unambiguous")
+	}
+	if res.Subobject.Rep.String() != "GH" {
+		t.Errorf("lookup(H, foo) = %s, want GH", res.Subobject.Rep)
+	}
+	if g.Name(res.Subobject.Ldc()) != "G" {
+		t.Errorf("ldc = %s, want G", g.Name(res.Subobject.Ldc()))
+	}
+	res = Lookup(g, h, g.MustMemberID("bar"), 0)
+	if !res.Ambiguous {
+		t.Fatal("lookup(H, bar) should be ambiguous")
+	}
+	// The ambiguity is between GH::bar and EFH::bar (DFH/DGH dominated).
+	if got := classKeys(res.MaximalSet); len(got) != 2 || got[0] != "{EFH}" || got[1] != "{GH}" {
+		t.Errorf("maximal(Defns(H,bar)) = %v", got)
+	}
+}
+
+// Figure 1 vs Figure 2: identical programs except virtual inheritance;
+// p->m ambiguous in Figure 1, unambiguous (D::m) in Figure 2 (§1).
+func TestLookupFigures1And2(t *testing.T) {
+	g1 := hiergen.Figure1()
+	res := Lookup(g1, g1.MustID("E"), g1.MustMemberID("m"), 0)
+	if !res.Ambiguous {
+		t.Error("Figure 1: lookup(E, m) should be ambiguous")
+	}
+	g2 := hiergen.Figure2()
+	res = Lookup(g2, g2.MustID("E"), g2.MustMemberID("m"), 0)
+	if res.Ambiguous {
+		t.Fatal("Figure 2: lookup(E, m) should be unambiguous")
+	}
+	if g2.Name(res.Subobject.Ldc()) != "D" {
+		t.Errorf("Figure 2: lookup(E, m) resolves to %s::m, want D::m", g2.Name(res.Subobject.Ldc()))
+	}
+}
+
+// "the ultimate source of the problem is that an E object has two
+// subobjects of class A in the first case, but only one … in the
+// second" (§1).
+func TestSubobjectCountsFigures1And2(t *testing.T) {
+	count := func(g *chg.Graph, of, in string) int {
+		n := 0
+		for _, ec := range Subobjects(g, g.MustID(in), 0) {
+			if g.Name(ec.Ldc()) == of {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(hiergen.Figure1(), "A", "E"); got != 2 {
+		t.Errorf("Figure 1: E has %d A-subobjects, want 2", got)
+	}
+	if got := count(hiergen.Figure2(), "A", "E"); got != 1 {
+		t.Errorf("Figure 2: E has %d A-subobjects, want 1", got)
+	}
+}
+
+// Figure 9: lookup(E, m) is unambiguous and resolves to C::m.
+func TestLookupFigure9(t *testing.T) {
+	g := hiergen.Figure9()
+	res := Lookup(g, g.MustID("E"), g.MustMemberID("m"), 0)
+	if res.Ambiguous {
+		t.Fatal("Figure 9: lookup(E, m) should be unambiguous")
+	}
+	if g.Name(res.Subobject.Ldc()) != "C" {
+		t.Errorf("Figure 9: resolves to %s::m, want C::m", g.Name(res.Subobject.Ldc()))
+	}
+	if len(res.Defns) != 4 {
+		t.Errorf("Figure 9: |Defns(E,m)| = %d, want 4 (S, A, B, C subobjects)", len(res.Defns))
+	}
+}
+
+func TestMostDominantPath(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := DefnsPath(g, g.MustID("H"), g.MustMemberID("foo"), 0)
+	md, ok := MostDominantPath(ps)
+	if !ok {
+		t.Fatal("foo paths should have a most-dominant element")
+	}
+	if md.String() != "GH" {
+		t.Errorf("most-dominant = %s, want GH", md)
+	}
+	bars := DefnsPath(g, g.MustID("H"), g.MustMemberID("bar"), 0)
+	if _, ok := MostDominantPath(bars); ok {
+		t.Error("bar paths should have no most-dominant element")
+	}
+	if _, ok := MostDominantPath(nil); ok {
+		t.Error("empty set has no most-dominant element")
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	g := hiergen.Figure3()
+	defns := Defns(g, g.MustID("H"), g.MustMemberID("foo"), 0)
+	max := Maximal(defns)
+	if len(max) != 1 || max[0].Rep.String() != "GH" {
+		t.Errorf("maximal(Defns(H,foo)) = %v", classKeys(max))
+	}
+	if got := Maximal(nil); len(got) != 0 {
+		t.Errorf("maximal(∅) = %v", got)
+	}
+}
+
+// Static-member rule (Definitions 16–17): a diamond where both copies
+// of the repeated base see the same static member is unambiguous.
+func TestLookupStaticDiamond(t *testing.T) {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	l := b.Class("L")
+	r := b.Class("R")
+	d := b.Class("D")
+	b.Base(l, a, chg.NonVirtual)
+	b.Base(r, a, chg.NonVirtual)
+	b.Base(d, l, chg.NonVirtual)
+	b.Base(d, r, chg.NonVirtual)
+	b.Member(a, chg.Member{Name: "s", Kind: chg.Field, Static: true})
+	b.Member(a, chg.Member{Name: "f", Kind: chg.Field})
+	b.Member(a, chg.Member{Name: "T", Kind: chg.TypeName})
+	b.Member(a, chg.Member{Name: "K", Kind: chg.Enumerator})
+	g := b.MustBuild()
+
+	// Non-static field: two A subobjects → ambiguous under both rules.
+	if !Lookup(g, d, g.MustMemberID("f"), 0).Ambiguous {
+		t.Error("non-static f should be ambiguous")
+	}
+	if !LookupStatic(g, d, g.MustMemberID("f"), 0).Ambiguous {
+		t.Error("non-static f should stay ambiguous under Definition 17")
+	}
+	// Static member, type name, enumerator: unambiguous by condition (2).
+	for _, name := range []string{"s", "T", "K"} {
+		res := LookupStatic(g, d, g.MustMemberID(name), 0)
+		if res.Ambiguous {
+			t.Errorf("static-like member %s should be unambiguous", name)
+		}
+		if g.Name(res.Subobject.Ldc()) != "A" {
+			t.Errorf("static-like member %s resolves to %s", name, g.Name(res.Subobject.Ldc()))
+		}
+	}
+}
+
+// Definition 17 must not fire when the maximal subobjects have
+// different ldcs, even if all members are static.
+func TestLookupStaticDifferentLdcsStaysAmbiguous(t *testing.T) {
+	b := chg.NewBuilder()
+	x := b.Class("X")
+	y := b.Class("Y")
+	d := b.Class("D")
+	b.Base(d, x, chg.NonVirtual)
+	b.Base(d, y, chg.NonVirtual)
+	b.Member(x, chg.Member{Name: "s", Kind: chg.Field, Static: true})
+	b.Member(y, chg.Member{Name: "s", Kind: chg.Field, Static: true})
+	g := b.MustBuild()
+	if !LookupStatic(g, d, g.MustMemberID("s"), 0).Ambiguous {
+		t.Error("distinct static members should be ambiguous")
+	}
+}
+
+// A lookup with no definitions at all is ambiguous/undefined in both
+// variants (Defns empty ⇒ no most-dominant element).
+func TestLookupNoDefinitions(t *testing.T) {
+	g := hiergen.Figure3()
+	// E declares only bar; look up foo in E's scope: E has no bases.
+	res := Lookup(g, g.MustID("E"), g.MustMemberID("foo"), 0)
+	if !res.Ambiguous || len(res.Defns) != 0 {
+		t.Errorf("lookup(E, foo) should find nothing: %+v", res)
+	}
+}
+
+// LookupStatic coincides with Lookup whenever Lookup succeeds.
+func TestStaticRuleConservative(t *testing.T) {
+	for _, g := range []*chg.Graph{hiergen.Figure1(), hiergen.Figure2(), hiergen.Figure3(), hiergen.Figure9()} {
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				plain := Lookup(g, chg.ClassID(c), chg.MemberID(m), 0)
+				stat := LookupStatic(g, chg.ClassID(c), chg.MemberID(m), 0)
+				if !plain.Ambiguous {
+					if stat.Ambiguous {
+						t.Errorf("static rule lost a resolution at (%s, %s)", g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)))
+					} else if stat.Subobject.Key() != plain.Subobject.Key() {
+						t.Errorf("static rule changed resolution at (%s, %s)", g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package paths
+
+import (
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/hiergen"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := hiergen.Figure3()
+	if _, err := New(g); err == nil {
+		t.Error("empty path should be rejected")
+	}
+	if _, err := New(g, chg.ClassID(99)); err == nil {
+		t.Error("invalid class id should be rejected")
+	}
+	// H is not a direct base of A.
+	if _, err := ByNames(g, "H", "A"); err == nil {
+		t.Error("non-edge should be rejected")
+	}
+	if _, err := ByNames(g, "Zed"); err == nil {
+		t.Error("unknown name should be rejected")
+	}
+	if p, err := ByNames(g, "A", "B", "D", "F", "H"); err != nil || p.NumEdges() != 4 {
+		t.Errorf("ABDFH should be valid, got %v, %v", p, err)
+	}
+}
+
+func TestLdcMdcString(t *testing.T) {
+	g := hiergen.Figure3()
+	p := MustByNames(g, "A", "B", "D", "F", "H")
+	if g.Name(p.Ldc()) != "A" {
+		t.Errorf("Ldc = %s", g.Name(p.Ldc()))
+	}
+	if g.Name(p.Mdc()) != "H" {
+		t.Errorf("Mdc = %s", g.Name(p.Mdc()))
+	}
+	if p.String() != "ABDFH" {
+		t.Errorf("String = %q, want ABDFH", p.String())
+	}
+	single := MustByNames(g, "H")
+	if single.NumEdges() != 0 || single.Ldc() != single.Mdc() {
+		t.Error("single-node path wrong")
+	}
+}
+
+// The paper's worked fixed() values for Figure 3:
+// fixed(ABDFH) = ABD, fixed(ABDGH) = ABD,
+// fixed(ACDFH) = ACD, fixed(ACDGH) = ACD.
+func TestFixedFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	for _, tc := range []struct {
+		path  []string
+		fixed string
+	}{
+		{[]string{"A", "B", "D", "F", "H"}, "ABD"},
+		{[]string{"A", "B", "D", "G", "H"}, "ABD"},
+		{[]string{"A", "C", "D", "F", "H"}, "ACD"},
+		{[]string{"A", "C", "D", "G", "H"}, "ACD"},
+		{[]string{"G", "H"}, "GH"},
+		{[]string{"D", "F", "H"}, "D"},
+		{[]string{"E", "F", "H"}, "EFH"},
+		{[]string{"H"}, "H"},
+	} {
+		p := MustByNames(g, tc.path...)
+		if got := p.Fixed().String(); got != tc.fixed {
+			t.Errorf("fixed(%s) = %s, want %s", p, got, tc.fixed)
+		}
+	}
+}
+
+// Hence ABDFH ≈ ABDGH and ACDFH ≈ ACDGH, but ABDFH ≉ ACDFH — two
+// distinct A subobjects in an H object (paper, Section 3 example).
+func TestEquivalentFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	abdfh := MustByNames(g, "A", "B", "D", "F", "H")
+	abdgh := MustByNames(g, "A", "B", "D", "G", "H")
+	acdfh := MustByNames(g, "A", "C", "D", "F", "H")
+	acdgh := MustByNames(g, "A", "C", "D", "G", "H")
+	if !Equivalent(abdfh, abdgh) {
+		t.Error("ABDFH ≈ ABDGH expected")
+	}
+	if !Equivalent(acdfh, acdgh) {
+		t.Error("ACDFH ≈ ACDGH expected")
+	}
+	if Equivalent(abdfh, acdfh) {
+		t.Error("ABDFH ≉ ACDFH expected")
+	}
+	if abdfh.Key() != abdgh.Key() {
+		t.Error("equivalent paths must share a Key")
+	}
+	if abdfh.Key() == acdfh.Key() {
+		t.Error("inequivalent paths must not share a Key")
+	}
+}
+
+// Paper, Section 3: "path GH hides ABDGH but not ABDFH. Path GH
+// dominates path ABDFH … Similarly, FH dominates ABDGH".
+func TestHidesAndDominatesFigure3(t *testing.T) {
+	g := hiergen.Figure3()
+	gh := MustByNames(g, "G", "H")
+	fh := MustByNames(g, "F", "H")
+	abdfh := MustByNames(g, "A", "B", "D", "F", "H")
+	abdgh := MustByNames(g, "A", "B", "D", "G", "H")
+	if !Hides(gh, abdgh) {
+		t.Error("GH should hide ABDGH")
+	}
+	if Hides(gh, abdfh) {
+		t.Error("GH should not hide ABDFH")
+	}
+	if !Dominates(gh, abdfh) {
+		t.Error("GH should dominate ABDFH")
+	}
+	if !Dominates(fh, abdgh) {
+		t.Error("FH should dominate ABDGH")
+	}
+	if Dominates(abdfh, gh) {
+		t.Error("ABDFH should not dominate GH")
+	}
+}
+
+func TestDominatesIsReflexive(t *testing.T) {
+	g := hiergen.Figure3()
+	h := g.MustID("H")
+	for _, p := range AllPathsTo(g, h, 0) {
+		if !Dominates(p, p) {
+			t.Errorf("Dominates(%s, %s) should be true", p, p)
+		}
+	}
+}
+
+// Lemma 2: dominance is a partial order on ≈-classes. We check
+// antisymmetry-up-to-≈ and transitivity on all paths to H.
+func TestLemma2PartialOrder(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := AllPathsTo(g, g.MustID("H"), 0)
+	for _, a := range ps {
+		for _, b := range ps {
+			if Dominates(a, b) && Dominates(b, a) && !Equivalent(a, b) {
+				t.Errorf("antisymmetry violated: %s and %s", a, b)
+			}
+			for _, c := range ps {
+				if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+					t.Errorf("transitivity violated: %s > %s > %s", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// Lemma 1: dominance respects ≈ — if a ≈ a' and b ≈ b' then
+// a dominates b iff a' dominates b'.
+func TestLemma1WellDefined(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := AllPathsTo(g, g.MustID("H"), 0)
+	for _, a := range ps {
+		for _, a2 := range ps {
+			if !Equivalent(a, a2) {
+				continue
+			}
+			for _, b := range ps {
+				for _, b2 := range ps {
+					if !Equivalent(b, b2) {
+						continue
+					}
+					if Dominates(a, b) != Dominates(a2, b2) {
+						t.Fatalf("Lemma 1 violated: (%s,%s) vs (%s,%s)", a, b, a2, b2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 3: γ·(X→Y) dominates δ·(X→Y) iff γ dominates δ.
+func TestLemma3Distributivity(t *testing.T) {
+	g := hiergen.Figure3()
+	f, h := g.MustID("F"), g.MustID("H")
+	ps := AllPathsTo(g, f, 0)
+	for _, a := range ps {
+		for _, b := range ps {
+			ea, eb := a.ExtendEdge(h), b.ExtendEdge(h)
+			if Dominates(a, b) != Dominates(ea, eb) {
+				t.Errorf("Lemma 3 violated for %s, %s extended by F→H", a, b)
+			}
+		}
+	}
+}
+
+func TestDominatesMatchesEnumeration(t *testing.T) {
+	g := hiergen.Figure3()
+	ps := AllPathsTo(g, g.MustID("H"), 0)
+	for _, a := range ps {
+		for _, b := range ps {
+			if got, want := Dominates(a, b), DominatesEnum(a, b); got != want {
+				t.Errorf("Dominates(%s,%s)=%v, enumeration says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLeastVirtual(t *testing.T) {
+	g := hiergen.Figure3()
+	for _, tc := range []struct {
+		path []string
+		want string // "" means Omega
+	}{
+		{[]string{"A", "B", "D", "F", "H"}, "D"},
+		{[]string{"A", "C", "D", "G", "H"}, "D"},
+		{[]string{"D", "F", "H"}, "D"},
+		{[]string{"G", "H"}, ""},
+		{[]string{"E", "F", "H"}, ""},
+		{[]string{"A", "B", "D"}, ""},
+	} {
+		p := MustByNames(g, tc.path...)
+		lv := p.LeastVirtual()
+		if tc.want == "" {
+			if lv != chg.Omega {
+				t.Errorf("leastVirtual(%s) = %s, want Ω", p, g.Name(lv))
+			}
+		} else if lv == chg.Omega || g.Name(lv) != tc.want {
+			t.Errorf("leastVirtual(%s) wrong, want %s", p, tc.want)
+		}
+	}
+}
+
+// Definition 15's key property: leastVirtual(p·(B→D)) =
+// leastVirtual(p) ∘ (B→D), checked over every extendable path.
+func TestExtendAbstractsLeastVirtual(t *testing.T) {
+	g := hiergen.Figure3()
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, p := range AllPathsTo(g, chg.ClassID(c), 0) {
+			for _, d := range g.DirectDerived(p.Mdc()) {
+				ext := p.ExtendEdge(d)
+				got := Extend(g, p.LeastVirtual(), p.Mdc(), d)
+				if got != ext.LeastVirtual() {
+					t.Errorf("∘ mismatch: %s extended to %s: got %d want %d",
+						p, g.Name(d), got, ext.LeastVirtual())
+				}
+			}
+		}
+	}
+}
+
+func TestConcatAndAffixes(t *testing.T) {
+	g := hiergen.Figure3()
+	abd := MustByNames(g, "A", "B", "D")
+	dfh := MustByNames(g, "D", "F", "H")
+	cat := abd.Concat(dfh)
+	if cat.String() != "ABDFH" {
+		t.Errorf("Concat = %s", cat)
+	}
+	if !abd.IsPrefixOf(cat) || !dfh.IsSuffixOf(cat) {
+		t.Error("prefix/suffix of concatenation should hold")
+	}
+	if !cat.IsPrefixOf(cat) || !cat.IsSuffixOf(cat) {
+		t.Error("a path is a prefix and suffix of itself (paper, §2)")
+	}
+	if dfh.IsPrefixOf(cat) || abd.IsSuffixOf(cat) {
+		t.Error("wrong affix relations")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat with mismatched endpoints should panic")
+		}
+	}()
+	dfh.Concat(abd)
+}
+
+func TestEdgeKindAndVPath(t *testing.T) {
+	g := hiergen.Figure3()
+	p := MustByNames(g, "A", "B", "D", "F", "H")
+	kinds := []chg.Kind{chg.NonVirtual, chg.NonVirtual, chg.Virtual, chg.NonVirtual}
+	for i, want := range kinds {
+		if got := p.EdgeKind(i); got != want {
+			t.Errorf("EdgeKind(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if !p.IsVPath() {
+		t.Error("ABDFH is a v-path")
+	}
+	if MustByNames(g, "A", "B", "D").IsVPath() {
+		t.Error("ABD is not a v-path")
+	}
+}
+
+func TestExtendEdgePanicsOnNonEdge(t *testing.T) {
+	g := hiergen.Figure3()
+	p := MustByNames(g, "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Error("ExtendEdge to non-derived class should panic")
+		}
+	}()
+	p.ExtendEdge(g.MustID("H"))
+}

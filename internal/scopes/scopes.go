@@ -1,0 +1,147 @@
+// Package scopes resolves *unqualified* names (Section 6): "the
+// resolution of an unqualified name in C++ is essentially the same as
+// the traditional name lookup process in the presence of nested
+// scopes. The only complication is that any of these nested scopes may
+// itself be a class, and the local lookup within a class scope itself
+// reduces to the member lookup problem addressed in this paper."
+//
+// A Stack is a stack of scopes, innermost last. Block scopes hold
+// ordinary bindings; class scopes hold a class and delegate their
+// local lookup to the member lookup algorithm (internal/core). The
+// innermost scope that can resolve the name wins; an ambiguous member
+// lookup in a class scope aborts resolution with an error rather than
+// continuing outward, matching C++ ([basic.lookup.unqual]: lookup
+// stops at the first scope containing a declaration).
+package scopes
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+)
+
+// SymbolKind says where a name resolved.
+type SymbolKind uint8
+
+const (
+	// Binding: an ordinary (block-scope) binding.
+	Binding SymbolKind = iota
+	// MemberSymbol: a class member found by member lookup.
+	MemberSymbol
+)
+
+// Symbol is a resolved name.
+type Symbol struct {
+	Kind SymbolKind
+	// Name is the resolved name.
+	Name string
+	// Value is the binding's payload for block scopes.
+	Value interface{}
+	// Class is the class scope the member was found in, and Member the
+	// lookup result, for MemberSymbol.
+	Class  chg.ClassID
+	Member core.Result
+}
+
+// Stack is a stack of nested scopes.
+type Stack struct {
+	a      *core.Analyzer
+	frames []frame
+}
+
+type frameKind uint8
+
+const (
+	blockFrame frameKind = iota
+	classFrame
+)
+
+type frame struct {
+	kind     frameKind
+	bindings map[string]interface{}
+	class    chg.ClassID
+}
+
+// New returns a Stack that consults a for class-scope lookups.
+func New(a *core.Analyzer) *Stack { return &Stack{a: a} }
+
+// PushBlock enters a block scope.
+func (s *Stack) PushBlock() {
+	s.frames = append(s.frames, frame{kind: blockFrame, bindings: map[string]interface{}{}})
+}
+
+// PushClass enters the scope of class c (e.g. the body of one of its
+// member functions).
+func (s *Stack) PushClass(c chg.ClassID) {
+	s.frames = append(s.frames, frame{kind: classFrame, class: c})
+}
+
+// Pop leaves the innermost scope.
+func (s *Stack) Pop() {
+	if len(s.frames) == 0 {
+		panic("scopes: Pop on empty stack")
+	}
+	s.frames = s.frames[:len(s.frames)-1]
+}
+
+// Depth returns the number of open scopes.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// Bind declares name in the innermost scope, which must be a block
+// scope.
+func (s *Stack) Bind(name string, value interface{}) error {
+	if len(s.frames) == 0 {
+		return fmt.Errorf("scopes: no open scope")
+	}
+	f := &s.frames[len(s.frames)-1]
+	if f.kind != blockFrame {
+		return fmt.Errorf("scopes: cannot bind %q in a class scope", name)
+	}
+	f.bindings[name] = value
+	return nil
+}
+
+// ErrAmbiguous is returned when a class scope's member lookup finds
+// the name ambiguously; resolution does not continue outward.
+type ErrAmbiguous struct {
+	Name  string
+	Class chg.ClassID
+}
+
+func (e *ErrAmbiguous) Error() string {
+	return fmt.Sprintf("scopes: unqualified name %q is ambiguous in enclosing class scope", e.Name)
+}
+
+// Resolve looks name up innermost-scope-first. Block scopes consult
+// their bindings; class scopes run the member lookup. The first scope
+// in which the name exists ends the search: with a unique member it
+// resolves, with an ambiguous member it fails with *ErrAmbiguous.
+// A name found in no scope returns (Symbol{}, false, nil).
+func (s *Stack) Resolve(name string) (Symbol, bool, error) {
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		f := &s.frames[i]
+		switch f.kind {
+		case blockFrame:
+			if v, ok := f.bindings[name]; ok {
+				return Symbol{Kind: Binding, Name: name, Value: v}, true, nil
+			}
+		case classFrame:
+			g := s.a.Graph()
+			mid, ok := g.MemberID(name)
+			if !ok {
+				continue
+			}
+			r := s.a.Lookup(f.class, mid)
+			switch r.Kind {
+			case core.Undefined:
+				continue
+			case core.BlueKind:
+				return Symbol{}, false, &ErrAmbiguous{Name: name, Class: f.class}
+			case core.RedKind:
+				return Symbol{Kind: MemberSymbol, Name: name, Class: f.class, Member: r}, true, nil
+			}
+		}
+	}
+	return Symbol{}, false, nil
+}

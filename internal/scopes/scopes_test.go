@@ -1,0 +1,140 @@
+package scopes
+
+import (
+	"errors"
+	"testing"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+func TestBlockScopeShadowing(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	s.PushBlock()
+	if err := s.Bind("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.PushBlock()
+	if err := s.Bind("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	sym, ok, err := s.Resolve("x")
+	if err != nil || !ok || sym.Value != 2 {
+		t.Fatalf("inner x: %+v %v %v", sym, ok, err)
+	}
+	s.Pop()
+	sym, ok, _ = s.Resolve("x")
+	if !ok || sym.Value != 1 {
+		t.Fatalf("outer x: %+v", sym)
+	}
+	if s.Depth() != 1 {
+		t.Errorf("Depth = %d", s.Depth())
+	}
+}
+
+func TestClassScopeDelegatesToLookup(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	// Inside a member function of H.
+	s.PushClass(g.MustID("H"))
+	s.PushBlock()
+
+	// "foo" resolves through member lookup to G::foo.
+	sym, ok, err := s.Resolve("foo")
+	if err != nil || !ok {
+		t.Fatalf("foo: %v %v", ok, err)
+	}
+	if sym.Kind != MemberSymbol || g.Name(sym.Member.Class()) != "G" {
+		t.Errorf("foo resolved to %+v", sym)
+	}
+
+	// "bar" is ambiguous in H: resolution must fail, not continue.
+	_, _, err = s.Resolve("bar")
+	var amb *ErrAmbiguous
+	if !errors.As(err, &amb) || amb.Name != "bar" {
+		t.Fatalf("bar should be ambiguous, got %v", err)
+	}
+}
+
+func TestLocalShadowsMember(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	s.PushClass(g.MustID("H"))
+	s.PushBlock()
+	if err := s.Bind("foo", "local"); err != nil {
+		t.Fatal(err)
+	}
+	sym, ok, err := s.Resolve("foo")
+	if err != nil || !ok || sym.Kind != Binding || sym.Value != "local" {
+		t.Fatalf("local should shadow the member: %+v", sym)
+	}
+}
+
+func TestAmbiguousMemberShadowedByLocal(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	s.PushClass(g.MustID("H"))
+	s.PushBlock()
+	if err := s.Bind("bar", 7); err != nil {
+		t.Fatal(err)
+	}
+	// The inner binding wins before the ambiguous class scope is hit.
+	sym, ok, err := s.Resolve("bar")
+	if err != nil || !ok || sym.Value != 7 {
+		t.Fatalf("local bar should win: %+v %v %v", sym, ok, err)
+	}
+}
+
+func TestNestedClassScopes(t *testing.T) {
+	// A member function of E (which sees only bar) nested under a
+	// "file-level" class scope of G (sees foo and bar): bar resolves
+	// in E, foo falls through to G.
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	s.PushClass(g.MustID("G"))
+	s.PushClass(g.MustID("E"))
+	s.PushBlock()
+
+	sym, ok, err := s.Resolve("bar")
+	if err != nil || !ok || g.Name(sym.Class) != "E" {
+		t.Fatalf("bar: %+v %v %v", sym, ok, err)
+	}
+	sym, ok, err = s.Resolve("foo")
+	if err != nil || !ok || g.Name(sym.Class) != "G" {
+		t.Fatalf("foo: %+v %v %v", sym, ok, err)
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	s.PushBlock()
+	_, ok, err := s.Resolve("nothing")
+	if ok || err != nil {
+		t.Errorf("unknown name: %v %v", ok, err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	if err := s.Bind("x", 1); err == nil {
+		t.Error("Bind with no scope should fail")
+	}
+	s.PushClass(g.MustID("H"))
+	if err := s.Bind("x", 1); err == nil {
+		t.Error("Bind in class scope should fail")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	g := hiergen.Figure3()
+	s := New(core.New(g))
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty stack should panic")
+		}
+	}()
+	s.Pop()
+}

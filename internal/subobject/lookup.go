@@ -1,0 +1,111 @@
+package subobject
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/paths"
+)
+
+// Result is the outcome of a subobject-graph lookup.
+type Result struct {
+	Ambiguous bool
+	Target    ID   // resolved subobject when unambiguous
+	Defs      []ID // all subobjects declaring the member (the Defns set)
+}
+
+// Lookup resolves member m in the context of the complete object: it
+// is the Rossie–Friedman executable specification — collect every
+// subobject whose class declares m and select the most dominant, by
+// scanning the (possibly exponential) subobject graph. This is the
+// "direct implementation of the Rossie and Friedman definition"
+// (Section 7.1) against which the paper's algorithm is benchmarked.
+func (sg *Graph) Lookup(m chg.MemberID) Result {
+	var defs []ID
+	for i := range sg.subs {
+		if sg.chg.Declares(sg.subs[i].Path.Ldc(), m) {
+			defs = append(defs, ID(i))
+		}
+	}
+	res := Result{Defs: defs, Ambiguous: true}
+	for _, u := range defs {
+		all := true
+		for _, v := range defs {
+			if !sg.Dominates(u, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			res.Ambiguous = false
+			res.Target = u
+			break
+		}
+	}
+	return res
+}
+
+// Dyn implements the Rossie–Friedman dynamic lookup via the paper's
+// staging equation (Section 7.1):
+//
+//	dyn(m, σ) = lookup(mdc(σ), m)
+//
+// mdc(σ) is the complete-object class of this graph, so Dyn ignores σ
+// beyond validating it and resolves m against the complete object —
+// this is the lookup performed for virtual members.
+func (sg *Graph) Dyn(m chg.MemberID, sigma ID) (Result, error) {
+	if int(sigma) < 0 || int(sigma) >= len(sg.subs) {
+		return Result{}, fmt.Errorf("subobject: invalid subobject id %d", sigma)
+	}
+	return sg.Lookup(m), nil
+}
+
+// Stat implements the Rossie–Friedman static lookup via the staging
+// equation (Section 7.1):
+//
+//	stat(m, σ) = lookup(ldc(σ), m) ∘ σ
+//
+// the lookup performed for non-virtual members: resolve m in the
+// static type ldc(σ), then compose the resulting subobject into σ with
+// the subobject composition operator [α]∘[β] = [α·β].
+func (sg *Graph) Stat(m chg.MemberID, sigma ID) (Result, error) {
+	if int(sigma) < 0 || int(sigma) >= len(sg.subs) {
+		return Result{}, fmt.Errorf("subobject: invalid subobject id %d", sigma)
+	}
+	sigmaPath := sg.subs[sigma].Path
+	static := sigmaPath.Ldc()
+	inner, err := Build(sg.chg, static, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	res := inner.Lookup(m)
+	if res.Ambiguous {
+		return Result{Ambiguous: true}, nil
+	}
+	// Compose: [τ] ∘ [σ] = [τ·σ].
+	tau := inner.subs[res.Target].Path
+	composed := tau.Concat(sigmaPath)
+	id, ok := sg.Find(composed)
+	if !ok {
+		return Result{}, fmt.Errorf("subobject: composition %s escapes the graph", composed)
+	}
+	return Result{Target: id}, nil
+}
+
+// MemberAt reports whether subobject s declares member m.
+func (sg *Graph) MemberAt(s ID, m chg.MemberID) bool {
+	return sg.chg.Declares(sg.subs[s].Path.Ldc(), m)
+}
+
+// PathsOf returns every CHG path in subobject s's ≈-class, via
+// internal/paths enumeration; exponential, test-only convenience.
+func (sg *Graph) PathsOf(s ID) []paths.Path {
+	var out []paths.Path
+	rep := sg.subs[s].Path
+	for _, p := range paths.AllPathsBetween(sg.chg, rep.Ldc(), rep.Mdc(), 0) {
+		if paths.Equivalent(p, rep) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

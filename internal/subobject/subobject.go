@@ -1,0 +1,206 @@
+// Package subobject implements the Rossie–Friedman subobject graph
+// (OOPSLA '95), the exponential-size structure that the paper's
+// CHG-based formalism replaces.
+//
+// The subobject graph of a class C makes the composition of a C object
+// explicit: one node per subobject, one containment edge from each
+// subobject to the subobjects it directly contains. Virtual base
+// subobjects are shared (one node however many inheritance paths reach
+// them); non-virtual bases are duplicated per path.
+//
+// Per Theorem 1 of the paper, the nodes are exactly the ≈-equivalence
+// classes of CHG paths ending at C, and the subobject partial order is
+// the dominance order; Build identifies nodes by the canonical
+// (fixed-path, mdc) key from internal/paths and the tests verify the
+// isomorphism.
+//
+// This package exists as the specification-level baseline: the RF
+// lookup operations (dyn, stat) are implemented directly on the graph,
+// and internal/gxx runs its breadth-first scans over it. Its size —
+// and therefore the cost of anything that walks it — can be
+// exponential in the size of the CHG (Section 7.1); internal/core
+// computes the same lookups in polynomial time.
+package subobject
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/paths"
+)
+
+// DefaultLimit bounds subobject graph construction, since the graph
+// can be exponential in the CHG.
+const DefaultLimit = 1 << 20
+
+// ID identifies a subobject within one Graph.
+type ID int32
+
+// Subobject is one node of the subobject graph.
+type Subobject struct {
+	// Path is a canonical representative of the ≈-class: the unique
+	// member of the class whose node sequence is fixed(α) followed by
+	// the shortest virtual continuation found first by construction
+	// order. Any member identifies the subobject equally well.
+	Path paths.Path
+	// Contains lists the subobjects directly contained in this one,
+	// in direct-base declaration order (virtual bases shared).
+	Contains []ID
+}
+
+// Graph is the subobject graph of one complete object type.
+type Graph struct {
+	chg      *chg.Graph
+	complete chg.ClassID
+	subs     []Subobject
+	byKey    map[string]ID
+}
+
+// Build constructs the subobject graph of a complete object of class
+// c. limit caps the number of nodes (0 means DefaultLimit); Build
+// returns an error when exceeded, since callers probe exponential
+// families on purpose.
+func Build(g *chg.Graph, c chg.ClassID, limit int) (*Graph, error) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if !g.Valid(c) {
+		return nil, fmt.Errorf("subobject: invalid class id %d", c)
+	}
+	sg := &Graph{chg: g, complete: c, byKey: make(map[string]ID)}
+	root := paths.MustNew(g, c)
+	if _, err := sg.intern(root, limit); err != nil {
+		return nil, err
+	}
+	return sg, nil
+}
+
+// intern returns the node for p's ≈-class, creating it (and its
+// contained subobjects, recursively) on first sight.
+func (sg *Graph) intern(p paths.Path, limit int) (ID, error) {
+	key := p.Key()
+	if id, ok := sg.byKey[key]; ok {
+		return id, nil
+	}
+	if len(sg.subs) >= limit {
+		return 0, fmt.Errorf("subobject: graph of %s exceeds %d nodes", sg.chg.Name(sg.complete), limit)
+	}
+	id := ID(len(sg.subs))
+	sg.byKey[key] = id
+	sg.subs = append(sg.subs, Subobject{Path: p})
+	ldc := p.Ldc()
+	for _, e := range sg.chg.DirectBases(ldc) {
+		childPath := paths.MustNew(sg.chg, e.Base, ldc).Concat(p)
+		child, err := sg.intern(childPath, limit)
+		if err != nil {
+			return 0, err
+		}
+		sg.subs[id].Contains = append(sg.subs[id].Contains, child)
+	}
+	return id, nil
+}
+
+// CHG returns the underlying class hierarchy graph.
+func (sg *Graph) CHG() *chg.Graph { return sg.chg }
+
+// Complete returns the class whose object this graph decomposes.
+func (sg *Graph) Complete() chg.ClassID { return sg.complete }
+
+// NumSubobjects returns the node count.
+func (sg *Graph) NumSubobjects() int { return len(sg.subs) }
+
+// Root returns the node of the complete object itself.
+func (sg *Graph) Root() ID { return sg.byKey[paths.MustNew(sg.chg, sg.complete).Key()] }
+
+// Subobject returns node s. The value shares slices with the graph.
+func (sg *Graph) Subobject(s ID) Subobject { return sg.subs[s] }
+
+// Class returns the class of subobject s (the ldc of its paths).
+func (sg *Graph) Class(s ID) chg.ClassID { return sg.subs[s].Path.Ldc() }
+
+// Find returns the node for an arbitrary path ending at the complete
+// class, identifying it by ≈-class.
+func (sg *Graph) Find(p paths.Path) (ID, bool) {
+	id, ok := sg.byKey[p.Key()]
+	return id, ok
+}
+
+// Reaches reports whether subobject to is contained (transitively,
+// reflexively) in subobject from — Rossie & Friedman's "to is a base
+// class subobject of from". By Theorem 1 this holds iff any
+// representative path of `from` dominates any of `to`.
+func (sg *Graph) Reaches(from, to ID) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(sg.subs))
+	stack := []ID{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == to {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = append(stack, sg.subs[cur].Contains...)
+	}
+	return false
+}
+
+// Dominates reports the subobject partial order: a dominates b iff b
+// is a base-class subobject of a (reflexively).
+func (sg *Graph) Dominates(a, b ID) bool { return sg.Reaches(a, b) }
+
+// SubobjectsOfClass returns the nodes whose class is x, in id order:
+// the distinct x-subobjects of the complete object.
+func (sg *Graph) SubobjectsOfClass(x chg.ClassID) []ID {
+	var out []ID
+	for i := range sg.subs {
+		if sg.subs[i].Path.Ldc() == x {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}
+
+// WriteDOT renders the subobject graph in Graphviz DOT form, with one
+// node per subobject labelled by its canonical path, mirroring the
+// paper's Figures 1(c) and 2(c).
+func (sg *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	for i := range sg.subs {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, sg.label(ID(i)))
+	}
+	for i := range sg.subs {
+		for _, c := range sg.subs[i].Contains {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", c, i)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (sg *Graph) label(s ID) string {
+	p := sg.subs[s].Path
+	return fmt.Sprintf("%s [%s]", sg.chg.Name(p.Ldc()), p.Key())
+}
+
+// Keys returns the canonical ≈-class keys of all nodes, sorted; the
+// Theorem-1 test compares this against internal/paths enumeration.
+func (sg *Graph) Keys() []string {
+	out := make([]string, 0, len(sg.byKey))
+	for k := range sg.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

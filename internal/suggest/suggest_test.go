@@ -1,0 +1,117 @@
+package suggest
+
+import (
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+func TestDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b  string
+		limit int
+		want  int
+	}{
+		{"abc", "abc", 2, 0},
+		{"abc", "abd", 2, 1},
+		{"abc", "ab", 2, 1},
+		{"abc", "abcd", 2, 1},
+		{"kitten", "sitting", 3, 3},
+		{"kitten", "sitting", 2, -1},
+		{"a", "xyz", 2, -1},    // length gap exceeds limit
+		{"Draw", "draw", 2, 0}, // case-insensitive
+		{"rdstate", "rdstat", 2, 1},
+		{"", "ab", 2, 2},
+		{"ab", "", 2, 2},
+	} {
+		if got := Distance(tc.a, tc.b, tc.limit); got != tc.want {
+			t.Errorf("Distance(%q, %q, %d) = %d, want %d", tc.a, tc.b, tc.limit, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	words := []string{"draw", "drav", "flags", "flag", "rdstate", "x", ""}
+	for _, a := range words {
+		for _, b := range words {
+			if Distance(a, b, 3) != Distance(b, a, 3) {
+				t.Errorf("Distance(%q, %q) asymmetric", a, b)
+			}
+		}
+	}
+}
+
+func streamTable(t *testing.T) (*core.Table, *chg.Graph) {
+	t.Helper()
+	g := hiergen.Realistic(2, 1)
+	return core.New(g).BuildTable(), g
+}
+
+func TestMembersSuggestions(t *testing.T) {
+	table, g := streamTable(t)
+	top := hiergen.RealisticTop(g, 2, 1)
+	// "rdstat" should suggest "rdstate" (inherited through the whole
+	// hierarchy — the candidate set is Members[C], not just M[C]).
+	got := Members(table, top, "rdstat", 3)
+	if len(got) == 0 || got[0] != "rdstate" {
+		t.Errorf("suggestions for rdstat = %v", got)
+	}
+	// An exact name never suggests itself.
+	for _, s := range Members(table, top, "rdstate", 5) {
+		if s == "rdstate" {
+			t.Error("suggested the queried name itself")
+		}
+	}
+	// Nothing plausible → empty.
+	if got := Members(table, top, "zzzzzzzzz", 3); len(got) != 0 {
+		t.Errorf("suggestions for gibberish = %v", got)
+	}
+}
+
+func TestMembersShortNamesTightLimit(t *testing.T) {
+	b := chg.NewBuilder()
+	x := b.Class("X")
+	b.Method(x, "ab")
+	b.Method(x, "qz")
+	g := b.MustBuild()
+	table := core.New(g).BuildTable()
+	// With a 1-edit limit for short names, "ac" matches "ab" but not
+	// "qz".
+	got := Members(table, x, "ac", 5)
+	if len(got) != 1 || got[0] != "ab" {
+		t.Errorf("short-name suggestions = %v", got)
+	}
+}
+
+func TestMembersMaxAndOrdering(t *testing.T) {
+	b := chg.NewBuilder()
+	x := b.Class("X")
+	for _, n := range []string{"mash", "mass", "mask", "most"} {
+		b.Method(x, n)
+	}
+	g := b.MustBuild()
+	table := core.New(g).BuildTable()
+	got := Members(table, x, "masq", 2)
+	if len(got) != 2 {
+		t.Fatalf("max not applied: %v", got)
+	}
+	// All distance-1 candidates; alphabetical tie-break.
+	if got[0] != "mash" || got[1] != "mask" {
+		t.Errorf("ordering = %v", got)
+	}
+}
+
+func TestClassesSuggestions(t *testing.T) {
+	g := hiergen.Figure3()
+	got := Classes(g, "a", 3)
+	if len(got) == 0 || got[0] != "A" {
+		t.Errorf("class suggestions for 'a' = %v", got)
+	}
+	g2 := hiergen.Realistic(2, 1)
+	got = Classes(g2, "iostrem0", 3)
+	if len(got) == 0 || got[0] != "iostream0" {
+		t.Errorf("class suggestions = %v", got)
+	}
+}

@@ -1,0 +1,88 @@
+package toposel
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+func TestAgreesOnUnambiguousLookups(t *testing.T) {
+	graphs := []*chg.Graph{
+		hiergen.Figure1(), hiergen.Figure2(), hiergen.Figure3(), hiergen.Figure9(),
+		hiergen.Chain(12, true), hiergen.Realistic(3, 2),
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		graphs = append(graphs, hiergen.Random(hiergen.RandomConfig{
+			Classes: 3 + rng.Intn(15), MaxBases: 3, VirtualProb: 0.4,
+			MemberNames: 3, MemberProb: 0.4, Seed: rng.Int63(),
+		}))
+	}
+	for gi, g := range graphs {
+		a := core.New(g)
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				want := a.Lookup(chg.ClassID(c), chg.MemberID(m))
+				got, ok := Lookup(g, chg.ClassID(c), chg.MemberID(m))
+				switch want.Kind {
+				case core.Undefined:
+					if ok {
+						t.Errorf("graph %d: toposel found a nonexistent member", gi)
+					}
+				case core.RedKind:
+					if !ok || got != want.Class() {
+						t.Errorf("graph %d: toposel = %v/%v, core = %s",
+							gi, got, ok, g.Name(want.Class()))
+					}
+				case core.BlueKind:
+					// The shortcut silently returns *something* — it must
+					// at least be a declaring base class, but it cannot
+					// detect the ambiguity (Section 7.2's caveat).
+					if !ok {
+						t.Errorf("graph %d: toposel lost an ambiguous member entirely", gi)
+					}
+					found := got == chg.ClassID(c) && g.Declares(got, chg.MemberID(m))
+					if !found && !(g.IsBase(got, chg.ClassID(c)) && g.Declares(got, chg.MemberID(m))) {
+						t.Errorf("graph %d: toposel returned a non-declaring class", gi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Quantify the failure mode: on ambiguous lookups, toposel never
+// reports the ambiguity.
+func TestSilentOnAmbiguity(t *testing.T) {
+	g := hiergen.Figure1()
+	got, ok := Lookup(g, g.MustID("E"), g.MustMemberID("m"))
+	if !ok {
+		t.Fatal("toposel should return something for the ambiguous Figure 1 lookup")
+	}
+	// It picks D (max topological number among declaring classes),
+	// hiding the real ambiguity with A::m.
+	if g.Name(got) != "D" {
+		t.Errorf("toposel picked %s, expected D (max topo)", g.Name(got))
+	}
+}
+
+func TestOwnDeclarationWins(t *testing.T) {
+	g := hiergen.Figure3()
+	got, ok := Lookup(g, g.MustID("G"), g.MustMemberID("foo"))
+	if !ok || g.Name(got) != "G" {
+		t.Errorf("own declaration should win, got %v/%v", got, ok)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	g := hiergen.Figure1()
+	if _, ok := Lookup(g, chg.ClassID(-1), 0); ok {
+		t.Error("invalid class should fail")
+	}
+	if _, ok := Lookup(g, 0, chg.MemberID(42)); ok {
+		t.Error("invalid member should fail")
+	}
+}

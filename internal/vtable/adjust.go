@@ -1,0 +1,76 @@
+package vtable
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/layout"
+	"cpplookup/internal/paths"
+)
+
+// ThisAdjustment computes the this-pointer delta a thunk for the
+// given slot must apply: a caller holding a pointer to the
+// introducing base's subobject dispatches through the slot, and the
+// final overrider's body expects `this` to point at *its* class's
+// subobject. The delta is the offset difference between the two
+// subobjects in the complete object's layout — the number real
+// vtables store next to the function pointer.
+//
+// The slot must be resolved (not Ambiguous), and the introducing base
+// must have a unique subobject in the complete object (otherwise the
+// class has one slot per copy and a single delta is meaningless;
+// false is returned).
+func ThisAdjustment(g *chg.Graph, vt VTable, s Slot, l *layout.Layout) (int, bool) {
+	if s.Ambiguous || l.Complete() != vt.Class {
+		return 0, false
+	}
+	// Unique introducing-base subobject.
+	var intro paths.Path
+	seen := map[string]bool{}
+	count := 0
+	for _, p := range paths.AllPathsBetween(g, s.Introduced, vt.Class, 0) {
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			intro = p
+			count++
+		}
+	}
+	if count != 1 {
+		return 0, false
+	}
+	overrider, err := paths.New(g, s.Path...)
+	if err != nil {
+		return 0, false
+	}
+	return adjustmentBetween(l, intro, overrider)
+}
+
+func adjustmentBetween(l *layout.Layout, from, to paths.Path) (int, bool) {
+	a, ok1 := l.SubobjectOffset(from)
+	b, ok2 := l.SubobjectOffset(to)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return b - a, true
+}
+
+// WriteWithAdjustments renders the vtable with per-slot this deltas,
+// the way a compiler's vtable dump does.
+func (vt VTable) WriteWithAdjustments(w interface{ Write([]byte) (int, error) }, g *chg.Graph, l *layout.Layout) error {
+	if _, err := fmt.Fprintf(w, "vtable for %s (object size %d):\n", g.Name(vt.Class), l.Size()); err != nil {
+		return err
+	}
+	for i, s := range vt.Slots {
+		name := g.MemberName(s.Member)
+		if s.Ambiguous {
+			fmt.Fprintf(w, "  [%d] %s  <ambiguous final overrider>\n", i, name)
+			continue
+		}
+		if delta, ok := ThisAdjustment(g, vt, s, l); ok {
+			fmt.Fprintf(w, "  [%d] %s -> %s::%s  this%+d\n", i, name, g.Name(s.Impl), name, delta)
+		} else {
+			fmt.Fprintf(w, "  [%d] %s -> %s::%s\n", i, name, g.Name(s.Impl), name)
+		}
+	}
+	return nil
+}

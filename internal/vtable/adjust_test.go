@@ -1,0 +1,146 @@
+package vtable
+
+import (
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/layout"
+)
+
+// mixin hierarchy: Widget has a field; Sprite (second base) introduces
+// tick; AnimatedWidget overrides it. The thunk for Sprite's tick slot
+// must adjust `this` from the Sprite subobject back to the
+// AnimatedWidget object.
+func mixin(t *testing.T) (*chg.Graph, *layout.Layout) {
+	t.Helper()
+	b := chg.NewBuilder()
+	widget := b.Class("Widget")
+	sprite := b.Class("Sprite")
+	anim := b.Class("AnimatedWidget")
+	b.Base(anim, widget, chg.NonVirtual)
+	b.Base(anim, sprite, chg.NonVirtual)
+	b.Member(widget, chg.Member{Name: "w", Kind: chg.Field})
+	b.Member(sprite, chg.Member{Name: "tick", Kind: chg.Method, Virtual: true})
+	b.Member(sprite, chg.Member{Name: "s", Kind: chg.Field})
+	b.Member(anim, chg.Member{Name: "tick", Kind: chg.Method, Virtual: true})
+	b.Member(anim, chg.Member{Name: "a", Kind: chg.Field})
+	g := b.MustBuild()
+	l, err := layout.Of(g, anim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, l
+}
+
+func TestThisAdjustmentMixin(t *testing.T) {
+	g, l := mixin(t)
+	anim := g.MustID("AnimatedWidget")
+	vt := NewBuilder(g).Build(anim)
+	if len(vt.Slots) != 1 {
+		t.Fatalf("slots: %+v", vt.Slots)
+	}
+	s := vt.Slots[0]
+	if g.Name(s.Impl) != "AnimatedWidget" || g.Name(s.Introduced) != "Sprite" {
+		t.Fatalf("slot: %+v", s)
+	}
+	delta, ok := ThisAdjustment(g, vt, s, l)
+	if !ok {
+		t.Fatal("adjustment not computable")
+	}
+	// Layout: Widget region (w at 0), Sprite region (s at 1), anim's
+	// own a at 2. Sprite subobject offset 1; overrider subobject
+	// (AnimatedWidget itself) offset 0 → delta -1.
+	if delta != -1 {
+		t.Errorf("delta = %d, want -1", delta)
+	}
+}
+
+func TestThisAdjustmentZeroForPrimaryBase(t *testing.T) {
+	b := chg.NewBuilder()
+	base := b.Class("Base")
+	derived := b.Class("Derived")
+	b.Base(derived, base, chg.NonVirtual)
+	b.Member(base, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(derived, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	g := b.MustBuild()
+	l, err := layout.Of(g, derived, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := NewBuilder(g).Build(derived)
+	delta, ok := ThisAdjustment(g, vt, vt.Slots[0], l)
+	if !ok || delta != 0 {
+		t.Errorf("primary-base delta = %d/%v, want 0", delta, ok)
+	}
+}
+
+func TestThisAdjustmentDuplicatedBaseFails(t *testing.T) {
+	// Two copies of the introducing base: no single delta exists.
+	b := chg.NewBuilder()
+	base := b.Class("Base")
+	l1 := b.Class("L1")
+	l2 := b.Class("L2")
+	d := b.Class("D")
+	b.Base(l1, base, chg.NonVirtual)
+	b.Base(l2, base, chg.NonVirtual)
+	b.Base(d, l1, chg.NonVirtual)
+	b.Base(d, l2, chg.NonVirtual)
+	b.Member(base, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(d, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	g := b.MustBuild()
+	lay, err := layout.Of(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := NewBuilder(g).Build(d)
+	if _, ok := ThisAdjustment(g, vt, vt.Slots[0], lay); ok {
+		t.Error("duplicated introducing base should not yield a single delta")
+	}
+}
+
+func TestThisAdjustmentVirtualBase(t *testing.T) {
+	// Overriding a virtual-base method: the delta runs from the
+	// shared virtual base region back to the main object.
+	b := chg.NewBuilder()
+	base := b.Class("Base")
+	mid := b.Class("Mid")
+	d := b.Class("D")
+	b.Base(mid, base, chg.Virtual)
+	b.Base(d, mid, chg.NonVirtual)
+	b.Member(base, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(base, chg.Member{Name: "x", Kind: chg.Field})
+	b.Member(d, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(d, chg.Member{Name: "y", Kind: chg.Field})
+	g := b.MustBuild()
+	lay, err := layout.Of(g, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := NewBuilder(g).Build(d)
+	delta, ok := ThisAdjustment(g, vt, vt.Slots[0], lay)
+	if !ok {
+		t.Fatal("adjustment not computable")
+	}
+	// D region: y at 0; virtual Base region: x at 1. Base subobject at
+	// offset 1 → delta = 0 - 1 = -1.
+	if delta != -1 {
+		t.Errorf("delta = %d, want -1", delta)
+	}
+}
+
+func TestWriteWithAdjustments(t *testing.T) {
+	g, l := mixin(t)
+	vt := NewBuilder(g).Build(g.MustID("AnimatedWidget"))
+	var sb strings.Builder
+	if err := vt.WriteWithAdjustments(&sb, g, l); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "tick -> AnimatedWidget::tick  this-1") {
+		t.Errorf("dump:\n%s", out)
+	}
+	if !strings.Contains(out, "(object size 3)") {
+		t.Errorf("dump:\n%s", out)
+	}
+}

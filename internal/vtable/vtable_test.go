@@ -1,0 +1,202 @@
+package vtable
+
+import (
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+)
+
+// shapes hierarchy: Shape{virtual draw, virtual area}, Circle
+// overrides draw, Square overrides both, ColorSquare overrides
+// nothing.
+func shapes(t *testing.T) *chg.Graph {
+	t.Helper()
+	b := chg.NewBuilder()
+	shape := b.Class("Shape")
+	circle := b.Class("Circle")
+	square := b.Class("Square")
+	colorsq := b.Class("ColorSquare")
+	b.Base(circle, shape, chg.NonVirtual)
+	b.Base(square, shape, chg.NonVirtual)
+	b.Base(colorsq, square, chg.NonVirtual)
+	v := func(c chg.ClassID, n string) {
+		b.Member(c, chg.Member{Name: n, Kind: chg.Method, Virtual: true})
+	}
+	v(shape, "draw")
+	v(shape, "area")
+	v(circle, "draw")
+	v(square, "draw")
+	v(square, "area")
+	// A non-virtual member must not get a slot.
+	b.Method(shape, "name")
+	return b.MustBuild()
+}
+
+func slotImpl(t *testing.T, g *chg.Graph, vt VTable, member string) string {
+	t.Helper()
+	for _, s := range vt.Slots {
+		if g.MemberName(s.Member) == member {
+			if s.Ambiguous {
+				return "<ambiguous>"
+			}
+			return g.Name(s.Impl)
+		}
+	}
+	return "<missing>"
+}
+
+func TestSimpleOverrides(t *testing.T) {
+	g := shapes(t)
+	b := NewBuilder(g)
+
+	vt := b.Build(g.MustID("Shape"))
+	if len(vt.Slots) != 2 {
+		t.Fatalf("Shape slots = %d, want 2", len(vt.Slots))
+	}
+	if slotImpl(t, g, vt, "draw") != "Shape" || slotImpl(t, g, vt, "area") != "Shape" {
+		t.Errorf("Shape vtable wrong: %+v", vt)
+	}
+
+	vt = b.Build(g.MustID("Circle"))
+	if slotImpl(t, g, vt, "draw") != "Circle" {
+		t.Errorf("Circle::draw should override")
+	}
+	if slotImpl(t, g, vt, "area") != "Shape" {
+		t.Errorf("Circle::area should inherit Shape's")
+	}
+
+	vt = b.Build(g.MustID("ColorSquare"))
+	if slotImpl(t, g, vt, "draw") != "Square" || slotImpl(t, g, vt, "area") != "Square" {
+		t.Errorf("ColorSquare should inherit Square's overriders: %+v", vt)
+	}
+}
+
+func TestNonVirtualMembersGetNoSlot(t *testing.T) {
+	g := shapes(t)
+	vt := NewBuilder(g).Build(g.MustID("Circle"))
+	for _, s := range vt.Slots {
+		if g.MemberName(s.Member) == "name" {
+			t.Error("non-virtual member must not get a slot")
+		}
+	}
+}
+
+func TestSlotOrderBaseFirst(t *testing.T) {
+	// Derived introduces its own virtual after inheriting Shape's:
+	// base slots come first.
+	b := chg.NewBuilder()
+	shape := b.Class("Shape")
+	derived := b.Class("Derived")
+	b.Base(derived, shape, chg.NonVirtual)
+	b.Member(shape, chg.Member{Name: "zz", Kind: chg.Method, Virtual: true})
+	b.Member(derived, chg.Member{Name: "aa", Kind: chg.Method, Virtual: true})
+	g := b.MustBuild()
+	vt := NewBuilder(g).Build(derived)
+	if len(vt.Slots) != 2 {
+		t.Fatalf("slots = %+v", vt.Slots)
+	}
+	if g.MemberName(vt.Slots[0].Member) != "zz" || g.MemberName(vt.Slots[1].Member) != "aa" {
+		t.Errorf("slot order wrong: %+v", vt.Slots)
+	}
+}
+
+func TestAmbiguousFinalOverrider(t *testing.T) {
+	// Virtual diamond with two sibling overriders: the shared base's
+	// slot has an ambiguous final overrider in the join class.
+	b := chg.NewBuilder()
+	base := b.Class("Base")
+	l := b.Class("L")
+	r := b.Class("R")
+	d := b.Class("D")
+	b.Base(l, base, chg.Virtual)
+	b.Base(r, base, chg.Virtual)
+	b.Base(d, l, chg.NonVirtual)
+	b.Base(d, r, chg.NonVirtual)
+	v := func(c chg.ClassID) {
+		b.Member(c, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	}
+	v(base)
+	v(l)
+	v(r)
+	g := b.MustBuild()
+	bl := NewBuilder(g)
+	vt := bl.Build(d)
+	if len(vt.Slots) != 1 || !vt.Slots[0].Ambiguous {
+		t.Fatalf("D's f slot should be ambiguous: %+v", vt.Slots)
+	}
+	// L's own table is fine.
+	vt = bl.Build(l)
+	if slotImpl(t, g, vt, "f") != "L" {
+		t.Errorf("L vtable: %+v", vt)
+	}
+}
+
+func TestUnrelatedVirtualCreatesNoSlot(t *testing.T) {
+	// X declares virtual f; Y (unrelated) declares plain f. Y must
+	// not get a slot for f just because the *name* is virtual
+	// somewhere else in the program.
+	b := chg.NewBuilder()
+	x := b.Class("X")
+	y := b.Class("Y")
+	b.Member(x, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(y, chg.Member{Name: "f", Kind: chg.Method})
+	g := b.MustBuild()
+	bl := NewBuilder(g)
+	if vt := bl.Build(y); len(vt.Slots) != 0 {
+		t.Errorf("Y should have no vtable slots: %+v", vt.Slots)
+	}
+	if vt := bl.Build(x); len(vt.Slots) != 1 {
+		t.Errorf("X should have one slot: %+v", vt.Slots)
+	}
+}
+
+func TestBuildAllAndWrite(t *testing.T) {
+	g := shapes(t)
+	vts := NewBuilder(g).BuildAll()
+	if len(vts) != 4 {
+		t.Fatalf("BuildAll = %d tables, want 4", len(vts))
+	}
+	var sb strings.Builder
+	for _, vt := range vts {
+		if err := vt.Write(&sb, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"vtable for Shape:",
+		"draw -> Shape::draw",
+		"vtable for ColorSquare:",
+		"draw -> Square::draw",
+		"(via Square->ColorSquare)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAmbiguousSlot(t *testing.T) {
+	b := chg.NewBuilder()
+	l := b.Class("L")
+	r := b.Class("R")
+	d := b.Class("D")
+	vbase := b.Class("VB")
+	b.Base(l, vbase, chg.Virtual)
+	b.Base(r, vbase, chg.Virtual)
+	b.Base(d, l, chg.NonVirtual)
+	b.Base(d, r, chg.NonVirtual)
+	b.Member(vbase, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(l, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	b.Member(r, chg.Member{Name: "f", Kind: chg.Method, Virtual: true})
+	g := b.MustBuild()
+	vt := NewBuilder(g).Build(d)
+	var sb strings.Builder
+	if err := vt.Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<ambiguous final overrider>") {
+		t.Errorf("dump: %s", sb.String())
+	}
+}
