@@ -5,10 +5,12 @@ package cpplookup_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
 	"cpplookup/internal/cpp/parser"
 	"cpplookup/internal/cpp/sema"
 	"cpplookup/internal/gxx"
@@ -286,6 +288,60 @@ func BenchmarkTopoSel(b *testing.B) {
 				toposel.Lookup(g, q.c, q.m)
 			}
 		}
+	})
+}
+
+// --- E12: concurrent query serving from one engine snapshot ---
+
+// BenchmarkSnapshotLookupParallel measures warm-hit throughput under
+// b.RunParallel: the engine snapshot (lock-free reads) against the
+// naive alternative of one Analyzer behind a global mutex. Both caches
+// are warmed before the timer so the loop measures steady-state hits.
+func BenchmarkSnapshotLookupParallel(b *testing.B) {
+	g := hiergen.Realistic(16, 3)
+	table := core.New(g).BuildTable()
+	type query struct {
+		c chg.ClassID
+		m chg.MemberID
+	}
+	var qs []query
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, m := range table.Members(chg.ClassID(c)) {
+			qs = append(qs, query{chg.ClassID(c), m})
+		}
+	}
+	b.Run("snapshot", func(b *testing.B) {
+		snap := engine.NewSnapshot(g)
+		for _, q := range qs {
+			snap.Lookup(q.c, q.m)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q := qs[i%len(qs)]
+				snap.Lookup(q.c, q.m)
+				i++
+			}
+		})
+	})
+	b.Run("mutex-analyzer", func(b *testing.B) {
+		var mu sync.Mutex
+		a := core.New(g)
+		for _, q := range qs {
+			a.Lookup(q.c, q.m)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				q := qs[i%len(qs)]
+				mu.Lock()
+				a.Lookup(q.c, q.m)
+				mu.Unlock()
+				i++
+			}
+		})
 	})
 }
 

@@ -38,7 +38,7 @@ func main() {
 	}
 	switch {
 	case *lookup != "":
-		err = cli.WriteLookupDot(os.Stdout, unit.Graph, *lookup)
+		err = cli.WriteLookupDot(os.Stdout, cli.QuerySnapshot(unit.Graph), *lookup)
 	case *sub != "":
 		err = cli.WriteSubobjectsDot(os.Stdout, unit.Graph, *sub, *limit)
 	default:

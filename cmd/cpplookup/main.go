@@ -49,6 +49,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
 		os.Exit(1)
 	}
+	// Every query command works against one published snapshot of the
+	// unit's hierarchy (the same artifact a long-running server would
+	// share among its request goroutines).
+	snap := cli.QuerySnapshot(unit.Graph)
 
 	switch {
 	case *lookup != "":
@@ -57,10 +61,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cpplookup: -lookup wants Class::member, got %q\n", *lookup)
 			os.Exit(2)
 		}
-		cli.PrintLookup(os.Stdout, unit.Graph, class, member)
+		cli.PrintLookup(os.Stdout, snap, class, member)
 		return
 	case *table:
-		cli.PrintTable(os.Stdout, unit.Graph)
+		cli.PrintTable(os.Stdout, snap)
 	case *vtables:
 		if err := cli.PrintVTables(os.Stdout, unit.Graph); err != nil {
 			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
@@ -72,7 +76,7 @@ func main() {
 			os.Exit(1)
 		}
 	case *ambiguities:
-		if n := cli.PrintAmbiguities(os.Stdout, unit.Graph); n > 0 {
+		if n := cli.PrintAmbiguities(os.Stdout, snap); n > 0 {
 			os.Exit(1)
 		}
 	case *layoutClass != "":

@@ -33,6 +33,7 @@ import (
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/engine"
 	"cpplookup/internal/interp"
 	"cpplookup/internal/layout"
 )
@@ -99,7 +100,9 @@ const (
 	Blue      = core.BlueKind
 )
 
-// NewAnalyzer returns a lookup analyzer for g.
+// NewAnalyzer returns a lookup analyzer for g. An Analyzer is
+// confined to one goroutine; to serve concurrent queries, use
+// NewEngine/NewSnapshot instead.
 func NewAnalyzer(g *Graph, opts ...Option) *Analyzer { return core.New(g, opts...) }
 
 // WithTrackPaths makes red results carry the full definition path.
@@ -107,6 +110,27 @@ func WithTrackPaths() Option { return core.WithTrackPaths() }
 
 // WithStaticRule enables the static-member extension (Defs. 16–17).
 func WithStaticRule() Option { return core.WithStaticRule() }
+
+// Concurrent query engine (see internal/engine).
+type (
+	// Engine registers named hierarchies and publishes immutable,
+	// versioned Snapshots; all methods are safe for concurrent use.
+	Engine = engine.Engine
+	// Snapshot is one immutable published view of a hierarchy with a
+	// concurrency-safe memoized lookup cache. Any number of goroutines
+	// may call Lookup/LookupByName on one Snapshot.
+	Snapshot = engine.Snapshot
+	// WorkspaceBinding republishes an incremental workspace through an
+	// engine as new snapshot versions.
+	WorkspaceBinding = engine.WorkspaceBinding
+)
+
+// NewEngine returns an empty concurrent query engine.
+func NewEngine() *Engine { return engine.New() }
+
+// NewSnapshot wraps g in a standalone concurrency-safe snapshot
+// without registering it in an engine.
+func NewSnapshot(g *Graph, opts ...Option) *Snapshot { return engine.NewSnapshot(g, opts...) }
 
 // Frontend types (see internal/cpp/sema).
 type (

@@ -2,6 +2,7 @@ package cpplookup_test
 
 import (
 	"fmt"
+	"sync"
 
 	"cpplookup"
 )
@@ -59,6 +60,55 @@ void f() { p->m(); }
 	// reached through D is a different subobject: ambiguous.
 	// Output:
 	// 8:15: ambiguous-member: member m is ambiguous in E (blue {Ω})
+}
+
+// Serving concurrent queries: an engine publishes immutable, versioned
+// snapshots whose Lookup is safe to call from any number of goroutines
+// at once — no external locking.
+func ExampleNewEngine() {
+	b := cpplookup.NewBuilder()
+	base := b.Class("Base")
+	derived := b.Class("Derived")
+	b.Base(derived, base, cpplookup.NonVirtual)
+	b.Method(base, "f")
+	b.Method(derived, "f")
+	b.Method(base, "g")
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	eng := cpplookup.NewEngine()
+	snap, err := eng.Register("lib", g)
+	if err != nil {
+		panic(err)
+	}
+
+	queries := []struct{ class, member string }{
+		{"Derived", "f"}, {"Derived", "g"}, {"Base", "f"}, {"Base", "g"},
+	}
+	results := make([]string, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, class, member string) {
+			defer wg.Done()
+			r := snap.LookupByName(class, member)
+			results[i] = fmt.Sprintf("%s::%s -> %s", class, member, g.Name(r.Class()))
+		}(i, q.class, q.member)
+	}
+	wg.Wait()
+
+	fmt.Println("snapshot", snap.Name(), "version", snap.Version())
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	// Output:
+	// snapshot lib version 1
+	// Derived::f -> Derived
+	// Derived::g -> Base
+	// Base::f -> Base
+	// Base::g -> Base
 }
 
 // Eager tabulation (the paper's Figure 8 driver): every entry of

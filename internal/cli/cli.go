@@ -12,6 +12,7 @@ import (
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/engine"
 	"cpplookup/internal/interp"
 	"cpplookup/internal/layout"
 	"cpplookup/internal/slicing"
@@ -27,6 +28,21 @@ func Analyze(src string) (*sema.Unit, bool, error) {
 		return nil, false, err
 	}
 	return unit, len(unit.Diags) == 0, nil
+}
+
+// QuerySnapshot publishes g through a fresh single-hierarchy engine
+// and returns the snapshot every query command works against. The
+// kernel carries the full option set (static rule + paths) because
+// the CLI's outputs want both; the engine makes the same snapshot
+// safe to hand to as many goroutines as a server cares to run.
+func QuerySnapshot(g *chg.Graph) *engine.Snapshot {
+	snap, err := engine.New().Register("unit", g, core.WithStaticRule(), core.WithTrackPaths())
+	if err != nil {
+		// The name is fresh and g comes from a successful build; the
+		// only way here is a nil graph, which is a caller bug.
+		panic(err)
+	}
+	return snap
 }
 
 // SplitQualified splits "Class::member".
@@ -62,10 +78,11 @@ func PrintDiags(w io.Writer, unit *sema.Unit) {
 	}
 }
 
-// PrintLookup resolves one qualified name and describes the result.
-func PrintLookup(w io.Writer, g *chg.Graph, class, member string) {
-	a := core.New(g, core.WithStaticRule(), core.WithTrackPaths())
-	r := a.LookupByName(class, member)
+// PrintLookup resolves one qualified name against the snapshot and
+// describes the result.
+func PrintLookup(w io.Writer, snap *engine.Snapshot, class, member string) {
+	g := snap.Graph()
+	r := snap.LookupByName(class, member)
 	switch r.Kind {
 	case core.RedKind:
 		names := make([]string, len(r.Path))
@@ -83,8 +100,9 @@ func PrintLookup(w io.Writer, g *chg.Graph, class, member string) {
 
 // PrintTable writes the whole lookup table, classes in topological
 // order.
-func PrintTable(w io.Writer, g *chg.Graph) {
-	table := core.New(g, core.WithStaticRule()).BuildTable()
+func PrintTable(w io.Writer, snap *engine.Snapshot) {
+	g := snap.Graph()
+	table := snap.Table()
 	for _, c := range g.Topo() {
 		ms := table.Members(c)
 		if len(ms) == 0 {
@@ -137,8 +155,9 @@ func PrintSlice(w io.Writer, g *chg.Graph, spec string) error {
 // PrintAmbiguities lists every ambiguous (class, member) table entry
 // of a program — the whole-program static analysis a compiler or
 // linter would run.
-func PrintAmbiguities(w io.Writer, g *chg.Graph) int {
-	table := core.New(g, core.WithStaticRule()).BuildTable()
+func PrintAmbiguities(w io.Writer, snap *engine.Snapshot) int {
+	g := snap.Graph()
+	table := snap.Table()
 	n := 0
 	for _, c := range g.Topo() {
 		for _, m := range table.Members(c) {

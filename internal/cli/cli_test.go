@@ -49,7 +49,7 @@ func TestWidgetsTableAndVTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	var table strings.Builder
-	PrintTable(&table, unit.Graph)
+	PrintTable(&table, QuerySnapshot(unit.Graph))
 	for _, want := range []string{
 		"Button:",
 		"draw                 red (Button, Ω)",
@@ -82,7 +82,7 @@ func TestWidgetsNoAmbiguities(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if n := PrintAmbiguities(&out, unit.Graph); n != 0 {
+	if n := PrintAmbiguities(&out, QuerySnapshot(unit.Graph)); n != 0 {
 		t.Errorf("ambiguities = %d:\n%s", n, out.String())
 	}
 	if !strings.Contains(out.String(), "no ambiguous lookups") {
@@ -99,12 +99,12 @@ func TestFigure9EndToEnd(t *testing.T) {
 		t.Fatalf("figure9.cpp should be accepted: %v", unit.Diags)
 	}
 	var out strings.Builder
-	PrintLookup(&out, unit.Graph, "E", "m")
+	PrintLookup(&out, QuerySnapshot(unit.Graph), "E", "m")
 	if !strings.Contains(out.String(), "lookup(E, m) = C::m") {
 		t.Errorf("lookup output: %s", out.String())
 	}
 	out.Reset()
-	PrintLookup(&out, unit.Graph, "E", "ghost")
+	PrintLookup(&out, QuerySnapshot(unit.Graph), "E", "ghost")
 	if !strings.Contains(out.String(), "no such member") {
 		t.Errorf("missing-member output: %s", out.String())
 	}
@@ -166,7 +166,7 @@ func TestPrintSlice(t *testing.T) {
 		t.Fatalf("sliced source broken: %v %v", err, unit2.Diags)
 	}
 	var lk strings.Builder
-	PrintLookup(&lk, unit2.Graph, "Button", "draw")
+	PrintLookup(&lk, QuerySnapshot(unit2.Graph), "Button", "draw")
 	if !strings.Contains(lk.String(), "Button::draw") {
 		t.Errorf("sliced lookup: %s", lk.String())
 	}
@@ -209,7 +209,7 @@ func TestAmbiguitiesListing(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	n := PrintAmbiguities(&out, unit.Graph)
+	n := PrintAmbiguities(&out, QuerySnapshot(unit.Graph))
 	if n == 0 || !strings.Contains(out.String(), "Both::id is ambiguous") {
 		t.Errorf("ambiguities (%d):\n%s", n, out.String())
 	}

@@ -7,6 +7,7 @@ import (
 
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
 )
 
 // WriteLookupDot renders the CHG annotated with the lookup results
@@ -14,18 +15,18 @@ import (
 // picture: every class whose lookup is unambiguous is drawn with its
 // red abstraction, ambiguous classes are drawn blue with their
 // abstraction set, declaring classes are outlined bold.
-func WriteLookupDot(w io.Writer, g *chg.Graph, member string) error {
+func WriteLookupDot(w io.Writer, snap *engine.Snapshot, member string) error {
+	g := snap.Graph()
 	mid, ok := g.MemberID(member)
 	if !ok {
 		return fmt.Errorf("unknown member %q", member)
 	}
-	a := core.New(g, core.WithStaticRule())
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph \"lookup-%s\" {\n", member)
 	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
 	for c := 0; c < g.NumClasses(); c++ {
 		cid := chg.ClassID(c)
-		r := a.Lookup(cid, mid)
+		r := snap.Lookup(cid, mid)
 		label := g.Name(cid)
 		attrs := []string{}
 		switch r.Kind {

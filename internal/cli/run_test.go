@@ -78,7 +78,7 @@ struct D : B, C {};
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := WriteLookupDot(&out, unit.Graph, "foo"); err != nil {
+	if err := WriteLookupDot(&out, QuerySnapshot(unit.Graph), "foo"); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -91,7 +91,7 @@ struct D : B, C {};
 			t.Errorf("lookup DOT missing %q:\n%s", want, s)
 		}
 	}
-	if err := WriteLookupDot(&strings.Builder{}, unit.Graph, "ghost"); err == nil {
+	if err := WriteLookupDot(&strings.Builder{}, QuerySnapshot(unit.Graph), "ghost"); err == nil {
 		t.Error("unknown member should fail")
 	}
 }

@@ -9,25 +9,36 @@ import (
 // order, virtual-base closure) already lives in the chg.Graph.
 //
 // An Analyzer memoizes lazy lookups (Lookup) and can also tabulate
-// eagerly (BuildTable). It is not safe for concurrent use.
+// eagerly (BuildTable).
+//
+// Thread-safety contract: the lazy memo is deliberately
+// unsynchronized, so an Analyzer must be confined to a single
+// goroutine (or externally serialized) while Lookup is in use. The
+// Table returned by BuildTable/BuildTableParallel is immutable once
+// built and safe for any number of concurrent readers, as is the
+// underlying Kernel. To serve lookups from many goroutines without a
+// table build, use internal/engine's Snapshot, which drives the same
+// Kernel through a sharded concurrency-safe cache.
 type Analyzer struct {
-	g          *chg.Graph
-	trackPaths bool
-	staticRule bool
-
+	k    *Kernel
 	memo []map[chg.MemberID]Result
 }
 
-// Option configures an Analyzer.
-type Option func(*Analyzer)
+// Option configures a Kernel at construction time (and hence every
+// Analyzer, Table, or engine Snapshot built on it). Options are
+// applied once, before the kernel is shared; the resulting
+// configuration is immutable and safe for concurrent use.
+type Option func(*Kernel)
 
 // WithTrackPaths makes red results carry the full winning definition
 // path (Result.Path), as a compiler needs for code generation. The
 // paper notes (end of Section 4) that this does not change the
 // algorithm's complexity because at most one red definition is
-// propagated across any edge.
+// propagated across any edge. The option only sets an immutable flag
+// at construction; it introduces no shared mutable state, so results
+// with paths are as safe to read concurrently as results without.
 func WithTrackPaths() Option {
-	return func(a *Analyzer) { a.trackPaths = true }
+	return func(k *Kernel) { k.trackPaths = true }
 }
 
 // WithStaticRule enables the static-member extension of Definitions
@@ -36,282 +47,29 @@ func WithTrackPaths() Option {
 // there (type names and enumerators count as static). Blue sets then
 // carry full (L, V) pairs rather than bare leastVirtual values so the
 // same-class test remains possible against ambiguous inheritances.
+// Like WithTrackPaths, this sets an immutable construction-time flag
+// and does not affect the thread-safety contract.
 func WithStaticRule() Option {
-	return func(a *Analyzer) { a.staticRule = true }
+	return func(k *Kernel) { k.staticRule = true }
 }
 
-// New returns an Analyzer for g.
+// New returns an Analyzer for g. It panics if g is nil — an analyzer
+// without a hierarchy can answer nothing, and failing at construction
+// beats a nil dereference on the first query.
 func New(g *chg.Graph, opts ...Option) *Analyzer {
-	a := &Analyzer{g: g, memo: make([]map[chg.MemberID]Result, g.NumClasses())}
-	for _, o := range opts {
-		o(a)
+	if g == nil {
+		panic("core: New requires a non-nil *chg.Graph (build one with chg.NewBuilder().Build())")
 	}
-	return a
+	return &Analyzer{
+		k:    NewKernel(g, opts...),
+		memo: make([]map[chg.MemberID]Result, g.NumClasses()),
+	}
 }
 
 // Graph returns the underlying CHG.
-func (a *Analyzer) Graph() *chg.Graph { return a.g }
+func (a *Analyzer) Graph() *chg.Graph { return a.k.g }
 
-// extendAbs is the ∘ operator of Definition 15 on N ∪ {Ω}:
-// V ∘ (X→C) keeps V if it is already a class, becomes X if the edge
-// is virtual, and stays Ω otherwise.
-func extendAbs(v chg.ClassID, base chg.ClassID, kind chg.Kind) chg.ClassID {
-	if v != chg.Omega {
-		return v
-	}
-	if kind == chg.Virtual {
-		return base
-	}
-	return chg.Omega
-}
-
-// groupDominates is the Lemma 4 test (lines [1]–[3] of Figure 8)
-// lifted to definition groups: the group with declaring class l1 and
-// red abstractions red1 dominates the group whose coverage is cover2
-// iff every element of cover2 is dominated — (1) it is a virtual base
-// of l1 (sound for any definition with that ldc), or (2) it equals
-// (≠ Ω) one of the dominator's *red* abstractions (Lemma 4's equality
-// condition, whose proof requires the dominator to be red). Without
-// the static rule all sets are singletons and this is exactly the
-// paper's test.
-func (a *Analyzer) groupDominates(l1 chg.ClassID, red1, cover2 []chg.ClassID) bool {
-	for _, v2 := range cover2 {
-		if a.g.IsVirtualBase(v2, l1) {
-			continue
-		}
-		if v2 != chg.Omega && containsV(red1, v2) {
-			continue
-		}
-		return false
-	}
-	return true
-}
-
-func containsV(s []chg.ClassID, v chg.ClassID) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-// insertV adds v to a sorted unique slice.
-func insertV(s []chg.ClassID, v chg.ClassID) []chg.ClassID {
-	i := 0
-	for i < len(s) && s[i] < v {
-		i++
-	}
-	if i < len(s) && s[i] == v {
-		return s
-	}
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
-}
-
-func (a *Analyzer) staticIn(c chg.ClassID, m chg.MemberID) bool {
-	mem, ok := a.g.DeclaredMember(c, m)
-	return ok && mem.StaticForLookup()
-}
-
-// blueDef converts an abstraction to its blue-set form: without the
-// static rule the paper propagates only leastVirtual values for blue
-// definitions, so L is dropped (set to Ω); with the static rule the
-// pair is kept.
-func (a *Analyzer) blueDef(d Def) Def {
-	if !a.staticRule {
-		d.L = chg.Omega
-	}
-	return d
-}
-
-// resolve computes lookup[c,m] from the results at c's direct bases —
-// the body of Figure 8's doLookup loop (lines [11]–[45]). get supplies
-// lookup[X,m] for each direct base X; Undefined stands for
-// "m ∉ Members[X]".
-func (a *Analyzer) resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Result) Result {
-	// Line [12]: a definition generated at c trivially dominates
-	// everything that reaches c.
-	if a.g.Declares(c, m) {
-		r := Result{Kind: RedKind, Def: Def{L: c, V: chg.Omega}}
-		if a.trackPaths {
-			r.Path = []chg.ClassID{c}
-		}
-		return r
-	}
-
-	var blue []Def // toBeDominated
-	addBlue := func(d Def) {
-		for _, e := range blue {
-			if e.V == d.V && (!a.staticRule || e.L == d.L) {
-				return
-			}
-		}
-		blue = append(blue, d)
-	}
-
-	nocandidate := true
-	found := false
-	var candL chg.ClassID
-	var candCover []chg.ClassID // every copy's abstraction (sorted unique)
-	var candRed []chg.ClassID   // abstractions of genuinely red copies
-	var candPath []chg.ClassID
-
-	for _, e := range a.g.DirectBases(c) {
-		r := get(e.Base)
-		switch r.Kind {
-		case Undefined:
-			continue
-		case RedKind:
-			found = true
-			var dCover, dRed []chg.ClassID
-			for _, v := range r.vset() {
-				dCover = insertV(dCover, extendAbs(v, e.Base, e.Kind))
-			}
-			for _, v := range r.redset() {
-				dRed = insertV(dRed, extendAbs(v, e.Base, e.Kind))
-			}
-			switch {
-			case nocandidate:
-				nocandidate = false
-				candL, candCover, candRed = r.Def.L, dCover, dRed
-				candPath = a.extendPath(r.Path, c)
-			case a.staticRule && r.Def.L == candL && a.staticIn(candL, m):
-				// Definition 17: the same static member reached as
-				// another subobject copy — merge, keeping every
-				// copy's abstraction for later dominance tests.
-				for _, v := range dCover {
-					candCover = insertV(candCover, v)
-				}
-				for _, v := range dRed {
-					candRed = insertV(candRed, v)
-				}
-			case a.groupDominates(r.Def.L, dRed, candCover):
-				candL, candCover, candRed = r.Def.L, dCover, dRed
-				candPath = a.extendPath(r.Path, c)
-			case !a.groupDominates(candL, candRed, dCover):
-				// Lines [25]–[27]: neither dominates; both become blue.
-				for _, v := range candCover {
-					addBlue(a.blueDef(Def{L: candL, V: v}))
-				}
-				for _, v := range dCover {
-					addBlue(a.blueDef(Def{L: r.Def.L, V: v}))
-				}
-				nocandidate = true
-				candPath = nil
-			}
-		case BlueKind:
-			found = true
-			for _, bd := range r.Blue {
-				addBlue(Def{L: bd.L, V: extendAbs(bd.V, e.Base, e.Kind)})
-			}
-		}
-	}
-
-	if !found {
-		return Result{Kind: Undefined}
-	}
-	if nocandidate {
-		sortDefs(blue)
-		return Result{Kind: BlueKind, Blue: blue}
-	}
-
-	// Lines [37]–[40]: try to kill every blue definition with the red
-	// candidate group. A blue absorbed by the same-static-member rule
-	// joins the group's coverage: any later winner must dominate that
-	// copy too (but it gains no equality-based kill power — it was
-	// not red).
-	candKills := func(b Def) bool {
-		if a.g.IsVirtualBase(b.V, candL) {
-			return true
-		}
-		if b.V != chg.Omega && containsV(candRed, b.V) {
-			return true
-		}
-		if a.staticRule && b.L == candL && b.L != chg.Omega && a.staticIn(candL, m) {
-			candCover = insertV(candCover, b.V)
-			return true
-		}
-		return false
-	}
-	var surviving, killed []Def
-	for _, b := range blue {
-		if candKills(b) {
-			killed = append(killed, b)
-		} else {
-			surviving = append(surviving, b)
-		}
-	}
-
-	// Static-rule refinement: a blue definition killed because it is
-	// "the same static member" as the candidate (condition 3) retains
-	// its own dominating power, so survivors dominated by any killed
-	// definition through the always-sound virtual-base condition are
-	// killed too, to fixpoint. Without this, a definition dominated
-	// only by an equivalent-static copy of the candidate would leak
-	// through and report a false ambiguity (cf. Definition 17).
-	if a.staticRule && len(killed) > 0 && len(surviving) > 0 {
-		killers := append([]Def{{L: candL, V: candCover[0]}}, killed...)
-		for changed := true; changed; {
-			changed = false
-			next := surviving[:0]
-			for _, b := range surviving {
-				dead := false
-				for _, k := range killers {
-					if k.L != chg.Omega && a.g.IsVirtualBase(b.V, k.L) {
-						dead = true
-						break
-					}
-				}
-				if dead {
-					killers = append(killers, b)
-					changed = true
-				} else {
-					next = append(next, b)
-				}
-			}
-			surviving = next
-		}
-	}
-
-	if len(surviving) == 0 {
-		r := Result{Kind: RedKind, Def: Def{L: candL, V: candCover[0]}}
-		if len(candCover) > 1 {
-			r.StaticSet = candCover
-		}
-		if len(candRed) != len(candCover) {
-			r.StaticRed = candRed
-		}
-		r.Path = candPath
-		return r
-	}
-	// Line [43]: the candidate joins the ambiguity set (as a union —
-	// entries may already be present).
-	for _, v := range candCover {
-		cb := a.blueDef(Def{L: candL, V: v})
-		dup := false
-		for _, b := range surviving {
-			if b.V == cb.V && (!a.staticRule || b.L == cb.L) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			surviving = append(surviving, cb)
-		}
-	}
-	sortDefs(surviving)
-	return Result{Kind: BlueKind, Blue: surviving}
-}
-
-func (a *Analyzer) extendPath(p []chg.ClassID, c chg.ClassID) []chg.ClassID {
-	if !a.trackPaths {
-		return nil
-	}
-	out := make([]chg.ClassID, 0, len(p)+1)
-	out = append(out, p...)
-	out = append(out, c)
-	return out
-}
+// Kernel returns the analyzer's pure algorithm kernel. The kernel is
+// immutable and may be shared across goroutines even while this
+// analyzer is in use.
+func (a *Analyzer) Kernel() *Kernel { return a.k }

@@ -26,8 +26,12 @@ type Table struct {
 // Complexity: O(|M| · |N| · (|N|+|E|)) worst case, and
 // O((|M|+|N|) · (|N|+|E|)) when no table entry is ambiguous, matching
 // Section 5's analysis.
-func (a *Analyzer) BuildTable() *Table {
-	g := a.g
+func (a *Analyzer) BuildTable() *Table { return a.k.BuildTable() }
+
+// BuildTable is the kernel-level eager tabulation; the Table it
+// returns is immutable and safe for concurrent readers.
+func (k *Kernel) BuildTable() *Table {
+	g := k.g
 	n := g.NumClasses()
 	t := &Table{
 		g:       g,
@@ -40,7 +44,7 @@ func (a *Analyzer) BuildTable() *Table {
 		ms := t.members[c]
 		rs := make([]Result, len(ms))
 		for i, m := range ms {
-			rs[i] = a.resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) })
+			rs[i] = k.Resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) })
 		}
 		t.results[c] = rs
 	}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"cpplookup/internal/chg"
+)
+
+// Kernel is the pure per-entry propagation step of Figure 8: given a
+// class, a member name, and the lookup results at the class's direct
+// bases, Resolve computes lookup[c,m]. It holds only immutable
+// configuration (the graph and the option flags), never intermediate
+// state, so one Kernel may be shared by any number of goroutines.
+//
+// Memoization policy lives in the callers: Analyzer adds a
+// single-goroutine memo (the paper's memoising lazy variant), Table
+// construction adds the eager topological tabulation, and
+// internal/engine's Snapshot adds a sharded concurrency-safe cache.
+// All of them drive this same kernel, so the algorithm exists exactly
+// once.
+type Kernel struct {
+	g          *chg.Graph
+	trackPaths bool
+	staticRule bool
+}
+
+// NewKernel returns a kernel for g. It panics if g is nil: a kernel
+// without a hierarchy cannot answer anything, and catching the
+// mistake at construction beats a nil dereference mid-query.
+func NewKernel(g *chg.Graph, opts ...Option) *Kernel {
+	if g == nil {
+		panic("core: NewKernel requires a non-nil *chg.Graph (build one with chg.NewBuilder().Build())")
+	}
+	k := &Kernel{g: g}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+// Graph returns the underlying CHG.
+func (k *Kernel) Graph() *chg.Graph { return k.g }
+
+// TrackPaths reports whether red results carry full definition paths.
+func (k *Kernel) TrackPaths() bool { return k.trackPaths }
+
+// StaticRule reports whether the Definitions 16–17 extension is on.
+func (k *Kernel) StaticRule() bool { return k.staticRule }
+
+// extendAbs is the ∘ operator of Definition 15 on N ∪ {Ω}:
+// V ∘ (X→C) keeps V if it is already a class, becomes X if the edge
+// is virtual, and stays Ω otherwise.
+func extendAbs(v chg.ClassID, base chg.ClassID, kind chg.Kind) chg.ClassID {
+	if v != chg.Omega {
+		return v
+	}
+	if kind == chg.Virtual {
+		return base
+	}
+	return chg.Omega
+}
+
+// groupDominates is the Lemma 4 test (lines [1]–[3] of Figure 8)
+// lifted to definition groups: the group with declaring class l1 and
+// red abstractions red1 dominates the group whose coverage is cover2
+// iff every element of cover2 is dominated — (1) it is a virtual base
+// of l1 (sound for any definition with that ldc), or (2) it equals
+// (≠ Ω) one of the dominator's *red* abstractions (Lemma 4's equality
+// condition, whose proof requires the dominator to be red). Without
+// the static rule all sets are singletons and this is exactly the
+// paper's test.
+func (k *Kernel) groupDominates(l1 chg.ClassID, red1, cover2 []chg.ClassID) bool {
+	for _, v2 := range cover2 {
+		if k.g.IsVirtualBase(v2, l1) {
+			continue
+		}
+		if v2 != chg.Omega && containsV(red1, v2) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func containsV(s []chg.ClassID, v chg.ClassID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// insertV adds v to a sorted unique slice.
+func insertV(s []chg.ClassID, v chg.ClassID) []chg.ClassID {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func (k *Kernel) staticIn(c chg.ClassID, m chg.MemberID) bool {
+	mem, ok := k.g.DeclaredMember(c, m)
+	return ok && mem.StaticForLookup()
+}
+
+// blueDef converts an abstraction to its blue-set form: without the
+// static rule the paper propagates only leastVirtual values for blue
+// definitions, so L is dropped (set to Ω); with the static rule the
+// pair is kept.
+func (k *Kernel) blueDef(d Def) Def {
+	if !k.staticRule {
+		d.L = chg.Omega
+	}
+	return d
+}
+
+// Resolve computes lookup[c,m] from the results at c's direct bases —
+// the body of Figure 8's doLookup loop (lines [11]–[45]). get supplies
+// lookup[X,m] for each direct base X; Undefined stands for
+// "m ∉ Members[X]". Resolve touches no kernel state beyond the
+// immutable configuration, so concurrent calls are safe as long as
+// each call's get function is.
+func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Result) Result {
+	// Line [12]: a definition generated at c trivially dominates
+	// everything that reaches c.
+	if k.g.Declares(c, m) {
+		r := Result{Kind: RedKind, Def: Def{L: c, V: chg.Omega}}
+		if k.trackPaths {
+			r.Path = []chg.ClassID{c}
+		}
+		return r
+	}
+
+	var blue []Def // toBeDominated
+	addBlue := func(d Def) {
+		for _, e := range blue {
+			if e.V == d.V && (!k.staticRule || e.L == d.L) {
+				return
+			}
+		}
+		blue = append(blue, d)
+	}
+
+	nocandidate := true
+	found := false
+	var candL chg.ClassID
+	var candCover []chg.ClassID // every copy's abstraction (sorted unique)
+	var candRed []chg.ClassID   // abstractions of genuinely red copies
+	var candPath []chg.ClassID
+
+	for _, e := range k.g.DirectBases(c) {
+		r := get(e.Base)
+		switch r.Kind {
+		case Undefined:
+			continue
+		case RedKind:
+			found = true
+			var dCover, dRed []chg.ClassID
+			for _, v := range r.vset() {
+				dCover = insertV(dCover, extendAbs(v, e.Base, e.Kind))
+			}
+			for _, v := range r.redset() {
+				dRed = insertV(dRed, extendAbs(v, e.Base, e.Kind))
+			}
+			switch {
+			case nocandidate:
+				nocandidate = false
+				candL, candCover, candRed = r.Def.L, dCover, dRed
+				candPath = k.extendPath(r.Path, c)
+			case k.staticRule && r.Def.L == candL && k.staticIn(candL, m):
+				// Definition 17: the same static member reached as
+				// another subobject copy — merge, keeping every
+				// copy's abstraction for later dominance tests.
+				for _, v := range dCover {
+					candCover = insertV(candCover, v)
+				}
+				for _, v := range dRed {
+					candRed = insertV(candRed, v)
+				}
+			case k.groupDominates(r.Def.L, dRed, candCover):
+				candL, candCover, candRed = r.Def.L, dCover, dRed
+				candPath = k.extendPath(r.Path, c)
+			case !k.groupDominates(candL, candRed, dCover):
+				// Lines [25]–[27]: neither dominates; both become blue.
+				for _, v := range candCover {
+					addBlue(k.blueDef(Def{L: candL, V: v}))
+				}
+				for _, v := range dCover {
+					addBlue(k.blueDef(Def{L: r.Def.L, V: v}))
+				}
+				nocandidate = true
+				candPath = nil
+			}
+		case BlueKind:
+			found = true
+			for _, bd := range r.Blue {
+				addBlue(Def{L: bd.L, V: extendAbs(bd.V, e.Base, e.Kind)})
+			}
+		}
+	}
+
+	if !found {
+		return Result{Kind: Undefined}
+	}
+	if nocandidate {
+		sortDefs(blue)
+		return Result{Kind: BlueKind, Blue: blue}
+	}
+
+	// Lines [37]–[40]: try to kill every blue definition with the red
+	// candidate group. A blue absorbed by the same-static-member rule
+	// joins the group's coverage: any later winner must dominate that
+	// copy too (but it gains no equality-based kill power — it was
+	// not red).
+	candKills := func(b Def) bool {
+		if k.g.IsVirtualBase(b.V, candL) {
+			return true
+		}
+		if b.V != chg.Omega && containsV(candRed, b.V) {
+			return true
+		}
+		if k.staticRule && b.L == candL && b.L != chg.Omega && k.staticIn(candL, m) {
+			candCover = insertV(candCover, b.V)
+			return true
+		}
+		return false
+	}
+	var surviving, killed []Def
+	for _, b := range blue {
+		if candKills(b) {
+			killed = append(killed, b)
+		} else {
+			surviving = append(surviving, b)
+		}
+	}
+
+	// Static-rule refinement: a blue definition killed because it is
+	// "the same static member" as the candidate (condition 3) retains
+	// its own dominating power, so survivors dominated by any killed
+	// definition through the always-sound virtual-base condition are
+	// killed too, to fixpoint. Without this, a definition dominated
+	// only by an equivalent-static copy of the candidate would leak
+	// through and report a false ambiguity (cf. Definition 17).
+	if k.staticRule && len(killed) > 0 && len(surviving) > 0 {
+		killers := append([]Def{{L: candL, V: candCover[0]}}, killed...)
+		for changed := true; changed; {
+			changed = false
+			next := surviving[:0]
+			for _, b := range surviving {
+				dead := false
+				for _, kd := range killers {
+					if kd.L != chg.Omega && k.g.IsVirtualBase(b.V, kd.L) {
+						dead = true
+						break
+					}
+				}
+				if dead {
+					killers = append(killers, b)
+					changed = true
+				} else {
+					next = append(next, b)
+				}
+			}
+			surviving = next
+		}
+	}
+
+	if len(surviving) == 0 {
+		r := Result{Kind: RedKind, Def: Def{L: candL, V: candCover[0]}}
+		if len(candCover) > 1 {
+			r.StaticSet = candCover
+		}
+		if len(candRed) != len(candCover) {
+			r.StaticRed = candRed
+		}
+		r.Path = candPath
+		return r
+	}
+	// Line [43]: the candidate joins the ambiguity set (as a union —
+	// entries may already be present).
+	for _, v := range candCover {
+		cb := k.blueDef(Def{L: candL, V: v})
+		dup := false
+		for _, b := range surviving {
+			if b.V == cb.V && (!k.staticRule || b.L == cb.L) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			surviving = append(surviving, cb)
+		}
+	}
+	sortDefs(surviving)
+	return Result{Kind: BlueKind, Blue: surviving}
+}
+
+func (k *Kernel) extendPath(p []chg.ClassID, c chg.ClassID) []chg.ClassID {
+	if !k.trackPaths {
+		return nil
+	}
+	out := make([]chg.ClassID, 0, len(p)+1)
+	out = append(out, p...)
+	out = append(out, c)
+	return out
+}

@@ -12,7 +12,7 @@ import "cpplookup/internal/chg"
 // lookup unambiguously resolves (Result.Class() is the declaring
 // class), Blue when ambiguous.
 func (a *Analyzer) Lookup(c chg.ClassID, m chg.MemberID) Result {
-	if !a.g.Valid(c) || m < 0 || int(m) >= a.g.NumMemberNames() {
+	if !a.k.g.Valid(c) || m < 0 || int(m) >= a.k.g.NumMemberNames() {
 		return Result{Kind: Undefined}
 	}
 	return a.lookup(c, m)
@@ -24,7 +24,7 @@ func (a *Analyzer) lookup(c chg.ClassID, m chg.MemberID) Result {
 			return r
 		}
 	}
-	r := a.resolve(c, m, func(x chg.ClassID) Result { return a.lookup(x, m) })
+	r := a.k.Resolve(c, m, func(x chg.ClassID) Result { return a.lookup(x, m) })
 	if a.memo[c] == nil {
 		a.memo[c] = make(map[chg.MemberID]Result)
 	}
@@ -35,11 +35,11 @@ func (a *Analyzer) lookup(c chg.ClassID, m chg.MemberID) Result {
 // LookupByName resolves a member by class and member name; it returns
 // an Undefined result if either name is unknown.
 func (a *Analyzer) LookupByName(class, member string) Result {
-	c, ok := a.g.ID(class)
+	c, ok := a.k.g.ID(class)
 	if !ok {
 		return Result{Kind: Undefined}
 	}
-	m, ok := a.g.MemberID(member)
+	m, ok := a.k.g.MemberID(member)
 	if !ok {
 		return Result{Kind: Undefined}
 	}

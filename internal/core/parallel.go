@@ -17,8 +17,12 @@ import (
 // into disjoint dataflow problems. Each worker runs the topological
 // pass for its share of the member names; the shared Members[C] sets
 // are computed once, serially, up front.
-func (a *Analyzer) BuildTableParallel(workers int) *Table {
-	g := a.g
+func (a *Analyzer) BuildTableParallel(workers int) *Table { return a.k.BuildTableParallel(workers) }
+
+// BuildTableParallel is the kernel-level parallel tabulation. The
+// kernel is stateless, so the per-member workers share it freely.
+func (k *Kernel) BuildTableParallel(workers int) *Table {
+	g := k.g
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -38,7 +42,7 @@ func (a *Analyzer) BuildTableParallel(workers int) *Table {
 	}
 	if workers <= 1 {
 		for mid := 0; mid < m; mid++ {
-			a.fillMember(t, chg.MemberID(mid))
+			k.fillMember(t, chg.MemberID(mid))
 		}
 		return t
 	}
@@ -48,7 +52,7 @@ func (a *Analyzer) BuildTableParallel(workers int) *Table {
 		go func(w int) {
 			defer wg.Done()
 			for mid := w; mid < m; mid += workers {
-				a.fillMember(t, chg.MemberID(mid))
+				k.fillMember(t, chg.MemberID(mid))
 			}
 		}(w)
 	}
@@ -59,13 +63,13 @@ func (a *Analyzer) BuildTableParallel(workers int) *Table {
 // fillMember runs the topological pass of Figure 8 for one member
 // name, writing only that member's entries. Distinct member names
 // touch disjoint entries, so concurrent fillMember calls are safe.
-func (a *Analyzer) fillMember(t *Table, m chg.MemberID) {
+func (k *Kernel) fillMember(t *Table, m chg.MemberID) {
 	for _, c := range t.g.Topo() {
 		i := memberIndex(t.members[c], m)
 		if i < 0 {
 			continue
 		}
-		t.results[c][i] = a.resolve(c, m, func(x chg.ClassID) Result {
+		t.results[c][i] = k.Resolve(c, m, func(x chg.ClassID) Result {
 			return t.Lookup(x, m)
 		})
 	}

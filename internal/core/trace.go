@@ -30,7 +30,7 @@ type ClassTrace struct {
 // identical to Lookup/BuildTable; the trace only adds the incoming
 // views. Indexed by class id.
 func (a *Analyzer) TraceMember(m chg.MemberID) []ClassTrace {
-	g := a.g
+	g := a.k.g
 	traces := make([]ClassTrace, g.NumClasses())
 	results := make([]Result, g.NumClasses())
 	for _, c := range g.Topo() {
@@ -51,7 +51,7 @@ func (a *Analyzer) TraceMember(m chg.MemberID) []ClassTrace {
 				tr.Incoming = append(tr.Incoming, flow)
 			}
 		}
-		results[c] = a.resolve(c, m, func(x chg.ClassID) Result { return results[x] })
+		results[c] = a.k.Resolve(c, m, func(x chg.ClassID) Result { return results[x] })
 		tr.Result = results[c]
 		traces[c] = tr
 	}

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/incremental"
+)
+
+// equivalenceGraphs is the acceptance-criteria corpus: every paper
+// figure hierarchy (Figures 4–7 are worked over Figure 3's graph),
+// the Figure 9 g++ counterexample, and hiergen random hierarchies.
+func equivalenceGraphs() map[string]*chg.Graph {
+	gs := map[string]*chg.Graph{
+		"figure1": hiergen.Figure1(),
+		"figure2": hiergen.Figure2(),
+		"figure3": hiergen.Figure3(),
+		"figure9": hiergen.Figure9(),
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		gs[nameOfSeed(seed)] = hiergen.Random(hiergen.RandomConfig{
+			Classes: 80, MaxBases: 3, VirtualProb: 0.35,
+			MemberNames: 6, MemberProb: 0.12, Seed: seed,
+		})
+	}
+	return gs
+}
+
+func nameOfSeed(seed int64) string {
+	return "random-seed-" + string(rune('0'+seed%10))
+}
+
+// TestSnapshotMatchesBuildTable checks, entry for entry, that the
+// concurrent snapshot cache and the eager table produce byte-identical
+// results over the acceptance corpus — for the default kernel and for
+// the full option set.
+func TestSnapshotMatchesBuildTable(t *testing.T) {
+	optSets := map[string][]core.Option{
+		"plain":        nil,
+		"static+paths": {core.WithStaticRule(), core.WithTrackPaths()},
+	}
+	for gname, g := range equivalenceGraphs() {
+		for oname, opts := range optSets {
+			snap := NewSnapshot(g, opts...)
+			table := core.NewKernel(g, opts...).BuildTable()
+			for c := 0; c < g.NumClasses(); c++ {
+				for m := 0; m < g.NumMemberNames(); m++ {
+					cid, mid := chg.ClassID(c), chg.MemberID(m)
+					want := table.Lookup(cid, mid)
+					got := snap.Lookup(cid, mid)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%s lookup(%s, %s): snapshot %+v, table %+v",
+							gname, oname, g.Name(cid), g.MemberName(mid), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsInvalidQueries(t *testing.T) {
+	g := hiergen.Figure2()
+	snap := NewSnapshot(g)
+	for _, q := range []struct{ c, m int }{
+		{-1, 0}, {g.NumClasses(), 0}, {0, -1}, {0, g.NumMemberNames()},
+	} {
+		if r := snap.Lookup(chg.ClassID(q.c), chg.MemberID(q.m)); r.Kind != core.Undefined {
+			t.Errorf("Lookup(%d, %d) = %+v, want undefined", q.c, q.m, r)
+		}
+	}
+	if r := snap.LookupByName("NoSuchClass", "m"); r.Kind != core.Undefined {
+		t.Errorf("LookupByName unknown class = %+v", r)
+	}
+	if r := snap.LookupByName("E", "nosuchmember"); r.Kind != core.Undefined {
+		t.Errorf("LookupByName unknown member = %+v", r)
+	}
+}
+
+func TestNewSnapshotNilGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSnapshot(nil) did not panic")
+		}
+	}()
+	NewSnapshot(nil)
+}
+
+func TestEngineRegisterUpdateVersioning(t *testing.T) {
+	e := New()
+	g1 := hiergen.Figure1()
+	snap1, err := e.Register("lib", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Name() != "lib" || snap1.Version() != 1 {
+		t.Fatalf("first snapshot: name=%q version=%d", snap1.Name(), snap1.Version())
+	}
+	if _, err := e.Register("lib", g1); err == nil {
+		t.Fatal("duplicate Register did not fail")
+	}
+	if _, err := e.Register("nilcase", nil); err == nil {
+		t.Fatal("Register with nil graph did not fail")
+	}
+	if _, err := e.Update("unknown", g1); err == nil {
+		t.Fatal("Update of unregistered name did not fail")
+	}
+
+	snap2, err := e.Update("lib", hiergen.Figure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version() != 2 {
+		t.Fatalf("updated snapshot version = %d, want 2", snap2.Version())
+	}
+	cur, ok := e.Snapshot("lib")
+	if !ok || cur != snap2 {
+		t.Fatal("Snapshot does not return the latest version")
+	}
+	// The old snapshot still answers against its own graph: Figure 1's
+	// E.m is ambiguous, Figure 2's resolves to D.
+	if r := snap1.LookupByName("E", "m"); !r.Ambiguous() {
+		t.Errorf("v1 (figure 1) lookup(E,m) = %+v, want ambiguous", r)
+	}
+	if r := snap2.LookupByName("E", "m"); !r.Found() || snap2.Graph().Name(r.Class()) != "D" {
+		t.Errorf("v2 (figure 2) lookup(E,m) = %+v, want red D", r)
+	}
+
+	// The failed registrations must not leak into the name list.
+	if got := e.Names(); len(got) != 1 || got[0] != "lib" {
+		t.Errorf("Names() = %v, want [lib]", got)
+	}
+}
+
+func TestEngineOptionsStickAcrossUpdates(t *testing.T) {
+	e := New()
+	if _, err := e.Register("lib", hiergen.Figure2(), core.WithTrackPaths()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Update("lib", hiergen.Figure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := snap.LookupByName("E", "m")
+	if !r.Found() || len(r.Path) == 0 {
+		t.Fatalf("options were not reused across Update: %+v", r)
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	g := hiergen.Figure3()
+	snap := NewSnapshot(g, core.WithStaticRule())
+	table := snap.Table()
+	if table != snap.Table() {
+		t.Fatal("Table is rebuilt per call")
+	}
+	want := core.NewKernel(g, core.WithStaticRule()).BuildTable()
+	if table.Entries() != want.Entries() || table.CountAmbiguous() != want.CountAmbiguous() {
+		t.Fatalf("snapshot table entries=%d ambiguous=%d, want %d/%d",
+			table.Entries(), table.CountAmbiguous(), want.Entries(), want.CountAmbiguous())
+	}
+}
+
+func TestWorkspaceBindingPublishesVersions(t *testing.T) {
+	ws := incremental.New()
+	base, err := ws.AddClass("Base", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AddMember(base, chg.Member{Name: "m", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	derived, err := ws.AddClass("Derived", []incremental.BaseDecl{{Class: base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New()
+	b, snap1, err := e.BindWorkspace("ide", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Version() != 1 {
+		t.Fatalf("first version = %d", snap1.Version())
+	}
+	if r := snap1.LookupByName("Derived", "m"); !r.Found() || snap1.Graph().Name(r.Class()) != "Base" {
+		t.Fatalf("v1 lookup(Derived,m) = %+v, want Base", r)
+	}
+
+	// No edit → Sync is a no-op, same version.
+	same, err := b.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != snap1 {
+		t.Fatal("Sync without edits published a new version")
+	}
+
+	// An override in Derived: the new version resolves to Derived, the
+	// old snapshot keeps answering Base.
+	if err := ws.AddMember(derived, chg.Member{Name: "m", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := b.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version() != 2 {
+		t.Fatalf("second version = %d", snap2.Version())
+	}
+	if r := snap2.LookupByName("Derived", "m"); !r.Found() || snap2.Graph().Name(r.Class()) != "Derived" {
+		t.Fatalf("v2 lookup(Derived,m) = %+v, want Derived", r)
+	}
+	if r := snap1.LookupByName("Derived", "m"); !r.Found() || snap1.Graph().Name(r.Class()) != "Base" {
+		t.Fatalf("v1 after edit lookup(Derived,m) = %+v, want Base (isolation broken)", r)
+	}
+}
+
+func TestWorkspaceSnapshotIsCopyOnWrite(t *testing.T) {
+	ws := incremental.New()
+	c, err := ws.AddClass("C", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("Snapshot of unchanged workspace rebuilt the graph")
+	}
+	gen := ws.Generation()
+	if err := ws.AddMember(c, chg.Member{Name: "m", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Generation() == gen {
+		t.Fatal("edit did not bump the generation")
+	}
+	g3, err := ws.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Fatal("Snapshot after edit returned the stale graph")
+	}
+	if len(g1.DeclaredMembers(c)) != 0 || len(g3.DeclaredMembers(c)) != 1 {
+		t.Fatal("old snapshot mutated by edit")
+	}
+}

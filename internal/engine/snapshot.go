@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+)
+
+// shardCount is the number of writer locks per snapshot. Misses are
+// striped by member name, the same axis along which Figure 8's
+// dataflow decomposes (lookup[C,m] reads only entries for the same m),
+// so one miss fills its whole recursion under a single lock. A modest
+// power of two keeps the footprint small while making collisions
+// between unrelated member names unlikely.
+const shardCount = 32
+
+// Snapshot is one immutable, versioned view of a hierarchy: a
+// chg.Graph plus a concurrency-safe memoized lookup cache driving the
+// shared core.Kernel. Any number of goroutines may call Lookup
+// concurrently; a snapshot never changes once published, so readers
+// holding one are isolated from later engine updates.
+//
+// The cache is a dense numClasses×numMemberNames array of atomic
+// pointers: a warm hit is one array index and one atomic load, with no
+// locking and no hashing. Writers fill misses under a per-member-name
+// shard lock; each cell is computed and published exactly once.
+type Snapshot struct {
+	name    string
+	version uint64
+	k       *core.Kernel
+
+	numMembers int
+	cells      []atomic.Pointer[core.Result]
+	fillLocks  [shardCount]sync.Mutex
+
+	tableOnce sync.Once
+	table     *core.Table
+}
+
+// NewSnapshot wraps g in a standalone snapshot (version 1, no engine).
+// It panics if g is nil, with the same message as core.NewKernel.
+func NewSnapshot(g *chg.Graph, opts ...core.Option) *Snapshot {
+	return newSnapshot("", 1, core.NewKernel(g, opts...))
+}
+
+func newSnapshot(name string, version uint64, k *core.Kernel) *Snapshot {
+	g := k.Graph()
+	numM := g.NumMemberNames()
+	return &Snapshot{
+		name:       name,
+		version:    version,
+		k:          k,
+		numMembers: numM,
+		cells:      make([]atomic.Pointer[core.Result], g.NumClasses()*numM),
+	}
+}
+
+// Name returns the engine registration name ("" for standalone
+// snapshots).
+func (s *Snapshot) Name() string { return s.name }
+
+// Version returns the snapshot's version, starting at 1 and bumped by
+// every engine update of the same name.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Graph returns the snapshot's immutable hierarchy.
+func (s *Snapshot) Graph() *chg.Graph { return s.k.Graph() }
+
+// Kernel returns the shared algorithm kernel.
+func (s *Snapshot) Kernel() *core.Kernel { return s.k }
+
+// Lookup resolves member m in the context of class c — the same
+// memoising lazy algorithm as core.Analyzer.Lookup, but safe for
+// concurrent callers: hits are answered from an atomically published
+// cell without locking, and a miss takes only its member's shard lock
+// while it fills the cell (and the recursive cells it needed) once.
+func (s *Snapshot) Lookup(c chg.ClassID, m chg.MemberID) core.Result {
+	if !s.k.Graph().Valid(c) || m < 0 || int(m) >= s.numMembers {
+		return core.Result{Kind: core.Undefined}
+	}
+	if p := s.cells[int(c)*s.numMembers+int(m)].Load(); p != nil {
+		return *p
+	}
+	return s.fill(c, m)
+}
+
+// fill computes lookup[c,m] under the member's shard lock, publishing
+// every cell the computation produced as it goes. All recursive
+// dependencies of (c,m) are entries for the same member name, hence
+// under the same lock: one acquisition covers the whole recursion, and
+// the double-check below makes each cell's computation happen once per
+// snapshot even under contention. Publishing a cell is an atomic
+// pointer store, so readers that observe it also observe the fully
+// initialised Result behind it.
+func (s *Snapshot) fill(c chg.ClassID, m chg.MemberID) core.Result {
+	sh := &s.fillLocks[uint32(m)%shardCount]
+	sh.Lock()
+	defer sh.Unlock()
+
+	var lookup func(x chg.ClassID) core.Result
+	lookup = func(x chg.ClassID) core.Result {
+		cell := &s.cells[int(x)*s.numMembers+int(m)]
+		if p := cell.Load(); p != nil {
+			// Already published — possibly by a writer ahead of us
+			// while we waited on the lock.
+			return *p
+		}
+		r := s.k.Resolve(x, m, lookup)
+		rc := r
+		cell.Store(&rc)
+		return r
+	}
+	return lookup(c)
+}
+
+// LookupByName resolves a member by class and member name; it returns
+// an Undefined result if either name is unknown.
+func (s *Snapshot) LookupByName(class, member string) core.Result {
+	g := s.k.Graph()
+	c, ok := g.ID(class)
+	if !ok {
+		return core.Result{Kind: core.Undefined}
+	}
+	m, ok := g.MemberID(member)
+	if !ok {
+		return core.Result{Kind: core.Undefined}
+	}
+	return s.Lookup(c, m)
+}
+
+// Table returns the snapshot's eagerly tabulated lookup function,
+// building it on first use. The build runs the kernel's topological
+// tabulation once; the resulting Table is immutable and shared by all
+// callers.
+func (s *Snapshot) Table() *core.Table {
+	s.tableOnce.Do(func() { s.table = s.k.BuildTable() })
+	return s.table
+}
+
+// CachedEntries reports how many lookup results the lazy cache
+// currently holds (the table built by Table is not counted). Intended
+// for tests and observability.
+func (s *Snapshot) CachedEntries() int {
+	n := 0
+	for i := range s.cells {
+		if s.cells[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

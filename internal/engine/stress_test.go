@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+// TestSnapshotStress hammers one snapshot with goroutines issuing
+// mixed lookups (valid, repeated, out-of-range, by-name) and verifies
+// every answer entry-for-entry against the eager table. Run under
+// -race (CI does) this also proves the lock-free read path and the
+// copy-on-write publish are data-race free.
+func TestSnapshotStress(t *testing.T) {
+	graphs := map[string]*chg.Graph{
+		"realistic": hiergen.Realistic(12, 3),
+		"random": hiergen.Random(hiergen.RandomConfig{
+			Classes: 120, MaxBases: 3, VirtualProb: 0.3,
+			MemberNames: 8, MemberProb: 0.1, Seed: 5,
+		}),
+	}
+	const goroutines = 16
+	const opsPerGoroutine = 4000
+
+	for name, g := range graphs {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			snap := NewSnapshot(g, core.WithStaticRule())
+			want := core.NewKernel(g, core.WithStaticRule()).BuildTable()
+			numC, numM := g.NumClasses(), g.NumMemberNames()
+
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines)
+			for w := 0; w < goroutines; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsPerGoroutine; i++ {
+						// Mostly valid queries, with occasional
+						// out-of-range ids and by-name lookups mixed in.
+						switch rng.Intn(10) {
+						case 0:
+							c := chg.ClassID(rng.Intn(numC+4) - 2)
+							m := chg.MemberID(rng.Intn(numM+4) - 2)
+							got := snap.Lookup(c, m)
+							if (!g.Valid(c) || m < 0 || int(m) >= numM) && got.Kind != core.Undefined {
+								errs <- "out-of-range query returned a defined result"
+								return
+							}
+						case 1:
+							c := chg.ClassID(rng.Intn(numC))
+							m := chg.MemberID(rng.Intn(numM))
+							got := snap.LookupByName(g.Name(c), g.MemberName(m))
+							if !reflect.DeepEqual(got, want.Lookup(c, m)) {
+								errs <- "by-name lookup disagrees with table"
+								return
+							}
+						default:
+							c := chg.ClassID(rng.Intn(numC))
+							m := chg.MemberID(rng.Intn(numM))
+							got := snap.Lookup(c, m)
+							if !reflect.DeepEqual(got, want.Lookup(c, m)) {
+								errs <- "lookup disagrees with table"
+								return
+							}
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+
+			// After the storm, the cache must agree with the table on
+			// every entry (and hold no more than one result per pair).
+			for c := 0; c < numC; c++ {
+				for m := 0; m < numM; m++ {
+					cid, mid := chg.ClassID(c), chg.MemberID(m)
+					if got := snap.Lookup(cid, mid); !reflect.DeepEqual(got, want.Lookup(cid, mid)) {
+						t.Fatalf("post-stress lookup(%s, %s) disagrees with table",
+							g.Name(cid), g.MemberName(mid))
+					}
+				}
+			}
+			if n, max := snap.CachedEntries(), numC*numM; n > max {
+				t.Fatalf("cache holds %d entries for a %d-entry universe", n, max)
+			}
+		})
+	}
+}
+
+// TestSnapshotAgainstNaiveOracle cross-checks concurrent snapshot
+// answers against the path-propagation oracle of
+// internal/core/naive.go (Section 4's killing propagation over
+// concrete paths): same found/ambiguous classification, and the same
+// declaring class for every unambiguous lookup.
+func TestSnapshotAgainstNaiveOracle(t *testing.T) {
+	graphs := []*chg.Graph{
+		hiergen.Figure1(),
+		hiergen.Figure2(),
+		hiergen.Figure3(),
+		hiergen.Figure9(),
+		hiergen.Random(hiergen.RandomConfig{
+			Classes: 60, MaxBases: 2, VirtualProb: 0.4,
+			MemberNames: 4, MemberProb: 0.15, Seed: 19,
+		}),
+	}
+	const goroutines = 8
+	for _, g := range graphs {
+		snap := NewSnapshot(g) // the oracle has no static rule; neither may the snapshot
+		var wg sync.WaitGroup
+		failures := make(chan string, goroutines)
+		for w := 0; w < goroutines; w++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				for m := start; m < g.NumMemberNames(); m += goroutines {
+					flows := core.PropagateMember(g, chg.MemberID(m))
+					for c := 0; c < g.NumClasses(); c++ {
+						got := snap.Lookup(chg.ClassID(c), chg.MemberID(m))
+						flow := flows[c]
+						switch {
+						case !flow.Found:
+							if got.Kind != core.Undefined {
+								failures <- g.Name(chg.ClassID(c)) + "." + g.MemberName(chg.MemberID(m)) + ": oracle undefined, snapshot defined"
+								return
+							}
+						case flow.Ambiguous:
+							if !got.Ambiguous() {
+								failures <- g.Name(chg.ClassID(c)) + "." + g.MemberName(chg.MemberID(m)) + ": oracle ambiguous, snapshot not"
+								return
+							}
+						default:
+							if !got.Found() || got.Class() != flow.MostDominant.Ldc() {
+								failures <- g.Name(chg.ClassID(c)) + "." + g.MemberName(chg.MemberID(m)) + ": snapshot disagrees with oracle's most-dominant ldc"
+								return
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(failures)
+		for f := range failures {
+			t.Fatal(f)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"fmt"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/incremental"
+)
+
+// WorkspaceBinding connects a mutable incremental.Workspace to an
+// engine name: each Sync republishes the workspace as a new snapshot
+// version iff the workspace changed since the last publication. The
+// workspace itself remains single-writer (its documented contract);
+// the binding is the hand-off point where its edits become visible to
+// concurrent readers — in-flight readers keep the version they hold.
+//
+// The binding does not synchronize access to the workspace: edit and
+// Sync from the same goroutine (or serialize them externally), and
+// let any number of goroutines query the published snapshots.
+type WorkspaceBinding struct {
+	e       *Engine
+	name    string
+	ws      *incremental.Workspace
+	lastGen uint64
+}
+
+// BindWorkspace registers ws's current hierarchy under name and
+// returns the binding together with the first published snapshot.
+// The options configure the kernel for every version published
+// through the binding.
+func (e *Engine) BindWorkspace(name string, ws *incremental.Workspace, opts ...core.Option) (*WorkspaceBinding, *Snapshot, error) {
+	if ws == nil {
+		return nil, nil, fmt.Errorf("engine: BindWorkspace(%q) with a nil workspace", name)
+	}
+	g, err := ws.Snapshot()
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: freezing workspace for %q: %w", name, err)
+	}
+	snap, err := e.Register(name, g, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WorkspaceBinding{e: e, name: name, ws: ws, lastGen: ws.Generation()}, snap, nil
+}
+
+// Workspace returns the bound mutable workspace.
+func (b *WorkspaceBinding) Workspace() *incremental.Workspace { return b.ws }
+
+// Sync publishes the workspace's current hierarchy if it was edited
+// since the last publication, and returns the current snapshot either
+// way. The copy-on-write freeze in Workspace.Snapshot makes a no-op
+// Sync cheap: no graph is rebuilt and no version is burned.
+func (b *WorkspaceBinding) Sync() (*Snapshot, error) {
+	if gen := b.ws.Generation(); gen != b.lastGen {
+		g, err := b.ws.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("engine: freezing workspace for %q: %w", b.name, err)
+		}
+		snap, err := b.e.Update(b.name, g)
+		if err != nil {
+			return nil, err
+		}
+		b.lastGen = gen
+		return snap, nil
+	}
+	snap, ok := b.e.Snapshot(b.name)
+	if !ok {
+		return nil, fmt.Errorf("engine: hierarchy %q disappeared from the engine", b.name)
+	}
+	return snap, nil
+}

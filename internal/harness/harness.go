@@ -1,5 +1,5 @@
 // Package harness regenerates every figure and measurable claim of
-// the paper as a printed experiment (E1–E11, plus ablations A1–A4).
+// the paper as a printed experiment (E1–E12, plus ablations A1–A4).
 // cmd/experiments is its CLI; EXPERIMENTS.md records one captured run
 // and compares it against what the paper reports.
 package harness
@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"E9", "Section 7.1: share of front-end time spent in member lookup", RunE9},
 		{"E10", "Section 7.2: the top-sort shortcut — speed and silent failures", RunE10},
 		{"E11", "Object model: Figure 9 executed over a concrete layout; vtable deltas", RunE11},
+		{"E12", "Extension: serving concurrent queries from one engine snapshot", RunE12},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

@@ -64,6 +64,16 @@ type Workspace struct {
 
 	cache map[cacheKey]core.Result
 	stats Stats
+
+	// gen counts hierarchy edits; frozen caches the graph built by the
+	// last Snapshot call, reusable until the next edit. The pair gives
+	// Snapshot copy-on-write behaviour: repeated snapshots of an
+	// unchanged workspace return the same immutable graph, and an edit
+	// merely invalidates the cache — it never touches a graph already
+	// handed out, so readers of earlier snapshots are unaffected.
+	gen       uint64
+	frozen    *chg.Graph
+	frozenGen uint64
 }
 
 // New returns an empty workspace.
@@ -80,6 +90,12 @@ func (w *Workspace) NumClasses() int { return len(w.names) }
 
 // Stats returns cache counters.
 func (w *Workspace) Stats() Stats { return w.stats }
+
+// Generation counts the edits applied so far (class additions, member
+// additions and removals). Publishers — e.g. an engine workspace
+// binding — compare generations to decide whether a new snapshot
+// version is needed.
+func (w *Workspace) Generation() uint64 { return w.gen }
 
 // ID returns the class named name.
 func (w *Workspace) ID(name string) (chg.ClassID, bool) {
@@ -129,7 +145,14 @@ func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error)
 	w.derived = append(w.derived, nil)
 	w.members = append(w.members, map[chg.MemberID]chg.Member{})
 	w.vbases = append(w.vbases, vb)
+	w.edited()
 	return id, nil
+}
+
+// edited marks the hierarchy as changed since the last Snapshot.
+func (w *Workspace) edited() {
+	w.gen++
+	w.frozen = nil
 }
 
 // AddMember declares member m directly in class c, invalidating the
@@ -147,6 +170,7 @@ func (w *Workspace) AddMember(c chg.ClassID, m chg.Member) error {
 	}
 	w.members[c][id] = m
 	w.invalidate(c, id)
+	w.edited()
 	return nil
 }
 
@@ -165,6 +189,7 @@ func (w *Workspace) RemoveMember(c chg.ClassID, name string) error {
 	}
 	delete(w.members[c], id)
 	w.invalidate(c, id)
+	w.edited()
 	return nil
 }
 
@@ -326,8 +351,14 @@ func (w *Workspace) internMember(name string) chg.MemberID {
 
 // Snapshot freezes the current hierarchy into an immutable chg.Graph
 // (fresh member interning; same class ids, since classes are appended
-// in definition order on both sides).
+// in definition order on both sides). The frozen graph is cached
+// copy-on-write: while no edit intervenes, repeated calls return the
+// same graph, and an edit only drops the cache — graphs already
+// returned stay valid for their readers.
 func (w *Workspace) Snapshot() (*chg.Graph, error) {
+	if w.frozen != nil && w.frozenGen == w.gen {
+		return w.frozen, nil
+	}
 	b := chg.NewBuilder()
 	for i, name := range w.names {
 		id := b.Class(name)
@@ -343,5 +374,10 @@ func (w *Workspace) Snapshot() (*chg.Graph, error) {
 			b.Member(chg.ClassID(i), mem)
 		}
 	}
-	return b.Build()
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	w.frozen, w.frozenGen = g, w.gen
+	return g, nil
 }
