@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet lint check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The CI gate: lint every example hierarchy, failing on any
+# error-severity finding (the frontend's diagnostics; hierarchy rules
+# are warnings and notes by design — see README "Linting a hierarchy").
+lint:
+	$(GO) run ./cmd/chglint -fail-on=error ./examples
+
+check: build vet test lint

@@ -1,0 +1,71 @@
+// Command chglint lints class hierarchies: it loads each input — a
+// C++ source file, an encoded hierarchy (.json, .chg), or a directory
+// of those — runs the whole-hierarchy rules of internal/lint (plus the
+// frontend's own checks for C++ sources), and reports the findings
+// with machine-checkable witnesses.
+//
+// Usage:
+//
+//	chglint [flags] input...
+//
+// Flags:
+//
+//	-format text|json|sarif   output format (default text)
+//	-rules id,id,...          enable only the listed hierarchy rules
+//	-fail-on error|warning|info|never
+//	                          exit nonzero when findings of at least
+//	                          this severity exist (default error)
+//	-list-rules               print the hierarchy rules and exit
+//
+// Exit status: 0 clean, 1 findings at or above the threshold, 2 usage
+// or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cpplookup/internal/cli"
+	"cpplookup/internal/lint"
+)
+
+func main() {
+	var (
+		format    = flag.String("format", "text", "output format: text, json, or sarif")
+		rules     = flag.String("rules", "", "comma-separated rule IDs to enable (default all)")
+		failOn    = flag.String("fail-on", "error", "fail when findings of at least this severity exist: error, warning, info, or never")
+		listRules = flag.Bool("list-rules", false, "list the hierarchy rules and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chglint [flags] input...\n")
+		fmt.Fprintf(os.Stderr, "inputs: C++ sources (.cpp), encoded hierarchies (.json, .chg), or directories\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Rules {
+			fmt.Printf("%-28s %-8s %s\n", r.ID, r.Severity, r.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := cli.LintConfig{Format: *format, FailOn: *failOn}
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+	}
+	n, err := cli.RunLint(os.Stdout, flag.Args(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}

@@ -33,9 +33,11 @@ import (
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/diag"
 	"cpplookup/internal/engine"
 	"cpplookup/internal/interp"
 	"cpplookup/internal/layout"
+	"cpplookup/internal/lint"
 )
 
 // Class hierarchy graph types (see internal/chg).
@@ -146,6 +148,29 @@ type (
 // it builds the hierarchy, resolves every member access with the
 // lookup algorithm, and applies access control.
 func AnalyzeSource(src string) (*Unit, error) { return sema.AnalyzeSource(src) }
+
+// Hierarchy linting (see internal/lint and internal/diag).
+type (
+	// LintDiagnostic is one finding of the whole-hierarchy linter,
+	// with severity, rule ID, optional source position, and a
+	// machine-checkable witness.
+	LintDiagnostic = diag.Diagnostic
+	// LintWitness is the evidence attached to a lint finding.
+	LintWitness = diag.Witness
+	// LintOptions configures a Lint run (rule selection, parallelism,
+	// source positions).
+	LintOptions = lint.Options
+)
+
+// Lint runs every hierarchy rule over g — ambiguities with
+// conflicting-path witnesses, dominance shadowing, g++ 2.7.2.1
+// divergences (Figure 9), non-virtual diamonds, redundant edges, dead
+// members — and returns the findings in canonical order. Use
+// LintOptions.Rules to restrict the rule set; the cmd/chglint command
+// wraps this with text, JSON, and SARIF output.
+func Lint(g *Graph, opts LintOptions) ([]LintDiagnostic, error) {
+	return lint.Run(engine.NewSnapshot(g, core.WithStaticRule(), core.WithTrackPaths()), opts)
+}
 
 // Object model (see internal/layout and internal/interp).
 type (

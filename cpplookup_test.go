@@ -117,3 +117,46 @@ main() {
 		t.Errorf("layout: size %d, %d subobjects", l.Size(), l.NumSubobjects())
 	}
 }
+
+// The hierarchy linter is reachable from the facade: Figure 1's
+// ambiguity comes back with a two-path witness.
+func TestFacadeLint(t *testing.T) {
+	b := cpplookup.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	c := b.Class("C")
+	d := b.Class("D")
+	e := b.Class("E")
+	b.Base(bb, a, cpplookup.NonVirtual)
+	b.Base(c, bb, cpplookup.NonVirtual)
+	b.Base(d, bb, cpplookup.NonVirtual)
+	b.Base(e, c, cpplookup.NonVirtual)
+	b.Base(e, d, cpplookup.NonVirtual)
+	b.Method(a, "m")
+	b.Method(d, "m")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := cpplookup.Lint(g, cpplookup.LintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amb *cpplookup.LintDiagnostic
+	for i := range ds {
+		if ds[i].Rule == "ambiguous-member" && ds[i].Class == "E" {
+			amb = &ds[i]
+		}
+	}
+	if amb == nil {
+		t.Fatalf("no ambiguous-member finding at E in %+v", ds)
+	}
+	if amb.Witness == nil || len(amb.Witness.Paths) != 2 {
+		t.Fatalf("witness = %+v, want two conflicting paths", amb.Witness)
+	}
+
+	if _, err := cpplookup.Lint(g, cpplookup.LintOptions{Rules: []string{"bogus"}}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}

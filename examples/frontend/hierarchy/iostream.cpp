@@ -1,0 +1,39 @@
+// The frontend example's translation unit: an iostream-flavoured
+// virtual diamond (well-formed) next to a non-virtual Tag diamond
+// that makes `id` ambiguous in Both. The hierarchy linter flags the
+// ambiguity, the missing virtual inheritance, and the setstate
+// shadowing; the static member `next` stays clean (Definition 17).
+class ios_base {
+public:
+  void rdstate();
+  void setstate();
+  typedef int iostate;
+protected:
+  int flags;
+};
+class istream : public virtual ios_base {
+public:
+  void get();
+};
+class ostream : public virtual ios_base {
+public:
+  void put();
+  void setstate();   // shadows ios_base::setstate along this arm
+};
+class iostream : public istream, public ostream {
+public:
+  void flush();
+};
+
+struct Tag { int id; static int next; };
+struct LeftTag  : Tag {};
+struct RightTag : Tag {};
+struct Both : LeftTag, RightTag {};
+
+iostream *s;
+Both b;
+void run() {
+  s->rdstate();     // ok: shared virtual base, one subobject
+  s->setstate();    // ok: ostream::setstate dominates ios_base's
+  b.next = 1;       // ok: static member, Definition 17
+}

@@ -1,0 +1,16 @@
+// Figure 9 of the paper: the counterexample on which g++ 2.7.2.1
+// reported a false ambiguity. e.m is well-formed and means C::m —
+// C::m dominates the A::m and B::m definitions the breadth-first
+// scan meets first. `chglint figure9.cpp` reports the divergence
+// with the incomparable subobject pair as its witness.
+struct S              { int m; };
+struct A : virtual S  { int m; };
+struct B : virtual S  { int m; };
+struct C : virtual A, virtual B { int m; };
+struct D : C {};
+struct E : virtual A, virtual B, D {};
+
+void use() {
+  E e;
+  e.m = 10;
+}

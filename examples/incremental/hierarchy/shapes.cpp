@@ -1,0 +1,13 @@
+// The incremental example's hierarchy at its mid-story state: every
+// class redeclares describe() non-virtually, so each declaration
+// hides the one above it, and Object::describe is never the result
+// of any lookup below Object.
+struct Object { void describe(); };
+struct Shape : Object { void describe(); };
+struct Circle : Shape { void describe(); };
+struct Square : Shape {};
+
+void use() {
+  Circle c;
+  c.describe();   // Circle::describe hides Shape's and Object's
+}

@@ -1,0 +1,18 @@
+// The paper's running example (Figures 3-7) as C++ source. An H
+// object holds two A subobjects (the non-virtual A-B-D / A-C-D
+// diamond is duplicated nowhere, but A is); lookup(H, foo) resolves
+// to G::foo by dominance while lookup(H, bar) is ambiguous between
+// the D/E and G definitions.
+struct A { void foo(); };
+struct B : A {};
+struct C : A {};
+struct D : B, C { void bar(); };
+struct E { void bar(); };
+struct F : virtual D, E {};
+struct G : virtual D { void foo(); void bar(); };
+struct H : F, G {};
+
+void use() {
+  H h;
+  h.foo();   // ok: G::foo dominates A::foo
+}

@@ -1,0 +1,25 @@
+// The vtables example's hierarchy: virtual methods overriding
+// virtual methods are dominance doing its job (no shadowing
+// findings), but the Device diamond's two arms both override f, so
+// the final overrider in Joined is ambiguous.
+struct Shape {
+  virtual void draw();
+  virtual void area();
+  virtual void name();
+};
+struct Circle : Shape {
+  virtual void draw();
+};
+struct Square : Shape {
+  virtual void draw();
+  virtual void area();
+};
+struct Sprite { virtual void tick(); };
+struct AnimatedSquare : Square, Sprite {
+  virtual void tick();
+};
+
+struct Device { virtual void f(); };
+struct NetDevice  : virtual Device { virtual void f(); };
+struct DiskDevice : virtual Device { virtual void f(); };
+struct Joined : NetDevice, DiskDevice {};

@@ -178,6 +178,18 @@ func (g *Graph) DirectBases(c ClassID) []Edge { return g.classes[c].bases }
 // insertion order. Shared slice; do not modify.
 func (g *Graph) DirectDerived(c ClassID) []ClassID { return g.classes[c].derived }
 
+// Edge returns the kind of the direct edge base → derived and whether
+// such an edge exists. The builder guarantees at most one direct edge
+// per class pair, so the kind is unique.
+func (g *Graph) Edge(base, derived ClassID) (Kind, bool) {
+	for _, e := range g.classes[derived].bases {
+		if e.Base == base {
+			return e.Kind, true
+		}
+	}
+	return 0, false
+}
+
 // DeclaredMembers returns the members declared directly in c (the
 // paper's M[c]) in declaration order. Shared slice; do not modify.
 func (g *Graph) DeclaredMembers(c ClassID) []Member { return g.classes[c].members }

@@ -473,3 +473,26 @@ func TestValid(t *testing.T) {
 		t.Error("invalid ids reported valid")
 	}
 }
+
+func TestEdge(t *testing.T) {
+	b := NewBuilder()
+	s := b.Class("S")
+	a := b.Class("A")
+	c := b.Class("C")
+	b.Base(a, s, Virtual)
+	b.Base(c, a, NonVirtual)
+	g := b.MustBuild()
+
+	if k, ok := g.Edge(s, a); !ok || k != Virtual {
+		t.Errorf("Edge(S, A) = %v %v, want Virtual true", k, ok)
+	}
+	if k, ok := g.Edge(a, c); !ok || k != NonVirtual {
+		t.Errorf("Edge(A, C) = %v %v, want NonVirtual true", k, ok)
+	}
+	if _, ok := g.Edge(s, c); ok {
+		t.Error("Edge(S, C) should not exist (indirect only)")
+	}
+	if _, ok := g.Edge(c, a); ok {
+		t.Error("Edge(C, A) should not exist (wrong direction)")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/diag"
 	"cpplookup/internal/engine"
 	"cpplookup/internal/interp"
 	"cpplookup/internal/layout"
@@ -71,11 +72,10 @@ func PrintResolutions(w io.Writer, unit *sema.Unit) {
 	}
 }
 
-// PrintDiags writes the diagnostics, one per line.
+// PrintDiags writes the diagnostics, one per line, in the unified
+// diagnostic format shared with chglint.
 func PrintDiags(w io.Writer, unit *sema.Unit) {
-	for _, d := range unit.Diags {
-		fmt.Fprintln(w, d)
-	}
+	diag.WriteText(w, unit.Diagnostics(""))
 }
 
 // PrintLookup resolves one qualified name against the snapshot and
@@ -157,16 +157,13 @@ func PrintSlice(w io.Writer, g *chg.Graph, spec string) error {
 // linter would run.
 func PrintAmbiguities(w io.Writer, snap *engine.Snapshot) int {
 	g := snap.Graph()
-	table := snap.Table()
 	n := 0
-	for _, c := range g.Topo() {
-		for _, m := range table.Members(c) {
-			if r := table.Lookup(c, m); r.Ambiguous() {
-				fmt.Fprintf(w, "%s::%s is ambiguous (%s)\n", g.Name(c), g.MemberName(m), r.Format(g))
-				n++
-			}
+	snap.EachTableEntry(func(c chg.ClassID, m chg.MemberID, r core.Result) {
+		if r.Ambiguous() {
+			fmt.Fprintf(w, "%s::%s is ambiguous (%s)\n", g.Name(c), g.MemberName(m), r.Format(g))
+			n++
 		}
-	}
+	})
 	if n == 0 {
 		fmt.Fprintln(w, "no ambiguous lookups")
 	}

@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the lint golden files")
+
+// goldenNormalize strips the test's relative prefix so the goldens
+// read as repo-rooted paths.
+func goldenNormalize(s string) string {
+	return strings.ReplaceAll(s, "../../", "")
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestExampleGoldens pins the linter's full text output over every
+// example hierarchy, and the SARIF form for the Figure 9 example.
+// Regenerate with `go test ./internal/cli -run Goldens -update` after
+// an intentional rule or formatting change.
+func TestExampleGoldens(t *testing.T) {
+	dirs, err := filepath.Glob("../../examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	covered := 0
+	for _, dir := range dirs {
+		cpps, err := filepath.Glob(filepath.Join(dir, "hierarchy", "*.cpp"))
+		if err != nil || len(cpps) == 0 {
+			continue
+		}
+		covered++
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := RunLint(&buf, []string{dir}, LintConfig{FailOn: "never"}); err != nil {
+				t.Fatalf("RunLint(%s): %v", dir, err)
+			}
+			checkGolden(t, filepath.Join("testdata", "golden", name+".txt"), goldenNormalize(buf.String()))
+		})
+	}
+	if covered < 5 {
+		t.Errorf("only %d example directories carry a .cpp hierarchy; the goldens should cover all of them", covered)
+	}
+
+	t.Run("gxxbug-sarif", func(t *testing.T) {
+		var buf bytes.Buffer
+		if _, err := RunLint(&buf, []string{"../../examples/gxxbug"}, LintConfig{Format: "sarif", FailOn: "never"}); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "golden", "gxxbug.sarif"), goldenNormalize(buf.String()))
+	})
+}

@@ -1,0 +1,185 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/hiergen"
+)
+
+func runLint(t *testing.T, inputs []string, cfg LintConfig) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := RunLint(&buf, inputs, cfg)
+	if err != nil {
+		t.Fatalf("RunLint(%v): %v", inputs, err)
+	}
+	return buf.String(), n
+}
+
+// The Figure 9 walkthrough from the README: linting the example
+// source reports the g++ divergence with its witness, and the
+// hierarchy warnings do not trip the default error threshold.
+func TestLintFigure9Source(t *testing.T) {
+	out, n := runLint(t, []string{"testdata/figure9.cpp"}, LintConfig{})
+	if n != 0 {
+		t.Errorf("fail count = %d at the error threshold; the program is well-formed", n)
+	}
+	for _, want := range []string{
+		"gxx-divergence: g++ 2.7.2.1 falsely reports lookup(E, m) as ambiguous; the dominant definition is C::m",
+		"breadth-first scan met the incomparable definitions A::m and B::m",
+		"paper: resolves to C::m",
+		"redundant-inheritance-edge: direct base A of E is redundant",
+		"dominance-shadowing: C::m hides the declaration of m in S, A, B",
+		"dead-member: S::m is hidden in every derived class",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "testdata/figure9.cpp:") {
+		t.Errorf("diagnostics are not file-located:\n%s", out)
+	}
+}
+
+// Frontend findings (all errors) are merged with the hierarchy rules
+// and counted against the threshold.
+func TestLintErrorsSource(t *testing.T) {
+	out, n := runLint(t, []string{"testdata/errors.cpp"}, LintConfig{})
+	if n == 0 {
+		t.Error("errors.cpp should trip the error threshold")
+	}
+	if !strings.Contains(out, "error: unknown-member:") {
+		t.Errorf("frontend finding missing from lint output:\n%s", out)
+	}
+	if _, n := runLint(t, []string{"testdata/errors.cpp"}, LintConfig{FailOn: "never"}); n != 0 {
+		t.Errorf("fail-on=never returned %d", n)
+	}
+}
+
+// Encoded hierarchies lint like sources, just positionless: the same
+// graph through the JSON and binary codecs produces the same findings.
+func TestLintEncodedHierarchy(t *testing.T) {
+	g := hiergen.Figure9()
+	dir := t.TempDir()
+
+	var jbuf bytes.Buffer
+	if err := g.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "figure9.json")
+	if err := os.WriteFile(jsonPath, jbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chgPath := filepath.Join(dir, "figure9.chg")
+	if err := os.WriteFile(chgPath, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jout, _ := runLint(t, []string{jsonPath}, LintConfig{})
+	cout, _ := runLint(t, []string{chgPath}, LintConfig{})
+	if strings.ReplaceAll(jout, "figure9.json", "X") != strings.ReplaceAll(cout, "figure9.chg", "X") {
+		t.Errorf("JSON and binary inputs disagree:\n%s\n---\n%s", jout, cout)
+	}
+	if !strings.Contains(jout, "gxx-divergence") {
+		t.Errorf("encoded hierarchy lost the divergence finding:\n%s", jout)
+	}
+
+	// Directory mode picks up both files, sorted.
+	dout, _ := runLint(t, []string{dir}, LintConfig{})
+	if !strings.Contains(dout, "figure9.chg") || !strings.Contains(dout, "figure9.json") {
+		t.Errorf("directory mode missed an input:\n%s", dout)
+	}
+	if strings.Index(dout, "figure9.chg") > strings.Index(dout, "figure9.json") {
+		t.Errorf("directory inputs not in sorted order:\n%s", dout)
+	}
+}
+
+func TestLintFormatsAndDeterminism(t *testing.T) {
+	inputs := []string{"testdata/figure9.cpp", "testdata/widgets.cpp"}
+
+	text1, _ := runLint(t, inputs, LintConfig{Format: "text"})
+	sarif1, _ := runLint(t, inputs, LintConfig{Format: "sarif"})
+	json1, _ := runLint(t, inputs, LintConfig{Format: "json"})
+	for i := 0; i < 3; i++ {
+		if out, _ := runLint(t, inputs, LintConfig{Format: "sarif"}); out != sarif1 {
+			t.Fatal("sarif output not byte-stable")
+		}
+		if out, _ := runLint(t, inputs, LintConfig{Format: "text"}); out != text1 {
+			t.Fatal("text output not byte-stable")
+		}
+	}
+
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sarif1), &doc); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "chglint" {
+		t.Errorf("sarif skeleton wrong: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	for _, res := range doc.Runs[0].Results {
+		if res.RuleID == "" || res.Level == "" {
+			t.Errorf("sarif result missing required fields: %+v", res)
+		}
+		rules := doc.Runs[0].Tool.Driver.Rules
+		if res.RuleIndex < 0 || res.RuleIndex >= len(rules) || rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("sarif ruleIndex %d does not point at %s", res.RuleIndex, res.RuleID)
+		}
+	}
+
+	var ds []map[string]any
+	if err := json.Unmarshal([]byte(json1), &ds); err != nil {
+		t.Fatalf("json output does not parse: %v", err)
+	}
+}
+
+func TestLintBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunLint(&buf, []string{"testdata/nope.cpp"}, LintConfig{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := RunLint(&buf, []string{"testdata/figure9.cpp"}, LintConfig{Format: "yaml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := RunLint(&buf, []string{"testdata/figure9.cpp"}, LintConfig{FailOn: "sometimes"}); err == nil {
+		t.Error("unknown fail-on severity accepted")
+	}
+	if _, err := RunLint(&buf, []string{"testdata/figure9.cpp"}, LintConfig{Rules: []string{"no-such-rule"}}); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+// The clean widget library stays clean: virtual overrides and
+// single-inheritance chains produce no hierarchy findings at warning
+// severity or above.
+func TestLintCleanSource(t *testing.T) {
+	out, n := runLint(t, []string{"testdata/widgets.cpp"}, LintConfig{FailOn: "warning"})
+	if n != 0 {
+		t.Errorf("widgets.cpp trips the warning threshold:\n%s", out)
+	}
+}

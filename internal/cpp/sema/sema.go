@@ -17,6 +17,7 @@ import (
 	"cpplookup/internal/cpp/ast"
 	"cpplookup/internal/cpp/parser"
 	"cpplookup/internal/cpp/token"
+	"cpplookup/internal/diag"
 	"cpplookup/internal/scopes"
 	"cpplookup/internal/suggest"
 )
@@ -93,7 +94,60 @@ type Unit struct {
 
 	memberType map[typeKey]typeInfo // declared member types, for chained accesses
 	globals    map[string]typeInfo
-	table      *core.Table // lazily built, for did-you-mean suggestions
+	classPos   map[chg.ClassID]token.Pos // class-head positions
+	memberPos  map[typeKey]token.Pos     // member-declaration positions
+	table      *core.Table               // lazily built, for did-you-mean suggestions
+}
+
+// ClassPos returns the source position of the class's definition. It
+// (with MemberPos) implements lint's Source interface, so hierarchy
+// diagnostics from a C++ translation unit point into the source.
+func (u *Unit) ClassPos(c chg.ClassID) (token.Pos, bool) {
+	p, ok := u.classPos[c]
+	return p, ok
+}
+
+// MemberPos returns the source position of the member's declaration in
+// class c (for a using-declaration, the position of the using itself).
+func (u *Unit) MemberPos(c chg.ClassID, m chg.MemberID) (token.Pos, bool) {
+	p, ok := u.memberPos[typeKey{c, m}]
+	return p, ok
+}
+
+// Diagnostics converts the unit's findings to the unified diagnostic
+// model shared with the hierarchy linter. Frontend findings are all
+// errors: each one makes the translation unit ill-formed. file is
+// recorded on every diagnostic; the result is in canonical order.
+func (u *Unit) Diagnostics(file string) []diag.Diagnostic {
+	out := make([]diag.Diagnostic, len(u.Diags))
+	for i, d := range u.Diags {
+		out[i] = diag.Diagnostic{
+			File:     file,
+			Pos:      d.Pos,
+			Severity: diag.Error,
+			Rule:     d.Kind.String(),
+			Message:  d.Msg,
+		}
+	}
+	diag.Sort(out)
+	return out
+}
+
+// DiagDescriptions maps every frontend rule ID to a one-line
+// description (the SARIF rule descriptors for frontend findings).
+func DiagDescriptions() map[string]string {
+	return map[string]string{
+		ErrUnknownClass.String():       "reference to a class that is not defined",
+		ErrUnknownMember.String():      "member lookup found no declaration (Figure 8: undefined)",
+		ErrAmbiguousMember.String():    "member lookup has no dominant definition at this use (Definition 9)",
+		ErrInaccessibleMember.String(): "the dominant definition is not accessible along the resolved path (Section 6)",
+		ErrNotAClass.String():          "member access on a value of non-class type",
+		ErrPointerMismatch.String():    "'.' used on a pointer or '->' on a non-pointer",
+		ErrUnknownName.String():        "use of an undeclared identifier",
+		ErrDuplicateMember.String():    "a member is redeclared as a different kind of member",
+		ErrRedefinedClass.String():     "a class is defined twice",
+		ErrParse.String():              "the source does not parse",
+	}
 }
 
 // lookupTable lazily builds the whole-program table used by typo
@@ -159,6 +213,7 @@ func AnalyzeSources(srcs ...string) (*Unit, error) {
 // the resolved re-declarations added.
 type classInfo struct {
 	name    string
+	pos     token.Pos
 	bases   []baseInfo
 	members []memberInfo
 	usings  []usingInfo
@@ -172,6 +227,7 @@ type baseInfo struct {
 
 type memberInfo struct {
 	decl   chg.Member
+	pos    token.Pos
 	access access.Level
 	typ    ast.TypeRef
 	hasTyp bool
@@ -190,6 +246,8 @@ func Analyze(file *ast.File) (*Unit, error) {
 	u := &Unit{
 		memberType: make(map[typeKey]typeInfo),
 		globals:    make(map[string]typeInfo),
+		classPos:   make(map[chg.ClassID]token.Pos),
+		memberPos:  make(map[typeKey]token.Pos),
 	}
 
 	infos := u.collectClasses(file)
@@ -219,12 +277,14 @@ func Analyze(file *ast.File) (*Unit, error) {
 	for i := range infos {
 		ci := &infos[i]
 		cid := g.MustID(ci.name)
+		u.classPos[cid] = ci.pos
 		for _, bi := range ci.bases {
 			u.Access.SetEdge(cid, g.MustID(bi.name), bi.access)
 		}
 		for _, mi := range ci.members {
 			mid := g.MustMemberID(mi.decl.Name)
 			u.Access.SetMember(cid, mid, mi.access)
+			u.memberPos[typeKey{cid, mid}] = mi.pos
 			if mi.hasTyp {
 				if ti, ok := u.typeInfoOf(mi.typ); ok {
 					u.memberType[typeKey{cid, mid}] = ti
@@ -343,7 +403,7 @@ func (u *Unit) collectClasses(file *ast.File) []classInfo {
 			continue
 		}
 		defined[cd.Name] = true
-		ci := classInfo{name: cd.Name}
+		ci := classInfo{name: cd.Name, pos: cd.Pos}
 		for _, bs := range cd.Bases {
 			if !defined[bs.Name] {
 				u.Diags = append(u.Diags, Diagnostic{
@@ -385,6 +445,7 @@ func (u *Unit) collectClasses(file *ast.File) []classInfo {
 					Static:  md.Static,
 					Virtual: md.Virtual,
 				},
+				pos:    md.Pos,
 				access: level(md.Access),
 				typ:    md.Type,
 				hasTyp: true,
@@ -490,7 +551,7 @@ func (u *Unit) resolveUsings(infos []classInfo, prelim *chg.Graph) {
 			if !ok {
 				decl = chg.Member{Name: us.name, Kind: chg.Method}
 			}
-			mi := memberInfo{decl: decl, access: us.access}
+			mi := memberInfo{decl: decl, pos: us.pos, access: us.access}
 			if t, ok := typeOf[target]; ok {
 				mi.typ = t
 				mi.hasTyp = true

@@ -357,3 +357,50 @@ func TestDiagnosticStrings(t *testing.T) {
 		t.Error("ErrorCount mismatch")
 	}
 }
+
+// The unit records class and member positions (it implements lint's
+// Source interface) and converts its findings to the unified
+// diagnostic model.
+func TestPositionsAndUnifiedDiagnostics(t *testing.T) {
+	u := analyze(t, `struct A { int x; };
+struct B : A { int y; };
+void f() { B b; b.ghost = 1; }
+`)
+	a, _ := u.Graph.ID("A")
+	b, _ := u.Graph.ID("B")
+	if p, ok := u.ClassPos(a); !ok || p.Line != 1 {
+		t.Errorf("ClassPos(A) = %v, %v; want line 1", p, ok)
+	}
+	if p, ok := u.ClassPos(b); !ok || p.Line != 2 {
+		t.Errorf("ClassPos(B) = %v, %v; want line 2", p, ok)
+	}
+	x, _ := u.Graph.MemberID("x")
+	if p, ok := u.MemberPos(a, x); !ok || p.Line != 1 {
+		t.Errorf("MemberPos(A, x) = %v, %v; want line 1", p, ok)
+	}
+	if _, ok := u.MemberPos(b, x); ok {
+		t.Error("MemberPos(B, x) reported a position; B does not declare x")
+	}
+
+	ds := u.Diagnostics("prog.cpp")
+	if len(ds) != 1 {
+		t.Fatalf("Diagnostics = %+v, want exactly the unknown-member finding", ds)
+	}
+	d := ds[0]
+	if d.File != "prog.cpp" || d.Rule != "unknown-member" || d.Pos.Line != 3 {
+		t.Errorf("unified diagnostic = %+v", d)
+	}
+	if d.Severity.String() != "error" {
+		t.Errorf("frontend severity = %s, want error", d.Severity)
+	}
+	if !strings.Contains(d.Header(), "prog.cpp:3:") {
+		t.Errorf("header %q does not carry the source location", d.Header())
+	}
+
+	descs := DiagDescriptions()
+	for k := ErrUnknownClass; k <= ErrParse; k++ {
+		if descs[k.String()] == "" {
+			t.Errorf("no description for rule %s", k)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package diag defines the diagnostic model shared by the C++
+// frontend (internal/cpp/sema) and the whole-hierarchy linter
+// (internal/lint): one structured finding type with a rule ID, a
+// severity, an optional source position, and an optional
+// machine-checkable witness, plus deterministic text, JSON, and SARIF
+// renderings.
+//
+// Having one model is what lets cmd/chglint merge "your program is
+// ill-formed" findings from the frontend with "your hierarchy is
+// hazardous" findings from the lint rules, sort them into a single
+// stable order, and emit them through a single writer.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cpplookup/internal/cpp/token"
+)
+
+// Severity grades a diagnostic. The order is significant: thresholds
+// ("fail on warning or worse") compare Severity values directly.
+type Severity uint8
+
+const (
+	// Info marks an observation: nothing is wrong, but the hierarchy
+	// has a property the author may not have intended.
+	Info Severity = iota
+	// Warning marks a hazard: the construct is well-formed but some
+	// uses of it will be rejected or surprising.
+	Warning
+	// Error marks a finding that rejects the program, e.g. an
+	// ill-formed member access diagnosed by the frontend.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", uint8(s))
+}
+
+// ParseSeverity parses the String form back into a Severity.
+func ParseSeverity(s string) (Severity, bool) {
+	switch s {
+	case "info":
+		return Info, true
+	case "warning":
+		return Warning, true
+	case "error":
+		return Error, true
+	}
+	return 0, false
+}
+
+// Witness is the machine-checkable evidence attached to a finding.
+// Which fields are set depends on the rule: an ambiguity carries two
+// conflicting definition paths, a g++ divergence carries the two
+// verdicts and the subobject paths behind them, structural rules carry
+// the classes involved. Paths are rendered as "A -> B -> C" class-name
+// sequences so tests can rebuild and re-check them against the
+// path-enumeration oracle.
+type Witness struct {
+	// Paths holds definition paths (least derived class first).
+	Paths []string
+	// Classes holds the other classes involved: shadowed declarers,
+	// the bases an edge is redundant with, diamond join routes.
+	Classes []string
+	// Paper and Gxx are the two verdicts of a gxx-divergence finding.
+	Paper string
+	Gxx   string
+	// Visited is how many subobjects the g++ scan dequeued before it
+	// committed to its (wrong) answer.
+	Visited int
+	// Abstractions holds the Blue set in the paper's (ldc,
+	// leastVirtual) notation when the concrete paths were too many to
+	// enumerate.
+	Abstractions []string
+}
+
+// Diagnostic is one finding. File and Pos are zero when the hierarchy
+// did not come from source (e.g. a CHG built through the API).
+type Diagnostic struct {
+	File     string
+	Pos      token.Pos
+	Severity Severity
+	Rule     string
+	Class    string
+	Member   string
+	Message  string
+	Witness  *Witness
+}
+
+// Header renders the one-line "file:line:col: severity: rule: message"
+// form, omitting the location parts that are unknown.
+func (d Diagnostic) Header() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		b.WriteString(":")
+	}
+	if d.Pos.IsValid() {
+		b.WriteString(d.Pos.String())
+		b.WriteString(":")
+	}
+	if b.Len() > 0 {
+		b.WriteString(" ")
+	}
+	fmt.Fprintf(&b, "%s: %s: %s", d.Severity, d.Rule, d.Message)
+	return b.String()
+}
+
+func (d Diagnostic) String() string { return d.Header() }
+
+// less is the canonical diagnostic order: file, position, rule ID,
+// class, member, then message as the final tiebreak. Every output
+// format emits diagnostics in this order, which is what makes chglint
+// byte-stable however its rules were scheduled.
+func less(a, b Diagnostic) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Col != b.Pos.Col {
+		return a.Pos.Col < b.Pos.Col
+	}
+	if a.Rule != b.Rule {
+		return a.Rule < b.Rule
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.Member != b.Member {
+		return a.Member < b.Member
+	}
+	return a.Message < b.Message
+}
+
+// Sort orders ds canonically, in place.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool { return less(ds[i], ds[j]) })
+}
+
+// CountAtLeast returns how many diagnostics have severity min or
+// worse.
+func CountAtLeast(ds []Diagnostic, min Severity) int {
+	n := 0
+	for _, d := range ds {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders diagnostics in compiler style: one header line
+// each, followed by indented witness lines.
+func WriteText(w io.Writer, ds []Diagnostic) error {
+	for _, d := range ds {
+		if _, err := fmt.Fprintln(w, d.Header()); err != nil {
+			return err
+		}
+		if d.Witness == nil {
+			continue
+		}
+		wt := d.Witness
+		for _, p := range wt.Paths {
+			fmt.Fprintf(w, "    path: %s\n", p)
+		}
+		for _, a := range wt.Abstractions {
+			fmt.Fprintf(w, "    def: %s\n", a)
+		}
+		if wt.Paper != "" {
+			fmt.Fprintf(w, "    paper: %s\n", wt.Paper)
+		}
+		if wt.Gxx != "" {
+			fmt.Fprintf(w, "    g++: %s\n", wt.Gxx)
+			if wt.Visited > 0 {
+				fmt.Fprintf(w, "    g++ visited %d subobjects\n", wt.Visited)
+			}
+		}
+		if len(wt.Classes) > 0 {
+			fmt.Fprintf(w, "    via: %s\n", strings.Join(wt.Classes, ", "))
+		}
+	}
+	return nil
+}
+
+// jsonWitness and jsonDiag pin the JSON field set and order, so the
+// encoding stays stable independently of the Go struct layout.
+type jsonWitness struct {
+	Paths        []string `json:"paths,omitempty"`
+	Classes      []string `json:"classes,omitempty"`
+	Paper        string   `json:"paper,omitempty"`
+	Gxx          string   `json:"gxx,omitempty"`
+	Visited      int      `json:"visited,omitempty"`
+	Abstractions []string `json:"abstractions,omitempty"`
+}
+
+type jsonDiag struct {
+	File     string       `json:"file,omitempty"`
+	Line     int          `json:"line,omitempty"`
+	Col      int          `json:"col,omitempty"`
+	Severity string       `json:"severity"`
+	Rule     string       `json:"rule"`
+	Class    string       `json:"class,omitempty"`
+	Member   string       `json:"member,omitempty"`
+	Message  string       `json:"message"`
+	Witness  *jsonWitness `json:"witness,omitempty"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (always an array, "[]"
+// when empty).
+func WriteJSON(w io.Writer, ds []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(ds))
+	for _, d := range ds {
+		jd := jsonDiag{
+			File:     d.File,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Severity: d.Severity.String(),
+			Rule:     d.Rule,
+			Class:    d.Class,
+			Member:   d.Member,
+			Message:  d.Message,
+		}
+		if d.Witness != nil {
+			jd.Witness = (*jsonWitness)(d.Witness)
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,200 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/cpp/token"
+)
+
+func sample() []Diagnostic {
+	return []Diagnostic{
+		{File: "b.cpp", Pos: token.Pos{Line: 1, Col: 1}, Severity: Error,
+			Rule: "unknown-member", Class: "A", Member: "x", Message: "no member named x in A"},
+		{File: "a.cpp", Pos: token.Pos{Line: 2, Col: 3}, Severity: Warning,
+			Rule: "ambiguous-member", Class: "Both", Member: "id", Message: "id is ambiguous in Both",
+			Witness: &Witness{Paths: []string{"Tag -> LeftTag -> Both", "Tag -> RightTag -> Both"}}},
+		{File: "a.cpp", Pos: token.Pos{Line: 2, Col: 3}, Severity: Info,
+			Rule: "dead-member", Class: "S", Member: "m", Message: "S::m is dead"},
+		{File: "a.cpp", Pos: token.Pos{Line: 1, Col: 9}, Severity: Warning,
+			Rule: "gxx-divergence", Class: "E", Member: "m", Message: "g++ disagrees",
+			Witness: &Witness{Paper: "resolves to C::m", Gxx: "reported ambiguous", Visited: 4}},
+	}
+}
+
+func TestSortOrder(t *testing.T) {
+	ds := sample()
+	Sort(ds)
+	var got []string
+	for _, d := range ds {
+		got = append(got, d.File+"/"+d.Rule)
+	}
+	want := []string{"a.cpp/gxx-divergence", "a.cpp/ambiguous-member", "a.cpp/dead-member", "b.cpp/unknown-member"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sort order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeaderForms(t *testing.T) {
+	for _, tc := range []struct {
+		d    Diagnostic
+		want string
+	}{
+		{Diagnostic{File: "a.cpp", Pos: token.Pos{Line: 3, Col: 7}, Severity: Error, Rule: "r", Message: "m"},
+			"a.cpp:3:7: error: r: m"},
+		{Diagnostic{Pos: token.Pos{Line: 3, Col: 7}, Severity: Warning, Rule: "r", Message: "m"},
+			"3:7: warning: r: m"},
+		{Diagnostic{File: "a.cpp", Severity: Info, Rule: "r", Message: "m"},
+			"a.cpp: info: r: m"},
+		{Diagnostic{Severity: Error, Rule: "r", Message: "m"},
+			"error: r: m"},
+	} {
+		if got := tc.d.Header(); got != tc.want {
+			t.Errorf("Header() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestWriteTextWitness(t *testing.T) {
+	ds := sample()
+	Sort(ds)
+	var b strings.Builder
+	if err := WriteText(&b, ds); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"    path: Tag -> LeftTag -> Both",
+		"    paper: resolves to C::m",
+		"    g++: reported ambiguous",
+		"    g++ visited 4 subobjects",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	ds := sample()
+	Sort(ds)
+	var b strings.Builder
+	if err := WriteJSON(&b, ds); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(back) != len(ds) {
+		t.Fatalf("decoded %d diagnostics, want %d", len(back), len(ds))
+	}
+	if back[0]["severity"] != "warning" || back[0]["rule"] != "gxx-divergence" {
+		t.Errorf("first entry = %v", back[0])
+	}
+	var empty strings.Builder
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty.String()) != "[]" {
+		t.Errorf("empty output = %q, want []", empty.String())
+	}
+}
+
+// TestSARIFRequiredFields checks the fields the SARIF 2.1.0 schema
+// marks required on the objects we emit: version and runs on the log,
+// tool on the run, driver.name on the tool, and message on every
+// result — plus the ruleIndex/rules cross-references.
+func TestSARIFRequiredFields(t *testing.T) {
+	ds := sample()
+	Sort(ds)
+	var b strings.Builder
+	tool := Tool{Name: "chglint", Version: "1.0", RuleDescriptions: map[string]string{
+		"ambiguous-member": "member lookup is ambiguous",
+	}}
+	if err := WriteSARIF(&b, ds, tool); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version = %q, $schema = %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "chglint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(ds) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(ds))
+	}
+	for _, r := range run.Results {
+		if r.Message.Text == "" {
+			t.Errorf("result %s has empty message", r.RuleID)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Fatalf("ruleIndex %d out of range", r.RuleIndex)
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("ruleIndex points at %q, want %q", got, r.RuleID)
+		}
+	}
+	// Levels map info→note, warning→warning, error→error.
+	if run.Results[0].Level != "warning" {
+		t.Errorf("level = %q, want warning", run.Results[0].Level)
+	}
+
+	// Byte-stable across runs.
+	var b2 strings.Builder
+	if err := WriteSARIF(&b2, ds, tool); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("SARIF output differs between identical runs")
+	}
+}
+
+func TestSeverityParseAndCount(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error} {
+		got, ok := ParseSeverity(s.String())
+		if !ok || got != s {
+			t.Errorf("ParseSeverity(%q) = %v %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := ParseSeverity("fatal"); ok {
+		t.Error("ParseSeverity accepted garbage")
+	}
+	ds := sample()
+	if CountAtLeast(ds, Error) != 1 || CountAtLeast(ds, Warning) != 3 || CountAtLeast(ds, Info) != 4 {
+		t.Errorf("CountAtLeast wrong: %d %d %d",
+			CountAtLeast(ds, Error), CountAtLeast(ds, Warning), CountAtLeast(ds, Info))
+	}
+}

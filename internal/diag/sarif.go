@@ -1,0 +1,164 @@
+package diag
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Tool describes the producer recorded in a SARIF log.
+type Tool struct {
+	Name           string
+	Version        string
+	InformationURI string
+	// RuleDescriptions maps rule IDs to short descriptions; rules that
+	// appear in the results but not here still get a descriptor, just
+	// without a description.
+	RuleDescriptions map[string]string
+}
+
+// The subset of SARIF 2.1.0 that chglint emits. Field order here is
+// the serialization order, chosen once; together with the canonical
+// diagnostic sort it makes the output byte-stable.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string     `json:"id"`
+	ShortDescription *sarifText `json:"shortDescription,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID     string          `json:"ruleId"`
+	RuleIndex  int             `json:"ruleIndex"`
+	Level      string          `json:"level"`
+	Message    sarifText       `json:"message"`
+	Locations  []sarifLocation `json:"locations,omitempty"`
+	Properties *sarifProps     `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifProps carries the class/member context and the witness in the
+// result's property bag, where SARIF puts tool-specific evidence.
+type sarifProps struct {
+	Class   string       `json:"class,omitempty"`
+	Member  string       `json:"member,omitempty"`
+	Witness *jsonWitness `json:"witness,omitempty"`
+}
+
+func (s Severity) sarifLevel() string {
+	switch s {
+	case Info:
+		return "note"
+	case Warning:
+		return "warning"
+	}
+	return "error"
+}
+
+// WriteSARIF renders diagnostics as one SARIF 2.1.0 run. The driver's
+// rules array lists exactly the rule IDs that occur in ds, sorted, and
+// each result references its descriptor by index.
+func WriteSARIF(w io.Writer, ds []Diagnostic, tool Tool) error {
+	seen := map[string]bool{}
+	var ids []string
+	for _, d := range ds {
+		if !seen[d.Rule] {
+			seen[d.Rule] = true
+			ids = append(ids, d.Rule)
+		}
+	}
+	sort.Strings(ids)
+	index := make(map[string]int, len(ids))
+	rules := make([]sarifRule, 0, len(ids))
+	for i, id := range ids {
+		index[id] = i
+		r := sarifRule{ID: id}
+		if desc := tool.RuleDescriptions[id]; desc != "" {
+			r.ShortDescription = &sarifText{Text: desc}
+		}
+		rules = append(rules, r)
+	}
+
+	results := make([]sarifResult, 0, len(ds))
+	for _, d := range ds {
+		res := sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: index[d.Rule],
+			Level:     d.Severity.sarifLevel(),
+			Message:   sarifText{Text: d.Message},
+		}
+		if d.File != "" {
+			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
+			if d.Pos.IsValid() {
+				phys.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+			}
+			res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		}
+		if d.Class != "" || d.Member != "" || d.Witness != nil {
+			p := &sarifProps{Class: d.Class, Member: d.Member}
+			if d.Witness != nil {
+				p.Witness = (*jsonWitness)(d.Witness)
+			}
+			res.Properties = p
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           tool.Name,
+				Version:        tool.Version,
+				InformationURI: tool.InformationURI,
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}

@@ -253,3 +253,32 @@ func TestWorkspaceSnapshotIsCopyOnWrite(t *testing.T) {
 		t.Fatal("old snapshot mutated by edit")
 	}
 }
+
+// EachTableEntry visits exactly the table's entries, in the canonical
+// (topological class, member id) order.
+func TestEachTableEntry(t *testing.T) {
+	g := hiergen.Figure3()
+	snap := NewSnapshot(g, core.WithStaticRule())
+	table := snap.Table()
+	n := 0
+	lastTopo, lastMember := -1, -1
+	snap.EachTableEntry(func(c chg.ClassID, m chg.MemberID, r core.Result) {
+		n++
+		if tp := g.TopoPos(c); tp != lastTopo {
+			if tp < lastTopo {
+				t.Fatalf("classes out of topological order at %s", g.Name(c))
+			}
+			lastTopo, lastMember = tp, -1
+		}
+		if int(m) <= lastMember {
+			t.Fatalf("members out of order at %s::%s", g.Name(c), g.MemberName(m))
+		}
+		lastMember = int(m)
+		if want := table.Lookup(c, m); !reflect.DeepEqual(r, want) {
+			t.Fatalf("entry (%s, %s) = %+v, want %+v", g.Name(c), g.MemberName(m), r, want)
+		}
+	})
+	if n != table.Entries() {
+		t.Fatalf("visited %d entries, table has %d", n, table.Entries())
+	}
+}

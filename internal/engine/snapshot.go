@@ -139,6 +139,20 @@ func (s *Snapshot) Table() *core.Table {
 	return s.table
 }
 
+// EachTableEntry calls fn for every (class, member) pair of the
+// snapshot's tabulated lookup function — classes in topological order,
+// member names in id order. This is the one deterministic iteration
+// order every whole-table consumer (chglint's rules, the ambiguity
+// listing) shares; the table is built once on first use.
+func (s *Snapshot) EachTableEntry(fn func(c chg.ClassID, m chg.MemberID, r core.Result)) {
+	t := s.Table()
+	for _, c := range s.k.Graph().Topo() {
+		for _, m := range t.Members(c) {
+			fn(c, m, t.Lookup(c, m))
+		}
+	}
+}
+
 // CachedEntries reports how many lookup results the lazy cache
 // currently holds (the table built by Table is not counted). Intended
 // for tests and observability.

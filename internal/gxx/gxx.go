@@ -56,11 +56,40 @@ type Result struct {
 	Visited   int          // subobjects dequeued before the scan ended
 }
 
+// Trace is the evidence behind a g++-style lookup: which declaring
+// subobjects the breadth-first scan met, in dequeue order, and — when
+// the scan quit with an ambiguity report — the incomparable pair that
+// made it quit. It is what lets a diagnostic *show* the Figure 9
+// failure: on lookup(E, m) the scan meets the A and B subobjects,
+// finds them incomparable, and gives up while the dominating C
+// definition is still sitting in its queue.
+type Trace struct {
+	// Seen lists the subobjects declaring m, in the order the scan
+	// dequeued them.
+	Seen []subobject.ID
+	// Best is the scan's final "most dominant so far" when it
+	// resolved; HaveBest reports whether any definition was found.
+	Best     subobject.ID
+	HaveBest bool
+	// Conflict is the incomparable pair (previous best, newly met)
+	// that triggered the ambiguity report, valid only when the result
+	// outcome is ReportedAmbiguous.
+	Conflict [2]subobject.ID
+}
+
 // Lookup runs the g++ 2.7.2.1 algorithm for member m over a prebuilt
 // subobject graph, bug included.
 func Lookup(sg *subobject.Graph, m chg.MemberID) Result {
+	r, _ := LookupTrace(sg, m)
+	return r
+}
+
+// LookupTrace is Lookup plus the witness trace of how the scan
+// arrived at its answer.
+func LookupTrace(sg *subobject.Graph, m chg.MemberID) (Result, Trace) {
 	g := sg.CHG()
 	res := Result{Outcome: NotFound}
+	var tr Trace
 
 	root := sg.Root()
 	// "If class X itself does not have a member called m, the
@@ -71,7 +100,9 @@ func Lookup(sg *subobject.Graph, m chg.MemberID) Result {
 		res.Subobject = root
 		res.Class = sg.Class(root)
 		res.Visited = 1
-		return res
+		tr.Seen = []subobject.ID{root}
+		tr.Best, tr.HaveBest = root, true
+		return res, tr
 	}
 
 	type state struct {
@@ -93,6 +124,7 @@ func Lookup(sg *subobject.Graph, m chg.MemberID) Result {
 		queue = queue[1:]
 		res.Visited++
 		if g.Declares(sg.Class(cur), m) {
+			tr.Seen = append(tr.Seen, cur)
 			switch {
 			case !haveBest:
 				haveBest = true
@@ -106,7 +138,9 @@ func Lookup(sg *subobject.Graph, m chg.MemberID) Result {
 				// report ambiguity and quit, even though a dominator
 				// of both may still be waiting in the queue.
 				res.Outcome = ReportedAmbiguous
-				return res
+				tr.Conflict = [2]subobject.ID{best, cur}
+				tr.Best, tr.HaveBest = best, true
+				return res, tr
 			}
 		}
 		for _, c := range sg.Subobject(cur).Contains {
@@ -120,8 +154,9 @@ func Lookup(sg *subobject.Graph, m chg.MemberID) Result {
 		res.Outcome = Resolved
 		res.Subobject = best
 		res.Class = sg.Class(best)
+		tr.Best, tr.HaveBest = best, true
 	}
-	return res
+	return res, tr
 }
 
 // Exhaustive is the corrected subobject-graph lookup: scan everything,

@@ -187,3 +187,61 @@ func TestOutcomeString(t *testing.T) {
 		t.Error("Outcome strings wrong")
 	}
 }
+
+// The trace behind the Figure 9 failure: the scan meets the A and B
+// subobjects, finds them incomparable, and quits — with the dominating
+// C definition never dequeued.
+func TestLookupTraceFigure9(t *testing.T) {
+	g := hiergen.Figure9()
+	sg := mustBuild(t, g, "E")
+	m := g.MustMemberID("m")
+
+	r, tr := LookupTrace(sg, m)
+	if r.Outcome != ReportedAmbiguous {
+		t.Fatalf("outcome = %v, want reported-ambiguous", r.Outcome)
+	}
+	got := map[string]bool{
+		g.Name(sg.Class(tr.Conflict[0])): true,
+		g.Name(sg.Class(tr.Conflict[1])): true,
+	}
+	if !got["A"] || !got["B"] {
+		t.Errorf("conflict pair = %v, want the A and B subobjects", got)
+	}
+	for _, s := range tr.Seen {
+		if name := g.Name(sg.Class(s)); name == "C" {
+			t.Errorf("scan should have quit before dequeuing C; Seen = %v", tr.Seen)
+		}
+	}
+}
+
+// Lookup is a thin wrapper over LookupTrace, and a resolved trace's
+// Best matches the result.
+func TestLookupTraceConsistency(t *testing.T) {
+	for _, tc := range []struct {
+		g   *chg.Graph
+		top string
+		m   string
+	}{
+		{hiergen.Figure1(), "E", "m"},
+		{hiergen.Figure2(), "E", "m"},
+		{hiergen.Figure3(), "H", "foo"},
+		{hiergen.Figure3(), "H", "bar"},
+		{hiergen.Figure9(), "E", "m"},
+		{hiergen.Figure9(), "D", "m"},
+	} {
+		sg := mustBuild(t, tc.g, tc.top)
+		m := tc.g.MustMemberID(tc.m)
+		r1 := Lookup(sg, m)
+		r2, tr := LookupTrace(sg, m)
+		if r1 != r2 {
+			t.Errorf("%s::%s: Lookup = %+v, LookupTrace = %+v", tc.top, tc.m, r1, r2)
+		}
+		if r2.Outcome == Resolved && (!tr.HaveBest || tr.Best != r2.Subobject) {
+			t.Errorf("%s::%s: trace best %v/%v disagrees with result %v",
+				tc.top, tc.m, tr.HaveBest, tr.Best, r2.Subobject)
+		}
+		if r2.Outcome == Resolved && len(tr.Seen) == 0 {
+			t.Errorf("%s::%s: resolved with empty Seen", tc.top, tc.m)
+		}
+	}
+}

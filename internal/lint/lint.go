@@ -1,0 +1,286 @@
+// Package lint is the whole-hierarchy diagnostics engine (chglint): a
+// rule-based static analysis over a frozen class hierarchy graph and
+// its full lookup table.
+//
+// Where the frontend (internal/cpp/sema) diagnoses individual member
+// accesses, lint diagnoses the *hierarchy*: every finding is decidable
+// from the CHG and one Figure-8 lookup pass per member name, with no
+// program text required. Each finding carries a machine-checkable
+// witness — two conflicting definition paths for an ambiguity, the
+// incomparable subobject pair behind a g++ divergence, the classes a
+// redundant edge or duplicated base travels through — so a test (or a
+// skeptical user) can re-derive it from the paper's definitions.
+//
+// Rules run in parallel: member-indexed rules per member name (the
+// axis along which Figure 8's dataflow decomposes) and class-indexed
+// rules per class, all over one engine.Snapshot sharing a single
+// eager table build. Results are merged and sorted into the canonical
+// diagnostic order, so the output is deterministic however the work
+// was scheduled.
+package lint
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/token"
+	"cpplookup/internal/diag"
+	"cpplookup/internal/engine"
+)
+
+// Rule IDs, one per check.
+const (
+	// AmbiguousMember: lookup[C,m] is Blue — no definition dominates,
+	// and any use of C::m is ill-formed (Definition 9).
+	AmbiguousMember = "ambiguous-member"
+	// DeadMember: a declaration that is never the result of any
+	// lookup in any derived class (every derived class shadows it).
+	DeadMember = "dead-member"
+	// DiamondWithoutVirtual: a base class duplicated into several
+	// distinct subobjects because no path to it is virtual.
+	DiamondWithoutVirtual = "diamond-without-virtual"
+	// DominanceShadowing: a derived declaration hides a base
+	// declaration by dominance (Definition 5).
+	DominanceShadowing = "dominance-shadowing"
+	// GxxDivergence: the g++ 2.7.2.1 baseline (internal/gxx) and the
+	// paper's algorithm disagree on a table cell — Figure 9 as a
+	// diagnostic.
+	GxxDivergence = "gxx-divergence"
+	// RedundantInheritanceEdge: a direct base that is already
+	// inherited through another direct base.
+	RedundantInheritanceEdge = "redundant-inheritance-edge"
+)
+
+// Rule describes one lint check.
+type Rule struct {
+	ID       string
+	Severity diag.Severity
+	Doc      string
+}
+
+// Rules lists every rule in ID order. Hierarchy-level ambiguity is a
+// warning, not an error: C++ diagnoses ambiguity at the point of use,
+// so a Blue table cell makes uses ill-formed without making the
+// hierarchy itself ill-formed (the frontend reports the error at the
+// access).
+var Rules = []Rule{
+	{AmbiguousMember, diag.Warning,
+		"member lookup has no dominant definition; any use of the member is ill-formed"},
+	{DeadMember, diag.Info,
+		"declaration is shadowed in every derived class and is never the result of a lookup below it"},
+	{DiamondWithoutVirtual, diag.Warning,
+		"a repeated base class is duplicated into distinct subobjects because no inheritance path to it is virtual"},
+	{DominanceShadowing, diag.Warning,
+		"a derived declaration hides a base declaration of the same name by dominance"},
+	{GxxDivergence, diag.Warning,
+		"the g++ 2.7.2.1 baseline lookup disagrees with the paper's algorithm on this member"},
+	{RedundantInheritanceEdge, diag.Warning,
+		"a direct base is already inherited through another direct base"},
+}
+
+// RuleIDs returns every rule ID in order.
+func RuleIDs() []string {
+	ids := make([]string, len(Rules))
+	for i, r := range Rules {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Descriptions maps rule IDs to their one-line docs (the SARIF rule
+// descriptors).
+func Descriptions() map[string]string {
+	m := make(map[string]string, len(Rules))
+	for _, r := range Rules {
+		m[r.ID] = r.Doc
+	}
+	return m
+}
+
+func severityOf(id string) diag.Severity {
+	for _, r := range Rules {
+		if r.ID == id {
+			return r.Severity
+		}
+	}
+	return diag.Warning
+}
+
+// Source supplies source positions for classes and members when the
+// hierarchy came from the C++ frontend. *sema.Unit implements it.
+type Source interface {
+	ClassPos(chg.ClassID) (token.Pos, bool)
+	MemberPos(chg.ClassID, chg.MemberID) (token.Pos, bool)
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Rules enables only the listed rule IDs; nil enables all.
+	Rules []string
+	// File is recorded on every diagnostic (the input path).
+	File string
+	// Source provides positions; nil leaves diagnostics positionless.
+	Source Source
+	// Workers bounds the parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// SubobjectLimit gates the gxx-divergence rule: context classes
+	// whose subobject graph is larger are skipped (the baseline is
+	// exponential; the table is not). 0 means DefaultSubobjectLimit.
+	SubobjectLimit int
+	// PathLimit gates witness enumeration for ambiguous-member:
+	// beyond this many CHG paths the witness falls back to the Blue
+	// set's abstractions. 0 means DefaultPathLimit.
+	PathLimit int
+}
+
+// DefaultSubobjectLimit bounds the subobject graphs the gxx rule will
+// build, and DefaultPathLimit the paths the ambiguity witness will
+// enumerate. Both guard the exponential baselines, not the paper's
+// algorithm.
+const (
+	DefaultSubobjectLimit = 1 << 12
+	DefaultPathLimit      = 1 << 12
+)
+
+// Run lints the snapshot's hierarchy and returns the findings in
+// canonical order. The snapshot should be built with
+// core.WithStaticRule() so the table (and therefore every rule) sees
+// the paper's Definition 16–17 treatment of static members; the cli
+// and facade constructors do this.
+func Run(snap *engine.Snapshot, opts Options) ([]diag.Diagnostic, error) {
+	enabled, err := ruleSet(opts.Rules)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		g:       snap.Graph(),
+		t:       snap.Table(),
+		opts:    opts,
+		enabled: enabled,
+	}
+	if r.subLimit = opts.SubobjectLimit; r.subLimit <= 0 {
+		r.subLimit = DefaultSubobjectLimit
+	}
+	if r.pathLimit = opts.PathLimit; r.pathLimit <= 0 {
+		r.pathLimit = DefaultPathLimit
+	}
+
+	// Member-indexed rules fan out per member name, class-indexed
+	// rules per class. Each task appends only to its own slot, so the
+	// workers never contend; the final sort erases scheduling order.
+	byMember := make([][]diag.Diagnostic, r.g.NumMemberNames())
+	parallelFor(len(byMember), opts.Workers, func(i int) {
+		byMember[i] = r.checkMember(chg.MemberID(i))
+	})
+	byClass := make([][]diag.Diagnostic, r.g.NumClasses())
+	parallelFor(len(byClass), opts.Workers, func(i int) {
+		byClass[i] = r.checkClass(chg.ClassID(i))
+	})
+
+	var out []diag.Diagnostic
+	for _, ds := range byMember {
+		out = append(out, ds...)
+	}
+	for _, ds := range byClass {
+		out = append(out, ds...)
+	}
+	diag.Sort(out)
+	return out, nil
+}
+
+func ruleSet(ids []string) (map[string]bool, error) {
+	enabled := make(map[string]bool, len(Rules))
+	if ids == nil {
+		for _, r := range Rules {
+			enabled[r.ID] = true
+		}
+		return enabled, nil
+	}
+	known := Descriptions()
+	for _, id := range ids {
+		if _, ok := known[id]; !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", id)
+		}
+		enabled[id] = true
+	}
+	return enabled, nil
+}
+
+// parallelFor runs f(0..n-1) over a bounded worker pool, stealing
+// indices from a shared counter.
+func parallelFor(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runner holds the shared read-only state of one lint run.
+type runner struct {
+	g       *chg.Graph
+	t       *core.Table
+	opts    Options
+	enabled map[string]bool
+
+	subLimit  int
+	pathLimit int
+}
+
+func (r *runner) classPos(c chg.ClassID) token.Pos {
+	if r.opts.Source != nil {
+		if p, ok := r.opts.Source.ClassPos(c); ok {
+			return p
+		}
+	}
+	return token.Pos{}
+}
+
+func (r *runner) memberPos(c chg.ClassID, m chg.MemberID) token.Pos {
+	if r.opts.Source != nil {
+		if p, ok := r.opts.Source.MemberPos(c, m); ok {
+			return p
+		}
+	}
+	return r.classPos(c)
+}
+
+func (r *runner) diag(rule string, pos token.Pos, c chg.ClassID, member, msg string, w *diag.Witness) diag.Diagnostic {
+	return diag.Diagnostic{
+		File:     r.opts.File,
+		Pos:      pos,
+		Severity: severityOf(rule),
+		Rule:     rule,
+		Class:    r.g.Name(c),
+		Member:   member,
+		Message:  msg,
+		Witness:  w,
+	}
+}

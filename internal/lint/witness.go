@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/diag"
+	"cpplookup/internal/paths"
+	"cpplookup/internal/subobject"
+)
+
+// renderPath renders a CHG path as "Ldc -> ... -> Mdc" class names —
+// the witness form tests can split and rebuild with paths.ByNames.
+func renderPath(g *chg.Graph, nodes []chg.ClassID) string {
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = g.Name(n)
+	}
+	return strings.Join(names, " -> ")
+}
+
+// ambiguityWitness reconstructs two minimal conflicting definition
+// paths for a Blue cell from the path-enumeration oracle
+// (internal/paths): two maximal elements of Defns(C, m) — neither
+// dominates the other (Definition 16), which is exactly why the
+// lookup has no most-dominant element. Each path is the shortest
+// member of its ≈-class. When the hierarchy has too many paths to
+// enumerate, the witness falls back to the Blue set's abstractions.
+func (r *runner) ambiguityWitness(c chg.ClassID, m chg.MemberID, res core.Result) *diag.Witness {
+	g := r.g
+	if subobject.CountPaths(g, c).Cmp(big.NewInt(int64(r.pathLimit))) > 0 {
+		return r.abstractWitness(res)
+	}
+	maximal := paths.Maximal(paths.Defns(g, c, m, r.pathLimit))
+	if len(maximal) < 2 {
+		return r.abstractWitness(res)
+	}
+	// Prefer a pair with distinct declaring classes — "A::m conflicts
+	// with B::m" reads better than two copies of the same class — and
+	// fall back to the first two ≈-classes (distinct subobjects of one
+	// class, the static-member shape).
+	i, j := 0, 1
+search:
+	for a := 0; a < len(maximal); a++ {
+		for b := a + 1; b < len(maximal); b++ {
+			if maximal[a].Ldc() != maximal[b].Ldc() {
+				i, j = a, b
+				break search
+			}
+		}
+	}
+	p, q := shortestMember(maximal[i]), shortestMember(maximal[j])
+	pair := []paths.Path{p, q}
+	paths.SortPaths(pair)
+	return &diag.Witness{
+		Paths: []string{
+			renderPath(g, pair[0].Nodes()),
+			renderPath(g, pair[1].Nodes()),
+		},
+		Classes: []string{g.Name(pair[0].Ldc()), g.Name(pair[1].Ldc())},
+	}
+}
+
+// shortestMember returns the minimal representative of a subobject's
+// path ≈-class.
+func shortestMember(ec paths.EquivClass) paths.Path {
+	ms := append([]paths.Path(nil), ec.Members...)
+	paths.SortPaths(ms)
+	return ms[0]
+}
+
+// abstractWitness renders the Blue set in the paper's (ldc,
+// leastVirtual) notation.
+func (r *runner) abstractWitness(res core.Result) *diag.Witness {
+	if len(res.Blue) == 0 {
+		return nil
+	}
+	w := &diag.Witness{}
+	for _, d := range res.Blue {
+		w.Abstractions = append(w.Abstractions, fmt.Sprintf("(%s, %s)", r.className(d.L), r.className(d.V)))
+	}
+	return w
+}
+
+func (r *runner) className(c chg.ClassID) string {
+	if c == chg.Omega {
+		return "Ω"
+	}
+	return r.g.Name(c)
+}

@@ -115,3 +115,66 @@ func TestClassesSuggestions(t *testing.T) {
 		t.Errorf("class suggestions = %v", got)
 	}
 }
+
+// Equal-distance candidates must rank alphabetically — the tie-break
+// that keeps did-you-mean output (and therefore diagnostic text)
+// deterministic.
+func TestMembersRankingTies(t *testing.T) {
+	b := chg.NewBuilder()
+	c := b.Class("C")
+	// All four are distance 1 from "datx"; none equals it.
+	b.Method(c, "data")
+	b.Method(c, "date")
+	b.Method(c, "dats")
+	b.Method(c, "datu")
+	g := b.MustBuild()
+	table := core.New(g).BuildTable()
+
+	got := Members(table, g.MustID("C"), "datx", 0)
+	want := []string{"data", "date", "dats", "datu"}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want alphabetical tie-break %v", got, want)
+		}
+	}
+
+	// A closer candidate still outranks the alphabetically-earliest
+	// tie: distance sorts before name.
+	b2 := chg.NewBuilder()
+	d := b2.Class("D")
+	b2.Method(d, "aeld")  // distance 2 from "field", alphabetically first
+	b2.Method(d, "fielx") // distance 1
+	g2 := b2.MustBuild()
+	t2 := core.New(g2).BuildTable()
+	if got := Members(t2, g2.MustID("D"), "field", 2); len(got) != 2 || got[0] != "fielx" {
+		t.Errorf("Members = %v, want the distance-1 candidate first", got)
+	}
+
+	// max truncates after the deterministic order is fixed.
+	if got := Members(table, g.MustID("C"), "datx", 2); len(got) != 2 || got[0] != "data" || got[1] != "date" {
+		t.Errorf("Members with max=2 = %v, want [data date]", got)
+	}
+}
+
+// Classes uses the same ranking; ties in a hierarchy's class names
+// come out alphabetically too.
+func TestClassesRankingTies(t *testing.T) {
+	b := chg.NewBuilder()
+	b.Class("Base1")
+	b.Class("Base2")
+	b.Class("Base3")
+	g := b.MustBuild()
+	got := Classes(g, "Base", 0)
+	want := []string{"Base1", "Base2", "Base3"}
+	if len(got) != len(want) {
+		t.Fatalf("Classes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Classes = %v, want %v", got, want)
+		}
+	}
+}
