@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check
+.PHONY: build test race vet lint check verify golden golden-check
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,16 @@ vet:
 lint:
 	$(GO) run ./cmd/chglint -fail-on=error ./examples
 
+# Regenerate the CLI golden transcripts in internal/cli/testdata/golden.
+golden:
+	$(GO) test ./internal/cli -run Goldens -update
+
+# Fail if the checked-in goldens are stale w.r.t. the current code.
+golden-check: golden
+	git diff --exit-code internal/cli/testdata/golden
+
 check: build vet test lint
+
+# Everything CI runs: build, vet, the full test suite, the example
+# lint gate, and golden staleness.
+verify: build vet test lint golden-check

@@ -345,6 +345,56 @@ func BenchmarkSnapshotLookupParallel(b *testing.B) {
 	})
 }
 
+// --- E13: packed cells — allocation profile of the lookup cache ---
+
+// BenchmarkPackedCells is the E13 benchmark family; run with -benchmem.
+// warm-hit must report 0 allocs/op (one array index + one atomic word
+// load, decoded in registers); cold-fill and table-build show the
+// amortized build cost of the packed representation.
+func BenchmarkPackedCells(b *testing.B) {
+	g := hiergen.Realistic(16, 3)
+	table := core.New(g).BuildTable()
+	type query struct {
+		c chg.ClassID
+		m chg.MemberID
+	}
+	var qs []query
+	for c := 0; c < g.NumClasses(); c++ {
+		for _, m := range table.Members(chg.ClassID(c)) {
+			qs = append(qs, query{chg.ClassID(c), m})
+		}
+	}
+	b.Run("warm-hit", func(b *testing.B) {
+		snap := engine.NewSnapshot(g)
+		for _, q := range qs {
+			snap.Lookup(q.c, q.m)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			snap.Lookup(q.c, q.m)
+		}
+	})
+	b.Run("cold-fill", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap := engine.NewSnapshot(g)
+			for _, q := range qs {
+				snap.Lookup(q.c, q.m)
+			}
+		}
+	})
+	b.Run("table-build", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.NewSnapshot(g).Table()
+		}
+	})
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationNoKilling(b *testing.B) {

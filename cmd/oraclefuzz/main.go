@@ -77,11 +77,11 @@ func main() {
 func agree(want paths.Result, got core.Result) bool {
 	switch {
 	case len(want.Defns) == 0:
-		return got.Kind == core.Undefined
+		return got.Kind() == core.Undefined
 	case want.Ambiguous:
-		return got.Kind == core.BlueKind
+		return got.Kind() == core.BlueKind
 	default:
-		return got.Kind == core.RedKind && got.Class() == want.Subobject.Ldc()
+		return got.Kind() == core.RedKind && got.Class() == want.Subobject.Ldc()
 	}
 }
 

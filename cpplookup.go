@@ -87,8 +87,14 @@ type (
 	// Table is the eagerly tabulated lookup function.
 	Table = core.Table
 	// Result is a lookup outcome: red (unambiguous), blue
-	// (ambiguous), or undefined (no such member).
+	// (ambiguous), or undefined (no such member). Read it through its
+	// accessors (Kind, Def, Blue, StaticSet, Path) and compare with
+	// Result.Equal; its storage form is a packed word-sized Cell.
 	Result = core.Result
+	// Cell is the packed uint64 storage form of a Result.
+	Cell = core.Cell
+	// Pool interns the rare payload-carrying results behind Cells.
+	Pool = core.Pool
 	// Def is the (ldc, leastVirtual) abstraction of a definition.
 	Def = core.Def
 	// Option configures an Analyzer.

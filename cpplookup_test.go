@@ -24,19 +24,19 @@ func TestFacadeBuilderAndAnalyzer(t *testing.T) {
 
 	a := cpplookup.NewAnalyzer(g, cpplookup.WithTrackPaths(), cpplookup.WithStaticRule())
 	r := a.LookupByName("Derived", "f")
-	if r.Kind != cpplookup.Red {
+	if r.Kind() != cpplookup.Red {
 		t.Fatalf("lookup(Derived, f) = %s", r.Format(g))
 	}
 	if g.Name(r.Class()) != "Base" {
 		t.Errorf("resolves to %s", g.Name(r.Class()))
 	}
-	if r.Def.V != g.MustID("Base") {
-		t.Errorf("leastVirtual = %v, want Base (virtual edge)", r.Def.V)
+	if r.Def().V != g.MustID("Base") {
+		t.Errorf("leastVirtual = %v, want Base (virtual edge)", r.Def().V)
 	}
-	if len(r.Path) != 3 {
-		t.Errorf("path = %v", r.Path)
+	if len(r.Path()) != 3 {
+		t.Errorf("path = %v", r.Path())
 	}
-	if rr := a.LookupByName("Derived", "nope"); rr.Kind != cpplookup.Undefined {
+	if rr := a.LookupByName("Derived", "nope"); rr.Kind() != cpplookup.Undefined {
 		t.Errorf("unknown member = %s", rr.Format(g))
 	}
 }
@@ -76,7 +76,7 @@ func TestFacadeTable(t *testing.T) {
 	if table.CountAmbiguous() != 1 {
 		t.Errorf("ambiguous entries = %d", table.CountAmbiguous())
 	}
-	if r := table.LookupByName("D", "m"); r.Kind != cpplookup.Blue {
+	if r := table.LookupByName("D", "m"); r.Kind() != cpplookup.Blue {
 		t.Errorf("lookup(D, m) = %s", r.Format(g))
 	}
 	if cpplookup.Omega != -1 {

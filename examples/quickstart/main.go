@@ -53,7 +53,7 @@ func main() {
 		r := an.LookupByName(q.class, q.member)
 		switch {
 		case r.Found():
-			p := paths.MustNew(graph, r.Path...)
+			p := paths.MustNew(graph, r.Path()...)
 			fmt.Printf("lookup(%s, %s) = %s::%s   (abstraction %s, path %s)\n",
 				q.class, q.member, graph.Name(r.Class()), q.member, r.Format(graph), p)
 		case r.Ambiguous():

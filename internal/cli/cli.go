@@ -83,10 +83,10 @@ func PrintDiags(w io.Writer, unit *sema.Unit) {
 func PrintLookup(w io.Writer, snap *engine.Snapshot, class, member string) {
 	g := snap.Graph()
 	r := snap.LookupByName(class, member)
-	switch r.Kind {
+	switch r.Kind() {
 	case core.RedKind:
-		names := make([]string, len(r.Path))
-		for i, id := range r.Path {
+		names := make([]string, len(r.Path()))
+		for i, id := range r.Path() {
 			names[i] = g.Name(id)
 		}
 		fmt.Fprintf(w, "lookup(%s, %s) = %s::%s  [%s, path %s]\n",

@@ -29,7 +29,7 @@ func WriteLookupDot(w io.Writer, snap *engine.Snapshot, member string) error {
 		r := snap.Lookup(cid, mid)
 		label := g.Name(cid)
 		attrs := []string{}
-		switch r.Kind {
+		switch r.Kind() {
 		case core.RedKind:
 			label += "\n" + r.Format(g)
 			attrs = append(attrs, "color=red")

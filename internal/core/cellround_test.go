@@ -1,0 +1,224 @@
+package core
+
+// Round-trip properties of the packed cell representation: decoding a
+// cell through the Result accessors and re-encoding the pieces through
+// the pool constructors must reproduce the identical word (interning
+// makes re-encoding hit the same payload index), and the accessor view
+// must render byte-identically to the wide struct the fields used to
+// live in.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cpplookup/internal/chg"
+)
+
+// reencode rebuilds r from nothing but its accessor views, through the
+// same pool the original was interned in.
+func reencode(p *Pool, r Result) Result {
+	switch r.Kind() {
+	case Undefined:
+		return UndefinedResult()
+	case RedKind:
+		return p.RedDetailed(r.Def(), r.StaticSet(), r.StaticRed(), r.Path())
+	default:
+		return p.Blue(r.Blue())
+	}
+}
+
+// oldResult is the pre-refactor wide struct, field for field; String
+// and JSON output of the packed Result must match it byte for byte.
+type oldResult struct {
+	Kind      Kind
+	Def       Def
+	StaticSet []chg.ClassID
+	StaticRed []chg.ClassID
+	Blue      []Def
+	Path      []chg.ClassID
+}
+
+func widen(r Result) oldResult {
+	return oldResult{
+		Kind:      r.Kind(),
+		Def:       r.Def(),
+		StaticSet: r.StaticSet(),
+		StaticRed: r.StaticRed(),
+		Blue:      r.Blue(),
+		Path:      r.Path(),
+	}
+}
+
+// checkRoundTrip asserts both properties for one result.
+func checkRoundTrip(t *testing.T, p *Pool, r Result, ctx string) {
+	t.Helper()
+	if got := reencode(p, r); got.Cell() != r.Cell() {
+		t.Fatalf("%s: re-encoded cell %#x != original %#x (%s)", ctx, got.Cell(), r.Cell(), r)
+	}
+	wide := widen(r)
+	if got, want := r.String(), fmt.Sprint(wide); got != want {
+		t.Fatalf("%s: String() = %q, old struct renders %q", ctx, got, want)
+	}
+	gotJ, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("%s: MarshalJSON: %v", ctx, err)
+	}
+	wantJ, err := json.Marshal(wide)
+	if err != nil {
+		t.Fatalf("%s: marshal old struct: %v", ctx, err)
+	}
+	if string(gotJ) != string(wantJ) {
+		t.Fatalf("%s: JSON = %s, old struct marshals %s", ctx, gotJ, wantJ)
+	}
+}
+
+// TestCellRoundTripQuick runs the round-trip properties over every
+// result of random hierarchies under every option combination.
+func TestCellRoundTripQuick(t *testing.T) {
+	optSets := map[string][]Option{
+		"plain":  nil,
+		"static": {WithStaticRule()},
+		"paths":  {WithTrackPaths()},
+		"both":   {WithStaticRule(), WithTrackPaths()},
+	}
+	f := func(s spec) bool {
+		g := s.build()
+		for name, opts := range optSets {
+			a := New(g, opts...)
+			p := a.Kernel().Pool()
+			for c := 0; c < g.NumClasses(); c++ {
+				for m := 0; m < g.NumMemberNames(); m++ {
+					r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
+					checkRoundTrip(t, p, r,
+						fmt.Sprintf("%s lookup(%s, %s)", name, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m))))
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInlineRedEncodeDecode exercises the inline Red fast path directly
+// on random Defs: any Def whose ids fit the 31-bit biased fields must
+// encode inline and decode to itself; Ω must pack as the biased zero.
+func TestInlineRedEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		d := Def{
+			L: chg.ClassID(rng.Intn(1<<31-1) - 1), // includes Ω = -1
+			V: chg.ClassID(rng.Intn(1<<31-1) - 1),
+		}
+		c, ok := cellRed(d)
+		if !ok {
+			t.Fatalf("cellRed(%+v) refused an in-range Def", d)
+		}
+		if c.tag() != cellTagRed {
+			t.Fatalf("cellRed(%+v) tag = %d, want inline red", d, c.tag())
+		}
+		if got := c.inlineDef(); got != d {
+			t.Fatalf("decode(encode(%+v)) = %+v", d, got)
+		}
+		// The same Def through a pool must produce the identical word
+		// (inline encodings bypass the pool entirely).
+		p := NewPool()
+		if r := p.Red(d); r.Cell() != c {
+			t.Fatalf("Pool.Red(%+v) cell %#x != direct encoding %#x", d, r.Cell(), c)
+		}
+	}
+	// Out-of-range ids must overflow to the pooled fallback, not wrap.
+	huge := Def{L: chg.ClassID(1<<31 - 1), V: 0}
+	if _, ok := cellRed(huge); ok {
+		t.Fatalf("cellRed accepted out-of-range L %d", huge.L)
+	}
+	p := NewPool()
+	r := p.Red(huge)
+	if r.Cell().tag() != cellTagPooled || r.Def() != huge {
+		t.Fatalf("pooled fallback for %+v = %s (tag %d)", huge, r, r.Cell().tag())
+	}
+}
+
+// FuzzCellRoundTrip feeds arbitrary words in as cells: decoding any
+// inline-tagged word and re-encoding what the accessors report must
+// reproduce the word, and no word may decode to an inconsistent view.
+func FuzzCellRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(cellUndefined))
+	if c, ok := cellRed(Def{L: 3, V: chg.Omega}); ok {
+		f.Add(uint64(c))
+	}
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		c := Cell(w)
+		switch c.tag() {
+		case cellTagZero, cellTagUndef:
+			// Both read as Undefined through a pool-free view.
+			r := Result{cell: c}
+			if r.Kind() != Undefined {
+				t.Fatalf("tag %d decoded as %v", c.tag(), r.Kind())
+			}
+		case cellTagRed:
+			d := c.inlineDef()
+			rc, ok := cellRed(d)
+			if !ok {
+				t.Fatalf("inline red %#x decoded to unencodable Def %+v", w, d)
+			}
+			if rc != c {
+				t.Fatalf("re-encode(%#x) = %#x via Def %+v", w, rc, d)
+			}
+		case cellTagPooled:
+			// An arbitrary word may lie outside the encoder's image
+			// (kind bits 3, junk between the index and the kind); only
+			// words inside it must round-trip. The index is arbitrary
+			// either way, so only pool-free parts are consulted.
+			k := c.Kind()
+			if k != RedKind && k != BlueKind && k != Undefined {
+				return
+			}
+			if rc := cellPooled(k, uint32(uint64(c)&cellIndexMask)); rc != c {
+				return // junk in the unused middle bits: outside the image
+			} else if rc.poolIndex() != uint32(uint64(c)&cellIndexMask) {
+				t.Fatalf("pooled word %#x index round-trip broke", w)
+			}
+		}
+	})
+}
+
+// TestPoolInterning checks the dedup contract the round-trip relies
+// on: equal payloads intern to the same index, distinguishable ones
+// (including nil vs empty slices) never collapse.
+func TestPoolInterning(t *testing.T) {
+	p := NewPool()
+	d := Def{L: 2, V: 5}
+	a := p.RedDetailed(d, []chg.ClassID{1, 2}, nil, []chg.ClassID{0, 1, 2})
+	b := p.RedDetailed(d, []chg.ClassID{1, 2}, nil, []chg.ClassID{0, 1, 2})
+	if a.Cell() != b.Cell() {
+		t.Fatalf("identical payloads interned to %#x and %#x", a.Cell(), b.Cell())
+	}
+	cEmpty := p.RedDetailed(d, []chg.ClassID{}, nil, []chg.ClassID{0, 1, 2})
+	if cEmpty.Cell() == a.Cell() {
+		t.Fatal("empty and nil StaticSet collapsed to one payload")
+	}
+	if !reflect.DeepEqual(cEmpty.StaticSet(), []chg.ClassID{}) {
+		t.Fatalf("empty StaticSet round-tripped as %#v", cEmpty.StaticSet())
+	}
+	st := p.Stats()
+	if st.Entries != 2 || st.Hits != 1 {
+		t.Fatalf("pool stats = %+v, want 2 entries and 1 dedup hit", st)
+	}
+	// Blue sets intern the same way.
+	defs := []Def{{L: 1, V: 2}, {L: 3, V: chg.Omega}}
+	b1, b2 := p.Blue(defs), p.Blue(append([]Def(nil), defs...))
+	if b1.Cell() != b2.Cell() {
+		t.Fatal("equal blue sets interned separately")
+	}
+	if !b1.Equal(b2) || b1.Equal(a) {
+		t.Fatal("Equal disagrees with interning")
+	}
+}

@@ -39,8 +39,8 @@ func TestFigure3Lookups(t *testing.T) {
 	if !foo.Found() || g.Name(foo.Class()) != "G" {
 		t.Errorf("lookup(H, foo) = %s, want red (G, Ω)", foo.Format(g))
 	}
-	if foo.Def.V != chg.Omega {
-		t.Errorf("lookup(H, foo).V = %s, want Ω", className(g, foo.Def.V))
+	if foo.Def().V != chg.Omega {
+		t.Errorf("lookup(H, foo).V = %s, want Ω", className(g, foo.Def().V))
 	}
 	bar := a.LookupByName("H", "bar")
 	if !bar.Ambiguous() {
@@ -82,7 +82,7 @@ func TestFigure6Trace(t *testing.T) {
 		}
 	}
 	// E has no foo at all.
-	if traces[g.MustID("E")].Result.Kind != Undefined {
+	if traces[g.MustID("E")].Result.Kind() != Undefined {
 		t.Error("E should have no foo entry")
 	}
 	// The blue set reaching G from D is {D} after ∘ over the virtual
@@ -145,17 +145,17 @@ func agreeWithOracle(t *testing.T, g *chg.Graph, label string) {
 			checkEqualResult(t, lazy, eager, g, label, cid, mid)
 			switch {
 			case len(want.Defns) == 0:
-				if lazy.Kind != Undefined {
+				if lazy.Kind() != Undefined {
 					t.Errorf("%s: lookup(%s,%s) = %s, oracle says undefined",
 						label, g.Name(cid), g.MemberName(mid), lazy.Format(g))
 				}
 			case want.Ambiguous:
-				if lazy.Kind != BlueKind {
+				if lazy.Kind() != BlueKind {
 					t.Errorf("%s: lookup(%s,%s) = %s, oracle says ambiguous",
 						label, g.Name(cid), g.MemberName(mid), lazy.Format(g))
 				}
 			default:
-				if lazy.Kind != RedKind {
+				if lazy.Kind() != RedKind {
 					t.Errorf("%s: lookup(%s,%s) = %s, oracle says red %s",
 						label, g.Name(cid), g.MemberName(mid), lazy.Format(g), want.Subobject.Rep)
 				} else if lazy.Class() != want.Subobject.Ldc() {
@@ -171,12 +171,12 @@ func agreeWithOracle(t *testing.T, g *chg.Graph, label string) {
 // checkEqualResult checks lazy and eager agree.
 func checkEqualResult(t *testing.T, lazy, eager Result, g *chg.Graph, label string, c chg.ClassID, m chg.MemberID) {
 	t.Helper()
-	if lazy.Kind != eager.Kind || lazy.Def != eager.Def || len(lazy.Blue) != len(eager.Blue) {
+	if lazy.Kind() != eager.Kind() || lazy.Def() != eager.Def() || len(lazy.Blue()) != len(eager.Blue()) {
 		t.Errorf("%s: lazy %s vs eager %s at (%s,%s)",
 			label, lazy.Format(g), eager.Format(g), g.Name(c), g.MemberName(m))
 	}
-	for i := range lazy.Blue {
-		if i < len(eager.Blue) && lazy.Blue[i] != eager.Blue[i] {
+	for i := range lazy.Blue() {
+		if i < len(eager.Blue()) && lazy.Blue()[i] != eager.Blue()[i] {
 			t.Errorf("%s: lazy/eager blue sets differ at (%s,%s)", label, g.Name(c), g.MemberName(m))
 			break
 		}
@@ -226,17 +226,17 @@ func TestStaticRuleAgreesWithOracle(t *testing.T) {
 				got := a.Lookup(cid, mid)
 				switch {
 				case len(want.Defns) == 0:
-					if got.Kind != Undefined {
+					if got.Kind() != Undefined {
 						t.Fatalf("iter %d: static lookup(%s,%s) = %s, oracle undefined (seed %d)",
 							i, g.Name(cid), g.MemberName(mid), got.Format(g), cfg.Seed)
 					}
 				case want.Ambiguous:
-					if got.Kind != BlueKind {
+					if got.Kind() != BlueKind {
 						t.Fatalf("iter %d: static lookup(%s,%s) = %s, oracle ambiguous (seed %d)",
 							i, g.Name(cid), g.MemberName(mid), got.Format(g), cfg.Seed)
 					}
 				default:
-					if got.Kind != RedKind {
+					if got.Kind() != RedKind {
 						t.Fatalf("iter %d: static lookup(%s,%s) = %s, oracle red at %s (seed %d)",
 							i, g.Name(cid), g.MemberName(mid), got.Format(g),
 							g.Name(want.Subobject.Ldc()), cfg.Seed)
@@ -260,20 +260,20 @@ func TestTrackPathsProducesMostDominantDefinition(t *testing.T) {
 		for c := 0; c < g.NumClasses(); c++ {
 			for m := 0; m < g.NumMemberNames(); m++ {
 				r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
-				if r.Kind != RedKind {
+				if r.Kind() != RedKind {
 					continue
 				}
-				p, err := paths.New(g, r.Path...)
+				p, err := paths.New(g, r.Path()...)
 				if err != nil {
 					t.Fatalf("result path invalid: %v", err)
 				}
-				if p.Ldc() != r.Def.L {
-					t.Errorf("path ldc %s != result class %s", g.Name(p.Ldc()), g.Name(r.Def.L))
+				if p.Ldc() != r.Def().L {
+					t.Errorf("path ldc %s != result class %s", g.Name(p.Ldc()), g.Name(r.Def().L))
 				}
 				if p.Mdc() != chg.ClassID(c) {
 					t.Errorf("path mdc %s != context %s", g.Name(p.Mdc()), g.Name(chg.ClassID(c)))
 				}
-				if p.LeastVirtual() != r.Def.V {
+				if p.LeastVirtual() != r.Def().V {
 					t.Errorf("path leastVirtual mismatch for %s", p)
 				}
 				// The returned path must be a most-dominant element of
@@ -292,7 +292,7 @@ func TestFigure3TrackedPath(t *testing.T) {
 	g := hiergen.Figure3()
 	a := New(g, WithTrackPaths())
 	r := a.LookupByName("H", "foo")
-	p := paths.MustNew(g, r.Path...)
+	p := paths.MustNew(g, r.Path()...)
 	if p.String() != "GH" {
 		t.Errorf("lookup(H, foo) path = %s, want GH", p)
 	}
@@ -322,16 +322,16 @@ func TestResultFormat(t *testing.T) {
 func TestLookupInvalidInputs(t *testing.T) {
 	g := hiergen.Figure1()
 	a := New(g)
-	if r := a.Lookup(chg.ClassID(-1), 0); r.Kind != Undefined {
+	if r := a.Lookup(chg.ClassID(-1), 0); r.Kind() != Undefined {
 		t.Error("invalid class should be Undefined")
 	}
-	if r := a.Lookup(0, chg.MemberID(99)); r.Kind != Undefined {
+	if r := a.Lookup(0, chg.MemberID(99)); r.Kind() != Undefined {
 		t.Error("invalid member should be Undefined")
 	}
-	if r := a.LookupByName("Nope", "m"); r.Kind != Undefined {
+	if r := a.LookupByName("Nope", "m"); r.Kind() != Undefined {
 		t.Error("unknown class name should be Undefined")
 	}
-	if r := a.LookupByName("E", "nope"); r.Kind != Undefined {
+	if r := a.LookupByName("E", "nope"); r.Kind() != Undefined {
 		t.Error("unknown member name should be Undefined")
 	}
 }
@@ -341,7 +341,7 @@ func TestMemoizationStable(t *testing.T) {
 	a := New(g)
 	first := a.LookupByName("H", "bar")
 	second := a.LookupByName("H", "bar")
-	if first.Kind != second.Kind || len(first.Blue) != len(second.Blue) {
+	if first.Kind() != second.Kind() || len(first.Blue()) != len(second.Blue()) {
 		t.Error("memoized result differs")
 	}
 }

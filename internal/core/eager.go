@@ -11,10 +11,15 @@ import (
 // a binary search in the class's member list — effectively the
 // constant-time table access the paper describes ("once the table has
 // been constructed, every lookup operation takes constant time").
+// The table stores one packed Cell per entry over the kernel's shared
+// payload pool: rows are flat uint64 slices (no per-result heap
+// structs), and entries that carry the same rare payload — the same
+// Blue set, static coverage, or path — share one interned copy.
 type Table struct {
 	g       *chg.Graph
+	pool    *Pool
 	members [][]chg.MemberID // per class, sorted: the paper's Members[C]
-	results [][]Result       // parallel to members
+	results [][]Cell         // parallel to members, packed over pool
 }
 
 // BuildTable eagerly computes lookup[C,m] for every class C and every
@@ -35,16 +40,17 @@ func (k *Kernel) BuildTable() *Table {
 	n := g.NumClasses()
 	t := &Table{
 		g:       g,
+		pool:    k.pool,
 		members: make([][]chg.MemberID, n),
-		results: make([][]Result, n),
+		results: make([][]Cell, n),
 	}
 	for _, c := range g.Topo() {
 		// Members[C] := M[C] ∪ Members of direct bases (merged sorted).
 		t.members[c] = mergeMembers(g, c, t.members)
 		ms := t.members[c]
-		rs := make([]Result, len(ms))
+		rs := make([]Cell, len(ms))
 		for i, m := range ms {
-			rs[i] = k.Resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) })
+			rs[i] = k.Resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) }).Cell()
 		}
 		t.results[c] = rs
 	}
@@ -100,25 +106,25 @@ func mergeSorted(a, b []chg.MemberID) []chg.MemberID {
 // Lookup returns lookup[c,m]; Undefined when m ∉ Members[c].
 func (t *Table) Lookup(c chg.ClassID, m chg.MemberID) Result {
 	if !t.g.Valid(c) {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	ms := t.members[c]
 	i := sort.Search(len(ms), func(k int) bool { return ms[k] >= m })
 	if i < len(ms) && ms[i] == m {
-		return t.results[c][i]
+		return t.pool.View(t.results[c][i])
 	}
-	return Result{Kind: Undefined}
+	return UndefinedResult()
 }
 
 // LookupByName resolves by names; Undefined for unknown names.
 func (t *Table) LookupByName(class, member string) Result {
 	c, ok := t.g.ID(class)
 	if !ok {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	m, ok := t.g.MemberID(member)
 	if !ok {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	return t.Lookup(c, m)
 }
@@ -145,8 +151,8 @@ func (t *Table) Entries() int {
 func (t *Table) CountAmbiguous() int {
 	n := 0
 	for _, rs := range t.results {
-		for _, r := range rs {
-			if r.Kind == BlueKind {
+		for _, cell := range rs {
+			if cell.Kind() == BlueKind {
 				n++
 			}
 		}

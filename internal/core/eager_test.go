@@ -60,16 +60,16 @@ func TestTableLookupOutsideMembers(t *testing.T) {
 	g := hiergen.Figure3()
 	table := New(g).BuildTable()
 	// E has no foo.
-	if r := table.LookupByName("E", "foo"); r.Kind != Undefined {
+	if r := table.LookupByName("E", "foo"); r.Kind() != Undefined {
 		t.Errorf("table lookup(E, foo) = %s, want undefined", r.Format(g))
 	}
-	if r := table.Lookup(chg.ClassID(-3), 0); r.Kind != Undefined {
+	if r := table.Lookup(chg.ClassID(-3), 0); r.Kind() != Undefined {
 		t.Error("invalid class id should be undefined")
 	}
-	if r := table.LookupByName("Zed", "foo"); r.Kind != Undefined {
+	if r := table.LookupByName("Zed", "foo"); r.Kind() != Undefined {
 		t.Error("unknown class name should be undefined")
 	}
-	if r := table.LookupByName("E", "zed"); r.Kind != Undefined {
+	if r := table.LookupByName("E", "zed"); r.Kind() != Undefined {
 		t.Error("unknown member name should be undefined")
 	}
 }
@@ -87,7 +87,7 @@ func TestEagerMatchesLazyOnRandom(t *testing.T) {
 			for m := 0; m < g.NumMemberNames(); m++ {
 				lr := lazy.Lookup(chg.ClassID(c), chg.MemberID(m))
 				er := table.Lookup(chg.ClassID(c), chg.MemberID(m))
-				if lr.Kind != er.Kind || lr.Def != er.Def {
+				if lr.Kind() != er.Kind() || lr.Def() != er.Def() {
 					t.Fatalf("iter %d: lazy %s != eager %s at (%s,%s)",
 						i, lr.Format(g), er.Format(g),
 						g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)))
@@ -175,8 +175,8 @@ func TestAmbiguousLadderAllAmbiguous(t *testing.T) {
 			t.Errorf("R%d should be ambiguous, got %s", i, r.Format(g))
 		}
 		// Each rung's blue set carries all 4 distinct virtual roots.
-		if len(r.Blue) != 4 {
-			t.Errorf("R%d blue set size = %d, want 4", i, len(r.Blue))
+		if len(r.Blue()) != 4 {
+			t.Errorf("R%d blue set size = %d, want 4", i, len(r.Blue()))
 		}
 	}
 	_ = m

@@ -18,6 +18,7 @@ import (
 // once.
 type Kernel struct {
 	g          *chg.Graph
+	pool       *Pool
 	trackPaths bool
 	staticRule bool
 }
@@ -29,7 +30,7 @@ func NewKernel(g *chg.Graph, opts ...Option) *Kernel {
 	if g == nil {
 		panic("core: NewKernel requires a non-nil *chg.Graph (build one with chg.NewBuilder().Build())")
 	}
-	k := &Kernel{g: g}
+	k := &Kernel{g: g, pool: NewPool()}
 	for _, o := range opts {
 		o(k)
 	}
@@ -38,6 +39,12 @@ func NewKernel(g *chg.Graph, opts ...Option) *Kernel {
 
 // Graph returns the underlying CHG.
 func (k *Kernel) Graph() *chg.Graph { return k.g }
+
+// Pool returns the kernel's payload pool: every Result this kernel
+// resolves interns its rare payload (Blue sets, static coverage,
+// tracked paths) here, one pool per kernel — hence per analyzer, per
+// table, per engine snapshot. The pool is safe for concurrent use.
+func (k *Kernel) Pool() *Pool { return k.pool }
 
 // TrackPaths reports whether red results carry full definition paths.
 func (k *Kernel) TrackPaths() bool { return k.trackPaths }
@@ -130,11 +137,11 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 	// Line [12]: a definition generated at c trivially dominates
 	// everything that reaches c.
 	if k.g.Declares(c, m) {
-		r := Result{Kind: RedKind, Def: Def{L: c, V: chg.Omega}}
+		d := Def{L: c, V: chg.Omega}
 		if k.trackPaths {
-			r.Path = []chg.ClassID{c}
+			return k.pool.RedDetailed(d, nil, nil, []chg.ClassID{c})
 		}
-		return r
+		return k.pool.Red(d)
 	}
 
 	var blue []Def // toBeDominated
@@ -156,24 +163,25 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 
 	for _, e := range k.g.DirectBases(c) {
 		r := get(e.Base)
-		switch r.Kind {
+		switch r.Kind() {
 		case Undefined:
 			continue
 		case RedKind:
 			found = true
+			rL := r.Def().L
 			var dCover, dRed []chg.ClassID
-			for _, v := range r.vset() {
-				dCover = insertV(dCover, extendAbs(v, e.Base, e.Kind))
+			for i, n := 0, r.vsetLen(); i < n; i++ {
+				dCover = insertV(dCover, extendAbs(r.vsetAt(i), e.Base, e.Kind))
 			}
-			for _, v := range r.redset() {
-				dRed = insertV(dRed, extendAbs(v, e.Base, e.Kind))
+			for i, n := 0, r.redsetLen(); i < n; i++ {
+				dRed = insertV(dRed, extendAbs(r.redsetAt(i), e.Base, e.Kind))
 			}
 			switch {
 			case nocandidate:
 				nocandidate = false
-				candL, candCover, candRed = r.Def.L, dCover, dRed
-				candPath = k.extendPath(r.Path, c)
-			case k.staticRule && r.Def.L == candL && k.staticIn(candL, m):
+				candL, candCover, candRed = rL, dCover, dRed
+				candPath = k.extendPath(r.Path(), c)
+			case k.staticRule && rL == candL && k.staticIn(candL, m):
 				// Definition 17: the same static member reached as
 				// another subobject copy — merge, keeping every
 				// copy's abstraction for later dominance tests.
@@ -183,34 +191,34 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 				for _, v := range dRed {
 					candRed = insertV(candRed, v)
 				}
-			case k.groupDominates(r.Def.L, dRed, candCover):
-				candL, candCover, candRed = r.Def.L, dCover, dRed
-				candPath = k.extendPath(r.Path, c)
+			case k.groupDominates(rL, dRed, candCover):
+				candL, candCover, candRed = rL, dCover, dRed
+				candPath = k.extendPath(r.Path(), c)
 			case !k.groupDominates(candL, candRed, dCover):
 				// Lines [25]–[27]: neither dominates; both become blue.
 				for _, v := range candCover {
 					addBlue(k.blueDef(Def{L: candL, V: v}))
 				}
 				for _, v := range dCover {
-					addBlue(k.blueDef(Def{L: r.Def.L, V: v}))
+					addBlue(k.blueDef(Def{L: rL, V: v}))
 				}
 				nocandidate = true
 				candPath = nil
 			}
 		case BlueKind:
 			found = true
-			for _, bd := range r.Blue {
+			for _, bd := range r.Blue() {
 				addBlue(Def{L: bd.L, V: extendAbs(bd.V, e.Base, e.Kind)})
 			}
 		}
 	}
 
 	if !found {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	if nocandidate {
 		sortDefs(blue)
-		return Result{Kind: BlueKind, Blue: blue}
+		return k.pool.Blue(blue)
 	}
 
 	// Lines [37]–[40]: try to kill every blue definition with the red
@@ -272,15 +280,15 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 	}
 
 	if len(surviving) == 0 {
-		r := Result{Kind: RedKind, Def: Def{L: candL, V: candCover[0]}}
+		d := Def{L: candL, V: candCover[0]}
+		var staticSet, staticRed []chg.ClassID
 		if len(candCover) > 1 {
-			r.StaticSet = candCover
+			staticSet = candCover
 		}
 		if len(candRed) != len(candCover) {
-			r.StaticRed = candRed
+			staticRed = candRed
 		}
-		r.Path = candPath
-		return r
+		return k.pool.RedDetailed(d, staticSet, staticRed, candPath)
 	}
 	// Line [43]: the candidate joins the ambiguity set (as a union —
 	// entries may already be present).
@@ -298,7 +306,7 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 		}
 	}
 	sortDefs(surviving)
-	return Result{Kind: BlueKind, Blue: surviving}
+	return k.pool.Blue(surviving)
 }
 
 func (k *Kernel) extendPath(p []chg.ClassID, c chg.ClassID) []chg.ClassID {

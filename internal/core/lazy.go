@@ -13,7 +13,7 @@ import "cpplookup/internal/chg"
 // class), Blue when ambiguous.
 func (a *Analyzer) Lookup(c chg.ClassID, m chg.MemberID) Result {
 	if !a.k.g.Valid(c) || m < 0 || int(m) >= a.k.g.NumMemberNames() {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	return a.lookup(c, m)
 }
@@ -37,11 +37,11 @@ func (a *Analyzer) lookup(c chg.ClassID, m chg.MemberID) Result {
 func (a *Analyzer) LookupByName(class, member string) Result {
 	c, ok := a.k.g.ID(class)
 	if !ok {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	m, ok := a.k.g.MemberID(member)
 	if !ok {
-		return Result{Kind: Undefined}
+		return UndefinedResult()
 	}
 	return a.Lookup(c, m)
 }

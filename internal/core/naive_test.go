@@ -104,17 +104,17 @@ func TestPropagateMatchesAnalyzer(t *testing.T) {
 				flow := flows[c]
 				switch {
 				case !flow.Found:
-					if r.Kind != Undefined {
+					if r.Kind() != Undefined {
 						t.Errorf("graph %d (%s,%s): flow empty but analyzer %s",
 							gi, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)), r.Format(g))
 					}
 				case flow.Ambiguous:
-					if r.Kind != BlueKind {
+					if r.Kind() != BlueKind {
 						t.Errorf("graph %d (%s,%s): flow ambiguous but analyzer %s",
 							gi, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)), r.Format(g))
 					}
 				default:
-					if r.Kind != RedKind || r.Class() != flow.MostDominant.Ldc() {
+					if r.Kind() != RedKind || r.Class() != flow.MostDominant.Ldc() {
 						t.Errorf("graph %d (%s,%s): flow %s but analyzer %s",
 							gi, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)),
 							flow.MostDominant, r.Format(g))

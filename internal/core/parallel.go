@@ -29,12 +29,13 @@ func (k *Kernel) BuildTableParallel(workers int) *Table {
 	n := g.NumClasses()
 	t := &Table{
 		g:       g,
+		pool:    k.pool,
 		members: make([][]chg.MemberID, n),
-		results: make([][]Result, n),
+		results: make([][]Cell, n),
 	}
 	for _, c := range g.Topo() {
 		t.members[c] = mergeMembers(g, c, t.members)
-		t.results[c] = make([]Result, len(t.members[c]))
+		t.results[c] = make([]Cell, len(t.members[c]))
 	}
 	m := g.NumMemberNames()
 	if workers > m {
@@ -71,7 +72,7 @@ func (k *Kernel) fillMember(t *Table, m chg.MemberID) {
 		}
 		t.results[c][i] = k.Resolve(c, m, func(x chg.ClassID) Result {
 			return t.Lookup(x, m)
-		})
+		}).Cell()
 	}
 }
 

@@ -15,18 +15,18 @@ func tablesEqual(t *testing.T, g *chg.Graph, a, b *Table, label string) {
 		for m := 0; m < g.NumMemberNames(); m++ {
 			ra := a.Lookup(chg.ClassID(c), chg.MemberID(m))
 			rb := b.Lookup(chg.ClassID(c), chg.MemberID(m))
-			if ra.Kind != rb.Kind || ra.Def != rb.Def || len(ra.Blue) != len(rb.Blue) {
+			if ra.Kind() != rb.Kind() || ra.Def() != rb.Def() || len(ra.Blue()) != len(rb.Blue()) {
 				t.Fatalf("%s: tables differ at (%s, %s): %s vs %s", label,
 					g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)),
 					ra.Format(g), rb.Format(g))
 			}
-			for i := range ra.Blue {
-				if ra.Blue[i] != rb.Blue[i] {
+			for i := range ra.Blue() {
+				if ra.Blue()[i] != rb.Blue()[i] {
 					t.Fatalf("%s: blue sets differ at (%s, %s)", label,
 						g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)))
 				}
 			}
-			if len(ra.Path) != len(rb.Path) {
+			if len(ra.Path()) != len(rb.Path()) {
 				t.Fatalf("%s: paths differ at (%s, %s)", label,
 					g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)))
 			}

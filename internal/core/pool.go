@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"cpplookup/internal/chg"
+)
+
+// payload is the unpacked data of one rare result: everything a
+// lookup outcome can carry beyond the word that the Cell encodes
+// inline. It is exactly the old wide-struct representation of a
+// result; pooled cells index one of these.
+type payload struct {
+	kind      Kind
+	def       Def
+	staticSet []chg.ClassID
+	staticRed []chg.ClassID
+	blue      []Def
+	path      []chg.ClassID
+}
+
+// poolChunkSize is the payload arena granularity. Chunks are never
+// reallocated once published, so a *payload stays valid (and safely
+// readable) for the pool's lifetime; only the small chunk directory
+// is copied when the pool grows.
+const poolChunkSize = 64
+
+type poolChunk [poolChunkSize]payload
+
+// Pool interns the rare result payloads of one table or snapshot:
+// Blue sets, StaticSet/StaticRed coverage, and tracked paths.
+// Payloads are deduplicated — many classes inherit the same Blue set
+// or static coverage, so interning shrinks a table as well as keeping
+// cells word-sized.
+//
+// Concurrency: interning takes the pool's mutex (it happens only on
+// the cold fill path), while payload reads are lock-free — readers
+// navigate an atomically published chunk directory. A payload is
+// fully written, under the mutex, before the index referencing it is
+// returned to the caller; the caller's atomic publication of the cell
+// is therefore what makes the payload visible to other goroutines.
+type Pool struct {
+	mu     sync.Mutex
+	index  map[string]uint32
+	n      uint32
+	hits   atomic.Uint64
+	chunks atomic.Pointer[[]*poolChunk]
+}
+
+// NewPool returns an empty payload pool.
+func NewPool() *Pool {
+	p := &Pool{index: make(map[string]uint32)}
+	dir := []*poolChunk{}
+	p.chunks.Store(&dir)
+	return p
+}
+
+// PoolStats describes a pool's contents for tests and observability.
+type PoolStats struct {
+	Entries int    // distinct payloads stored
+	Hits    uint64 // interning requests answered by deduplication
+}
+
+// Stats returns the pool's current counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	n := int(p.n)
+	p.mu.Unlock()
+	return PoolStats{Entries: n, Hits: p.hits.Load()}
+}
+
+// Len returns the number of distinct payloads interned so far.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.n)
+}
+
+// entry returns the payload at index i. Indices come only from cells
+// this pool produced, so i is always in range.
+func (p *Pool) entry(i uint32) *payload {
+	dir := *p.chunks.Load()
+	return &dir[i/poolChunkSize][i%poolChunkSize]
+}
+
+// payloadKey builds the canonical dedup key: a compact binary
+// encoding that distinguishes nil from empty slices (nil-ness is part
+// of a result's meaning — a nil StaticSet stands for the singleton
+// {Def.V}).
+func payloadKey(pl *payload) string {
+	b := make([]byte, 0, 24+8*(len(pl.staticSet)+len(pl.staticRed)+len(pl.path))+16*len(pl.blue))
+	b = binary.AppendVarint(b, int64(pl.kind))
+	b = binary.AppendVarint(b, int64(pl.def.L))
+	b = binary.AppendVarint(b, int64(pl.def.V))
+	ids := func(s []chg.ClassID) {
+		if s == nil {
+			b = binary.AppendVarint(b, -1)
+			return
+		}
+		b = binary.AppendVarint(b, int64(len(s)))
+		for _, v := range s {
+			b = binary.AppendVarint(b, int64(v))
+		}
+	}
+	ids(pl.staticSet)
+	ids(pl.staticRed)
+	ids(pl.path)
+	if pl.blue == nil {
+		b = binary.AppendVarint(b, -1)
+	} else {
+		b = binary.AppendVarint(b, int64(len(pl.blue)))
+		for _, d := range pl.blue {
+			b = binary.AppendVarint(b, int64(d.L))
+			b = binary.AppendVarint(b, int64(d.V))
+		}
+	}
+	return string(b)
+}
+
+// copyIDs clones a slice, preserving nil-ness, so interned payloads
+// never alias caller-owned storage.
+func copyIDs(s []chg.ClassID) []chg.ClassID {
+	if s == nil {
+		return nil
+	}
+	// make+copy rather than append: append collapses a non-nil empty
+	// slice to nil, and the intern key distinguishes the two.
+	out := make([]chg.ClassID, len(s))
+	copy(out, s)
+	return out
+}
+
+// intern stores pl (or finds an existing identical payload) and
+// returns its stable index.
+func (p *Pool) intern(pl payload) uint32 {
+	key := payloadKey(&pl)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.index[key]; ok {
+		p.hits.Add(1)
+		return i
+	}
+	i := p.n
+	if int(i)%poolChunkSize == 0 {
+		// Grow by one chunk: republish a copied directory so readers
+		// never observe a partially grown one. Chunks already
+		// published keep their identity, so payload pointers and
+		// slices handed out earlier stay valid.
+		old := *p.chunks.Load()
+		dir := make([]*poolChunk, len(old)+1)
+		copy(dir, old)
+		dir[len(old)] = new(poolChunk)
+		p.chunks.Store(&dir)
+	}
+	slot := p.entry(i)
+	slot.kind = pl.kind
+	slot.def = pl.def
+	slot.staticSet = copyIDs(pl.staticSet)
+	slot.staticRed = copyIDs(pl.staticRed)
+	slot.path = copyIDs(pl.path)
+	if pl.blue != nil {
+		slot.blue = make([]Def, len(pl.blue))
+		copy(slot.blue, pl.blue)
+	}
+	p.n = i + 1
+	p.index[key] = i
+	return i
+}
+
+// View wraps a cell produced against this pool back into a Result.
+// Wrapping is free — no decoding, no allocation — which is what makes
+// a warm cache hit one atomic word load plus this struct literal.
+func (p *Pool) View(c Cell) Result {
+	return Result{cell: c, pool: p}
+}
+
+// UndefinedResult returns the canonical "no such member" result. It
+// needs no pool: the cell encodes the whole answer.
+func UndefinedResult() Result {
+	return Result{cell: cellUndefined}
+}
+
+// Red returns an unambiguous result with no static coverage and no
+// tracked path. In practice it always encodes inline (pool untouched);
+// the pooled fallback only exists to keep the encoding total for ids
+// beyond 2³¹−2.
+func (p *Pool) Red(d Def) Result {
+	if c, ok := cellRed(d); ok {
+		return Result{cell: c, pool: p}
+	}
+	return Result{
+		cell: cellPooled(RedKind, p.intern(payload{kind: RedKind, def: d})),
+		pool: p,
+	}
+}
+
+// RedDetailed returns an unambiguous result carrying rare payload:
+// the static coverage sets of Definition 17 (nil means the singleton
+// {d.V} / "all of StaticSet" respectively) and/or a tracked
+// definition path. With all three nil it degenerates to Red.
+func (p *Pool) RedDetailed(d Def, staticSet, staticRed, path []chg.ClassID) Result {
+	if staticSet == nil && staticRed == nil && path == nil {
+		return p.Red(d)
+	}
+	pl := payload{kind: RedKind, def: d, staticSet: staticSet, staticRed: staticRed, path: path}
+	return Result{cell: cellPooled(RedKind, p.intern(pl)), pool: p}
+}
+
+// Blue returns an ambiguous result over the given abstraction set,
+// stored as passed (callers sort and deduplicate; the kernel already
+// does). The set is copied into the pool.
+func (p *Pool) Blue(defs []Def) Result {
+	return Result{
+		cell: cellPooled(BlueKind, p.intern(payload{kind: BlueKind, blue: defs})),
+		pool: p,
+	}
+}

@@ -55,15 +55,15 @@ func TestQuickAgainstOracle(t *testing.T) {
 				got := a.Lookup(chg.ClassID(c), chg.MemberID(m))
 				switch {
 				case len(want.Defns) == 0:
-					if got.Kind != Undefined {
+					if got.Kind() != Undefined {
 						return false
 					}
 				case want.Ambiguous:
-					if got.Kind != BlueKind {
+					if got.Kind() != BlueKind {
 						return false
 					}
 				default:
-					if got.Kind != RedKind || got.Class() != want.Subobject.Ldc() {
+					if got.Kind() != RedKind || got.Class() != want.Subobject.Ldc() {
 						return false
 					}
 				}
@@ -86,10 +86,10 @@ func TestQuickRedResultsDominateAllDefinitions(t *testing.T) {
 		for c := 0; c < g.NumClasses(); c++ {
 			for m := 0; m < g.NumMemberNames(); m++ {
 				r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
-				if r.Kind != RedKind {
+				if r.Kind() != RedKind {
 					continue
 				}
-				p, err := paths.New(g, r.Path...)
+				p, err := paths.New(g, r.Path()...)
 				if err != nil {
 					return false
 				}
@@ -119,7 +119,7 @@ func TestQuickOwnDeclarationWins(t *testing.T) {
 					continue
 				}
 				r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
-				if r.Kind != RedKind || r.Class() != chg.ClassID(c) || r.Def.V != chg.Omega {
+				if r.Kind() != RedKind || r.Class() != chg.ClassID(c) || r.Def().V != chg.Omega {
 					return false
 				}
 			}
@@ -140,20 +140,20 @@ func TestQuickBlueSetWellFormed(t *testing.T) {
 		for c := 0; c < g.NumClasses(); c++ {
 			for m := 0; m < g.NumMemberNames(); m++ {
 				r := a.Lookup(chg.ClassID(c), chg.MemberID(m))
-				if r.Kind != BlueKind {
+				if r.Kind() != BlueKind {
 					continue
 				}
-				if len(r.Blue) < 1 {
+				if len(r.Blue()) < 1 {
 					return false
 				}
-				for i := 1; i < len(r.Blue); i++ {
-					prev, cur := r.Blue[i-1], r.Blue[i]
+				for i := 1; i < len(r.Blue()); i++ {
+					prev, cur := r.Blue()[i-1], r.Blue()[i]
 					if cur.V < prev.V || (cur.V == prev.V && cur.L <= prev.L) {
 						return false
 					}
 				}
 				// Blue abstractions are class ids or Ω.
-				for _, d := range r.Blue {
+				for _, d := range r.Blue() {
 					if d.V != chg.Omega && !g.Valid(d.V) {
 						return false
 					}
@@ -184,7 +184,7 @@ func TestQuickUndefinedIffNoDefinition(t *testing.T) {
 					})
 				}
 				got := a.Lookup(chg.ClassID(c), chg.MemberID(m))
-				if (got.Kind == Undefined) == declared {
+				if (got.Kind() == Undefined) == declared {
 					return false
 				}
 			}
@@ -207,7 +207,7 @@ func TestQuickSingleInheritanceFragmentUnambiguous(t *testing.T) {
 				continue
 			}
 			for m := 0; m < g.NumMemberNames(); m++ {
-				if a.Lookup(chg.ClassID(c), chg.MemberID(m)).Kind == BlueKind {
+				if a.Lookup(chg.ClassID(c), chg.MemberID(m)).Kind() == BlueKind {
 					return false
 				}
 			}

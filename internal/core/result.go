@@ -30,6 +30,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,62 +72,203 @@ type Def struct {
 	V chg.ClassID
 }
 
-// Result is the value of lookup[C,m].
+// Result is the value of lookup[C,m] — a read-only view over a packed
+// Cell and the Pool that interns the cell's rare payload (if any).
+// The view is two words; copying it copies no result data. All
+// accessors are safe for concurrent use, like the cell and pool they
+// read.
+//
+// The zero Result reads as Undefined, matching the old zero struct;
+// compare results with Equal (or field-by-field through the
+// accessors), never with ==, since == would compare pool identity.
 type Result struct {
-	Kind Kind
-	// Def is the winning abstraction for RedKind results.
-	Def Def
-	// StaticSet holds, for RedKind results under the static rule,
-	// every leastVirtual abstraction of the resolved static member's
-	// subobject copies (Definition 17 lets several same-class copies
-	// be maximal together). nil means the singleton {Def.V}. The set
-	// must be carried: a later definition dominates this result only
-	// if it dominates *every* copy, and dropping a copy's abstraction
-	// can turn a truly ambiguous lookup into a false resolution.
-	StaticSet []chg.ClassID
-	// StaticRed is the subset of StaticSet whose copies were resolved
-	// as genuinely red (most-dominant) definitions; nil means all of
-	// StaticSet. Copies absorbed from ambiguous inheritances by the
-	// same-static-member rule are covered (they must be dominated by
-	// any later winner) but give no kill power through Lemma 4's
-	// equality condition, whose proof needs the dominator to be red.
-	StaticRed []chg.ClassID
-	// Blue holds the abstraction set S for BlueKind results, sorted
-	// and deduplicated.
-	Blue []Def
-	// Path is the full node sequence of the winning definition path
-	// (ldc … C) when the analyzer was built WithTrackPaths; nil
-	// otherwise. Compilers need this to generate subobject casts for
-	// the access (Section 4).
-	Path []chg.ClassID
+	cell Cell
+	pool *Pool
 }
 
-// vset returns the result's leastVirtual coverage set (RedKind).
-func (r Result) vset() []chg.ClassID {
-	if r.StaticSet != nil {
-		return r.StaticSet
+// Cell returns the packed word. Together with the originating pool
+// (Pool.View) it round-trips the result exactly; this is what
+// internal/engine stores in its atomic cells.
+func (r Result) Cell() Cell { return r.cell }
+
+// Kind returns the outcome: Undefined, RedKind, or BlueKind.
+func (r Result) Kind() Kind { return r.cell.Kind() }
+
+// Def returns the winning (ldc, leastVirtual) abstraction for RedKind
+// results, and the zero Def otherwise.
+func (r Result) Def() Def {
+	switch r.cell.tag() {
+	case cellTagRed:
+		return r.cell.inlineDef()
+	case cellTagPooled:
+		return r.payload().def
 	}
-	return []chg.ClassID{r.Def.V}
+	return Def{}
 }
 
-// redset returns the subset of vset usable as Lemma-4 equality
-// dominators.
-func (r Result) redset() []chg.ClassID {
-	if r.StaticRed != nil {
-		return r.StaticRed
+// StaticSet holds, for RedKind results under the static rule, every
+// leastVirtual abstraction of the resolved static member's subobject
+// copies (Definition 17 lets several same-class copies be maximal
+// together). nil means the singleton {Def().V}. The set must be
+// carried: a later definition dominates this result only if it
+// dominates *every* copy, and dropping a copy's abstraction can turn
+// a truly ambiguous lookup into a false resolution. Shared storage;
+// do not modify.
+func (r Result) StaticSet() []chg.ClassID {
+	if r.cell.tag() == cellTagPooled {
+		return r.payload().staticSet
 	}
-	return r.vset()
+	return nil
+}
+
+// StaticRed is the subset of StaticSet whose copies were resolved as
+// genuinely red (most-dominant) definitions; nil means all of
+// StaticSet. Copies absorbed from ambiguous inheritances by the
+// same-static-member rule are covered (they must be dominated by any
+// later winner) but give no kill power through Lemma 4's equality
+// condition, whose proof needs the dominator to be red. Shared
+// storage; do not modify.
+func (r Result) StaticRed() []chg.ClassID {
+	if r.cell.tag() == cellTagPooled {
+		return r.payload().staticRed
+	}
+	return nil
+}
+
+// Blue returns the abstraction set S for BlueKind results, sorted and
+// deduplicated; nil otherwise. Shared storage; do not modify.
+func (r Result) Blue() []Def {
+	if r.cell.tag() == cellTagPooled {
+		return r.payload().blue
+	}
+	return nil
+}
+
+// Path returns the full node sequence of the winning definition path
+// (ldc … C) when the analyzer was built WithTrackPaths; nil
+// otherwise. Compilers need this to generate subobject casts for the
+// access (Section 4). Shared storage; do not modify.
+func (r Result) Path() []chg.ClassID {
+	if r.cell.tag() == cellTagPooled {
+		return r.payload().path
+	}
+	return nil
+}
+
+func (r Result) payload() *payload { return r.pool.entry(r.cell.poolIndex()) }
+
+// vsetLen/vsetAt iterate the result's leastVirtual coverage set
+// (RedKind) without allocating — the packed replacement for the old
+// vset() helper, whose singleton case built a fresh slice on every
+// dominance probe.
+func (r Result) vsetLen() int {
+	if ss := r.StaticSet(); ss != nil {
+		return len(ss)
+	}
+	return 1
+}
+
+func (r Result) vsetAt(i int) chg.ClassID {
+	if ss := r.StaticSet(); ss != nil {
+		return ss[i]
+	}
+	return r.Def().V
+}
+
+// redsetLen/redsetAt iterate the subset of the coverage usable as
+// Lemma-4 equality dominators, likewise allocation-free.
+func (r Result) redsetLen() int {
+	if sr := r.StaticRed(); sr != nil {
+		return len(sr)
+	}
+	return r.vsetLen()
+}
+
+func (r Result) redsetAt(i int) chg.ClassID {
+	if sr := r.StaticRed(); sr != nil {
+		return sr[i]
+	}
+	return r.vsetAt(i)
 }
 
 // Ambiguous reports whether the lookup failed due to ambiguity.
-func (r Result) Ambiguous() bool { return r.Kind == BlueKind }
+func (r Result) Ambiguous() bool { return r.Kind() == BlueKind }
 
 // Found reports whether the lookup resolved to a member.
-func (r Result) Found() bool { return r.Kind == RedKind }
+func (r Result) Found() bool { return r.Kind() == RedKind }
 
 // Class returns the class declaring the resolved member (ldc), valid
 // only for RedKind results.
-func (r Result) Class() chg.ClassID { return r.Def.L }
+func (r Result) Class() chg.ClassID { return r.Def().L }
+
+// Equal reports whether two results carry the same logical value,
+// regardless of which pool (if any) backs each. This is the
+// equivalence the oracle and eager/lazy/snapshot cross-checks use.
+func (r Result) Equal(o Result) bool {
+	if r.Kind() != o.Kind() || r.Def() != o.Def() {
+		return false
+	}
+	return idsEqual(r.StaticSet(), o.StaticSet()) &&
+		idsEqual(r.StaticRed(), o.StaticRed()) &&
+		idsEqual(r.Path(), o.Path()) &&
+		defsEqual(r.Blue(), o.Blue())
+}
+
+func idsEqual(a, b []chg.ClassID) bool {
+	if len(a) != len(b) || (a == nil) != (b == nil) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func defsEqual(a, b []Def) bool {
+	if len(a) != len(b) || (a == nil) != (b == nil) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resultData is the unpacked wide-struct shape of a result — the old
+// representation, kept as the rendering/serialization intermediate so
+// String and JSON output stay byte-identical to the former exported
+// struct.
+type resultData struct {
+	Kind      Kind
+	Def       Def
+	StaticSet []chg.ClassID
+	StaticRed []chg.ClassID
+	Blue      []Def
+	Path      []chg.ClassID
+}
+
+func (r Result) data() resultData {
+	return resultData{
+		Kind:      r.Kind(),
+		Def:       r.Def(),
+		StaticSet: r.StaticSet(),
+		StaticRed: r.StaticRed(),
+		Blue:      r.Blue(),
+		Path:      r.Path(),
+	}
+}
+
+// String renders the logical fields in struct order, exactly as the
+// old struct printed under %v.
+func (r Result) String() string { return fmt.Sprint(r.data()) }
+
+// MarshalJSON emits the same document the old exported struct did:
+// every field present, nil slices as null.
+func (r Result) MarshalJSON() ([]byte, error) { return json.Marshal(r.data()) }
 
 // format helpers — these render results in the notation of the
 // paper's Figures 6 and 7, e.g. "red (A, Ω)" or "blue {Ω}".
@@ -140,12 +282,14 @@ func className(g *chg.Graph, c chg.ClassID) string {
 
 // Format renders the result in the figures' notation.
 func (r Result) Format(g *chg.Graph) string {
-	switch r.Kind {
+	switch r.Kind() {
 	case RedKind:
-		return fmt.Sprintf("red (%s, %s)", className(g, r.Def.L), className(g, r.Def.V))
+		d := r.Def()
+		return fmt.Sprintf("red (%s, %s)", className(g, d.L), className(g, d.V))
 	case BlueKind:
-		parts := make([]string, len(r.Blue))
-		for i, d := range r.Blue {
+		blue := r.Blue()
+		parts := make([]string, len(blue))
+		for i, d := range blue {
 			if d.L == chg.Omega {
 				parts[i] = className(g, d.V)
 			} else {

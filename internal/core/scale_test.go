@@ -58,8 +58,8 @@ func TestScaleAmbiguous(t *testing.T) {
 	if !r.Ambiguous() {
 		t.Fatal("expected ambiguity")
 	}
-	if len(r.Blue) != 256 {
-		t.Errorf("blue set = %d, want 256", len(r.Blue))
+	if len(r.Blue()) != 256 {
+		t.Errorf("blue set = %d, want 256", len(r.Blue()))
 	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Fatalf("ambiguous lookup took %v", elapsed)

@@ -79,17 +79,17 @@ func TestStaticSetRegressionK11(t *testing.T) {
 
 	// The merged result at K9 carries both abstractions.
 	r9 := a.Lookup(k[9], m0)
-	if r9.Kind != RedKind || r9.Class() != k[1] {
+	if r9.Kind() != RedKind || r9.Class() != k[1] {
 		t.Fatalf("lookup(K9, m0) = %s, want red K1", r9.Format(g))
 	}
-	if len(r9.vset()) != 2 {
-		t.Errorf("lookup(K9, m0) abstraction set = %v, want both copies", r9.vset())
+	if r9.vsetLen() != 2 {
+		t.Errorf("lookup(K9, m0) abstraction set = %v, want both copies", r9.StaticSet())
 	}
 
 	// The headline: lookup(K11, m0) is ambiguous (K1-copy via K9 vs
 	// K5::m0), which the single-abstraction representation missed.
 	r11 := a.Lookup(k[11], m0)
-	if r11.Kind != BlueKind {
+	if r11.Kind() != BlueKind {
 		t.Fatalf("lookup(K11, m0) = %s, want ambiguous", r11.Format(g))
 	}
 	// Cross-check with the oracle.
@@ -126,17 +126,17 @@ func TestStaticRuleDeepSweep(t *testing.T) {
 				got := a.Lookup(cid, mid)
 				switch {
 				case len(want.Defns) == 0:
-					if got.Kind != Undefined {
+					if got.Kind() != Undefined {
 						t.Fatalf("iter %d seed %d (%s,%s): got %s, oracle undefined",
 							i, cfg.Seed, g.Name(cid), g.MemberName(mid), got.Format(g))
 					}
 				case want.Ambiguous:
-					if got.Kind != BlueKind {
+					if got.Kind() != BlueKind {
 						t.Fatalf("iter %d seed %d (%s,%s): got %s, oracle ambiguous",
 							i, cfg.Seed, g.Name(cid), g.MemberName(mid), got.Format(g))
 					}
 				default:
-					if got.Kind != RedKind || got.Class() != want.Subobject.Ldc() {
+					if got.Kind() != RedKind || got.Class() != want.Subobject.Ldc() {
 						t.Fatalf("iter %d seed %d (%s,%s): got %s, oracle red %s",
 							i, cfg.Seed, g.Name(cid), g.MemberName(mid), got.Format(g),
 							g.Name(want.Subobject.Ldc()))

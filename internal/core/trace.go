@@ -37,15 +37,16 @@ func (a *Analyzer) TraceMember(m chg.MemberID) []ClassTrace {
 		tr := ClassTrace{Class: c, Generated: g.Declares(c, m)}
 		for _, e := range g.DirectBases(c) {
 			r := results[e.Base]
-			switch r.Kind {
+			switch r.Kind() {
 			case RedKind:
+				rd := r.Def()
 				tr.Incoming = append(tr.Incoming, EdgeFlow{
 					From: e.Base,
-					Defs: []Def{{L: r.Def.L, V: extendAbs(r.Def.V, e.Base, e.Kind)}},
+					Defs: []Def{{L: rd.L, V: extendAbs(rd.V, e.Base, e.Kind)}},
 				})
 			case BlueKind:
 				flow := EdgeFlow{From: e.Base}
-				for _, d := range r.Blue {
+				for _, d := range r.Blue() {
 					flow.Defs = append(flow.Defs, Def{L: d.L, V: extendAbs(d.V, e.Base, e.Kind)})
 				}
 				tr.Incoming = append(tr.Incoming, flow)
@@ -64,7 +65,7 @@ func WriteTrace(w io.Writer, g *chg.Graph, traces []ClassTrace) error {
 	var b strings.Builder
 	for _, c := range g.Topo() {
 		tr := traces[c]
-		if tr.Result.Kind == Undefined {
+		if tr.Result.Kind() == Undefined {
 			continue
 		}
 		fmt.Fprintf(&b, "%s: ", g.Name(c))

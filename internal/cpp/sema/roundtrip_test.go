@@ -60,11 +60,11 @@ func TestWriteSourceRoundTrip(t *testing.T) {
 				if m2, ok := g2.MemberID(mname); ok {
 					r2 = a2.Lookup(c2, m2)
 				}
-				if r1.Kind != r2.Kind {
+				if r1.Kind() != r2.Kind() {
 					t.Fatalf("graph %d: lookup(%s, %s) kind changed: %s vs %s",
 						gi, name, mname, r1.Format(g), r2.Format(g2))
 				}
-				if r1.Kind == core.RedKind && g.Name(r1.Class()) != g2.Name(r2.Class()) {
+				if r1.Kind() == core.RedKind && g.Name(r1.Class()) != g2.Name(r2.Class()) {
 					t.Fatalf("graph %d: lookup(%s, %s) class changed", gi, name, mname)
 				}
 			}

@@ -518,7 +518,7 @@ func (u *Unit) resolveUsings(infos []classInfo, prelim *chg.Graph) {
 			if ok {
 				r = a.Lookup(bid, mid)
 			}
-			switch r.Kind {
+			switch r.Kind() {
 			case core.Undefined:
 				u.Diags = append(u.Diags, Diagnostic{
 					Pos: us.pos, Kind: ErrUnknownMember,
@@ -833,7 +833,7 @@ func (u *Unit) resolveMember(pos token.Pos, ctx chg.ClassID, name string) (typeI
 	}
 	r := u.Analyzer.Lookup(ctx, mid)
 	res.Result = r
-	switch r.Kind {
+	switch r.Kind() {
 	case core.Undefined:
 		u.Diags = append(u.Diags, Diagnostic{
 			Pos: pos, Kind: ErrUnknownMember,
@@ -845,17 +845,17 @@ func (u *Unit) resolveMember(pos token.Pos, ctx chg.ClassID, name string) (typeI
 			Msg: fmt.Sprintf("member %s is ambiguous in %s (%s)", name, g.Name(ctx), r.Format(g)),
 		})
 	case core.RedKind:
-		res.Accessible = u.Access.Accessible(r.Path, mid)
+		res.Accessible = u.Access.Accessible(r.Path(), mid)
 		if !res.Accessible {
 			u.Diags = append(u.Diags, Diagnostic{
 				Pos: pos, Kind: ErrInaccessibleMember,
 				Msg: fmt.Sprintf("%s::%s is %s in this context", g.Name(r.Class()), name,
-					u.Access.AlongPath(r.Path, mid)),
+					u.Access.AlongPath(r.Path(), mid)),
 			})
 		}
 	}
 	u.Resolutions = append(u.Resolutions, res)
-	if r.Kind == core.RedKind {
+	if r.Kind() == core.RedKind {
 		if ti, ok := u.memberType[typeKey{r.Class(), mid}]; ok {
 			return ti, true
 		}

@@ -330,11 +330,11 @@ C c;
 void f() { c.m(); }
 `)
 	r := u.Resolutions[0]
-	if len(r.Result.Path) != 3 {
-		t.Fatalf("path = %v, want A→B→C", r.Result.Path)
+	if len(r.Result.Path()) != 3 {
+		t.Fatalf("path = %v, want A→B→C", r.Result.Path())
 	}
 	names := []string{}
-	for _, id := range r.Result.Path {
+	for _, id := range r.Result.Path() {
 		names = append(names, u.Graph.Name(id))
 	}
 	if names[0] != "A" || names[2] != "C" {

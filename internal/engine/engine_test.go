@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"reflect"
 	"testing"
 
 	"cpplookup/internal/chg"
@@ -51,7 +50,7 @@ func TestSnapshotMatchesBuildTable(t *testing.T) {
 					cid, mid := chg.ClassID(c), chg.MemberID(m)
 					want := table.Lookup(cid, mid)
 					got := snap.Lookup(cid, mid)
-					if !reflect.DeepEqual(got, want) {
+					if !got.Equal(want) {
 						t.Fatalf("%s/%s lookup(%s, %s): snapshot %+v, table %+v",
 							gname, oname, g.Name(cid), g.MemberName(mid), got, want)
 					}
@@ -67,14 +66,14 @@ func TestSnapshotRejectsInvalidQueries(t *testing.T) {
 	for _, q := range []struct{ c, m int }{
 		{-1, 0}, {g.NumClasses(), 0}, {0, -1}, {0, g.NumMemberNames()},
 	} {
-		if r := snap.Lookup(chg.ClassID(q.c), chg.MemberID(q.m)); r.Kind != core.Undefined {
+		if r := snap.Lookup(chg.ClassID(q.c), chg.MemberID(q.m)); r.Kind() != core.Undefined {
 			t.Errorf("Lookup(%d, %d) = %+v, want undefined", q.c, q.m, r)
 		}
 	}
-	if r := snap.LookupByName("NoSuchClass", "m"); r.Kind != core.Undefined {
+	if r := snap.LookupByName("NoSuchClass", "m"); r.Kind() != core.Undefined {
 		t.Errorf("LookupByName unknown class = %+v", r)
 	}
-	if r := snap.LookupByName("E", "nosuchmember"); r.Kind != core.Undefined {
+	if r := snap.LookupByName("E", "nosuchmember"); r.Kind() != core.Undefined {
 		t.Errorf("LookupByName unknown member = %+v", r)
 	}
 }
@@ -144,7 +143,7 @@ func TestEngineOptionsStickAcrossUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := snap.LookupByName("E", "m")
-	if !r.Found() || len(r.Path) == 0 {
+	if !r.Found() || len(r.Path()) == 0 {
 		t.Fatalf("options were not reused across Update: %+v", r)
 	}
 }
@@ -274,7 +273,7 @@ func TestEachTableEntry(t *testing.T) {
 			t.Fatalf("members out of order at %s::%s", g.Name(c), g.MemberName(m))
 		}
 		lastMember = int(m)
-		if want := table.Lookup(c, m); !reflect.DeepEqual(r, want) {
+		if want := table.Lookup(c, m); !r.Equal(want) {
 			t.Fatalf("entry (%s, %s) = %+v, want %+v", g.Name(c), g.MemberName(m), r, want)
 		}
 	})

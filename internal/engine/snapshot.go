@@ -22,17 +22,23 @@ const shardCount = 32
 // concurrently; a snapshot never changes once published, so readers
 // holding one are isolated from later engine updates.
 //
-// The cache is a dense numClasses×numMemberNames array of atomic
-// pointers: a warm hit is one array index and one atomic load, with no
-// locking and no hashing. Writers fill misses under a per-member-name
-// shard lock; each cell is computed and published exactly once.
+// The cache is a dense numClasses×numMemberNames array of packed
+// core.Cell words in atomic.Uint64 cells: a warm hit is one array
+// index and one atomic word load — no locking, no hashing, no pointer
+// chase, and no per-result allocation, since the word itself encodes
+// the common results and rare payloads live interned in the kernel's
+// per-snapshot pool. The zero word means "not filled yet" (core never
+// encodes a result as zero). Writers fill misses under a
+// per-member-name shard lock; each cell is computed and published
+// exactly once.
 type Snapshot struct {
 	name    string
 	version uint64
 	k       *core.Kernel
+	pool    *core.Pool
 
 	numMembers int
-	cells      []atomic.Pointer[core.Result]
+	cells      []atomic.Uint64
 	fillLocks  [shardCount]sync.Mutex
 
 	tableOnce sync.Once
@@ -52,8 +58,9 @@ func newSnapshot(name string, version uint64, k *core.Kernel) *Snapshot {
 		name:       name,
 		version:    version,
 		k:          k,
+		pool:       k.Pool(),
 		numMembers: numM,
-		cells:      make([]atomic.Pointer[core.Result], g.NumClasses()*numM),
+		cells:      make([]atomic.Uint64, g.NumClasses()*numM),
 	}
 }
 
@@ -78,10 +85,10 @@ func (s *Snapshot) Kernel() *core.Kernel { return s.k }
 // while it fills the cell (and the recursive cells it needed) once.
 func (s *Snapshot) Lookup(c chg.ClassID, m chg.MemberID) core.Result {
 	if !s.k.Graph().Valid(c) || m < 0 || int(m) >= s.numMembers {
-		return core.Result{Kind: core.Undefined}
+		return core.UndefinedResult()
 	}
-	if p := s.cells[int(c)*s.numMembers+int(m)].Load(); p != nil {
-		return *p
+	if w := s.cells[int(c)*s.numMembers+int(m)].Load(); w != 0 {
+		return s.pool.View(core.Cell(w))
 	}
 	return s.fill(c, m)
 }
@@ -91,9 +98,10 @@ func (s *Snapshot) Lookup(c chg.ClassID, m chg.MemberID) core.Result {
 // dependencies of (c,m) are entries for the same member name, hence
 // under the same lock: one acquisition covers the whole recursion, and
 // the double-check below makes each cell's computation happen once per
-// snapshot even under contention. Publishing a cell is an atomic
-// pointer store, so readers that observe it also observe the fully
-// initialised Result behind it.
+// snapshot even under contention. Publishing a cell is an atomic word
+// store of the packed result; any rare payload was interned in the
+// snapshot's pool before the word existed, so readers that observe the
+// word also observe the fully initialised payload behind its index.
 func (s *Snapshot) fill(c chg.ClassID, m chg.MemberID) core.Result {
 	sh := &s.fillLocks[uint32(m)%shardCount]
 	sh.Lock()
@@ -102,14 +110,13 @@ func (s *Snapshot) fill(c chg.ClassID, m chg.MemberID) core.Result {
 	var lookup func(x chg.ClassID) core.Result
 	lookup = func(x chg.ClassID) core.Result {
 		cell := &s.cells[int(x)*s.numMembers+int(m)]
-		if p := cell.Load(); p != nil {
+		if w := cell.Load(); w != 0 {
 			// Already published — possibly by a writer ahead of us
 			// while we waited on the lock.
-			return *p
+			return s.pool.View(core.Cell(w))
 		}
 		r := s.k.Resolve(x, m, lookup)
-		rc := r
-		cell.Store(&rc)
+		cell.Store(uint64(r.Cell()))
 		return r
 	}
 	return lookup(c)
@@ -121,11 +128,11 @@ func (s *Snapshot) LookupByName(class, member string) core.Result {
 	g := s.k.Graph()
 	c, ok := g.ID(class)
 	if !ok {
-		return core.Result{Kind: core.Undefined}
+		return core.UndefinedResult()
 	}
 	m, ok := g.MemberID(member)
 	if !ok {
-		return core.Result{Kind: core.Undefined}
+		return core.UndefinedResult()
 	}
 	return s.Lookup(c, m)
 }
@@ -159,9 +166,14 @@ func (s *Snapshot) EachTableEntry(fn func(c chg.ClassID, m chg.MemberID, r core.
 func (s *Snapshot) CachedEntries() int {
 	n := 0
 	for i := range s.cells {
-		if s.cells[i].Load() != nil {
+		if s.cells[i].Load() != 0 {
 			n++
 		}
 	}
 	return n
 }
+
+// Pool returns the snapshot's payload pool — the per-snapshot intern
+// table for rare result payloads. Exposed for observability (the E13
+// experiment reports its size and deduplication rate).
+func (s *Snapshot) Pool() *core.Pool { return s.pool }

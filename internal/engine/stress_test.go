@@ -2,7 +2,6 @@ package engine
 
 import (
 	"math/rand"
-	"reflect"
 	"sync"
 	"testing"
 
@@ -49,7 +48,7 @@ func TestSnapshotStress(t *testing.T) {
 							c := chg.ClassID(rng.Intn(numC+4) - 2)
 							m := chg.MemberID(rng.Intn(numM+4) - 2)
 							got := snap.Lookup(c, m)
-							if (!g.Valid(c) || m < 0 || int(m) >= numM) && got.Kind != core.Undefined {
+							if (!g.Valid(c) || m < 0 || int(m) >= numM) && got.Kind() != core.Undefined {
 								errs <- "out-of-range query returned a defined result"
 								return
 							}
@@ -57,7 +56,7 @@ func TestSnapshotStress(t *testing.T) {
 							c := chg.ClassID(rng.Intn(numC))
 							m := chg.MemberID(rng.Intn(numM))
 							got := snap.LookupByName(g.Name(c), g.MemberName(m))
-							if !reflect.DeepEqual(got, want.Lookup(c, m)) {
+							if !got.Equal(want.Lookup(c, m)) {
 								errs <- "by-name lookup disagrees with table"
 								return
 							}
@@ -65,7 +64,7 @@ func TestSnapshotStress(t *testing.T) {
 							c := chg.ClassID(rng.Intn(numC))
 							m := chg.MemberID(rng.Intn(numM))
 							got := snap.Lookup(c, m)
-							if !reflect.DeepEqual(got, want.Lookup(c, m)) {
+							if !got.Equal(want.Lookup(c, m)) {
 								errs <- "lookup disagrees with table"
 								return
 							}
@@ -84,7 +83,7 @@ func TestSnapshotStress(t *testing.T) {
 			for c := 0; c < numC; c++ {
 				for m := 0; m < numM; m++ {
 					cid, mid := chg.ClassID(c), chg.MemberID(m)
-					if got := snap.Lookup(cid, mid); !reflect.DeepEqual(got, want.Lookup(cid, mid)) {
+					if got := snap.Lookup(cid, mid); !got.Equal(want.Lookup(cid, mid)) {
 						t.Fatalf("post-stress lookup(%s, %s) disagrees with table",
 							g.Name(cid), g.MemberName(mid))
 					}
@@ -129,7 +128,7 @@ func TestSnapshotAgainstNaiveOracle(t *testing.T) {
 						flow := flows[c]
 						switch {
 						case !flow.Found:
-							if got.Kind != core.Undefined {
+							if got.Kind() != core.Undefined {
 								failures <- g.Name(chg.ClassID(c)) + "." + g.MemberName(chg.MemberID(m)) + ": oracle undefined, snapshot defined"
 								return
 							}
@@ -153,5 +152,69 @@ func TestSnapshotAgainstNaiveOracle(t *testing.T) {
 		for f := range failures {
 			t.Fatal(f)
 		}
+	}
+}
+
+// TestSnapshotStressPooledPayloads hammers a snapshot whose kernel has
+// every payload-producing option on (static rule + path tracking) over
+// ambiguity-heavy hierarchies, with every goroutine walking the
+// payload slices it gets back. Under -race this exercises the pool's
+// lock-free read path: a reader that observes a published cell word
+// must also observe the fully written payload behind its index, even
+// while other goroutines' misses grow the pool concurrently.
+func TestSnapshotStressPooledPayloads(t *testing.T) {
+	graphs := map[string]*chg.Graph{
+		"ladder": hiergen.AmbiguousLadder(24, 3),
+		"random": hiergen.Random(hiergen.RandomConfig{
+			Classes: 100, MaxBases: 4, VirtualProb: 0.2,
+			MemberNames: 6, MemberProb: 0.2, Seed: 11,
+		}),
+	}
+	const goroutines = 16
+	const rounds = 6
+	for name, g := range graphs {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			snap := NewSnapshot(g, core.WithStaticRule(), core.WithTrackPaths())
+			want := core.NewKernel(g, core.WithStaticRule(), core.WithTrackPaths()).BuildTable()
+			numC, numM := g.NumClasses(), g.NumMemberNames()
+
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines)
+			for w := 0; w < goroutines; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for r := 0; r < rounds; r++ {
+						for i := 0; i < numC*numM; i++ {
+							c := chg.ClassID(rng.Intn(numC))
+							m := chg.MemberID(rng.Intn(numM))
+							got := snap.Lookup(c, m)
+							// Touch every payload slice: the race
+							// detector sees these reads against the
+							// pool's concurrent growth.
+							n := len(got.Path()) + len(got.StaticSet()) + len(got.StaticRed())
+							for _, d := range got.Blue() {
+								n += int(d.V)
+							}
+							_ = n
+							if !got.Equal(want.Lookup(c, m)) {
+								errs <- "pooled lookup disagrees with table"
+								return
+							}
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+			if st := snap.Pool().Stats(); st.Entries == 0 {
+				t.Fatal("stress hierarchy produced no pooled payloads; pick a more ambiguous one")
+			}
+		})
 	}
 }

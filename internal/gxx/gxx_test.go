@@ -123,7 +123,7 @@ func TestAgainstCoreOnRandomHierarchies(t *testing.T) {
 			for m := 0; m < g.NumMemberNames(); m++ {
 				want := a.Lookup(chg.ClassID(c), chg.MemberID(m))
 				ex := Exhaustive(sg, chg.MemberID(m))
-				switch want.Kind {
+				switch want.Kind() {
 				case core.Undefined:
 					if ex.Outcome != NotFound {
 						t.Fatalf("exhaustive disagrees (undefined) seed case %d", i)
@@ -138,7 +138,7 @@ func TestAgainstCoreOnRandomHierarchies(t *testing.T) {
 					}
 				}
 				buggy := Lookup(sg, chg.MemberID(m))
-				switch want.Kind {
+				switch want.Kind() {
 				case core.Undefined:
 					if buggy.Outcome != NotFound {
 						t.Fatalf("g++ invented a member, case %d", i)

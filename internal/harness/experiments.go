@@ -21,7 +21,7 @@ func describeLookup(w io.Writer, g *chg.Graph, class, member string) {
 	r := a.LookupByName(class, member)
 	switch {
 	case r.Found():
-		p := paths.MustNew(g, r.Path...)
+		p := paths.MustNew(g, r.Path()...)
 		fmt.Fprintf(w, "  lookup(%s, %s) = %s  [definition path %s]\n",
 			class, member, r.Format(g), p)
 	case r.Ambiguous():

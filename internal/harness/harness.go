@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"E10", "Section 7.2: the top-sort shortcut — speed and silent failures", RunE10},
 		{"E11", "Object model: Figure 9 executed over a concrete layout; vtable deltas", RunE11},
 		{"E12", "Extension: serving concurrent queries from one engine snapshot", RunE12},
+		{"E13", "Extension: packed cells — table memory footprint and warm-hit allocations", RunE13},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

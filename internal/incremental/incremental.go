@@ -62,6 +62,12 @@ type Workspace struct {
 	// incrementally with the same recurrence chg.Builder uses.
 	vbases []map[chg.ClassID]bool
 
+	// pool interns the rare payloads (blue sets) of the workspace's
+	// own results; cached entries are packed views over it. Entries
+	// dropped by invalidation keep their interned payloads — the pool
+	// only grows — but identical re-derived results re-use the same
+	// interned payload rather than adding a copy.
+	pool  *core.Pool
 	cache map[cacheKey]core.Result
 	stats Stats
 
@@ -81,6 +87,7 @@ func New() *Workspace {
 	return &Workspace{
 		byName:    make(map[string]chg.ClassID),
 		memberIDs: make(map[string]chg.MemberID),
+		pool:      core.NewPool(),
 		cache:     make(map[cacheKey]core.Result),
 	}
 }
@@ -216,11 +223,11 @@ func (w *Workspace) invalidate(c chg.ClassID, m chg.MemberID) {
 // entry an edit has not touched.
 func (w *Workspace) Lookup(c chg.ClassID, name string) core.Result {
 	if err := w.checkClass(c); err != nil {
-		return core.Result{Kind: core.Undefined}
+		return core.UndefinedResult()
 	}
 	id, ok := w.memberIDs[name]
 	if !ok {
-		return core.Result{Kind: core.Undefined}
+		return core.UndefinedResult()
 	}
 	return w.lookup(c, id)
 }
@@ -241,7 +248,7 @@ func (w *Workspace) lookup(c chg.ClassID, m chg.MemberID) core.Result {
 // for those).
 func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
 	if _, declared := w.members[c][m]; declared {
-		return core.Result{Kind: core.RedKind, Def: core.Def{L: c, V: chg.Omega}}
+		return w.pool.Red(core.Def{L: c, V: chg.Omega})
 	}
 	var blue []core.Def
 	addBlue := func(d core.Def) {
@@ -256,16 +263,17 @@ func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
 	var cand core.Def
 	for _, e := range w.bases[c] {
 		r := w.lookup(e.Base, m)
-		switch r.Kind {
+		switch r.Kind() {
 		case core.Undefined:
 			continue
 		case core.RedKind:
 			found = true
-			v := r.Def.V
+			rd := r.Def()
+			v := rd.V
 			if v == chg.Omega && e.Kind == chg.Virtual {
 				v = e.Base
 			}
-			d := core.Def{L: r.Def.L, V: v}
+			d := core.Def{L: rd.L, V: v}
 			switch {
 			case nocandidate:
 				nocandidate, cand = false, d
@@ -278,7 +286,7 @@ func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
 			}
 		case core.BlueKind:
 			found = true
-			for _, bd := range r.Blue {
+			for _, bd := range r.Blue() {
 				v := bd.V
 				if v == chg.Omega && e.Kind == chg.Virtual {
 					v = e.Base
@@ -288,11 +296,11 @@ func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
 		}
 	}
 	if !found {
-		return core.Result{Kind: core.Undefined}
+		return core.UndefinedResult()
 	}
 	if nocandidate {
 		sortBlue(blue)
-		return core.Result{Kind: core.BlueKind, Blue: blue}
+		return w.pool.Blue(blue)
 	}
 	var surviving []core.Def
 	for _, b := range blue {
@@ -301,7 +309,7 @@ func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
 		}
 	}
 	if len(surviving) == 0 {
-		return core.Result{Kind: core.RedKind, Def: cand}
+		return w.pool.Red(cand)
 	}
 	dup := false
 	for _, b := range surviving {
@@ -313,7 +321,7 @@ func (w *Workspace) resolve(c chg.ClassID, m chg.MemberID) core.Result {
 		surviving = append(surviving, core.Def{L: chg.Omega, V: cand.V})
 	}
 	sortBlue(surviving)
-	return core.Result{Kind: core.BlueKind, Blue: surviving}
+	return w.pool.Blue(surviving)
 }
 
 // dominates is Lemma 4 against the incremental virtual-base sets.

@@ -27,20 +27,20 @@ func checkAgainstBatch(t *testing.T, w *Workspace, label string) {
 			if mid, ok := g.MemberID(name); ok {
 				want = a.Lookup(chg.ClassID(c), mid)
 			}
-			if got.Kind != want.Kind {
+			if got.Kind() != want.Kind() {
 				t.Fatalf("%s: (%s, %s): incremental %s vs batch %s",
 					label, w.names[c], name, got.Format(g), want.Format(g))
 			}
-			if got.Kind == core.RedKind && got.Def != want.Def {
+			if got.Kind() == core.RedKind && got.Def() != want.Def() {
 				t.Fatalf("%s: (%s, %s): defs differ: %s vs %s",
 					label, w.names[c], name, got.Format(g), want.Format(g))
 			}
-			if got.Kind == core.BlueKind {
-				if len(got.Blue) != len(want.Blue) {
+			if got.Kind() == core.BlueKind {
+				if len(got.Blue()) != len(want.Blue()) {
 					t.Fatalf("%s: (%s, %s): blue widths differ", label, w.names[c], name)
 				}
-				for i := range got.Blue {
-					if got.Blue[i].V != want.Blue[i].V {
+				for i := range got.Blue() {
+					if got.Blue()[i].V != want.Blue()[i].V {
 						t.Fatalf("%s: (%s, %s): blue sets differ", label, w.names[c], name)
 					}
 				}
@@ -69,7 +69,7 @@ func TestEditScriptFigure2(t *testing.T) {
 	e, _ := w.AddClass("E", []BaseDecl{{Class: c}, {Class: d}})
 
 	r := w.Lookup(e, "m")
-	if r.Kind != core.RedKind || r.Def.L != d {
+	if r.Kind() != core.RedKind || r.Def().L != d {
 		t.Fatalf("lookup(E, m) = %+v, want D::m", r)
 	}
 	checkAgainstBatch(t, w, "after build")
@@ -79,7 +79,7 @@ func TestEditScriptFigure2(t *testing.T) {
 		t.Fatal(err)
 	}
 	r = w.Lookup(e, "m")
-	if r.Kind != core.RedKind || r.Def.L != a {
+	if r.Kind() != core.RedKind || r.Def().L != a {
 		t.Fatalf("after removal: %+v, want A::m", r)
 	}
 	checkAgainstBatch(t, w, "after removal")
@@ -90,14 +90,14 @@ func TestEditScriptFigure2(t *testing.T) {
 		t.Fatal(err)
 	}
 	r = w.Lookup(e, "m")
-	if r.Kind != core.RedKind || r.Def.L != c {
+	if r.Kind() != core.RedKind || r.Def().L != c {
 		t.Fatalf("after adding C::m: %+v, want C::m", r)
 	}
 	// Re-add D::m: now C::m vs D::m is a real ambiguity.
 	if err := w.AddMember(d, method("m")); err != nil {
 		t.Fatal(err)
 	}
-	if r = w.Lookup(e, "m"); r.Kind != core.BlueKind {
+	if r = w.Lookup(e, "m"); r.Kind() != core.BlueKind {
 		t.Fatalf("after re-adding D::m: %+v, want ambiguous", r)
 	}
 	checkAgainstBatch(t, w, "final")
@@ -173,7 +173,7 @@ func TestInvalidationCone(t *testing.T) {
 		}
 	}
 	// And the recomputed answers are right.
-	if r := w.Lookup(leaf, "m"); r.Kind != core.RedKind || r.Def.L != left {
+	if r := w.Lookup(leaf, "m"); r.Kind() != core.RedKind || r.Def().L != left {
 		t.Errorf("lookup(Leaf, m) after override = %+v", r)
 	}
 	if w.Stats().Invalidations != 2 {
@@ -259,10 +259,10 @@ func TestWorkspaceValidation(t *testing.T) {
 	if err := w.RemoveMember(b, "m"); err == nil {
 		t.Error("removing undeclared member should fail")
 	}
-	if r := w.Lookup(chg.ClassID(77), "m"); r.Kind != core.Undefined {
+	if r := w.Lookup(chg.ClassID(77), "m"); r.Kind() != core.Undefined {
 		t.Error("invalid class lookup should be undefined")
 	}
-	if r := w.Lookup(a, "ghost"); r.Kind != core.Undefined {
+	if r := w.Lookup(a, "ghost"); r.Kind() != core.Undefined {
 		t.Error("unknown member lookup should be undefined")
 	}
 	if id, ok := w.ID("A"); !ok || id != a {

@@ -278,7 +278,7 @@ func (m *Machine) resolveAt(ref Ref, name string) (core.Result, paths.Path, chg.
 	case !r.Found():
 		return core.Result{}, paths.Path{}, 0, errf("no member %s in %s", name, m.g.Name(ref.Class()))
 	}
-	defPath, err := paths.New(m.g, r.Path...)
+	defPath, err := paths.New(m.g, r.Path()...)
 	if err != nil {
 		return core.Result{}, paths.Path{}, 0, err
 	}
@@ -524,7 +524,7 @@ func (m *Machine) callMethod(ref Ref, name string, args []Value) (Value, error) 
 			return Value{}, errf("virtual dispatch of %s found nothing", name)
 		}
 		implClass = dyn.Class()
-		dynPath, err := paths.New(m.g, dyn.Path...)
+		dynPath, err := paths.New(m.g, dyn.Path()...)
 		if err != nil {
 			return Value{}, err
 		}

@@ -18,7 +18,7 @@ func (r *runner) checkMember(m chg.MemberID) []diag.Diagnostic {
 	var out []diag.Diagnostic
 	for _, c := range r.g.Topo() {
 		res := r.t.Lookup(c, m)
-		if res.Kind == core.Undefined {
+		if res.Kind() == core.Undefined {
 			continue
 		}
 		if r.enabled[AmbiguousMember] {
@@ -40,12 +40,12 @@ func (r *runner) checkMember(m chg.MemberID) []diag.Diagnostic {
 // merely inherits a Blue cell through a single base repeats its base's
 // ambiguity and is not reported again.
 func (r *runner) ambiguousMember(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID, res core.Result) []diag.Diagnostic {
-	if res.Kind != core.BlueKind {
+	if res.Kind() != core.BlueKind {
 		return out
 	}
 	contributing := 0
 	for _, e := range r.g.DirectBases(c) {
-		if r.t.Lookup(e.Base, m).Kind != core.Undefined {
+		if r.t.Lookup(e.Base, m).Kind() != core.Undefined {
 			contributing++
 		}
 	}
@@ -108,20 +108,20 @@ func (r *runner) deadMember(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID
 			continue
 		}
 		res := r.t.Lookup(d, m)
-		switch res.Kind {
+		switch res.Kind() {
 		case core.RedKind:
-			if res.Def.L == c {
+			if res.Def().L == c {
 				return out // live: d's lookup finds this declaration
 			}
 			if example == "" {
 				example = fmt.Sprintf("lookup(%s, %s) = %s::%s",
-					r.g.Name(d), r.g.MemberName(m), r.g.Name(res.Def.L), r.g.MemberName(m))
+					r.g.Name(d), r.g.MemberName(m), r.g.Name(res.Def().L), r.g.MemberName(m))
 			}
 		case core.BlueKind:
 			// A Blue set records its defs' declaring classes only
 			// under the static rule; Ω means unknown, so be
 			// conservative and count the declaration as live.
-			for _, def := range res.Blue {
+			for _, def := range res.Blue() {
 				if def.L == c || def.L == chg.Omega {
 					return out
 				}
@@ -268,11 +268,11 @@ func (r *runner) staticRuleApplies(paper core.Result, m chg.MemberID) bool {
 		mem, ok := r.g.DeclaredMember(c, m)
 		return ok && mem.StaticForLookup()
 	}
-	switch paper.Kind {
+	switch paper.Kind() {
 	case core.RedKind:
-		return paper.StaticSet != nil || declStatic(paper.Def.L)
+		return paper.StaticSet() != nil || declStatic(paper.Def().L)
 	case core.BlueKind:
-		for _, d := range paper.Blue {
+		for _, d := range paper.Blue() {
 			if declStatic(d.L) {
 				return true
 			}
@@ -298,12 +298,12 @@ func (r *runner) gxxDivergence(out []diag.Diagnostic, c chg.ClassID) []diag.Diag
 		var msg string
 		w := &diag.Witness{Visited: gres.Visited}
 		switch {
-		case paper.Kind == core.RedKind && gres.Outcome == gxx.ReportedAmbiguous:
+		case paper.Kind() == core.RedKind && gres.Outcome == gxx.ReportedAmbiguous:
 			// The Figure 9 shape: a false ambiguity report.
 			msg = fmt.Sprintf("g++ 2.7.2.1 falsely reports lookup(%s, %s) as ambiguous; the dominant definition is %s::%s",
-				r.g.Name(c), r.g.MemberName(m), r.g.Name(paper.Def.L), r.g.MemberName(m))
+				r.g.Name(c), r.g.MemberName(m), r.g.Name(paper.Def().L), r.g.MemberName(m))
 			w.Paper = fmt.Sprintf("resolves to %s::%s (%s)",
-				r.g.Name(paper.Def.L), r.g.MemberName(m), paper.Format(r.g))
+				r.g.Name(paper.Def().L), r.g.MemberName(m), paper.Format(r.g))
 			a, b := tr.Conflict[0], tr.Conflict[1]
 			w.Gxx = fmt.Sprintf("breadth-first scan met the incomparable definitions %s::%s and %s::%s and quit",
 				r.g.Name(sg.Class(a)), r.g.MemberName(m), r.g.Name(sg.Class(b)), r.g.MemberName(m))
@@ -312,22 +312,22 @@ func (r *runner) gxxDivergence(out []diag.Diagnostic, c chg.ClassID) []diag.Diag
 				renderPath(r.g, sg.Subobject(a).Path.Nodes()),
 				renderPath(r.g, sg.Subobject(b).Path.Nodes()),
 			}
-		case paper.Kind == core.RedKind && gres.Outcome == gxx.Resolved && gres.Class != paper.Def.L:
+		case paper.Kind() == core.RedKind && gres.Outcome == gxx.Resolved && gres.Class != paper.Def().L:
 			msg = fmt.Sprintf("g++ 2.7.2.1 resolves lookup(%s, %s) to %s::%s, but the dominant definition is %s::%s",
 				r.g.Name(c), r.g.MemberName(m), r.g.Name(gres.Class), r.g.MemberName(m),
-				r.g.Name(paper.Def.L), r.g.MemberName(m))
-			w.Paper = fmt.Sprintf("resolves to %s::%s", r.g.Name(paper.Def.L), r.g.MemberName(m))
+				r.g.Name(paper.Def().L), r.g.MemberName(m))
+			w.Paper = fmt.Sprintf("resolves to %s::%s", r.g.Name(paper.Def().L), r.g.MemberName(m))
 			w.Gxx = fmt.Sprintf("resolves to %s::%s", r.g.Name(gres.Class), r.g.MemberName(m))
 			w.Paths = []string{renderPath(r.g, sg.Subobject(gres.Subobject).Path.Nodes())}
-		case paper.Kind == core.BlueKind && gres.Outcome != gxx.ReportedAmbiguous:
+		case paper.Kind() == core.BlueKind && gres.Outcome != gxx.ReportedAmbiguous:
 			msg = fmt.Sprintf("g++ 2.7.2.1 does not report lookup(%s, %s) as ambiguous, but it is (%s)",
 				r.g.Name(c), r.g.MemberName(m), paper.Format(r.g))
 			w.Paper = paper.Format(r.g)
 			w.Gxx = gres.Outcome.String()
-		case paper.Kind == core.RedKind && gres.Outcome == gxx.NotFound:
+		case paper.Kind() == core.RedKind && gres.Outcome == gxx.NotFound:
 			msg = fmt.Sprintf("g++ 2.7.2.1 does not find lookup(%s, %s), but it resolves to %s::%s",
-				r.g.Name(c), r.g.MemberName(m), r.g.Name(paper.Def.L), r.g.MemberName(m))
-			w.Paper = fmt.Sprintf("resolves to %s::%s", r.g.Name(paper.Def.L), r.g.MemberName(m))
+				r.g.Name(c), r.g.MemberName(m), r.g.Name(paper.Def().L), r.g.MemberName(m))
+			w.Paper = fmt.Sprintf("resolves to %s::%s", r.g.Name(paper.Def().L), r.g.MemberName(m))
 			w.Gxx = gres.Outcome.String()
 		default:
 			continue

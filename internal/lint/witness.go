@@ -75,11 +75,11 @@ func shortestMember(ec paths.EquivClass) paths.Path {
 // abstractWitness renders the Blue set in the paper's (ldc,
 // leastVirtual) notation.
 func (r *runner) abstractWitness(res core.Result) *diag.Witness {
-	if len(res.Blue) == 0 {
+	if len(res.Blue()) == 0 {
 		return nil
 	}
 	w := &diag.Witness{}
-	for _, d := range res.Blue {
+	for _, d := range res.Blue() {
 		w.Abstractions = append(w.Abstractions, fmt.Sprintf("(%s, %s)", r.className(d.L), r.className(d.V)))
 	}
 	return w

@@ -133,7 +133,7 @@ func (s *Stack) Resolve(name string) (Symbol, bool, error) {
 				continue
 			}
 			r := s.a.Lookup(f.class, mid)
-			switch r.Kind {
+			switch r.Kind() {
 			case core.Undefined:
 				continue
 			case core.BlueKind:

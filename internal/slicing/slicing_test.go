@@ -44,17 +44,17 @@ func lookupsAgree(t *testing.T, g *chg.Graph, s *Slice, cr Criterion, label stri
 		// The member name does not survive only when nothing in the
 		// kept sub-hierarchy declares it — i.e. the original lookup
 		// found nothing.
-		if orig.Kind != core.Undefined {
+		if orig.Kind() != core.Undefined {
 			t.Errorf("%s: criterion vanished but original = %s", label, orig.Format(g))
 		}
 		return
 	}
 	got := core.New(s.Graph).Lookup(nc, nm)
-	if got.Kind != orig.Kind {
+	if got.Kind() != orig.Kind() {
 		t.Errorf("%s: sliced %s vs original %s", label, got.Format(s.Graph), orig.Format(g))
 		return
 	}
-	if got.Kind == core.RedKind &&
+	if got.Kind() == core.RedKind &&
 		s.Graph.Name(got.Class()) != g.Name(orig.Class()) {
 		t.Errorf("%s: sliced resolves to %s, original to %s",
 			label, s.Graph.Name(got.Class()), g.Name(orig.Class()))

@@ -48,7 +48,7 @@ func TestStagingEquationsAgainstCore(t *testing.T) {
 					}
 					want := a.Lookup(chg.ClassID(c), mid)
 					switch {
-					case want.Kind == core.Undefined:
+					case want.Kind() == core.Undefined:
 						if !dynRes.Ambiguous && len(dynRes.Defs) != 0 {
 							t.Fatalf("graph %d: dyn found a member core says is absent", gi)
 						}
@@ -71,7 +71,7 @@ func TestStagingEquationsAgainstCore(t *testing.T) {
 					}
 					staticWant := a.Lookup(sg.Class(sigma), mid)
 					switch {
-					case staticWant.Kind == core.Undefined:
+					case staticWant.Kind() == core.Undefined:
 						if !statRes.Ambiguous && len(statRes.Defs) != 0 {
 							// Stat reports an empty non-ambiguous result
 							// as Ambiguous=false with no target only when

@@ -27,7 +27,7 @@ func TestAgreesOnUnambiguousLookups(t *testing.T) {
 			for m := 0; m < g.NumMemberNames(); m++ {
 				want := a.Lookup(chg.ClassID(c), chg.MemberID(m))
 				got, ok := Lookup(g, chg.ClassID(c), chg.MemberID(m))
-				switch want.Kind {
+				switch want.Kind() {
 				case core.Undefined:
 					if ok {
 						t.Errorf("graph %d: toposel found a nonexistent member", gi)

@@ -93,7 +93,7 @@ func (b *Builder) Build(c chg.ClassID) VTable {
 			continue
 		}
 		r := b.a.Lookup(c, chg.MemberID(m))
-		if r.Kind == core.Undefined {
+		if r.Kind() == core.Undefined {
 			continue
 		}
 		slot := Slot{Member: chg.MemberID(m), Introduced: b.introducer[m]}
@@ -103,11 +103,11 @@ func (b *Builder) Build(c chg.ClassID) VTable {
 		if slot.Introduced != c && !g.IsBase(slot.Introduced, c) {
 			continue
 		}
-		if r.Kind == core.BlueKind {
+		if r.Kind() == core.BlueKind {
 			slot.Ambiguous = true
 		} else {
 			slot.Impl = r.Class()
-			slot.Path = r.Path
+			slot.Path = r.Path()
 		}
 		vt.Slots = append(vt.Slots, slot)
 	}
