@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check verify golden golden-check
+.PHONY: build test race vet lint check verify golden golden-check bench-json
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,12 @@ vet:
 # are warnings and notes by design — see README "Linting a hierarchy").
 lint:
 	$(GO) run ./cmd/chglint -fail-on=error ./examples
+
+# Run the table-build benchmark family and write the machine-readable
+# snapshot BENCH_table_build.json (ns/op, allocs/op, visited slots per
+# config and strategy) — the cross-PR perf trajectory record.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_table_build.json
 
 # Regenerate the CLI golden transcripts in internal/cli/testdata/golden.
 golden:

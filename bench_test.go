@@ -395,6 +395,29 @@ func BenchmarkPackedCells(b *testing.B) {
 	})
 }
 
+// --- E14: support-pruned, word-batched whole-table construction ---
+
+// BenchmarkTableBuild is the table-build benchmark family of E14 and
+// BENCH_table_build.json: every strategy (naive member-major pass,
+// entry-major eager pass, batched support-pruned pass serial and
+// parallel) over every shared config (dense Figure-style and sparse
+// many-member hierarchies). Run with -benchmem; `make bench-json`
+// captures the same family as machine-readable JSON.
+func BenchmarkTableBuild(b *testing.B) {
+	for _, cfg := range harness.TableBuildConfigs() {
+		g := cfg.Make()
+		for _, s := range harness.TableBuildStrategies() {
+			build := s.Build
+			b.Run(cfg.Name+"/"+s.Name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					build(core.NewKernel(g))
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationNoKilling(b *testing.B) {

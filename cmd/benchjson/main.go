@@ -1,0 +1,116 @@
+// Command benchjson runs the table-build benchmark family (the same
+// configs and strategies as BenchmarkTableBuild and experiment E14)
+// through testing.Benchmark and writes the results as JSON, so the
+// build-time trajectory is machine-readable across PRs:
+//
+//	go run ./cmd/benchjson -o BENCH_table_build.json
+//
+// For each hierarchy config it records, per strategy, ns/op,
+// allocs/op and bytes/op, alongside the analytic work profile
+// (table entries, member blocks, visited class slots) and the
+// batched-over-eager / batched-over-naive speedups the acceptance
+// criteria track.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/harness"
+)
+
+type strategyResult struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	Seconds     float64 `json:"seconds"`
+}
+
+type configResult struct {
+	Name                string                    `json:"name"`
+	Shape               string                    `json:"shape"`
+	Classes             int                       `json:"classes"`
+	MemberNames         int                       `json:"member_names"`
+	Entries             int                       `json:"entries"`
+	Blocks              int                       `json:"blocks"`
+	BatchedClassVisits  int                       `json:"batched_class_visits"`
+	UnprunedClassVisits int                       `json:"unpruned_class_visits"`
+	Strategies          map[string]strategyResult `json:"strategies"`
+	SpeedupVsEager      float64                   `json:"batched_speedup_vs_eager"`
+	SpeedupVsNaive      float64                   `json:"batched_speedup_vs_naive"`
+}
+
+type report struct {
+	Benchmark string         `json:"benchmark"`
+	Unit      string         `json:"unit_note"`
+	Configs   []configResult `json:"configs"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_table_build.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Benchmark: "BenchmarkTableBuild",
+		Unit:      "ns_per_op is wall time per whole-table build; visits are analytic topological-walk slot counts",
+	}
+	for _, cfg := range harness.TableBuildConfigs() {
+		g := cfg.Make()
+		work := core.MeasureTableBuildWork(g)
+		cr := configResult{
+			Name:                cfg.Name,
+			Shape:               cfg.Shape,
+			Classes:             g.NumClasses(),
+			MemberNames:         g.NumMemberNames(),
+			Entries:             work.Entries,
+			Blocks:              work.Blocks,
+			BatchedClassVisits:  work.BatchedClassVisits,
+			UnprunedClassVisits: work.UnprunedClassVisits,
+			Strategies:          map[string]strategyResult{},
+		}
+		for _, s := range harness.TableBuildStrategies() {
+			build := s.Build
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					build(core.NewKernel(g))
+				}
+			})
+			cr.Strategies[s.Name] = strategyResult{
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+				Seconds:     r.T.Seconds(),
+			}
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", cfg.Name, s.Name, r.NsPerOp(), r.N)
+		}
+		cr.SpeedupVsEager = ratio(cr.Strategies["eager"].NsPerOp, cr.Strategies["batched-1"].NsPerOp)
+		cr.SpeedupVsNaive = ratio(cr.Strategies["naive"].NsPerOp, cr.Strategies["batched-1"].NsPerOp)
+		rep.Configs = append(rep.Configs, cr)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

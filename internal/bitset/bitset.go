@@ -35,6 +35,15 @@ func New(n int) *Set {
 // Len returns the universe size the set was created with.
 func (s *Set) Len() int { return s.n }
 
+// NumWords returns the number of 64-bit words backing the set:
+// ⌈Len()/64⌉.
+func (s *Set) NumWords() int { return len(s.words) }
+
+// Word returns the i'th backing word: bit j of Word(i) is element
+// 64·i+j. Word-level access is what lets callers batch 64 universe
+// elements per probe (the lookup table's member-block masks).
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
 // Add inserts i into the set.
 func (s *Set) Add(i int) {
 	s.check(i)
@@ -189,17 +198,25 @@ func (s *Set) sameUniverse(t *Set) {
 	}
 }
 
-// Matrix is a square boolean matrix stored as one Set per row. It backs
-// the reflexive-transitive closures over the class hierarchy graph.
+// Matrix is a boolean matrix stored as one Set per row. It backs the
+// reflexive-transitive closures over the class hierarchy graph
+// (square, classes × classes) and the member-universe matrix of the
+// eager table build (rectangular, classes × member names).
 type Matrix struct {
 	rows []*Set
 }
 
 // NewMatrix returns an n×n all-false matrix.
 func NewMatrix(n int) *Matrix {
-	m := &Matrix{rows: make([]*Set, n)}
+	return NewMatrixRect(n, n)
+}
+
+// NewMatrixRect returns a rows×cols all-false matrix: `rows` sets,
+// each over the universe {0, …, cols-1}.
+func NewMatrixRect(rows, cols int) *Matrix {
+	m := &Matrix{rows: make([]*Set, rows)}
 	for i := range m.rows {
-		m.rows[i] = New(n)
+		m.rows[i] = New(cols)
 	}
 	return m
 }

@@ -268,3 +268,49 @@ func BenchmarkHas(b *testing.B) {
 		_ = s.Has(i & 4095)
 	}
 }
+
+func TestWordAccess(t *testing.T) {
+	s := New(130)
+	if got := s.NumWords(); got != 3 {
+		t.Fatalf("NumWords = %d, want 3", got)
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(129)
+	if got := s.Word(0); got != 1|1<<63 {
+		t.Errorf("Word(0) = %#x", got)
+	}
+	if got := s.Word(1); got != 1 {
+		t.Errorf("Word(1) = %#x", got)
+	}
+	if got := s.Word(2); got != 2 {
+		t.Errorf("Word(2) = %#x", got)
+	}
+	// Word-level view agrees with Has for every element.
+	for i := 0; i < 130; i++ {
+		word := s.Word(i/64) & (1 << uint(i%64))
+		if (word != 0) != s.Has(i) {
+			t.Fatalf("Word/Has disagree at %d", i)
+		}
+	}
+}
+
+func TestMatrixRect(t *testing.T) {
+	m := NewMatrixRect(3, 200)
+	if m.Dim() != 3 {
+		t.Fatalf("Dim = %d", m.Dim())
+	}
+	m.Set(0, 199)
+	m.Set(1, 0)
+	if !m.Has(0, 199) || !m.Has(1, 0) || m.Has(2, 0) {
+		t.Error("rect matrix entries wrong")
+	}
+	// OrRow works across rows of the shared (non-square) universe.
+	if !m.OrRow(2, 0) || !m.Has(2, 199) {
+		t.Error("OrRow on rect matrix wrong")
+	}
+	if m.Row(0).Len() != 200 {
+		t.Errorf("row universe = %d", m.Row(0).Len())
+	}
+}

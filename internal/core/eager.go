@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"cpplookup/internal/bitset"
 	"cpplookup/internal/chg"
 )
 
@@ -44,9 +45,8 @@ func (k *Kernel) BuildTable() *Table {
 		members: make([][]chg.MemberID, n),
 		results: make([][]Cell, n),
 	}
+	t.members, _, _ = memberUniverse(g)
 	for _, c := range g.Topo() {
-		// Members[C] := M[C] ∪ Members of direct bases (merged sorted).
-		t.members[c] = mergeMembers(g, c, t.members)
 		ms := t.members[c]
 		rs := make([]Cell, len(ms))
 		for i, m := range ms {
@@ -57,50 +57,56 @@ func (k *Kernel) BuildTable() *Table {
 	return t
 }
 
-// mergeMembers computes the sorted union of c's declared member ids
-// and its direct bases' member sets.
-func mergeMembers(g *chg.Graph, c chg.ClassID, members [][]chg.MemberID) []chg.MemberID {
-	own := make([]chg.MemberID, 0, len(g.DeclaredMembers(c)))
-	for _, mem := range g.DeclaredMembers(c) {
-		id, _ := g.MemberID(mem.Name)
-		own = append(own, id)
-	}
-	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
-
-	acc := own
-	for _, e := range g.DirectBases(c) {
-		acc = mergeSorted(acc, members[e.Base])
-	}
-	return acc
-}
-
-// mergeSorted returns the deduplicated merge of two sorted id slices.
-func mergeSorted(a, b []chg.MemberID) []chg.MemberID {
-	if len(a) == 0 {
-		return append([]chg.MemberID(nil), b...)
-	}
-	if len(b) == 0 {
-		return a
-	}
-	out := make([]chg.MemberID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+// memberMatrices computes two classes × member-names bit matrices in
+// one topological sweep: decl's row C is the set of names C itself
+// declares (Figure 8's M[C]), and mm's row C is Members[C] = M[C] ∪
+// ⋃ Members[X] over direct bases X (lines [6]–[9]) — each class ors
+// in its declared row and then its bases' rows, 64 names per word.
+// Column m of mm is exactly supp(m) = {C : m ∈ Members[C]}, the
+// support cone the batched table build prunes with; decl gives the
+// build its line-[12] "declared here" test as a bit probe instead of
+// a map lookup per entry.
+func memberMatrices(g *chg.Graph) (mm, decl *bitset.Matrix) {
+	n := g.NumClasses()
+	mm = bitset.NewMatrixRect(n, g.NumMemberNames())
+	decl = bitset.NewMatrixRect(n, g.NumMemberNames())
+	for _, c := range g.Topo() {
+		drow := decl.Row(int(c))
+		for _, mem := range g.DeclaredMembers(c) {
+			id, _ := g.MemberID(mem.Name)
+			drow.Add(int(id))
+		}
+		row := mm.Row(int(c))
+		row.UnionWith(drow)
+		for _, e := range g.DirectBases(c) {
+			mm.OrRow(int(c), int(e.Base))
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return mm, decl
+}
+
+// MemberMatrix computes the membership matrix of Figure 8 lines
+// [6]–[9] word-parallel: row C is the bit set {m : m ∈ Members[C]}
+// over the member-name universe.
+func MemberMatrix(g *chg.Graph) *bitset.Matrix {
+	mm, _ := memberMatrices(g)
+	return mm
+}
+
+// memberUniverse is the one shared Members[C] construction used by
+// every eager build (BuildTable, BuildTableBatched, and the unpruned
+// baseline): the membership matrices plus the expansion of Members[C]
+// into the per-class sorted member lists the Table stores.
+func memberUniverse(g *chg.Graph) ([][]chg.MemberID, *bitset.Matrix, *bitset.Matrix) {
+	mm, decl := memberMatrices(g)
+	members := make([][]chg.MemberID, g.NumClasses())
+	for c := range members {
+		row := mm.Row(c)
+		ms := make([]chg.MemberID, 0, row.Count())
+		row.ForEach(func(i int) { ms = append(ms, chg.MemberID(i)) })
+		members[c] = ms
+	}
+	return members, mm, decl
 }
 
 // Lookup returns lookup[c,m]; Undefined when m ∉ Members[c].

@@ -97,36 +97,54 @@ func TestEagerMatchesLazyOnRandom(t *testing.T) {
 	}
 }
 
-func TestMergeSorted(t *testing.T) {
-	mk := func(xs ...int) []chg.MemberID {
-		out := make([]chg.MemberID, len(xs))
-		for i, x := range xs {
-			out[i] = chg.MemberID(x)
-		}
-		return out
-	}
-	eq := func(a, b []chg.MemberID) bool {
-		if len(a) != len(b) {
+// memberUniverse (the shared Members[C] construction) must agree with
+// the recursive definition of Figure 8 lines [6]–[9]: m ∈ Members[C]
+// iff C declares m or some direct base has m ∈ Members[X].
+func TestMemberUniverseMatchesRecursiveDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for i := 0; i < 20; i++ {
+		g := hiergen.Random(hiergen.RandomConfig{
+			Classes: 3 + rng.Intn(20), MaxBases: 3, VirtualProb: 0.3,
+			MemberNames: 5, MemberProb: 0.3, Seed: rng.Int63(),
+		})
+		members, mm, decl := memberUniverse(g)
+		var inMembers func(c chg.ClassID, m chg.MemberID) bool
+		inMembers = func(c chg.ClassID, m chg.MemberID) bool {
+			if g.Declares(c, m) {
+				return true
+			}
+			for _, e := range g.DirectBases(c) {
+				if inMembers(e.Base, m) {
+					return true
+				}
+			}
 			return false
 		}
-		for i := range a {
-			if a[i] != b[i] {
-				return false
+		for c := 0; c < g.NumClasses(); c++ {
+			want := []chg.MemberID{}
+			for m := 0; m < g.NumMemberNames(); m++ {
+				has := inMembers(chg.ClassID(c), chg.MemberID(m))
+				if mm.Has(c, m) != has {
+					t.Fatalf("iter %d: matrix bit (%d,%d) = %v, want %v", i, c, m, mm.Has(c, m), has)
+				}
+				if decl.Has(c, m) != g.Declares(chg.ClassID(c), chg.MemberID(m)) {
+					t.Fatalf("iter %d: decl bit (%d,%d) = %v, want %v",
+						i, c, m, decl.Has(c, m), g.Declares(chg.ClassID(c), chg.MemberID(m)))
+				}
+				if has {
+					want = append(want, chg.MemberID(m))
+				}
+			}
+			got := members[c]
+			if len(got) != len(want) {
+				t.Fatalf("iter %d: Members[%d] = %v, want %v", i, c, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("iter %d: Members[%d] = %v, want %v", i, c, got, want)
+				}
 			}
 		}
-		return true
-	}
-	if !eq(mergeSorted(mk(1, 3, 5), mk(2, 3, 6)), mk(1, 2, 3, 5, 6)) {
-		t.Error("merge with overlap wrong")
-	}
-	if !eq(mergeSorted(mk(), mk(1, 2)), mk(1, 2)) {
-		t.Error("merge with empty left wrong")
-	}
-	if !eq(mergeSorted(mk(1, 2), mk()), mk(1, 2)) {
-		t.Error("merge with empty right wrong")
-	}
-	if !eq(mergeSorted(mk(1, 2), mk(1, 2)), mk(1, 2)) {
-		t.Error("merge of identical wrong")
 	}
 }
 

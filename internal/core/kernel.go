@@ -127,6 +127,39 @@ func (k *Kernel) blueDef(d Def) Def {
 	return d
 }
 
+// resolveScratch holds the reusable temporaries of resolve: the
+// rotating coverage/red-set buffers, the blue accumulation set, the
+// kill partition, and the path buffer. A zero scratch is valid (every
+// buffer starts nil and grows on demand); a scratch reused across
+// calls keeps its capacity, which is what makes the batched table
+// build allocation-free in the steady state. Nothing a resolve call
+// returns aliases its scratch — rare payloads are interned (copied)
+// into the pool before the Result exists — so reusing a scratch for
+// the next call never corrupts an earlier result.
+//
+// A scratch is single-goroutine state; concurrent resolve calls each
+// need their own (Resolve allocates a fresh one per call).
+type resolveScratch struct {
+	cover [2][]chg.ClassID // rotating candCover/dCover buffers
+	redv  [2][]chg.ClassID // rotating candRed/dRed buffers
+	blue  []Def
+	surv  []Def
+	kill  []Def
+	path  []chg.ClassID
+}
+
+// appendBlue adds d to the toBeDominated set unless an equivalent
+// entry is present (V-equality without the static rule, (L,V)-equality
+// with it).
+func appendBlue(blue []Def, d Def, staticRule bool) []Def {
+	for _, e := range blue {
+		if e.V == d.V && (!staticRule || e.L == d.L) {
+			return blue
+		}
+	}
+	return append(blue, d)
+}
+
 // Resolve computes lookup[c,m] from the results at c's direct bases —
 // the body of Figure 8's doLookup loop (lines [11]–[45]). get supplies
 // lookup[X,m] for each direct base X; Undefined stands for
@@ -134,25 +167,38 @@ func (k *Kernel) blueDef(d Def) Def {
 // immutable configuration, so concurrent calls are safe as long as
 // each call's get function is.
 func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Result) Result {
+	var sc resolveScratch
+	return k.resolve(c, m, get, &sc)
+}
+
+// resolve is Resolve with caller-supplied scratch buffers; the batched
+// table build passes one long-lived scratch per worker so steady-state
+// entry fills allocate nothing.
+func (k *Kernel) resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Result, sc *resolveScratch) Result {
+	return k.resolveDeclared(c, m, k.g.Declares(c, m), get, sc)
+}
+
+// resolveDeclared is resolve with the line-[12] "c declares m" test
+// precomputed — the batched build answers it from the declaration
+// bit matrix instead of a per-entry map probe.
+func (k *Kernel) resolveDeclared(c chg.ClassID, m chg.MemberID, declared bool, get func(chg.ClassID) Result, sc *resolveScratch) Result {
 	// Line [12]: a definition generated at c trivially dominates
 	// everything that reaches c.
-	if k.g.Declares(c, m) {
+	if declared {
 		d := Def{L: c, V: chg.Omega}
 		if k.trackPaths {
-			return k.pool.RedDetailed(d, nil, nil, []chg.ClassID{c})
+			sc.path = append(sc.path[:0], c)
+			return k.pool.RedDetailed(d, nil, nil, sc.path)
 		}
 		return k.pool.Red(d)
 	}
 
-	var blue []Def // toBeDominated
-	addBlue := func(d Def) {
-		for _, e := range blue {
-			if e.V == d.V && (!k.staticRule || e.L == d.L) {
-				return
-			}
-		}
-		blue = append(blue, d)
-	}
+	blue := sc.blue[:0] // toBeDominated
+	// Work on local copies of the rotating buffer pair: slice-header
+	// stores to a stack array take no GC write barrier, unlike stores
+	// into the heap-resident scratch. Stored back before every return.
+	cov := sc.cover
+	redv := sc.redv
 
 	nocandidate := true
 	found := false
@@ -160,6 +206,10 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 	var candCover []chg.ClassID // every copy's abstraction (sorted unique)
 	var candRed []chg.ClassID   // abstractions of genuinely red copies
 	var candPath []chg.ClassID
+	// Buffer rotation invariant: a live candidate's cover/red sets
+	// occupy pair cur^1; pair cur is free for the next base's sets.
+	// Taking over the freshly built pair flips cur.
+	cur := 0
 
 	for _, e := range k.g.DirectBases(c) {
 		r := get(e.Base)
@@ -169,18 +219,21 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 		case RedKind:
 			found = true
 			rL := r.Def().L
-			var dCover, dRed []chg.ClassID
+			dCover := cov[cur][:0]
+			dRed := redv[cur][:0]
 			for i, n := 0, r.vsetLen(); i < n; i++ {
 				dCover = insertV(dCover, extendAbs(r.vsetAt(i), e.Base, e.Kind))
 			}
 			for i, n := 0, r.redsetLen(); i < n; i++ {
 				dRed = insertV(dRed, extendAbs(r.redsetAt(i), e.Base, e.Kind))
 			}
+			cov[cur], redv[cur] = dCover, dRed
 			switch {
 			case nocandidate:
 				nocandidate = false
 				candL, candCover, candRed = rL, dCover, dRed
-				candPath = k.extendPath(r.Path(), c)
+				candPath = k.extendPath(sc, r.Path(), c)
+				cur ^= 1
 			case k.staticRule && rL == candL && k.staticIn(candL, m):
 				// Definition 17: the same static member reached as
 				// another subobject copy — merge, keeping every
@@ -191,16 +244,18 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 				for _, v := range dRed {
 					candRed = insertV(candRed, v)
 				}
+				cov[cur^1], redv[cur^1] = candCover, candRed
 			case k.groupDominates(rL, dRed, candCover):
 				candL, candCover, candRed = rL, dCover, dRed
-				candPath = k.extendPath(r.Path(), c)
+				candPath = k.extendPath(sc, r.Path(), c)
+				cur ^= 1
 			case !k.groupDominates(candL, candRed, dCover):
 				// Lines [25]–[27]: neither dominates; both become blue.
 				for _, v := range candCover {
-					addBlue(k.blueDef(Def{L: candL, V: v}))
+					blue = appendBlue(blue, k.blueDef(Def{L: candL, V: v}), k.staticRule)
 				}
 				for _, v := range dCover {
-					addBlue(k.blueDef(Def{L: rL, V: v}))
+					blue = appendBlue(blue, k.blueDef(Def{L: rL, V: v}), k.staticRule)
 				}
 				nocandidate = true
 				candPath = nil
@@ -208,10 +263,12 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 		case BlueKind:
 			found = true
 			for _, bd := range r.Blue() {
-				addBlue(Def{L: bd.L, V: extendAbs(bd.V, e.Base, e.Kind)})
+				blue = appendBlue(blue, Def{L: bd.L, V: extendAbs(bd.V, e.Base, e.Kind)}, k.staticRule)
 			}
 		}
 	}
+	sc.blue = blue
+	sc.cover, sc.redv = cov, redv
 
 	if !found {
 		return UndefinedResult()
@@ -226,27 +283,27 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 	// joins the group's coverage: any later winner must dominate that
 	// copy too (but it gains no equality-based kill power — it was
 	// not red).
-	candKills := func(b Def) bool {
-		if k.g.IsVirtualBase(b.V, candL) {
-			return true
-		}
-		if b.V != chg.Omega && containsV(candRed, b.V) {
-			return true
-		}
-		if k.staticRule && b.L == candL && b.L != chg.Omega && k.staticIn(candL, m) {
-			candCover = insertV(candCover, b.V)
-			return true
-		}
-		return false
-	}
-	var surviving, killed []Def
+	surviving := sc.surv[:0]
+	killed := sc.kill[:0]
 	for _, b := range blue {
-		if candKills(b) {
+		dead := false
+		switch {
+		case k.g.IsVirtualBase(b.V, candL):
+			dead = true
+		case b.V != chg.Omega && containsV(candRed, b.V):
+			dead = true
+		case k.staticRule && b.L == candL && b.L != chg.Omega && k.staticIn(candL, m):
+			candCover = insertV(candCover, b.V)
+			dead = true
+		}
+		if dead {
 			killed = append(killed, b)
 		} else {
 			surviving = append(surviving, b)
 		}
 	}
+	sc.surv, sc.kill = surviving, killed
+	sc.cover[cur^1] = candCover
 
 	// Static-rule refinement: a blue definition killed because it is
 	// "the same static member" as the candidate (condition 3) retains
@@ -309,12 +366,14 @@ func (k *Kernel) Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Re
 	return k.pool.Blue(surviving)
 }
 
-func (k *Kernel) extendPath(p []chg.ClassID, c chg.ClassID) []chg.ClassID {
+// extendPath appends c to path p in the scratch path buffer. At most
+// one candidate path is live at a time (a takeover makes the previous
+// one dead), so one buffer per scratch suffices; the pool copies it
+// at interning time.
+func (k *Kernel) extendPath(sc *resolveScratch, p []chg.ClassID, c chg.ClassID) []chg.ClassID {
 	if !k.trackPaths {
 		return nil
 	}
-	out := make([]chg.ClassID, 0, len(p)+1)
-	out = append(out, p...)
-	out = append(out, c)
-	return out
+	sc.path = append(append(sc.path[:0], p...), c)
+	return sc.path
 }

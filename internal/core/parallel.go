@@ -1,9 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"cpplookup/internal/chg"
 )
 
@@ -14,18 +11,26 @@ import (
 // structure: Figure 8's per-member computations are independent — the
 // entry lookup[C,m] reads only entries lookup[X,m] for the *same*
 // member name m at C's bases — so member names partition the table
-// into disjoint dataflow problems. Each worker runs the topological
-// pass for its share of the member names; the shared Members[C] sets
-// are computed once, serially, up front.
+// into disjoint dataflow problems. Since PR 4 this is a thin alias of
+// the batched support-pruned build: workers claim 64-member blocks
+// instead of static member shares, and each block's topological pass
+// skips classes outside the block's support cones.
 func (a *Analyzer) BuildTableParallel(workers int) *Table { return a.k.BuildTableParallel(workers) }
 
 // BuildTableParallel is the kernel-level parallel tabulation. The
-// kernel is stateless, so the per-member workers share it freely.
+// kernel is stateless, so the per-block workers share it freely.
 func (k *Kernel) BuildTableParallel(workers int) *Table {
+	return k.BuildTableBatched(workers)
+}
+
+// BuildTableUnpruned is the pre-pruning member-major tabulation kept
+// as the ablation baseline for experiment E14: one full topological
+// pass over *all* classes per member name — the literal
+// O(|M|·|N|·…) reading of Figure 8 — with a per-class binary search
+// to locate the member's entry. Differential tests pin it equal to
+// the batched build; benchmarks show what support pruning saves.
+func (k *Kernel) BuildTableUnpruned() *Table {
 	g := k.g
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := g.NumClasses()
 	t := &Table{
 		g:       g,
@@ -33,31 +38,13 @@ func (k *Kernel) BuildTableParallel(workers int) *Table {
 		members: make([][]chg.MemberID, n),
 		results: make([][]Cell, n),
 	}
-	for _, c := range g.Topo() {
-		t.members[c] = mergeMembers(g, c, t.members)
+	t.members, _, _ = memberUniverse(g)
+	for c := 0; c < n; c++ {
 		t.results[c] = make([]Cell, len(t.members[c]))
 	}
-	m := g.NumMemberNames()
-	if workers > m {
-		workers = m
+	for mid := 0; mid < g.NumMemberNames(); mid++ {
+		k.fillMember(t, chg.MemberID(mid))
 	}
-	if workers <= 1 {
-		for mid := 0; mid < m; mid++ {
-			k.fillMember(t, chg.MemberID(mid))
-		}
-		return t
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for mid := w; mid < m; mid += workers {
-				k.fillMember(t, chg.MemberID(mid))
-			}
-		}(w)
-	}
-	wg.Wait()
 	return t
 }
 

@@ -44,6 +44,7 @@ type poolChunk [poolChunkSize]payload
 type Pool struct {
 	mu     sync.Mutex
 	index  map[string]uint32
+	keyBuf []byte // reusable key scratch, guarded by mu
 	n      uint32
 	hits   atomic.Uint64
 	chunks atomic.Pointer[[]*poolChunk]
@@ -85,12 +86,14 @@ func (p *Pool) entry(i uint32) *payload {
 	return &dir[i/poolChunkSize][i%poolChunkSize]
 }
 
-// payloadKey builds the canonical dedup key: a compact binary
-// encoding that distinguishes nil from empty slices (nil-ness is part
-// of a result's meaning — a nil StaticSet stands for the singleton
-// {Def.V}).
-func payloadKey(pl *payload) string {
-	b := make([]byte, 0, 24+8*(len(pl.staticSet)+len(pl.staticRed)+len(pl.path))+16*len(pl.blue))
+// appendPayloadKey appends the canonical dedup key to dst: a compact
+// binary encoding that distinguishes nil from empty slices (nil-ness
+// is part of a result's meaning — a nil StaticSet stands for the
+// singleton {Def.V}). Building into a caller buffer keeps interning
+// allocation-free on dedup hits — the common case on the table
+// build's hot path, where many classes share each Blue set.
+func appendPayloadKey(dst []byte, pl *payload) []byte {
+	b := dst
 	b = binary.AppendVarint(b, int64(pl.kind))
 	b = binary.AppendVarint(b, int64(pl.def.L))
 	b = binary.AppendVarint(b, int64(pl.def.V))
@@ -116,7 +119,7 @@ func payloadKey(pl *payload) string {
 			b = binary.AppendVarint(b, int64(d.V))
 		}
 	}
-	return string(b)
+	return b
 }
 
 // copyIDs clones a slice, preserving nil-ness, so interned payloads
@@ -135,10 +138,14 @@ func copyIDs(s []chg.ClassID) []chg.ClassID {
 // intern stores pl (or finds an existing identical payload) and
 // returns its stable index.
 func (p *Pool) intern(pl payload) uint32 {
-	key := payloadKey(&pl)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if i, ok := p.index[key]; ok {
+	// The string([]byte) conversions below are recognised by the
+	// compiler: the map probe does not materialise a string, so a
+	// dedup hit costs zero allocations; only a genuinely new payload
+	// pays for its key.
+	p.keyBuf = appendPayloadKey(p.keyBuf[:0], &pl)
+	if i, ok := p.index[string(p.keyBuf)]; ok {
 		p.hits.Add(1)
 		return i
 	}
@@ -165,7 +172,7 @@ func (p *Pool) intern(pl payload) uint32 {
 		copy(slot.blue, pl.blue)
 	}
 	p.n = i + 1
-	p.index[key] = i
+	p.index[string(p.keyBuf)] = i
 	return i
 }
 

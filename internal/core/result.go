@@ -32,7 +32,6 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strings"
 
 	"cpplookup/internal/chg"
@@ -302,11 +301,17 @@ func (r Result) Format(g *chg.Graph) string {
 }
 
 // sortDefs orders a blue set deterministically (by V then L).
+// Insertion sort: blue sets are tiny (a handful of conflicting
+// definitions), and unlike sort.Slice this allocates nothing — blue
+// entries are on the table build's hot path.
 func sortDefs(ds []Def) {
-	sort.Slice(ds, func(i, j int) bool {
-		if ds[i].V != ds[j].V {
-			return ds[i].V < ds[j].V
+	for i := 1; i < len(ds); i++ {
+		d := ds[i]
+		j := i - 1
+		for j >= 0 && (ds[j].V > d.V || (ds[j].V == d.V && ds[j].L > d.L)) {
+			ds[j+1] = ds[j]
+			j--
 		}
-		return ds[i].L < ds[j].L
-	})
+		ds[j+1] = d
+	}
 }

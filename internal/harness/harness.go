@@ -1,5 +1,5 @@
 // Package harness regenerates every figure and measurable claim of
-// the paper as a printed experiment (E1–E12, plus ablations A1–A4).
+// the paper as a printed experiment (E1–E14, plus ablations A1–A4).
 // cmd/experiments is its CLI; EXPERIMENTS.md records one captured run
 // and compares it against what the paper reports.
 package harness
@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"E11", "Object model: Figure 9 executed over a concrete layout; vtable deltas", RunE11},
 		{"E12", "Extension: serving concurrent queries from one engine snapshot", RunE12},
 		{"E13", "Extension: packed cells — table memory footprint and warm-hit allocations", RunE13},
+		{"E14", "Extension: support-pruned, word-batched whole-table construction", RunE14},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

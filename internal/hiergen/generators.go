@@ -224,3 +224,53 @@ func RealisticTop(g *chg.Graph, depth, chainLen int) chg.ClassID {
 	}
 	return g.MustID(fmt.Sprintf("stream%d_%d", depth-1, chainLen-1))
 }
+
+// SparseMembers builds the support-pruning stress shape: `classes`
+// classes in a mostly-tree hierarchy (each class one guaranteed
+// earlier base, sometimes a second, occasionally virtual) and
+// `members` member names s0, s1, …, each declared in exactly
+// min(defsPerMember, classes) distinct random classes. With many
+// names and few definitions per name, each name's support cone
+// supp(m) covers only a small slice of the hierarchy — the regime
+// where the batched table build's per-class block masks skip almost
+// everything. Deterministic per seed.
+func SparseMembers(classes, members, defsPerMember int, seed int64) *chg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := chg.NewBuilder()
+	ids := make([]chg.ClassID, classes)
+	for i := 0; i < classes; i++ {
+		ids[i] = b.Class(fmt.Sprintf("S%d", i))
+	}
+	kind := func() chg.Kind {
+		if rng.Float64() < 0.15 {
+			return chg.Virtual
+		}
+		return chg.NonVirtual
+	}
+	for i := 1; i < classes; i++ {
+		first := rng.Intn(i)
+		b.Base(ids[i], ids[first], kind())
+		if i > 1 && rng.Float64() < 0.25 {
+			second := rng.Intn(i)
+			if second != first {
+				b.Base(ids[i], ids[second], kind())
+			}
+		}
+	}
+	if defsPerMember > classes {
+		defsPerMember = classes
+	}
+	for m := 0; m < members; m++ {
+		name := fmt.Sprintf("s%d", m)
+		seen := map[int]bool{}
+		for len(seen) < defsPerMember {
+			c := rng.Intn(classes)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			b.Method(ids[c], name)
+		}
+	}
+	return b.MustBuild()
+}

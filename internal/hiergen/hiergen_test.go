@@ -151,3 +151,74 @@ func TestRealisticShape(t *testing.T) {
 		t.Error("chainless top wrong")
 	}
 }
+
+func TestSparseMembersDeterministic(t *testing.T) {
+	g1 := SparseMembers(60, 150, 3, 99)
+	g2 := SparseMembers(60, 150, 3, 99)
+	s1, s2 := g1.ComputeStats(), g2.ComputeStats()
+	if s1 != s2 {
+		t.Errorf("same seed, different stats: %s vs %s", s1, s2)
+	}
+	for c := 0; c < g1.NumClasses(); c++ {
+		b1, b2 := g1.DirectBases(chg.ClassID(c)), g2.DirectBases(chg.ClassID(c))
+		if len(b1) != len(b2) {
+			t.Fatalf("class %d: base count differs", c)
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("class %d: base %d differs", c, i)
+			}
+		}
+		m1, m2 := g1.DeclaredMembers(chg.ClassID(c)), g2.DeclaredMembers(chg.ClassID(c))
+		if len(m1) != len(m2) {
+			t.Fatalf("class %d: member count differs", c)
+		}
+		for i := range m1 {
+			if m1[i].Name != m2[i].Name {
+				t.Fatalf("class %d: member %d differs", c, i)
+			}
+		}
+	}
+	if SparseMembers(60, 150, 3, 100).ComputeStats() == s1 {
+		t.Error("different seed produced an identical hierarchy")
+	}
+}
+
+func TestSparseMembersShape(t *testing.T) {
+	const classes, members, defs = 40, 100, 2
+	g := SparseMembers(classes, members, defs, 7)
+	if g.NumClasses() != classes {
+		t.Fatalf("NumClasses = %d, want %d", g.NumClasses(), classes)
+	}
+	if g.NumMemberNames() != members {
+		t.Fatalf("NumMemberNames = %d, want %d", g.NumMemberNames(), members)
+	}
+	// Every member name is declared in exactly defsPerMember classes.
+	counts := make(map[string]int)
+	for c := 0; c < classes; c++ {
+		for _, m := range g.DeclaredMembers(chg.ClassID(c)) {
+			counts[m.Name]++
+		}
+	}
+	if len(counts) != members {
+		t.Fatalf("declared %d distinct names, want %d", len(counts), members)
+	}
+	for name, n := range counts {
+		if n != defs {
+			t.Errorf("member %s declared %d times, want %d", name, n, defs)
+		}
+	}
+	// defsPerMember is clamped to the class count.
+	g2 := SparseMembers(3, 5, 10, 1)
+	for m := 0; m < g2.NumMemberNames(); m++ {
+		n := 0
+		for c := 0; c < g2.NumClasses(); c++ {
+			if g2.Declares(chg.ClassID(c), chg.MemberID(m)) {
+				n++
+			}
+		}
+		if n != 3 {
+			t.Errorf("clamped member %d declared %d times, want 3", m, n)
+		}
+	}
+}
