@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check verify golden golden-check bench-json
+.PHONY: build test race vet lint check verify golden golden-check bench-json bench-check
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,20 @@ vet:
 lint:
 	$(GO) run ./cmd/chglint -fail-on=error ./examples
 
-# Run the table-build benchmark family and write the machine-readable
-# snapshot BENCH_table_build.json (ns/op, allocs/op, visited slots per
-# config and strategy) — the cross-PR perf trajectory record.
+# Run the machine-readable benchmark families and write their
+# snapshots: BENCH_table_build.json (ns/op, allocs/op, visited slots
+# per config and strategy) and BENCH_edit_relookup.json (edit→requery
+# round times per serving strategy, cache-survival fractions) — the
+# cross-PR perf trajectory record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_table_build.json
+	$(GO) run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json
+
+# Fail if the checked-in benchmark JSON snapshots no longer match the
+# current benchmark families structurally (configs/strategies renamed
+# or added without re-running `make bench-json`). Timings are not
+# compared.
+bench-check:
+	$(GO) run ./cmd/benchjson -check
 
 # Regenerate the CLI golden transcripts in internal/cli/testdata/golden.
 golden:
@@ -37,5 +46,5 @@ golden-check: golden
 check: build vet test lint
 
 # Everything CI runs: build, vet, the full test suite, the example
-# lint gate, and golden staleness.
-verify: build vet test lint golden-check
+# lint gate, and golden/benchmark-snapshot staleness.
+verify: build vet test lint golden-check bench-check

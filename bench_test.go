@@ -418,6 +418,35 @@ func BenchmarkTableBuild(b *testing.B) {
 	}
 }
 
+// --- E15: warm-cache carry-over on the edit→serve hot path ---
+
+// BenchmarkEditRelookup is the edit-relookup benchmark family of E15
+// and BENCH_edit_relookup.json: a single-member edit on a fully warm
+// hierarchy followed by a republish and a full requery, under every
+// serving strategy (Sync with warm carry-over, cold engine rebuild,
+// and the reconstructed legacy map cache) over every shared config.
+// `make bench-json` captures the same family as machine-readable JSON.
+func BenchmarkEditRelookup(b *testing.B) {
+	for _, cfg := range harness.EditRelookupConfigs() {
+		g := cfg.Make()
+		for _, s := range harness.EditRelookupStrategies() {
+			setup := s.Setup
+			b.Run(cfg.Name+"/"+s.Name, func(b *testing.B) {
+				sess, err := setup(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.Step() // settle into the steady warm state
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sess.Step()
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationNoKilling(b *testing.B) {

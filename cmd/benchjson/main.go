@@ -1,15 +1,22 @@
-// Command benchjson runs the table-build benchmark family (the same
-// configs and strategies as BenchmarkTableBuild and experiment E14)
-// through testing.Benchmark and writes the results as JSON, so the
-// build-time trajectory is machine-readable across PRs:
+// Command benchjson runs the machine-readable benchmark families —
+// the same configs and strategies as BenchmarkTableBuild / experiment
+// E14 and BenchmarkEditRelookup / experiment E15 — through
+// testing.Benchmark and writes the results as JSON, so the performance
+// trajectory is machine-readable across PRs:
 //
-//	go run ./cmd/benchjson -o BENCH_table_build.json
+//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json
 //
-// For each hierarchy config it records, per strategy, ns/op,
-// allocs/op and bytes/op, alongside the analytic work profile
-// (table entries, member blocks, visited class slots) and the
-// batched-over-eager / batched-over-naive speedups the acceptance
-// criteria track.
+// For the table-build family it records, per strategy, ns/op,
+// allocs/op and bytes/op, alongside the analytic work profile and the
+// batched-over-eager / batched-over-naive speedups. For the
+// edit-relookup family it records the same timing triple per serving
+// strategy, the warm-carry speedups over cold rebuild and the legacy
+// map cache, and the fraction of the warm cache surviving each carry.
+//
+// With -check, no benchmarks run: the existing JSON snapshots are
+// verified to structurally match the current families (benchmark
+// names, config names, strategy names) so CI catches a family edited
+// without refreshing its golden snapshot. Timings are never compared.
 package main
 
 import (
@@ -36,13 +43,20 @@ type configResult struct {
 	Shape               string                    `json:"shape"`
 	Classes             int                       `json:"classes"`
 	MemberNames         int                       `json:"member_names"`
-	Entries             int                       `json:"entries"`
-	Blocks              int                       `json:"blocks"`
-	BatchedClassVisits  int                       `json:"batched_class_visits"`
-	UnprunedClassVisits int                       `json:"unpruned_class_visits"`
+	Entries             int                       `json:"entries,omitempty"`
+	Blocks              int                       `json:"blocks,omitempty"`
+	BatchedClassVisits  int                       `json:"batched_class_visits,omitempty"`
+	UnprunedClassVisits int                       `json:"unpruned_class_visits,omitempty"`
 	Strategies          map[string]strategyResult `json:"strategies"`
-	SpeedupVsEager      float64                   `json:"batched_speedup_vs_eager"`
-	SpeedupVsNaive      float64                   `json:"batched_speedup_vs_naive"`
+	SpeedupVsEager      float64                   `json:"batched_speedup_vs_eager,omitempty"`
+	SpeedupVsNaive      float64                   `json:"batched_speedup_vs_naive,omitempty"`
+
+	// Edit-relookup metrics (absent for the table-build family).
+	CacheSurvival     float64 `json:"cache_survival,omitempty"`
+	CarrySpeedupCold  float64 `json:"carry_speedup_vs_cold,omitempty"`
+	CarrySpeedupMap   float64 `json:"carry_speedup_vs_map_cache,omitempty"`
+	CarriedEntries    int     `json:"carried_entries,omitempty"`
+	InvalidatedConeSz int     `json:"invalidated_cone_entries,omitempty"`
 }
 
 type report struct {
@@ -52,9 +66,26 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_table_build.json", "output file")
+	out := flag.String("o", "BENCH_table_build.json", "table-build output file")
+	editOut := flag.String("edit-o", "BENCH_edit_relookup.json", "edit-relookup output file")
+	check := flag.Bool("check", false, "verify the JSON snapshots structurally match the current families instead of running benchmarks")
 	flag.Parse()
 
+	if *check {
+		ok := checkFile(*out, "BenchmarkTableBuild", tableBuildShape()) &&
+			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape())
+		if !ok {
+			os.Exit(1)
+		}
+		fmt.Println("benchmark JSON snapshots are structurally current")
+		return
+	}
+
+	writeReport(*out, tableBuildReport())
+	writeReport(*editOut, editRelookupReport())
+}
+
+func tableBuildReport() report {
 	rep := report{
 		Benchmark: "BenchmarkTableBuild",
 		Unit:      "ns_per_op is wall time per whole-table build; visits are analytic topological-walk slot counts",
@@ -81,31 +112,168 @@ func main() {
 					build(core.NewKernel(g))
 				}
 			})
-			cr.Strategies[s.Name] = strategyResult{
-				NsPerOp:     r.NsPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				Iterations:  r.N,
-				Seconds:     r.T.Seconds(),
-			}
+			cr.Strategies[s.Name] = toStrategyResult(r)
 			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", cfg.Name, s.Name, r.NsPerOp(), r.N)
 		}
 		cr.SpeedupVsEager = ratio(cr.Strategies["eager"].NsPerOp, cr.Strategies["batched-1"].NsPerOp)
 		cr.SpeedupVsNaive = ratio(cr.Strategies["naive"].NsPerOp, cr.Strategies["batched-1"].NsPerOp)
 		rep.Configs = append(rep.Configs, cr)
 	}
+	return rep
+}
 
+func editRelookupReport() report {
+	rep := report{
+		Benchmark: "BenchmarkEditRelookup",
+		Unit:      "ns_per_op is wall time per edit→republish→full-requery round on a warm hierarchy; cache_survival is the carried fraction of the predecessor's cache",
+	}
+	for _, cfg := range harness.EditRelookupConfigs() {
+		g := cfg.Make()
+		cr := configResult{
+			Name:        cfg.Name,
+			Shape:       cfg.Shape,
+			Classes:     g.NumClasses(),
+			MemberNames: g.NumMemberNames(),
+			Strategies:  map[string]strategyResult{},
+		}
+		for _, s := range harness.EditRelookupStrategies() {
+			sess, err := s.Setup(g)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			sess.Step() // settle into the steady warm state
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sess.Step()
+				}
+			})
+			cr.Strategies[s.Name] = toStrategyResult(r)
+			if s.Name == "warm-carry" {
+				st := sess.Carry()
+				cr.CacheSurvival = harness.SurvivalFraction(st)
+				cr.CarriedEntries = st.Carried
+				cr.InvalidatedConeSz = st.Invalidated
+			}
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", cfg.Name, s.Name, r.NsPerOp(), r.N)
+		}
+		cr.CarrySpeedupCold = ratio(cr.Strategies["cold-rebuild"].NsPerOp, cr.Strategies["warm-carry"].NsPerOp)
+		cr.CarrySpeedupMap = ratio(cr.Strategies["map-cache"].NsPerOp, cr.Strategies["warm-carry"].NsPerOp)
+		rep.Configs = append(rep.Configs, cr)
+	}
+	return rep
+}
+
+func toStrategyResult(r testing.BenchmarkResult) strategyResult {
+	return strategyResult{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+		Seconds:     r.T.Seconds(),
+	}
+}
+
+func writeReport(path string, rep report) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
+}
+
+// familyShape is the structural golden a -check run compares a JSON
+// snapshot against: every config name and its strategy names.
+type familyShape map[string][]string
+
+func tableBuildShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.TableBuildConfigs() {
+		var names []string
+		for _, s := range harness.TableBuildStrategies() {
+			names = append(names, s.Name)
+		}
+		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+func editRelookupShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.EditRelookupConfigs() {
+		var names []string
+		for _, s := range harness.EditRelookupStrategies() {
+			names = append(names, s.Name)
+		}
+		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+// checkFile verifies the snapshot at path covers exactly the current
+// family: same benchmark name, same config set, and for each config
+// the same strategy set. It reports (not just returns) every mismatch.
+func checkFile(path, benchmark string, want familyShape) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s is missing or unreadable: %v (run `make bench-json`)\n", path, err)
+		return false
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return false
+	}
+	ok := true
+	if rep.Benchmark != benchmark {
+		fmt.Fprintf(os.Stderr, "benchjson: %s records %q, want %q\n", path, rep.Benchmark, benchmark)
+		ok = false
+	}
+	seen := map[string]bool{}
+	for _, cr := range rep.Configs {
+		seen[cr.Name] = true
+		strategies, known := want[cr.Name]
+		if !known {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has config %q the current family lacks\n", path, cr.Name)
+			ok = false
+			continue
+		}
+		for _, s := range strategies {
+			if _, present := cr.Strategies[s]; !present {
+				fmt.Fprintf(os.Stderr, "benchjson: %s config %q is missing strategy %q\n", path, cr.Name, s)
+				ok = false
+			}
+		}
+		for s := range cr.Strategies {
+			if !contains(strategies, s) {
+				fmt.Fprintf(os.Stderr, "benchjson: %s config %q has strategy %q the current family lacks\n", path, cr.Name, s)
+				ok = false
+			}
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is missing config %q (run `make bench-json`)\n", path, name)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 func ratio(a, b int64) float64 {

@@ -35,6 +35,23 @@ func New(n int) *Set {
 // Len returns the universe size the set was created with.
 func (s *Set) Len() int { return s.n }
 
+// Grow extends the universe to {0, …, n-1}, keeping every element.
+// Shrinking is not supported: a smaller n is ignored. Growing in place
+// lets a long-lived owner (internal/incremental's workspace) keep one
+// universe across class additions instead of reallocating every set.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > len(s.words) {
+		words := make([]uint64, need)
+		copy(words, s.words)
+		s.words = words
+	}
+	s.n = n
+}
+
 // NumWords returns the number of 64-bit words backing the set:
 // ⌈Len()/64⌉.
 func (s *Set) NumWords() int { return len(s.words) }
@@ -96,6 +113,18 @@ func (s *Set) UnionWith(t *Set) bool {
 		}
 	}
 	return changed
+}
+
+// CountAnd returns |s ∩ t| without materialising the intersection —
+// the word-parallel "how many cached entries does this cone hit"
+// measure of the incremental invalidation path.
+func (s *Set) CountAnd(t *Set) int {
+	s.sameUniverse(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
 }
 
 // IntersectWith removes from s every element not in t.
@@ -168,6 +197,21 @@ func (s *Set) ForEach(f func(int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// ForEachUntil calls f for each element in increasing order until f
+// returns false; it reports whether the iteration ran to completion.
+func (s *Set) ForEachUntil(f func(int) bool) bool {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return false
+			}
+			w &= w - 1
+		}
+	}
+	return true
 }
 
 // String renders the set as "{a, b, c}".

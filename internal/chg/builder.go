@@ -102,6 +102,21 @@ func (b *Builder) Method(c ClassID, name string) *Builder {
 	return b.Member(c, Member{Name: name, Kind: Method})
 }
 
+// MemberName interns a member name without declaring it anywhere and
+// returns its id. Member ids are assigned in interning order, so a
+// caller that pre-interns names in a fixed order pins the Graph's
+// member-id assignment regardless of the order declarations arrive in.
+// internal/incremental relies on this to keep member ids stable across
+// successive freezes of the same workspace (the contract the engine's
+// warm-cache carry-over is built on).
+func (b *Builder) MemberName(name string) MemberID {
+	if name == "" {
+		b.fail(fmt.Errorf("chg: empty member name"))
+		return NoMember
+	}
+	return b.internMember(name)
+}
+
 // Build validates the accumulated hierarchy and returns the immutable
 // Graph: it checks acyclicity, fixes the topological order, and
 // computes the base and virtual-base closures.
@@ -174,6 +189,15 @@ func (b *Builder) Build() (*Graph, error) {
 				g.virtuals.Set(int(d), int(e.Base))
 			}
 		}
+	}
+	// Descendants closure: the transpose of bases. Row b is the set of
+	// classes that have b as a strict base — exactly the invalidation
+	// cone of an edit in b (lookup[D,m] can depend on a declaration in
+	// b only when b is an ancestor of D), and the reachability set the
+	// whole-hierarchy lint rules iterate.
+	g.descendants = bitset.NewMatrix(n)
+	for d := 0; d < n; d++ {
+		g.bases.Row(d).ForEach(func(b int) { g.descendants.Set(b, d) })
 	}
 	// Builder must not be reused: the Graph owns the slices now.
 	b.classes = nil

@@ -129,8 +129,9 @@ type Graph struct {
 	topo    []ClassID // bases strictly before derived
 	topoPos []int     // topoPos[c] = index of c in topo
 
-	bases    *bitset.Matrix // row d: strict bases of d
-	virtuals *bitset.Matrix // row d: virtual bases of d
+	bases       *bitset.Matrix // row d: strict bases of d
+	virtuals    *bitset.Matrix // row d: virtual bases of d
+	descendants *bitset.Matrix // row b: strict descendants of b (transpose of bases)
 
 	numEdges        int
 	numVirtualEdges int
@@ -252,6 +253,14 @@ func (g *Graph) Bases(d ClassID) *bitset.Set { return g.bases.Row(int(d)) }
 // VirtualBases returns the virtual bases of d as a shared bit set.
 // Do not modify.
 func (g *Graph) VirtualBases(d ClassID) *bitset.Set { return g.virtuals.Row(int(d)) }
+
+// Descendants returns the strict descendants of b as a shared bit set
+// (universe = class ids): every class with b as a possibly-indirect
+// base. This is the transpose row of the bases closure — the exact
+// invalidation cone of an edit to b's declarations, and the
+// reachability set whole-hierarchy analyses (chglint) iterate instead
+// of probing IsBase across all classes. Do not modify.
+func (g *Graph) Descendants(b ClassID) *bitset.Set { return g.descendants.Row(int(b)) }
 
 // Topo returns a topological order of the classes in which every base
 // precedes every class derived from it. Shared slice; do not modify.

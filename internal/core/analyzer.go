@@ -53,6 +53,22 @@ func WithStaticRule() Option {
 	return func(k *Kernel) { k.staticRule = true }
 }
 
+// WithPool makes the kernel intern payloads into p instead of a fresh
+// private pool. A nil p is ignored. This is what lets a successor
+// snapshot share its predecessor's pool during warm-cache carry-over:
+// packed cells copied from the old snapshot keep referencing payload
+// indices that remain valid, because both kernels resolve against the
+// same interning table. The pool is safe for concurrent use, so
+// sharing does not change the thread-safety contract — it only ties
+// the payloads' lifetime to the longest-lived sharer.
+func WithPool(p *Pool) Option {
+	return func(k *Kernel) {
+		if p != nil {
+			k.pool = p
+		}
+	}
+}
+
 // New returns an Analyzer for g. It panics if g is nil — an analyzer
 // without a hierarchy can answer nothing, and failing at construction
 // beats a nil dereference on the first query.

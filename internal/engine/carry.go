@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cpplookup/internal/bitset"
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+)
+
+// Warm-cache carry-over. An engine Update normally publishes a
+// stone-cold snapshot: every cached cell of the predecessor is thrown
+// away and refilled lazily, even though the paper's dependency
+// structure says an edit at (X, m) can only change entries
+// ({X} ∪ descendants(X)) × {m}. UpdateCarried exploits that: it seeds
+// the successor's cell array by bulk-copying every packed cell of the
+// predecessor and then zeroing exactly the invalidation cone, so only
+// cone entries refill. The predecessor's payload pool is shared (or,
+// when its garbage has piled up, chained: live payloads re-interned
+// into a fresh pool and the carried words rewritten), keeping interned
+// blue/static/path payloads valid without re-resolution.
+
+// carryCompactMinGarbage is the pool-chaining threshold: a carried
+// snapshot weighs its pool when the predecessor pool holds at least
+// this many payloads, and carryShouldCompact decides. Compaction
+// re-interns O(live) payloads, so the default policy waits until the
+// garbage both clears the floor and outnumbers the live set — the
+// amortised cost then stays below the interning work that produced
+// the garbage. Vars so tests can force the compaction path.
+var (
+	carryCompactMinGarbage = 128
+	carryShouldCompact     = func(live, garbage int) bool {
+		return garbage >= carryCompactMinGarbage && garbage > live
+	}
+)
+
+// ConeEntry is one member name's invalidation cone, as computed by
+// incremental.Workspace.InvalidationConeSince: the classes whose
+// entries for Member may have changed since the predecessor snapshot.
+// Classes may be over-approximate (extra bits cost extra refills, not
+// wrong answers) but must never miss a changed entry — that is the
+// caller's contract, which engine.WorkspaceBinding discharges with the
+// workspace's edit log.
+type ConeEntry struct {
+	Member  chg.MemberID
+	Classes *bitset.Set
+}
+
+// CarryStats reports what a carried snapshot inherited — the
+// observability the benchmarks and experiments use to assert the
+// carry actually happened.
+type CarryStats struct {
+	Carried     int // predecessor cells surviving into this snapshot
+	Invalidated int // predecessor cells cleared by the cone
+
+	PoolShared    bool // payload pool shared with the predecessor
+	PoolCompacted bool // chained to a fresh pool, live payloads re-interned
+	PoolLive      int  // distinct payloads the carried cells reference
+	PoolGarbage   int  // dead payloads left behind in the predecessor's pool
+}
+
+// Carry returns the snapshot's carry-over statistics; the zero value
+// for snapshots published cold.
+func (s *Snapshot) Carry() CarryStats { return s.carry }
+
+// UpdateCarried publishes a new version of name wrapping g, seeding
+// its cache from the currently published snapshot: every packed cell
+// outside the given invalidation cone is copied over, so only entries
+// an edit could have changed refill lazily. The caller guarantees the
+// cone covers every (class, member) entry whose declarations changed
+// between the two graphs; structural compatibility (class/member-name
+// prefixes and inheritance edges unchanged, counts monotone) is
+// verified here, and any mismatch falls back to a cold snapshot —
+// carried and cold snapshots are indistinguishable except for speed
+// and Carry().
+//
+// Like Update, earlier snapshots are untouched; concurrent readers
+// keep the version they hold.
+func (e *Engine) UpdateCarried(name string, g *chg.Graph, cone []ConeEntry) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("engine: UpdateCarried(%q) with a nil graph", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: hierarchy %q is not registered", name)
+	}
+	ent.version++
+	if snap, ok := carriedSnapshot(name, ent.version, g, ent.opts, ent.snap, cone); ok {
+		ent.snap = snap
+	} else {
+		ent.snap = newSnapshot(name, ent.version, core.NewKernel(g, ent.opts...))
+	}
+	return ent.snap, nil
+}
+
+// carryCompatible verifies the structural invariants carry-over
+// depends on: the predecessor's classes and member names must be an
+// id-stable prefix of the successor's (incremental.Workspace freezes
+// guarantee this), and no surviving class may have changed its base
+// clause — C++ classes are closed at definition, so a differing edge
+// means the graphs are not an edit sequence apart and the copy would
+// be unsound.
+func carryCompatible(old, new *chg.Graph) bool {
+	if new.NumClasses() < old.NumClasses() || new.NumMemberNames() < old.NumMemberNames() {
+		return false
+	}
+	for c := 0; c < old.NumClasses(); c++ {
+		id := chg.ClassID(c)
+		if old.Name(id) != new.Name(id) {
+			return false
+		}
+		ob, nb := old.DirectBases(id), new.DirectBases(id)
+		if len(ob) != len(nb) {
+			return false
+		}
+		for i := range ob {
+			if ob[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	for m := 0; m < old.NumMemberNames(); m++ {
+		if old.MemberName(chg.MemberID(m)) != new.MemberName(chg.MemberID(m)) {
+			return false
+		}
+	}
+	return true
+}
+
+// carriedSnapshot builds the successor snapshot seeded from prev, or
+// reports ok=false when the graphs are not carry-compatible.
+func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Option, prev *Snapshot, cone []ConeEntry) (*Snapshot, bool) {
+	if prev == nil || !carryCompatible(prev.Graph(), g) {
+		return nil, false
+	}
+	oldN, oldM := prev.Graph().NumClasses(), prev.numMembers
+	newM := g.NumMemberNames()
+
+	// Stage the carried cells directly in the successor's slice with
+	// plain stores: the snapshot is not published yet, so no other
+	// goroutine can observe it, and publication through the engine
+	// mutex orders these writes before any reader's first load. The
+	// predecessor is still live (its readers may be filling misses
+	// concurrently), so its side is read atomically.
+	cells := make([]uint64, g.NumClasses()*newM)
+	carried := 0
+	for c := 0; c < oldN; c++ {
+		src, dst := prev.cells[c*oldM:(c+1)*oldM], cells[c*newM:]
+		for m := range src {
+			if w := atomic.LoadUint64(&src[m]); w != 0 {
+				dst[m] = w
+				carried++
+			}
+		}
+	}
+
+	// Clear the invalidation cone — the only entries an edit could
+	// have changed. Bits beyond the predecessor's universe (classes or
+	// member names added since) have nothing carried to clear.
+	invalidated := 0
+	for _, ce := range cone {
+		m := int(ce.Member)
+		if m < 0 || m >= newM {
+			return nil, false
+		}
+		if m >= oldM || ce.Classes == nil {
+			continue
+		}
+		ce.Classes.ForEach(func(c int) {
+			if c >= oldN {
+				return
+			}
+			if i := c*newM + m; cells[i] != 0 {
+				cells[i] = 0
+				invalidated++
+			}
+		})
+	}
+	carried -= invalidated
+
+	// Pool lifetime: share the predecessor's pool (carried words keep
+	// their payload indices) unless its garbage outweighs the live
+	// payloads, in which case chain to a fresh pool and migrate.
+	// Weighing the pool is an O(cells) scan, so it is skipped while
+	// the garbage accrued since the last weigh — new interning (pool
+	// growth) plus cone-cleared cells — cannot have reached the
+	// compaction floor; steady-state serving republishes pay nothing.
+	pool := prev.pool
+	stats := CarryStats{Carried: carried, Invalidated: invalidated, PoolShared: true}
+	weighedLen, invalSince := prev.poolWeighedLen, prev.invalSinceWeigh+invalidated
+	if pool.Len()-weighedLen+invalSince >= carryCompactMinGarbage {
+		lc := core.NewPoolLiveCounter()
+		for _, w := range cells {
+			lc.Observe(core.Cell(w))
+		}
+		stats.PoolLive = lc.Live()
+		stats.PoolGarbage = pool.Len() - stats.PoolLive
+		if carryShouldCompact(stats.PoolLive, stats.PoolGarbage) {
+			np := core.NewPool()
+			mg := core.NewMigrator(pool, np)
+			for i, w := range cells {
+				if w != 0 {
+					cells[i] = uint64(mg.Migrate(core.Cell(w)))
+				}
+			}
+			pool = np
+			stats.PoolShared, stats.PoolCompacted = false, true
+		}
+		weighedLen, invalSince = pool.Len(), 0
+	}
+
+	kopts := append(append([]core.Option(nil), opts...), core.WithPool(pool))
+	return &Snapshot{
+		name:            name,
+		version:         version,
+		k:               core.NewKernel(g, kopts...),
+		pool:            pool,
+		numMembers:      newM,
+		cells:           cells,
+		carry:           stats,
+		poolWeighedLen:  weighedLen,
+		invalSinceWeigh: invalSince,
+	}, true
+}

@@ -23,14 +23,18 @@ const shardCount = 32
 // holding one are isolated from later engine updates.
 //
 // The cache is a dense numClasses×numMemberNames array of packed
-// core.Cell words in atomic.Uint64 cells: a warm hit is one array
-// index and one atomic word load — no locking, no hashing, no pointer
-// chase, and no per-result allocation, since the word itself encodes
-// the common results and rare payloads live interned in the kernel's
-// per-snapshot pool. The zero word means "not filled yet" (core never
-// encodes a result as zero). Writers fill misses under a
-// per-member-name shard lock; each cell is computed and published
-// exactly once.
+// core.Cell words, read and written with sync/atomic word operations:
+// a warm hit is one array index and one atomic word load — no locking,
+// no hashing, no pointer chase, and no per-result allocation, since
+// the word itself encodes the common results and rare payloads live
+// interned in the kernel's per-snapshot pool. The zero word means "not
+// filled yet" (core never encodes a result as zero). Writers fill
+// misses under a per-member-name shard lock; each cell is computed and
+// published exactly once. The slice is plain []uint64 rather than
+// []atomic.Uint64 so that carry-over can stage a not-yet-published
+// successor with ordinary stores (publication through the engine's
+// mutex provides the happens-before edge) instead of paying an atomic
+// read-modify-write per carried cell.
 type Snapshot struct {
 	name    string
 	version uint64
@@ -38,8 +42,22 @@ type Snapshot struct {
 	pool    *core.Pool
 
 	numMembers int
-	cells      []atomic.Uint64
+	cells      []uint64
 	fillLocks  [shardCount]sync.Mutex
+
+	// carry records what UpdateCarried seeded this snapshot with; the
+	// zero value for cold snapshots.
+	carry CarryStats
+
+	// poolWeighedLen and invalSinceWeigh gate the pool-compaction
+	// scan on the carry path: the pool's length when it was last
+	// weighed (counted live vs garbage), and the carried cells
+	// invalidated since. Garbage only accrues through new interning
+	// (pool growth) or cone clearing, so until their sum clears the
+	// compaction floor a republish can skip the O(cells) weigh
+	// entirely.
+	poolWeighedLen  int
+	invalSinceWeigh int
 
 	tableOnce sync.Once
 	table     *core.Table
@@ -60,7 +78,7 @@ func newSnapshot(name string, version uint64, k *core.Kernel) *Snapshot {
 		k:          k,
 		pool:       k.Pool(),
 		numMembers: numM,
-		cells:      make([]atomic.Uint64, g.NumClasses()*numM),
+		cells:      make([]uint64, g.NumClasses()*numM),
 	}
 }
 
@@ -87,7 +105,7 @@ func (s *Snapshot) Lookup(c chg.ClassID, m chg.MemberID) core.Result {
 	if !s.k.Graph().Valid(c) || m < 0 || int(m) >= s.numMembers {
 		return core.UndefinedResult()
 	}
-	if w := s.cells[int(c)*s.numMembers+int(m)].Load(); w != 0 {
+	if w := atomic.LoadUint64(&s.cells[int(c)*s.numMembers+int(m)]); w != 0 {
 		return s.pool.View(core.Cell(w))
 	}
 	return s.fill(c, m)
@@ -110,13 +128,13 @@ func (s *Snapshot) fill(c chg.ClassID, m chg.MemberID) core.Result {
 	var lookup func(x chg.ClassID) core.Result
 	lookup = func(x chg.ClassID) core.Result {
 		cell := &s.cells[int(x)*s.numMembers+int(m)]
-		if w := cell.Load(); w != 0 {
+		if w := atomic.LoadUint64(cell); w != 0 {
 			// Already published — possibly by a writer ahead of us
 			// while we waited on the lock.
 			return s.pool.View(core.Cell(w))
 		}
 		r := s.k.Resolve(x, m, lookup)
-		cell.Store(uint64(r.Cell()))
+		atomic.StoreUint64(cell, uint64(r.Cell()))
 		return r
 	}
 	return lookup(c)
@@ -166,7 +184,7 @@ func (s *Snapshot) EachTableEntry(fn func(c chg.ClassID, m chg.MemberID, r core.
 func (s *Snapshot) CachedEntries() int {
 	n := 0
 	for i := range s.cells {
-		if s.cells[i].Load() != 0 {
+		if atomic.LoadUint64(&s.cells[i]) != 0 {
 			n++
 		}
 	}

@@ -50,22 +50,42 @@ func (b *WorkspaceBinding) Workspace() *incremental.Workspace { return b.ws }
 // since the last publication, and returns the current snapshot either
 // way. The copy-on-write freeze in Workspace.Snapshot makes a no-op
 // Sync cheap: no graph is rebuilt and no version is burned.
+//
+// A republish carries the warm cache forward: the workspace's edit
+// log yields the exact invalidation cone since the last publication
+// (per edited member name, the edited classes unioned with their
+// descendant sets), and Engine.UpdateCarried seeds the new snapshot
+// with every predecessor cell outside that cone. Only when the edit
+// log no longer covers the window (an extremely long unsynced edit
+// storm) does Sync fall back to a cold publish. The carried snapshot
+// is behaviourally identical to a cold one — readers cannot tell,
+// except through Snapshot.Carry and latency.
 func (b *WorkspaceBinding) Sync() (*Snapshot, error) {
-	if gen := b.ws.Generation(); gen != b.lastGen {
-		g, err := b.ws.Snapshot()
-		if err != nil {
-			return nil, fmt.Errorf("engine: freezing workspace for %q: %w", b.name, err)
+	gen := b.ws.Generation()
+	if gen == b.lastGen {
+		snap, ok := b.e.Snapshot(b.name)
+		if !ok {
+			return nil, fmt.Errorf("engine: hierarchy %q disappeared from the engine", b.name)
 		}
-		snap, err := b.e.Update(b.name, g)
-		if err != nil {
-			return nil, err
-		}
-		b.lastGen = gen
 		return snap, nil
 	}
-	snap, ok := b.e.Snapshot(b.name)
-	if !ok {
-		return nil, fmt.Errorf("engine: hierarchy %q disappeared from the engine", b.name)
+	g, err := b.ws.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("engine: freezing workspace for %q: %w", b.name, err)
 	}
+	var snap *Snapshot
+	if cone, ok := b.ws.InvalidationConeSince(b.lastGen); ok {
+		entries := make([]ConeEntry, len(cone))
+		for i, mc := range cone {
+			entries[i] = ConeEntry{Member: mc.Member, Classes: mc.Classes}
+		}
+		snap, err = b.e.UpdateCarried(b.name, g, entries)
+	} else {
+		snap, err = b.e.Update(b.name, g)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.lastGen = gen
 	return snap, nil
 }

@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"E12", "Extension: serving concurrent queries from one engine snapshot", RunE12},
 		{"E13", "Extension: packed cells — table memory footprint and warm-hit allocations", RunE13},
 		{"E14", "Extension: support-pruned, word-batched whole-table construction", RunE14},
+		{"E15", "Extension: warm-cache carry-over on the edit→serve hot path", RunE15},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

@@ -15,16 +15,28 @@
 //   - adding or removing a declaration of m in class X invalidates
 //     exactly the entries (D, m) with D = X or D a descendant of X.
 //
-// A Workspace keeps a mutable hierarchy, a memoized result cache, and
-// the virtual-base sets updated incrementally; Snapshot freezes the
-// current state into a chg.Graph so results can be cross-checked
-// against the batch algorithm (internal/core), which the tests do
-// after every edit.
+// That cone is materialised directly: the workspace maintains the
+// strict-descendant set of every class as an internal/bitset word
+// vector (AddClass unions the new class into each ancestor's set),
+// and the result cache is a per-member-name column of packed
+// core.Cell words gated by a "filled" bitset over the same universe.
+// A cache hit is an index and a word load; an edit at (X, m) clears
+// the cone with O(|N|/64) word operations — filled[m] &^= desc[X] —
+// instead of hashing and deleting entries one by one.
+//
+// A Workspace keeps this mutable state single-writer; Snapshot
+// freezes the current hierarchy into an immutable chg.Graph (with
+// class and member ids stable across freezes) so results can be
+// cross-checked against the batch algorithm (internal/core) and
+// served through internal/engine, whose warm-cache carry-over builds
+// on the same cone via InvalidationConeSince.
 package incremental
 
 import (
 	"fmt"
+	"sort"
 
+	"cpplookup/internal/bitset"
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 )
@@ -35,16 +47,51 @@ type BaseDecl struct {
 	Virtual bool
 }
 
-// Stats counts cache behaviour; the benchmarks report these.
+// Stats counts cache and pool behaviour; the benchmarks report these.
 type Stats struct {
 	Hits          int // Lookup answered from cache
 	Misses        int // Lookup computed (including recursive fills)
 	Invalidations int // cache entries dropped by edits
+
+	// Pool lifecycle counters. Dropped cache entries leave their
+	// interned payloads behind (a core.Pool only grows); when that
+	// garbage exceeds the compaction threshold at freeze time the
+	// workspace chains to a fresh pool, re-interning only the payloads
+	// live cache entries still reference.
+	PoolCompactions     int // times the payload pool was chained + compacted
+	PoolPayloadsDropped int // garbage payloads shed by those compactions
 }
 
-type cacheKey struct {
-	c chg.ClassID
-	m chg.MemberID
+// Edit-log sizing: the log lets a publisher (engine.WorkspaceBinding)
+// ask for the exact invalidation cone between two generations. It is
+// bounded; when trimmed past a publisher's last generation the
+// publisher falls back to a cold republish.
+const maxEditLog = 8192
+
+// Pool compaction thresholds (vars so tests can force the path).
+// Compaction runs at freeze time when the garbage both exceeds the
+// floor and outnumbers the live payloads — re-interning is O(live),
+// so this keeps amortised compaction cost below the interning work
+// that produced the garbage.
+var (
+	poolCompactMinGarbage = 128
+)
+
+// memberEdit is one logged declaration edit: after generation gen,
+// entries (D, m) with D ∈ {c} ∪ descendants(c) are stale.
+type memberEdit struct {
+	gen uint64
+	c   chg.ClassID
+	m   chg.MemberID
+}
+
+// MemberCone is one member name's invalidation cone: the classes
+// whose (class, Member) entries an edit window made stale. The set is
+// owned by the caller (universe ≥ NumClasses at the time of the
+// call); every set bit is a valid class id.
+type MemberCone struct {
+	Member  chg.MemberID
+	Classes *bitset.Set
 }
 
 // Workspace is a mutable hierarchy with memoized lookups.
@@ -62,14 +109,36 @@ type Workspace struct {
 	// incrementally with the same recurrence chg.Builder uses.
 	vbases []map[chg.ClassID]bool
 
+	// univ is the shared bitset universe (class-id capacity, grown by
+	// doubling); anc[c] / desc[c] are the strict ancestor/descendant
+	// sets of c, maintained incrementally: AddClass(D) computes
+	// anc[D] = ∪ (anc[B] ∪ {B}) over direct bases B and adds D to
+	// desc[a] for each ancestor a. desc[X] is exactly the paper-given
+	// invalidation cone of an edit in X (minus X itself).
+	univ int
+	anc  []*bitset.Set
+	desc []*bitset.Set
+
+	// The result cache: cols[m] is a packed-cell column indexed by
+	// class id, filled[m] the set of classes whose entry is valid.
+	// Both are nil until member name m is first cached. Invalidation
+	// clears filled bits word-parallel and leaves the stale cells in
+	// place — the filled gate makes them unreachable.
+	cols   [][]core.Cell
+	filled []*bitset.Set
+
 	// pool interns the rare payloads (blue sets) of the workspace's
 	// own results; cached entries are packed views over it. Entries
-	// dropped by invalidation keep their interned payloads — the pool
-	// only grows — but identical re-derived results re-use the same
-	// interned payload rather than adding a copy.
+	// dropped by invalidation keep their interned payloads until a
+	// freeze-time compaction chains to a fresh pool.
 	pool  *core.Pool
-	cache map[cacheKey]core.Result
 	stats Stats
+
+	// editLog records declaration edits so a publisher can compute
+	// the exact cone between two generations; logFloor is the highest
+	// generation whose edits may have been trimmed away.
+	editLog  []memberEdit
+	logFloor uint64
 
 	// gen counts hierarchy edits; frozen caches the graph built by the
 	// last Snapshot call, reusable until the next edit. The pair gives
@@ -88,7 +157,6 @@ func New() *Workspace {
 		byName:    make(map[string]chg.ClassID),
 		memberIDs: make(map[string]chg.MemberID),
 		pool:      core.NewPool(),
-		cache:     make(map[cacheKey]core.Result),
 	}
 }
 
@@ -97,6 +165,24 @@ func (w *Workspace) NumClasses() int { return len(w.names) }
 
 // Stats returns cache counters.
 func (w *Workspace) Stats() Stats { return w.stats }
+
+// PoolSize returns the number of distinct payloads the current pool
+// holds — live plus not-yet-compacted garbage. The pool-boundedness
+// tests watch this across long edit sessions.
+func (w *Workspace) PoolSize() int { return w.pool.Len() }
+
+// CachedEntries returns how many (class, member) results the cache
+// currently holds — the survivor count the carry-over experiments
+// report.
+func (w *Workspace) CachedEntries() int {
+	n := 0
+	for _, f := range w.filled {
+		if f != nil {
+			n += f.Count()
+		}
+	}
+	return n
+}
 
 // Generation counts the edits applied so far (class additions, member
 // additions and removals). Publishers — e.g. an engine workspace
@@ -110,10 +196,55 @@ func (w *Workspace) ID(name string) (chg.ClassID, bool) {
 	return id, ok
 }
 
+// Descendants returns the strict descendants of c as a shared bit set
+// over the workspace's internal universe (capacity ≥ NumClasses; only
+// valid class ids are ever set). Do not modify. The set is maintained
+// incrementally by AddClass and stays live-updated as classes are
+// added.
+func (w *Workspace) Descendants(c chg.ClassID) *bitset.Set { return w.desc[c] }
+
+// ensureUniv grows the shared bitset universe (and every structure
+// indexed by class id over it) to hold at least n classes. Doubling
+// keeps the amortised cost of growth linear.
+func (w *Workspace) ensureUniv(n int) {
+	if n <= w.univ {
+		return
+	}
+	nu := w.univ * 2
+	if nu < 64 {
+		nu = 64
+	}
+	if nu < n {
+		nu = n
+	}
+	for _, s := range w.anc {
+		s.Grow(nu)
+	}
+	for _, s := range w.desc {
+		s.Grow(nu)
+	}
+	for _, f := range w.filled {
+		if f != nil {
+			f.Grow(nu)
+		}
+	}
+	for m, col := range w.cols {
+		if col != nil {
+			nc := make([]core.Cell, nu)
+			copy(nc, col)
+			w.cols[m] = nc
+		}
+	}
+	w.univ = nu
+}
+
 // AddClass defines a new class with the given (already defined)
 // direct bases. Like C++, a class's base clause is fixed at
 // definition time, so no existing lookup result can change: nothing
-// is invalidated.
+// is invalidated. The class's ancestor set is computed here and the
+// class is unioned into every ancestor's descendant set — the
+// incremental maintenance that keeps edit-time cone clearing a pure
+// bitset operation.
 func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error) {
 	if name == "" {
 		return 0, fmt.Errorf("incremental: empty class name")
@@ -134,7 +265,9 @@ func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error)
 	id := chg.ClassID(len(w.names))
 	w.names = append(w.names, name)
 	w.byName[name] = id
+	w.ensureUniv(len(w.names))
 	vb := map[chg.ClassID]bool{}
+	a := bitset.New(w.univ)
 	var edges []chg.Edge
 	for _, b := range bases {
 		kind := chg.NonVirtual
@@ -147,11 +280,16 @@ func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error)
 			vb[v] = true
 		}
 		w.derived[b.Class] = append(w.derived[b.Class], id)
+		a.Add(int(b.Class))
+		a.UnionWith(w.anc[b.Class])
 	}
 	w.bases = append(w.bases, edges)
 	w.derived = append(w.derived, nil)
 	w.members = append(w.members, map[chg.MemberID]chg.Member{})
 	w.vbases = append(w.vbases, vb)
+	w.anc = append(w.anc, a)
+	w.desc = append(w.desc, bitset.New(w.univ))
+	a.ForEach(func(anc int) { w.desc[anc].Add(int(id)) })
 	w.edited()
 	return id, nil
 }
@@ -200,23 +338,68 @@ func (w *Workspace) RemoveMember(c chg.ClassID, name string) error {
 	return nil
 }
 
-// invalidate drops cache entries (d, m) for c and every descendant d.
+// invalidate drops cache entries (d, m) for c and every descendant d:
+// one word-parallel subtraction of the maintained descendant set from
+// the member's filled set. Stale cells stay in the column — the
+// filled gate is what makes an entry live — so nothing is hashed,
+// walked, or freed per entry. The edit is logged so publishers can
+// reconstruct the cone later.
 func (w *Workspace) invalidate(c chg.ClassID, m chg.MemberID) {
-	seen := make(map[chg.ClassID]bool)
-	stack := []chg.ClassID{c}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[cur] {
-			continue
+	if f := w.filled[m]; f != nil {
+		n := f.CountAnd(w.desc[c])
+		if f.Has(int(c)) {
+			n++
 		}
-		seen[cur] = true
-		if _, ok := w.cache[cacheKey{cur, m}]; ok {
-			delete(w.cache, cacheKey{cur, m})
-			w.stats.Invalidations++
+		if n > 0 {
+			w.stats.Invalidations += n
+			f.DifferenceWith(w.desc[c])
+			f.Remove(int(c))
 		}
-		stack = append(stack, w.derived[cur]...)
 	}
+	w.logEdit(c, m)
+}
+
+// logEdit appends the declaration edit (taking effect at generation
+// gen+1 — edited() runs after invalidate) and bounds the log.
+func (w *Workspace) logEdit(c chg.ClassID, m chg.MemberID) {
+	w.editLog = append(w.editLog, memberEdit{gen: w.gen + 1, c: c, m: m})
+	if len(w.editLog) > maxEditLog {
+		drop := len(w.editLog) / 2
+		w.logFloor = w.editLog[drop-1].gen
+		w.editLog = append(w.editLog[:0:0], w.editLog[drop:]...)
+	}
+}
+
+// InvalidationConeSince returns, per member name edited after
+// generation since, the union of the edit cones: the classes whose
+// (class, member) entries may have changed. Descendant sets are read
+// at call time, so the cones can only over-approximate (classes added
+// after an edit appear; they never had valid old entries, so clearing
+// them is harmless). ok is false when the edit log no longer covers
+// the window (or since is in the future) — the caller must then treat
+// everything as invalid. Class-only edits (AddClass) invalidate
+// nothing and produce an empty cone list with ok true.
+func (w *Workspace) InvalidationConeSince(since uint64) ([]MemberCone, bool) {
+	if since > w.gen || since < w.logFloor {
+		return nil, false
+	}
+	cones := make(map[chg.MemberID]*bitset.Set)
+	for i := len(w.editLog) - 1; i >= 0 && w.editLog[i].gen > since; i-- {
+		e := w.editLog[i]
+		s := cones[e.m]
+		if s == nil {
+			s = bitset.New(w.univ)
+			cones[e.m] = s
+		}
+		s.Add(int(e.c))
+		s.UnionWith(w.desc[e.c])
+	}
+	out := make([]MemberCone, 0, len(cones))
+	for m, s := range cones {
+		out = append(out, MemberCone{Member: m, Classes: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
+	return out, true
 }
 
 // Lookup resolves member `name` in class c, reusing every cached
@@ -232,14 +415,29 @@ func (w *Workspace) Lookup(c chg.ClassID, name string) core.Result {
 	return w.lookup(c, id)
 }
 
+// cached reports whether entry (c, m) is currently live in the cache
+// (white-box introspection for the invalidation tests).
+func (w *Workspace) cached(c chg.ClassID, m chg.MemberID) bool {
+	f := w.filled[m]
+	return f != nil && f.Has(int(c))
+}
+
+// lookup is the cached entry point: a hit is a bitset probe and one
+// word load from the member's packed column — the same shape as the
+// engine snapshot's warm path.
 func (w *Workspace) lookup(c chg.ClassID, m chg.MemberID) core.Result {
-	if r, ok := w.cache[cacheKey{c, m}]; ok {
+	if f := w.filled[m]; f != nil && f.Has(int(c)) {
 		w.stats.Hits++
-		return r
+		return w.pool.View(w.cols[m][c])
 	}
 	w.stats.Misses++
 	r := w.resolve(c, m)
-	w.cache[cacheKey{c, m}] = r
+	if w.cols[m] == nil {
+		w.cols[m] = make([]core.Cell, w.univ)
+		w.filled[m] = bitset.New(w.univ)
+	}
+	w.cols[m][c] = r.Cell()
+	w.filled[m].Add(int(c))
 	return r
 }
 
@@ -354,32 +552,92 @@ func (w *Workspace) internMember(name string) chg.MemberID {
 	id := chg.MemberID(len(w.memberNames))
 	w.memberNames = append(w.memberNames, name)
 	w.memberIDs[name] = id
+	w.cols = append(w.cols, nil)
+	w.filled = append(w.filled, nil)
 	return id
 }
 
-// Snapshot freezes the current hierarchy into an immutable chg.Graph
-// (fresh member interning; same class ids, since classes are appended
-// in definition order on both sides). The frozen graph is cached
-// copy-on-write: while no edit intervenes, repeated calls return the
-// same graph, and an edit only drops the cache — graphs already
-// returned stay valid for their readers.
+// maybeCompactPool chains the payload pool to a fresh one when the
+// garbage left behind by invalidations outweighs the live payloads:
+// every cell still gated live by a filled bit has its payload
+// re-interned (deduplicated) into the new pool and its packed word
+// rewritten. The old pool is not touched — results and frozen graphs
+// already handed out keep reading it — so the old garbage becomes
+// collectable exactly when the last old reader drops it.
+func (w *Workspace) maybeCompactPool() {
+	if w.pool.Len() < poolCompactMinGarbage {
+		return
+	}
+	lc := core.NewPoolLiveCounter()
+	for m, f := range w.filled {
+		if f == nil {
+			continue
+		}
+		col := w.cols[m]
+		f.ForEach(func(c int) { lc.Observe(col[c]) })
+	}
+	live := lc.Live()
+	garbage := w.pool.Len() - live
+	if garbage < poolCompactMinGarbage || garbage <= live {
+		return
+	}
+	np := core.NewPool()
+	mg := core.NewMigrator(w.pool, np)
+	for m, f := range w.filled {
+		if f == nil {
+			continue
+		}
+		col := w.cols[m]
+		f.ForEach(func(c int) { col[c] = mg.Migrate(col[c]) })
+	}
+	w.pool = np
+	w.stats.PoolCompactions++
+	w.stats.PoolPayloadsDropped += garbage
+}
+
+// Snapshot freezes the current hierarchy into an immutable chg.Graph.
+// Class ids match the workspace's (classes are appended in definition
+// order on both sides) and member ids match too: every member name is
+// pre-interned into the builder in workspace id order, so successive
+// freezes of an evolving workspace agree on every id they share.
+// That stability is the foundation of the engine's warm-cache
+// carry-over, which copies packed cells between snapshots by
+// (class, member) index.
+//
+// The frozen graph is cached copy-on-write: while no edit intervenes,
+// repeated calls return the same graph, and an edit only drops the
+// cache — graphs already returned stay valid for their readers.
+// Freeze time is also when pool garbage is weighed and, past the
+// threshold, compacted away.
 func (w *Workspace) Snapshot() (*chg.Graph, error) {
 	if w.frozen != nil && w.frozenGen == w.gen {
 		return w.frozen, nil
 	}
+	w.maybeCompactPool()
 	b := chg.NewBuilder()
+	for i, name := range w.memberNames {
+		if id := b.MemberName(name); id != chg.MemberID(i) {
+			return nil, fmt.Errorf("incremental: snapshot member id drift")
+		}
+	}
 	for i, name := range w.names {
 		id := b.Class(name)
 		if id != chg.ClassID(i) {
 			return nil, fmt.Errorf("incremental: snapshot id drift")
 		}
 	}
+	var mids []chg.MemberID
 	for i := range w.names {
 		for _, e := range w.bases[i] {
 			b.Base(chg.ClassID(i), e.Base, e.Kind)
 		}
-		for _, mem := range w.members[i] {
-			b.Member(chg.ClassID(i), mem)
+		mids = mids[:0]
+		for mid := range w.members[i] {
+			mids = append(mids, mid)
+		}
+		sort.Slice(mids, func(x, y int) bool { return mids[x] < mids[y] })
+		for _, mid := range mids {
+			b.Member(chg.ClassID(i), w.members[i][mid])
 		}
 	}
 	g, err := b.Build()

@@ -133,7 +133,7 @@ func TestCacheSurvivesUnrelatedEdits(t *testing.T) {
 		t.Fatal(err)
 	}
 	mid := w.memberIDs["m"]
-	if _, ok := w.cache[cacheKey{b, mid}]; !ok {
+	if !w.cached(b, mid) {
 		t.Error("edit in unrelated class invalidated B's entry")
 	}
 }
@@ -167,7 +167,7 @@ func TestInvalidationCone(t *testing.T) {
 		{left, mid, false}, {leaf, mid, false},
 		{root, nid, true}, {left, nid, true}, {right, nid, true}, {leaf, nid, true},
 	} {
-		_, ok := w.cache[cacheKey{tc.c, tc.m}]
+		ok := w.cached(tc.c, tc.m)
 		if ok != tc.cached {
 			t.Errorf("(%s, %s): cached = %v, want %v", w.names[tc.c], w.memberNames[tc.m], ok, tc.cached)
 		}

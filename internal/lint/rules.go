@@ -3,14 +3,29 @@ package lint
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"strings"
 
+	"cpplookup/internal/bitset"
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/diag"
 	"cpplookup/internal/gxx"
 	"cpplookup/internal/subobject"
 )
+
+// topoOrdered expands a reachability bit set (a row of the graph's
+// bases or descendants closure) into class ids sorted by topological
+// position — the iteration order the whole-hierarchy rules report
+// witnesses in. Rules used to rediscover these sets by scanning the
+// full Topo order with IsBase probes, O(|N|) per declaration; the
+// precomputed closures make each rule touch only its actual cone.
+func topoOrdered(g *chg.Graph, set *bitset.Set) []chg.ClassID {
+	out := make([]chg.ClassID, 0, set.Count())
+	set.ForEach(func(i int) { out = append(out, chg.ClassID(i)) })
+	sort.Slice(out, func(i, j int) bool { return g.TopoPos(out[i]) < g.TopoPos(out[j]) })
+	return out
+}
 
 // checkMember runs the member-indexed rules for one member name over
 // every class, in topological order.
@@ -69,8 +84,8 @@ func (r *runner) dominanceShadowing(out []diag.Diagnostic, c chg.ClassID, m chg.
 		return out
 	}
 	var hidden []string
-	for _, b := range r.g.Topo() {
-		if b == c || !r.g.IsBase(b, c) || !r.g.Declares(b, m) {
+	for _, b := range topoOrdered(r.g, r.g.Bases(c)) {
+		if !r.g.Declares(b, m) {
 			continue
 		}
 		bm, _ := r.g.DeclaredMember(b, m)
@@ -103,10 +118,7 @@ func (r *runner) deadMember(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID
 		return out
 	}
 	var example string
-	for _, d := range r.g.Topo() {
-		if d == c || !r.g.IsBase(c, d) {
-			continue
-		}
+	for _, d := range topoOrdered(r.g, r.g.Descendants(c)) {
 		res := r.t.Lookup(d, m)
 		switch res.Kind() {
 		case core.RedKind:
