@@ -10,9 +10,9 @@ import (
 
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
-	"cpplookup/internal/engine"
 	"cpplookup/internal/cpp/parser"
 	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/engine"
 	"cpplookup/internal/gxx"
 	"cpplookup/internal/harness"
 	"cpplookup/internal/hiergen"
@@ -441,6 +441,31 @@ func BenchmarkEditRelookup(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					sess.Step()
+				}
+			})
+		}
+	}
+}
+
+// --- E16: resolution backends through one cache path ---
+
+// BenchmarkSemanticsTable is the cross-semantics benchmark family of
+// E16 and BENCH_mro.json: a whole-table build through
+// core.BuildSemTable under every resolution backend (the dominance
+// kernel's batched fast path, C3/MRO linearization, the gxx
+// breadth-first baseline) over every shared config. Each iteration
+// constructs the backend afresh, so its preprocessing (linearization,
+// subobject graphs) is inside the measurement. `make bench-json`
+// captures the same family as machine-readable JSON.
+func BenchmarkSemanticsTable(b *testing.B) {
+	for _, cfg := range harness.SemanticsTableConfigs() {
+		g := cfg.Make()
+		for _, s := range harness.SemanticsBackends() {
+			mk := s.New
+			b.Run(cfg.Name+"/"+s.Name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.BuildSemTable(mk(g), 0)
 				}
 			})
 		}

@@ -1,10 +1,11 @@
 // Command benchjson runs the machine-readable benchmark families —
 // the same configs and strategies as BenchmarkTableBuild / experiment
-// E14 and BenchmarkEditRelookup / experiment E15 — through
-// testing.Benchmark and writes the results as JSON, so the performance
-// trajectory is machine-readable across PRs:
+// E14, BenchmarkEditRelookup / experiment E15, and
+// BenchmarkSemanticsTable / experiment E16 — through testing.Benchmark
+// and writes the results as JSON, so the performance trajectory is
+// machine-readable across PRs:
 //
-//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json
+//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json
 //
 // For the table-build family it records, per strategy, ns/op,
 // allocs/op and bytes/op, alongside the analytic work profile and the
@@ -12,6 +13,11 @@
 // edit-relookup family it records the same timing triple per serving
 // strategy, the warm-carry speedups over cold rebuild and the legacy
 // map cache, and the fraction of the warm cache surviving each carry.
+// For the cross-semantics family the strategy axis is the resolution
+// backend (-semantics narrows it for local runs; the committed
+// snapshot carries all three), each strategy a whole-table build
+// through core.BuildSemTable, plus the per-backend counts of cells
+// answered differently from dominance.
 //
 // With -check, no benchmarks run: the existing JSON snapshots are
 // verified to structurally match the current families (benchmark
@@ -28,6 +34,7 @@ import (
 
 	"cpplookup/internal/core"
 	"cpplookup/internal/harness"
+	"cpplookup/internal/semantics"
 )
 
 type strategyResult struct {
@@ -57,6 +64,10 @@ type configResult struct {
 	CarrySpeedupMap   float64 `json:"carry_speedup_vs_map_cache,omitempty"`
 	CarriedEntries    int     `json:"carried_entries,omitempty"`
 	InvalidatedConeSz int     `json:"invalidated_cone_entries,omitempty"`
+
+	// Cross-semantics metrics (absent for the other families): table
+	// cells the backend answers differently from dominance.
+	DivergentCells map[string]int `json:"divergent_cells_vs_dominance,omitempty"`
 }
 
 type report struct {
@@ -68,12 +79,15 @@ type report struct {
 func main() {
 	out := flag.String("o", "BENCH_table_build.json", "table-build output file")
 	editOut := flag.String("edit-o", "BENCH_edit_relookup.json", "edit-relookup output file")
+	mroOut := flag.String("mro-o", "BENCH_mro.json", "cross-semantics output file")
+	sems := flag.String("semantics", "", "comma-separated backends the cross-semantics family measures: dominance, c3, gxx (default all; a narrowed snapshot fails -check)")
 	check := flag.Bool("check", false, "verify the JSON snapshots structurally match the current families instead of running benchmarks")
 	flag.Parse()
 
 	if *check {
 		ok := checkFile(*out, "BenchmarkTableBuild", tableBuildShape()) &&
-			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape())
+			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape()) &&
+			checkFile(*mroOut, "BenchmarkSemanticsTable", semanticsShape())
 		if !ok {
 			os.Exit(1)
 		}
@@ -81,8 +95,38 @@ func main() {
 		return
 	}
 
+	backends, err := selectBackends(*sems)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
 	writeReport(*out, tableBuildReport())
 	writeReport(*editOut, editRelookupReport())
+	writeReport(*mroOut, semanticsReport(backends))
+}
+
+// selectBackends resolves the -semantics flag against the family's
+// backend axis, preserving the family order.
+func selectBackends(list string) ([]harness.SemanticsBackend, error) {
+	all := harness.SemanticsBackends()
+	if list == "" {
+		return all, nil
+	}
+	ids, err := semantics.ParseIDs(list)
+	if err != nil {
+		return nil, err
+	}
+	want := map[core.SemanticsID]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []harness.SemanticsBackend
+	for _, s := range all {
+		if want[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
 }
 
 func tableBuildReport() report {
@@ -165,6 +209,46 @@ func editRelookupReport() report {
 	return rep
 }
 
+func semanticsReport(backends []harness.SemanticsBackend) report {
+	rep := report{
+		Benchmark: "BenchmarkSemanticsTable",
+		Unit:      "ns_per_op is wall time per whole-table build through core.BuildSemTable under the named backend, backend construction included; divergent cells compare each backend's table against dominance",
+	}
+	measureAll := len(backends) == len(harness.SemanticsBackends())
+	for _, cfg := range harness.SemanticsTableConfigs() {
+		g := cfg.Make()
+		cr := configResult{
+			Name:        cfg.Name,
+			Shape:       cfg.Shape,
+			Classes:     g.NumClasses(),
+			MemberNames: g.NumMemberNames(),
+			Strategies:  map[string]strategyResult{},
+		}
+		for _, s := range backends {
+			mk := s.New
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tab := core.BuildSemTable(mk(g), 0)
+					cr.Entries = tab.Entries()
+				}
+			})
+			cr.Strategies[s.Name] = toStrategyResult(r)
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", cfg.Name, s.Name, r.NsPerOp(), r.N)
+		}
+		// Divergence counts need the dominance baseline, so they are
+		// only meaningful (and only computed) for a full-axis run.
+		if measureAll {
+			cr.DivergentCells = map[string]int{}
+			for id, n := range harness.SemanticsDivergences(g) {
+				cr.DivergentCells[string(id)] = n
+			}
+		}
+		rep.Configs = append(rep.Configs, cr)
+	}
+	return rep
+}
+
 func toStrategyResult(r testing.BenchmarkResult) strategyResult {
 	return strategyResult{
 		NsPerOp:     r.NsPerOp(),
@@ -210,6 +294,18 @@ func editRelookupShape() familyShape {
 	for _, cfg := range harness.EditRelookupConfigs() {
 		var names []string
 		for _, s := range harness.EditRelookupStrategies() {
+			names = append(names, s.Name)
+		}
+		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+func semanticsShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.SemanticsTableConfigs() {
+		var names []string
+		for _, s := range harness.SemanticsBackends() {
 			names = append(names, s.Name)
 		}
 		shape[cfg.Name] = names

@@ -15,6 +15,10 @@
 //	-fail-on error|warning|info|never
 //	                          exit nonzero when findings of at least
 //	                          this severity exist (default error)
+//	-semantics id,id,...      resolution backends the cross-semantics
+//	                          rules consult (dominance, c3, gxx);
+//	                          rules needing an unlisted backend are
+//	                          skipped (default all)
 //	-list-rules               print the hierarchy rules and exit
 //
 // Exit status: 0 clean, 1 findings at or above the threshold, 2 usage
@@ -29,6 +33,7 @@ import (
 
 	"cpplookup/internal/cli"
 	"cpplookup/internal/lint"
+	"cpplookup/internal/semantics"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, json, or sarif")
 		rules     = flag.String("rules", "", "comma-separated rule IDs to enable (default all)")
 		failOn    = flag.String("fail-on", "error", "fail when findings of at least this severity exist: error, warning, info, or never")
+		sems      = flag.String("semantics", "", "comma-separated resolution backends the cross-semantics rules consult: dominance, c3, gxx (default all)")
 		listRules = flag.Bool("list-rules", false, "list the hierarchy rules and exit")
 	)
 	flag.Usage = func() {
@@ -59,6 +65,14 @@ func main() {
 	cfg := cli.LintConfig{Format: *format, FailOn: *failOn}
 	if *rules != "" {
 		cfg.Rules = strings.Split(*rules, ",")
+	}
+	if *sems != "" {
+		ids, err := semantics.ParseIDs(*sems)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chglint: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Semantics = ids
 	}
 	n, err := cli.RunLint(os.Stdout, flag.Args(), cfg)
 	if err != nil {

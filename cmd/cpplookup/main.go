@@ -12,6 +12,12 @@
 //	cpplookup -slice E::m file.cpp   # print the sliced hierarchy as source
 //	cpplookup -ambiguities file.cpp  # list every ambiguous table entry
 //
+// The -semantics flag selects the resolution backends -lookup and
+// -table answer under: a comma-separated subset of dominance (the
+// paper's Figure 8 algorithm, the default), c3 (Python/Dylan C3
+// linearization), and gxx (the g++ 2.7.2.1 breadth-first baseline).
+// Listing several prints each backend's answer.
+//
 // The file may be "-" for stdin. Exit status 1 if any diagnostics
 // were produced.
 package main
@@ -23,6 +29,8 @@ import (
 	"os"
 
 	"cpplookup/internal/cli"
+	"cpplookup/internal/core"
+	"cpplookup/internal/semantics"
 )
 
 func main() {
@@ -33,7 +41,17 @@ func main() {
 	ambiguities := flag.Bool("ambiguities", false, "list every ambiguous (class, member) pair")
 	layoutClass := flag.String("layout", "", "print the complete-object layout of this class")
 	run := flag.String("run", "", "execute this function with the interpreter and dump global objects")
+	sems := flag.String("semantics", "", "comma-separated resolution backends for -lookup/-table: dominance, c3, gxx (default dominance)")
 	flag.Parse()
+
+	ids, err := semantics.ParseIDs(*sems)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+		os.Exit(2)
+	}
+	if len(ids) == 0 {
+		ids = []core.SemanticsID{core.SemDominance}
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cpplookup [flags] file.cpp  (file may be -)")
@@ -51,8 +69,9 @@ func main() {
 	}
 	// Every query command works against one published snapshot of the
 	// unit's hierarchy (the same artifact a long-running server would
-	// share among its request goroutines).
-	snap := cli.QuerySnapshot(unit.Graph)
+	// share among its request goroutines), built to serve every
+	// backend the -semantics flag asked for.
+	snap := cli.QuerySnapshotSem(unit.Graph, ids...)
 
 	switch {
 	case *lookup != "":
@@ -61,10 +80,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cpplookup: -lookup wants Class::member, got %q\n", *lookup)
 			os.Exit(2)
 		}
-		cli.PrintLookup(os.Stdout, snap, class, member)
+		for _, id := range ids {
+			cli.PrintLookupSem(os.Stdout, snap, id, class, member, len(ids) > 1)
+		}
 		return
 	case *table:
-		cli.PrintTable(os.Stdout, snap)
+		for _, id := range ids {
+			if err := cli.PrintTableSem(os.Stdout, snap, id, len(ids) > 1); err != nil {
+				fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	case *vtables:
 		if err := cli.PrintVTables(os.Stdout, unit.Graph); err != nil {
 			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)

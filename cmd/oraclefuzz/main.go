@@ -6,9 +6,27 @@
 // exactly this sweep (see core.TestStaticSetRegressionK11 and the
 // StaticRed discussion in internal/core/result.go).
 //
+// With -cross it switches to the cross-semantics differential mode:
+// every random hierarchy is resolved under all three backends —
+// dominance, C3 linearization, and the g++ 2.7.2.1 baseline — and
+// every cell where they disagree is tallied as a divergence triple
+// (class, member, per-backend result). Divergences are expected (they
+// are the point: Figure 9 is one); what the mode asserts hard, exiting
+// 1 on violation, are the metamorphic invariants that must hold
+// between the backends: all agree on member existence, and whenever
+// dominance and C3 both resolve they pick the same declaring class
+// (the dominant definition precedes every other declarer in any
+// monotonic linearization).
+//
+// -replay seed:iter narrows a run to the one hierarchy that position
+// in the seed's stream generates, prints its source, and lists each
+// divergence triple — the reproduction handle for a reported summary.
+//
 // Usage:
 //
 //	oraclefuzz -n 2500 -seeds 1,7,77
+//	oraclefuzz -cross -n 500
+//	oraclefuzz -cross -replay 7:133
 package main
 
 import (
@@ -16,44 +34,44 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
+	"cpplookup/internal/gxx"
 	"cpplookup/internal/hiergen"
+	"cpplookup/internal/mro"
 	"cpplookup/internal/paths"
 )
 
 func main() {
 	n := flag.Int("n", 2500, "hierarchies per seed")
 	seedList := flag.String("seeds", "1,7,77,777,20260706,424242", "comma-separated outer seeds")
+	cross := flag.Bool("cross", false, "cross-semantics differential mode: dominance vs c3 vs gxx")
+	replay := flag.String("replay", "", "seed:iter — replay one hierarchy, print its source and every divergence")
 	flag.Parse()
 
-	var seeds []int64
-	for _, s := range strings.Split(*seedList, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if *replay != "" {
+		seed, iter, err := parseReplay(*replay)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oraclefuzz: bad seed %q\n", s)
+			fmt.Fprintf(os.Stderr, "oraclefuzz: %v\n", err)
 			os.Exit(2)
 		}
-		seeds = append(seeds, v)
+		runReplay(seed, iter, *cross)
+		return
+	}
+	if *cross {
+		runCross(parseSeeds(*seedList), *n)
+		return
 	}
 
 	total, graphs := 0, 0
-	for _, seed := range seeds {
+	for _, seed := range parseSeeds(*seedList) {
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < *n; i++ {
-			cfg := hiergen.RandomConfig{
-				Classes:     2 + rng.Intn(14),
-				MaxBases:    1 + rng.Intn(3),
-				VirtualProb: rng.Float64(),
-				MemberNames: 1 + rng.Intn(3),
-				MemberProb:  0.15 + 0.6*rng.Float64(),
-				StaticProb:  rng.Float64(),
-				Seed:        rng.Int63(),
-			}
-			g := hiergen.Random(cfg)
+			g := nextGraph(rng)
 			graphs++
 			plain := core.New(g)
 			static := core.New(g, core.WithStaticRule())
@@ -72,6 +90,190 @@ func main() {
 		}
 	}
 	fmt.Printf("OK: %d lookups cross-checked over %d random hierarchies\n", total, graphs)
+}
+
+func parseSeeds(list string) []int64 {
+	var seeds []int64
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oraclefuzz: bad seed %q\n", s)
+			os.Exit(2)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+func parseReplay(s string) (seed int64, iter int, err error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 {
+		return 0, 0, fmt.Errorf("-replay wants seed:iter, got %q", s)
+	}
+	if seed, err = strconv.ParseInt(s[:i], 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-replay: bad seed in %q", s)
+	}
+	if iter, err = strconv.Atoi(s[i+1:]); err != nil || iter < 0 {
+		return 0, 0, fmt.Errorf("-replay: bad iter in %q", s)
+	}
+	return seed, iter, nil
+}
+
+// nextGraph draws the next random hierarchy off the seed's stream.
+// The draw sequence is the replay contract: graph i of a seed is
+// reproducible by consuming i draws and taking the next.
+func nextGraph(rng *rand.Rand) *chg.Graph {
+	return hiergen.Random(hiergen.RandomConfig{
+		Classes:     2 + rng.Intn(14),
+		MaxBases:    1 + rng.Intn(3),
+		VirtualProb: rng.Float64(),
+		MemberNames: 1 + rng.Intn(3),
+		MemberProb:  0.15 + 0.6*rng.Float64(),
+		StaticProb:  rng.Float64(),
+		Seed:        rng.Int63(),
+	})
+}
+
+func graphAt(seed int64, iter int) *chg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var g *chg.Graph
+	for i := 0; i <= iter; i++ {
+		g = nextGraph(rng)
+	}
+	return g
+}
+
+// gxxLimit bounds the baseline's subobject graphs; random hierarchies
+// can make them exponential. Over-limit cells come back FailKind and
+// are not counted as divergences.
+const gxxLimit = 1 << 12
+
+// backends builds the three analyzers the cross mode compares. The
+// dominance analyzer runs without the static rule: Definition 17 is a
+// dominance-only refinement neither sibling models, so enabling it
+// would turn a rule difference into noise.
+func backends(g *chg.Graph) (dom, c3, gx *core.Analyzer) {
+	return core.New(g),
+		core.NewFor(mro.New(g, nil)),
+		core.NewFor(gxx.NewBackend(g, nil, gxxLimit))
+}
+
+// divergence is one cell where the backends disagree.
+type divergence struct {
+	c            chg.ClassID
+	m            chg.MemberID
+	dom, c3, gxx core.Result
+	sig          string // kind triple, e.g. "blue/red/blue"
+}
+
+// crossCheck resolves every cell of g under the three backends. It
+// returns the divergent cells and asserts the metamorphic invariants,
+// reporting each violation (the caller exits nonzero on any).
+func crossCheck(g *chg.Graph, onViolation func(msg string, c chg.ClassID, m chg.MemberID)) []divergence {
+	dom, c3, gx := backends(g)
+	var out []divergence
+	for ci := 0; ci < g.NumClasses(); ci++ {
+		for mi := 0; mi < g.NumMemberNames(); mi++ {
+			c, m := chg.ClassID(ci), chg.MemberID(mi)
+			rd, rc, rg := dom.Lookup(c, m), c3.Lookup(c, m), gx.Lookup(c, m)
+
+			// Membership: all backends agree on whether C::m exists.
+			if (rc.Kind() == core.Undefined) != (rd.Kind() == core.Undefined) {
+				onViolation("dominance and c3 disagree on member existence", c, m)
+			}
+			if rg.Kind() != core.FailKind && (rg.Kind() == core.Undefined) != (rd.Kind() == core.Undefined) {
+				onViolation("dominance and gxx disagree on member existence", c, m)
+			}
+			// Monotonicity: when both dominance and C3 resolve, the
+			// dominant definition precedes every other declarer in the
+			// linearization, so the picks coincide.
+			if rd.Kind() == core.RedKind && rc.Kind() == core.RedKind && rd.Def().L != rc.Def().L {
+				onViolation("dominance and c3 both resolve but pick different classes", c, m)
+			}
+
+			kinds := [3]core.Kind{rd.Kind(), rc.Kind(), rg.Kind()}
+			if kinds[0] == kinds[1] && kinds[1] == kinds[2] {
+				continue // same kind everywhere; red-vs-red splits are invariant violations
+			}
+			if rg.Kind() == core.FailKind && kinds[0] == kinds[1] {
+				continue // only the over-limit baseline differs; not a semantic divergence
+			}
+			if kinds[0] == core.Undefined {
+				continue // membership mismatches were already reported as violations
+			}
+			out = append(out, divergence{
+				c: c, m: m, dom: rd, c3: rc, gxx: rg,
+				sig: fmt.Sprintf("%s/%s/%s", rd.Kind(), rc.Kind(), rg.Kind()),
+			})
+		}
+	}
+	return out
+}
+
+func runCross(seeds []int64, n int) {
+	violations := 0
+	cells, graphs := 0, 0
+	bySig := map[string]int{}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			g := nextGraph(rng)
+			graphs++
+			cells += g.NumClasses() * g.NumMemberNames()
+			ds := crossCheck(g, func(msg string, c chg.ClassID, m chg.MemberID) {
+				violations++
+				fmt.Printf("cross VIOLATION seed=%d iter=%d lookup(%s, %s): %s (replay with -cross -replay %d:%d)\n",
+					seed, i, g.Name(c), g.MemberName(m), msg, seed, i)
+			})
+			for _, d := range ds {
+				bySig[d.sig]++
+			}
+		}
+	}
+	var sigs []string
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	fmt.Printf("cross-semantics (dominance/c3/gxx): %d cells over %d hierarchies\n", cells, graphs)
+	for _, s := range sigs {
+		fmt.Printf("  divergent %-22s %d\n", s, bySig[s])
+	}
+	if violations > 0 {
+		fmt.Printf("FAIL: %d invariant violations\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("OK: all cross-backend invariants held")
+}
+
+func runReplay(seed int64, iter int, cross bool) {
+	g := graphAt(seed, iter)
+	fmt.Printf("replay seed=%d iter=%d (%d classes, %d member names)\n",
+		seed, iter, g.NumClasses(), g.NumMemberNames())
+	if err := g.WriteSource(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !cross {
+		return
+	}
+	violations := 0
+	ds := crossCheck(g, func(msg string, c chg.ClassID, m chg.MemberID) {
+		violations++
+		fmt.Printf("VIOLATION lookup(%s, %s): %s\n", g.Name(c), g.MemberName(m), msg)
+	})
+	for _, d := range ds {
+		fmt.Printf("divergence lookup(%s, %s):\n", g.Name(d.c), g.MemberName(d.m))
+		fmt.Printf("  dominance  %s\n", d.dom.Format(g))
+		fmt.Printf("  c3         %s\n", d.c3.Format(g))
+		fmt.Printf("  gxx        %s\n", d.gxx.Format(g))
+	}
+	if len(ds) == 0 && violations == 0 {
+		fmt.Println("no divergences: all three backends agree on every cell")
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
 }
 
 func agree(want paths.Result, got core.Result) bool {

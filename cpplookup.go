@@ -101,11 +101,26 @@ type (
 	Option = core.Option
 )
 
-// Result kinds.
+// Result kinds. Fail is produced only by non-dominance backends: C3
+// when the class has no linearization, the gxx baseline when its
+// subobject graph exceeds the configured bound.
 const (
 	Undefined = core.Undefined
 	Red       = core.RedKind
 	Blue      = core.BlueKind
+	Fail      = core.FailKind
+)
+
+// SemanticsID names a resolution backend: the paper's dominance
+// lookup (the default everywhere), C3/MRO linearization, or the g++
+// 2.7.2.1 breadth-first baseline.
+type SemanticsID = core.SemanticsID
+
+// The registered resolution backends.
+const (
+	SemDominance = core.SemDominance
+	SemC3        = core.SemC3
+	SemGxx       = core.SemGxx
 )
 
 // NewAnalyzer returns a lookup analyzer for g. An Analyzer is
@@ -118,6 +133,13 @@ func WithTrackPaths() Option { return core.WithTrackPaths() }
 
 // WithStaticRule enables the static-member extension (Defs. 16–17).
 func WithStaticRule() Option { return core.WithStaticRule() }
+
+// WithSemantics gives a Snapshot one extra lock-free cache column per
+// listed backend, answering the same lookups under that backend's
+// rules (read them with Snapshot.LookupSem / Snapshot.TableSem; the
+// dominance column is always present). The columns share the
+// snapshot's payload pool and are carried warm across republishes.
+func WithSemantics(ids ...SemanticsID) Option { return core.WithSemantics(ids...) }
 
 // Concurrent query engine (see internal/engine).
 type (
@@ -171,9 +193,11 @@ type (
 // Lint runs every hierarchy rule over g — ambiguities with
 // conflicting-path witnesses, dominance shadowing, g++ 2.7.2.1
 // divergences (Figure 9), non-virtual diamonds, redundant edges, dead
-// members — and returns the findings in canonical order. Use
-// LintOptions.Rules to restrict the rule set; the cmd/chglint command
-// wraps this with text, JSON, and SARIF output.
+// members, C3 linearization failures and dominance-vs-MRO divergences
+// — and returns the findings in canonical order. Use
+// LintOptions.Rules to restrict the rule set and
+// LintOptions.Semantics to gate the cross-backend rules; the
+// cmd/chglint command wraps this with text, JSON, and SARIF output.
 func Lint(g *Graph, opts LintOptions) ([]LintDiagnostic, error) {
 	return lint.Run(engine.NewSnapshot(g, core.WithStaticRule(), core.WithTrackPaths()), opts)
 }

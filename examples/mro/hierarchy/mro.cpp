@@ -1,0 +1,22 @@
+// Two hierarchies where C++ member lookup (the paper's dominance
+// algorithm) and an MRO language's C3 linearization part ways.
+//
+// The Pet diamond: lookup(Pet, speak) is ambiguous in C++ — the
+// Animal::speak copy inherited via Quiet is not hidden by
+// Loud::speak — but the C3 order [Pet, Quiet, Loud, Animal] resolves
+// pet.speak() to Loud::speak without complaint. chglint reports the
+// divergence (dominance-vs-mro-divergence).
+struct Animal { void speak(); };
+struct Quiet : Animal {};
+struct Loud  : Animal { void speak(); };
+struct Pet   : Quiet, Loud {};
+
+// The serpentine order conflict: X wants A before B, Y wants B
+// before A. C++ accepts Z (its lookups stay decidable by dominance);
+// an MRO language rejects the class outright, because no consistent
+// linearization of A and B exists (c3-fails-to-linearize).
+struct A { void f(); };
+struct B { void f(); };
+struct X : A, B {};
+struct Y : B, A {};
+struct Z : X, Y {};

@@ -1,0 +1,76 @@
+// mro runs the same hierarchy under all three resolution backends —
+// the paper's Figure 8 dominance lookup, C3 linearization (the
+// method resolution order of Python ≥ 2.3, Dylan, and Raku), and the
+// g++ 2.7.2.1 breadth-first baseline — and shows where they part
+// ways: a diamond that C++ calls ambiguous but C3 resolves, and an
+// order conflict that C3 rejects outright while C++ shrugs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/mro"
+	"cpplookup/internal/semantics"
+)
+
+func main() {
+	src, err := os.ReadFile("hierarchy/mro.cpp")
+	if err != nil {
+		panic(err)
+	}
+	unit, err := sema.AnalyzeSource(string(src))
+	if err != nil {
+		panic(err)
+	}
+	g := unit.Graph
+
+	// One snapshot serves every backend: per-backend cache columns
+	// over one shared payload pool.
+	snap := engine.NewSnapshot(g, core.WithSemantics(core.SemC3, core.SemGxx))
+
+	probe := func(class, member string) {
+		c, m := g.MustID(class), g.MustMemberID(member)
+		fmt.Printf("lookup(%s, %s):\n", class, member)
+		for _, id := range snap.Semantics() {
+			r, _ := snap.LookupSem(id, c, m)
+			fmt.Printf("  %-10s %s\n", id, r.Format(g))
+		}
+	}
+
+	fmt.Println("The Pet diamond — C++ ambiguity, C3 resolution:")
+	probe("Pet", "speak")
+
+	lin := mro.Linearize(g)
+	order, _ := lin.Order(g.MustID("Pet"))
+	names := make([]string, len(order))
+	for i, x := range order {
+		names[i] = g.Name(x)
+	}
+	fmt.Printf("\nL(Pet) = [%s]: the first declarer of speak wins under C3.\n\n",
+		strings.Join(names, " "))
+
+	fmt.Println("The serpentine conflict — C3 cannot order A and B:")
+	probe("Z", "f")
+	if blame, failed := lin.Failure(g.MustID("Z")); failed {
+		heads := lin.BlockedHeads(blame)
+		hn := make([]string, len(heads))
+		for i, h := range heads {
+			hn[i] = g.Name(h)
+		}
+		fmt.Printf("\nC3 merge breaks at %s: every candidate head (%s) sits in\n",
+			g.Name(blame), strings.Join(hn, ", "))
+		fmt.Println("another precedence list's tail, so no consistent order exists.")
+	}
+
+	var ids []string
+	for _, id := range snap.Semantics() {
+		ids = append(ids, string(id))
+	}
+	fmt.Printf("\nbackends registered: %s\n", strings.Join(semantics.Names(), ", "))
+	fmt.Printf("snapshot serves:     %s\n", strings.Join(ids, ", "))
+}

@@ -37,10 +37,23 @@ func Analyze(src string) (*sema.Unit, bool, error) {
 // the CLI's outputs want both; the engine makes the same snapshot
 // safe to hand to as many goroutines as a server cares to run.
 func QuerySnapshot(g *chg.Graph) *engine.Snapshot {
-	snap, err := engine.New().Register("unit", g, core.WithStaticRule(), core.WithTrackPaths())
+	return QuerySnapshotSem(g)
+}
+
+// QuerySnapshotSem is QuerySnapshot with extra resolution backends:
+// the snapshot additionally serves every listed semantics (the
+// dominance id is always served and may be listed or not). Unknown
+// ids return an error.
+func QuerySnapshotSem(g *chg.Graph, sems ...core.SemanticsID) *engine.Snapshot {
+	opts := []core.Option{core.WithStaticRule(), core.WithTrackPaths()}
+	if len(sems) > 0 {
+		opts = append(opts, core.WithSemantics(sems...))
+	}
+	snap, err := engine.New().Register("unit", g, opts...)
 	if err != nil {
-		// The name is fresh and g comes from a successful build; the
-		// only way here is a nil graph, which is a caller bug.
+		// The name is fresh and g comes from a successful build; with
+		// ids validated by semantics.ParseIDs the only way here is a
+		// nil graph, which is a caller bug.
 		panic(err)
 	}
 	return snap
@@ -98,6 +111,41 @@ func PrintLookup(w io.Writer, snap *engine.Snapshot, class, member string) {
 	}
 }
 
+// PrintLookupSem resolves one qualified name under the named backend.
+// The dominance id prints the classic PrintLookup line — tagged with
+// its id only when the run compares several backends, so single-
+// backend output stays byte-identical to PrintLookup. Other backends
+// print their id and the packed result's format (C3 can
+// fail-to-linearize, gxx can diverge — both are first-class results,
+// not errors).
+func PrintLookupSem(w io.Writer, snap *engine.Snapshot, id core.SemanticsID, class, member string, tagged bool) {
+	if id == core.SemDominance {
+		if tagged {
+			fmt.Fprintf(w, "[%s] ", id)
+		}
+		PrintLookup(w, snap, class, member)
+		return
+	}
+	g := snap.Graph()
+	var r core.Result
+	c, cok := g.ID(class)
+	m, mok := g.MemberID(member)
+	if cok && mok {
+		r, _ = snap.LookupSem(id, c, m)
+	}
+	switch r.Kind() {
+	case core.RedKind:
+		fmt.Fprintf(w, "[%s] lookup(%s, %s) = %s::%s  [%s]\n",
+			id, class, member, g.Name(r.Class()), member, r.Format(g))
+	case core.BlueKind:
+		fmt.Fprintf(w, "[%s] lookup(%s, %s) is ambiguous: %s\n", id, class, member, r.Format(g))
+	case core.FailKind:
+		fmt.Fprintf(w, "[%s] lookup(%s, %s) cannot be answered: %s\n", id, class, member, r.Format(g))
+	default:
+		fmt.Fprintf(w, "[%s] lookup(%s, %s): no such member\n", id, class, member)
+	}
+}
+
 // PrintTable writes the whole lookup table, classes in topological
 // order.
 func PrintTable(w io.Writer, snap *engine.Snapshot) {
@@ -113,6 +161,36 @@ func PrintTable(w io.Writer, snap *engine.Snapshot) {
 			fmt.Fprintf(w, "  %-20s %s\n", g.MemberName(m), table.Lookup(c, m).Format(g))
 		}
 	}
+}
+
+// PrintTableSem writes the whole lookup table under the named
+// backend. The dominance id prints the classic PrintTable layout;
+// withHeader prefixes the dump with a backend banner for multi-
+// semantics runs.
+func PrintTableSem(w io.Writer, snap *engine.Snapshot, id core.SemanticsID, withHeader bool) error {
+	if withHeader {
+		fmt.Fprintf(w, "== semantics: %s ==\n", id)
+	}
+	if id == core.SemDominance {
+		PrintTable(w, snap)
+		return nil
+	}
+	table, ok := snap.TableSem(id)
+	if !ok {
+		return fmt.Errorf("snapshot does not serve semantics %q", id)
+	}
+	g := snap.Graph()
+	for _, c := range g.Topo() {
+		ms := table.Members(c)
+		if len(ms) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s:\n", g.Name(c))
+		for _, m := range ms {
+			fmt.Fprintf(w, "  %-20s %s\n", g.MemberName(m), table.Lookup(c, m).Format(g))
+		}
+	}
+	return nil
 }
 
 // PrintVTables writes every class's virtual function table.

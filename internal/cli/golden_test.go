@@ -75,4 +75,22 @@ func TestExampleGoldens(t *testing.T) {
 		}
 		checkGolden(t, filepath.Join("testdata", "golden", "gxxbug.sarif"), goldenNormalize(buf.String()))
 	})
+
+	// The cross-semantics rules' machine formats: the mro example
+	// carries both a dominance-vs-mro divergence and a C3
+	// linearization failure, pinned in JSON and SARIF.
+	t.Run("mro-json", func(t *testing.T) {
+		var buf bytes.Buffer
+		if _, err := RunLint(&buf, []string{"../../examples/mro"}, LintConfig{Format: "json", FailOn: "never"}); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "golden", "mro.json"), goldenNormalize(buf.String()))
+	})
+	t.Run("mro-sarif", func(t *testing.T) {
+		var buf bytes.Buffer
+		if _, err := RunLint(&buf, []string{"../../examples/mro"}, LintConfig{Format: "sarif", FailOn: "never"}); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "golden", "mro.sarif"), goldenNormalize(buf.String()))
+	})
 }

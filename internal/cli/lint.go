@@ -31,6 +31,11 @@ type LintConfig struct {
 	FailOn string
 	// Workers bounds lint parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Semantics restricts the resolution backends the cross-semantics
+	// rules consult (see lint.Options.Semantics); the snapshot is
+	// built to serve the listed backends so their tables share the
+	// lint run's payload pool. nil means all.
+	Semantics []core.SemanticsID
 }
 
 // RunLint lints every input — C++ sources (.cpp, .cc, .cxx, .hpp, .h),
@@ -153,7 +158,7 @@ func lintable(path string) bool {
 // diagnostics and source positions; encoded hierarchies are linted
 // positionless.
 func lintFile(path string, cfg LintConfig) ([]diag.Diagnostic, error) {
-	opts := lint.Options{Rules: cfg.Rules, File: path, Workers: cfg.Workers}
+	opts := lint.Options{Rules: cfg.Rules, File: path, Workers: cfg.Workers, Semantics: cfg.Semantics}
 	var g *chg.Graph
 	var ds []diag.Diagnostic
 
@@ -191,7 +196,11 @@ func lintFile(path string, cfg LintConfig) ([]diag.Diagnostic, error) {
 		return nil, fmt.Errorf("chglint: %s: unsupported input type %q", path, ext)
 	}
 
-	snap := engine.NewSnapshot(g, core.WithStaticRule(), core.WithTrackPaths())
+	snapOpts := []core.Option{core.WithStaticRule(), core.WithTrackPaths()}
+	if len(cfg.Semantics) > 0 {
+		snapOpts = append(snapOpts, core.WithSemantics(cfg.Semantics...))
+	}
+	snap := engine.NewSnapshot(g, snapOpts...)
 	ld, err := lint.Run(snap, opts)
 	if err != nil {
 		return nil, err

@@ -20,7 +20,8 @@ import (
 // table build, use internal/engine's Snapshot, which drives the same
 // Kernel through a sharded concurrency-safe cache.
 type Analyzer struct {
-	k    *Kernel
+	k    *Kernel // nil when the analyzer drives a non-dominance backend
+	sem  Semantics
 	memo []map[chg.MemberID]Result
 }
 
@@ -53,6 +54,34 @@ func WithStaticRule() Option {
 	return func(k *Kernel) { k.staticRule = true }
 }
 
+// WithSemantics requests additional resolution backends alongside the
+// dominance kernel. The kernel itself still answers Figure 8
+// dominance — the option only records the backend ids, and the layers
+// that serve multiple semantics (engine Snapshots, the CLI) read them
+// through Kernel.ExtraSemantics and materialize one cache column per
+// id. "dominance" is implicit and filtered out; duplicates collapse.
+// Like the other options this sets immutable construction-time
+// configuration only.
+func WithSemantics(ids ...SemanticsID) Option {
+	return func(k *Kernel) {
+		for _, id := range ids {
+			if id == SemDominance {
+				continue
+			}
+			dup := false
+			for _, have := range k.extraSems {
+				if have == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				k.extraSems = append(k.extraSems, id)
+			}
+		}
+	}
+}
+
 // WithPool makes the kernel intern payloads into p instead of a fresh
 // private pool. A nil p is ignored. This is what lets a successor
 // snapshot share its predecessor's pool during warm-cache carry-over:
@@ -76,16 +105,41 @@ func New(g *chg.Graph, opts ...Option) *Analyzer {
 	if g == nil {
 		panic("core: New requires a non-nil *chg.Graph (build one with chg.NewBuilder().Build())")
 	}
+	k := NewKernel(g, opts...)
 	return &Analyzer{
-		k:    NewKernel(g, opts...),
+		k:    k,
+		sem:  k,
 		memo: make([]map[chg.MemberID]Result, g.NumClasses()),
 	}
 }
 
-// Graph returns the underlying CHG.
-func (a *Analyzer) Graph() *chg.Graph { return a.k.g }
+// NewFor returns an Analyzer driving an arbitrary resolution backend
+// through the same lazy memo the dominance analyzer uses. A *Kernel
+// backend yields exactly New's analyzer (Kernel() is non-nil); any
+// other backend memoizes its Resolve answers per (class, member).
+func NewFor(s Semantics) *Analyzer {
+	if s == nil {
+		panic("core: NewFor requires a non-nil Semantics")
+	}
+	a := &Analyzer{
+		sem:  s,
+		memo: make([]map[chg.MemberID]Result, s.Graph().NumClasses()),
+	}
+	if k, ok := s.(*Kernel); ok {
+		a.k = k
+	}
+	return a
+}
 
-// Kernel returns the analyzer's pure algorithm kernel. The kernel is
+// Graph returns the underlying CHG.
+func (a *Analyzer) Graph() *chg.Graph { return a.sem.Graph() }
+
+// Kernel returns the analyzer's pure algorithm kernel, or nil when
+// the analyzer drives a non-dominance backend (NewFor). The kernel is
 // immutable and may be shared across goroutines even while this
 // analyzer is in use.
 func (a *Analyzer) Kernel() *Kernel { return a.k }
+
+// Semantics returns the resolution backend the analyzer drives — the
+// kernel itself for dominance analyzers.
+func (a *Analyzer) Semantics() Semantics { return a.sem }

@@ -32,7 +32,12 @@ type Table struct {
 // Complexity: O(|M| · |N| · (|N|+|E|)) worst case, and
 // O((|M|+|N|) · (|N|+|E|)) when no table entry is ambiguous, matching
 // Section 5's analysis.
-func (a *Analyzer) BuildTable() *Table { return a.k.BuildTable() }
+func (a *Analyzer) BuildTable() *Table {
+	if a.k != nil {
+		return a.k.BuildTable()
+	}
+	return BuildSemTable(a.sem, 1)
+}
 
 // BuildTable is the kernel-level eager tabulation; the Table it
 // returns is immutable and safe for concurrent readers.

@@ -21,6 +21,7 @@ type Kernel struct {
 	pool       *Pool
 	trackPaths bool
 	staticRule bool
+	extraSems  []SemanticsID
 }
 
 // NewKernel returns a kernel for g. It panics if g is nil: a kernel
@@ -51,6 +52,13 @@ func (k *Kernel) TrackPaths() bool { return k.trackPaths }
 
 // StaticRule reports whether the Definitions 16–17 extension is on.
 func (k *Kernel) StaticRule() bool { return k.staticRule }
+
+// ExtraSemantics returns the additional resolution backends requested
+// at construction (WithSemantics), deduplicated, with the implicit
+// dominance backend (this kernel itself) filtered out. Consumers —
+// the engine's snapshot columns — materialize one cache column per
+// returned id. Shared slice; do not modify.
+func (k *Kernel) ExtraSemantics() []SemanticsID { return k.extraSems }
 
 // extendAbs is the ∘ operator of Definition 15 on N ∪ {Ω}:
 // V ∘ (X→C) keeps V if it is already a class, becomes X if the edge

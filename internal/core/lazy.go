@@ -12,7 +12,8 @@ import "cpplookup/internal/chg"
 // lookup unambiguously resolves (Result.Class() is the declaring
 // class), Blue when ambiguous.
 func (a *Analyzer) Lookup(c chg.ClassID, m chg.MemberID) Result {
-	if !a.k.g.Valid(c) || m < 0 || int(m) >= a.k.g.NumMemberNames() {
+	g := a.sem.Graph()
+	if !g.Valid(c) || m < 0 || int(m) >= g.NumMemberNames() {
 		return UndefinedResult()
 	}
 	return a.lookup(c, m)
@@ -24,7 +25,7 @@ func (a *Analyzer) lookup(c chg.ClassID, m chg.MemberID) Result {
 			return r
 		}
 	}
-	r := a.k.Resolve(c, m, func(x chg.ClassID) Result { return a.lookup(x, m) })
+	r := a.sem.Resolve(c, m, func(x chg.ClassID) Result { return a.lookup(x, m) })
 	if a.memo[c] == nil {
 		a.memo[c] = make(map[chg.MemberID]Result)
 	}
@@ -35,11 +36,12 @@ func (a *Analyzer) lookup(c chg.ClassID, m chg.MemberID) Result {
 // LookupByName resolves a member by class and member name; it returns
 // an Undefined result if either name is unknown.
 func (a *Analyzer) LookupByName(class, member string) Result {
-	c, ok := a.k.g.ID(class)
+	g := a.sem.Graph()
+	c, ok := g.ID(class)
 	if !ok {
 		return UndefinedResult()
 	}
-	m, ok := a.k.g.MemberID(member)
+	m, ok := g.MemberID(member)
 	if !ok {
 		return UndefinedResult()
 	}

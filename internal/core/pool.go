@@ -215,6 +215,16 @@ func (p *Pool) RedDetailed(d Def, staticSet, staticRed, path []chg.ClassID) Resu
 	return Result{cell: cellPooled(RedKind, p.intern(pl)), pool: p}
 }
 
+// Fail returns a "backend could not answer" result blaming the given
+// class (the origin of a C3 linearization failure, or the class whose
+// subobject graph blew the g++ baseline's limit). Fail cells are
+// always pooled — the kind does not fit the inline tags — and share
+// the same interning path as every other rare payload.
+func (p *Pool) Fail(blame chg.ClassID) Result {
+	pl := payload{kind: FailKind, def: Def{L: blame, V: chg.Omega}}
+	return Result{cell: cellPooled(FailKind, p.intern(pl)), pool: p}
+}
+
 // Blue returns an ambiguous result over the given abstraction set,
 // stored as passed (callers sort and deduplicate; the kernel already
 // does). The set is copied into the pool.

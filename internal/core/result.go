@@ -47,6 +47,14 @@ const (
 	RedKind
 	// BlueKind: the lookup is ambiguous.
 	BlueKind
+	// FailKind: the resolution backend could not produce an answer
+	// for this class at all — C3 linearization failed (the merge has
+	// no consistent order), or the g++ baseline's subobject graph
+	// exceeded its size limit. Figure 8 dominance never produces it;
+	// it exists so alternative semantics can report "no answer" as a
+	// first-class result instead of panicking. Def().L carries the
+	// class to blame (the origin of the failure).
+	FailKind
 )
 
 func (k Kind) String() string {
@@ -57,6 +65,8 @@ func (k Kind) String() string {
 		return "red"
 	case BlueKind:
 		return "blue"
+	case FailKind:
+		return "fail"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -193,6 +203,10 @@ func (r Result) redsetAt(i int) chg.ClassID {
 // Ambiguous reports whether the lookup failed due to ambiguity.
 func (r Result) Ambiguous() bool { return r.Kind() == BlueKind }
 
+// Failed reports whether the backend could not produce an answer for
+// this class (FailKind). The class to blame is Def().L.
+func (r Result) Failed() bool { return r.Kind() == FailKind }
+
 // Found reports whether the lookup resolved to a member.
 func (r Result) Found() bool { return r.Kind() == RedKind }
 
@@ -296,6 +310,8 @@ func (r Result) Format(g *chg.Graph) string {
 			}
 		}
 		return "blue {" + strings.Join(parts, ", ") + "}"
+	case FailKind:
+		return fmt.Sprintf("fail (%s)", className(g, r.Def().L))
 	}
 	return "undefined"
 }

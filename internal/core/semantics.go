@@ -1,0 +1,162 @@
+package core
+
+// The resolution-backend interface: Figure 8 dominance is one member
+// lookup semantics over a class hierarchy graph, not the only one.
+// C3/MRO linearization (Python, Dylan) and the breadth-first g++
+// 2.7.2.1 baseline answer the same question — "what does C::m mean?" —
+// with different rules, over the same CHG, producing the same shape of
+// answer (resolved to a declaring class / ambiguous / undefined / the
+// backend gave up). Semantics abstracts exactly that contract, so
+// every caching layer built for the dominance kernel — packed Cells,
+// interned payload pools, eager Tables, engine snapshot columns with
+// warm carry — serves any backend unchanged.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cpplookup/internal/chg"
+)
+
+// SemanticsID names a resolution backend. IDs are the user-facing
+// spelling of the `-semantics` CLI flags and the keys of engine
+// snapshot columns.
+type SemanticsID string
+
+const (
+	// SemDominance is the paper's Figure 8 dominance lookup — the
+	// default backend, implemented by Kernel.
+	SemDominance SemanticsID = "dominance"
+	// SemC3 is C3 linearization (Python ≥ 2.3, Dylan): each class gets
+	// a total order over its base closure, and a lookup resolves to
+	// the first class in that order declaring the member. Implemented
+	// by internal/mro.
+	SemC3 SemanticsID = "c3"
+	// SemGxx is the g++ 2.7.2.1 breadth-first subobject search that
+	// the paper's Figure 9 diverges from. Implemented by
+	// internal/gxx's Backend.
+	SemGxx SemanticsID = "gxx"
+)
+
+// Semantics is a resolution backend: a pure, concurrency-safe lookup
+// rule over one CHG, producing packed-cell Results over one payload
+// Pool. The contract mirrors Kernel exactly — Resolve computes
+// lookup[c,m] given the results at c's direct bases — so memoization
+// policy (lazy analyzer memo, eager table, engine snapshot cache)
+// stays in the callers and is shared by every backend.
+//
+// Backends whose rule is not inductive over direct bases (gxx searches
+// subobject graphs, C3 consults a whole-closure linearization) simply
+// ignore get; the caller's memo still works because the answer depends
+// only on (c, m).
+//
+// Implementations must be safe for concurrent Resolve calls, like the
+// kernel they generalize.
+type Semantics interface {
+	// ID names the backend.
+	ID() SemanticsID
+	// Graph returns the CHG this backend answers over.
+	Graph() *chg.Graph
+	// Pool returns the payload pool every Result is packed over.
+	Pool() *Pool
+	// Resolve computes lookup[c,m]. get supplies lookup[X,m] for any
+	// direct base X of c; backends that do not recurse over bases may
+	// ignore it.
+	Resolve(c chg.ClassID, m chg.MemberID, get func(chg.ClassID) Result) Result
+}
+
+// ClassResolver is the batched table-fill hook: a backend whose
+// answers for one class are cheap to produce together (C3 resolves
+// every member by one scan of the class's linearization; gxx amortizes
+// one subobject graph per context class) implements it, and
+// BuildSemTable fills tables class-parallel through it instead of
+// entry-by-entry.
+type ClassResolver interface {
+	Semantics
+	// ResolveClass fills out[i] with the packed cell of
+	// lookup[c, ms[i]] for every i. len(out) == len(ms); ms is sorted
+	// and every ms[i] ∈ Members[c].
+	ResolveClass(c chg.ClassID, ms []chg.MemberID, out []Cell)
+}
+
+// ID identifies the kernel as the dominance backend, completing the
+// Semantics interface (Graph, Pool, and Resolve predate it).
+func (k *Kernel) ID() SemanticsID { return SemDominance }
+
+// BuildSemTable eagerly tabulates lookup[C,m] for every class C and
+// m ∈ Members[C] under any backend, with up to workers goroutines
+// (0 means GOMAXPROCS). The Table it returns is identical in shape,
+// cell packing, and read path to the dominance tables — one packed
+// Cell per entry over the backend's pool.
+//
+// Dominance kernels take the support-pruned word-batched fast path
+// (BuildTableBatched), so a dominance table built through this
+// function is cell-for-cell the table built directly. ClassResolver
+// backends fill class-parallel (their classes are independent). Any
+// other backend falls back to a sequential topological walk, handing
+// Resolve its bases' finished rows.
+func BuildSemTable(s Semantics, workers int) *Table {
+	if k, ok := s.(*Kernel); ok {
+		return k.BuildTableBatched(workers)
+	}
+	g := s.Graph()
+	t := &Table{
+		g:       g,
+		pool:    s.Pool(),
+		results: make([][]Cell, g.NumClasses()),
+	}
+	t.members, _, _ = memberUniverse(g)
+	if cr, ok := s.(ClassResolver); ok {
+		semParallelFor(g.NumClasses(), workers, func(i int) {
+			c := chg.ClassID(i)
+			ms := t.members[c]
+			rs := make([]Cell, len(ms))
+			cr.ResolveClass(c, ms, rs)
+			t.results[c] = rs
+		})
+		return t
+	}
+	for _, c := range g.Topo() {
+		ms := t.members[c]
+		rs := make([]Cell, len(ms))
+		for i, m := range ms {
+			rs[i] = s.Resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) }).Cell()
+		}
+		t.results[c] = rs
+	}
+	return t
+}
+
+// semParallelFor runs f(0..n-1) over a bounded worker pool, stealing
+// indices from a shared counter (the lint engine's scheduling shape).
+func semParallelFor(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

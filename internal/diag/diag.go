@@ -75,9 +75,13 @@ type Witness struct {
 	// Classes holds the other classes involved: shadowed declarers,
 	// the bases an edge is redundant with, diamond join routes.
 	Classes []string
-	// Paper and Gxx are the two verdicts of a gxx-divergence finding.
+	// Paper holds the paper algorithm's verdict in a cross-backend
+	// divergence finding; Gxx and Mro hold the other side's — the g++
+	// 2.7.2.1 baseline's for gxx-divergence, the C3 linearization's for
+	// dominance-vs-mro-divergence.
 	Paper string
 	Gxx   string
+	Mro   string
 	// Visited is how many subobjects the g++ scan dequeued before it
 	// committed to its (wrong) answer.
 	Visited int
@@ -190,6 +194,9 @@ func WriteText(w io.Writer, ds []Diagnostic) error {
 				fmt.Fprintf(w, "    g++ visited %d subobjects\n", wt.Visited)
 			}
 		}
+		if wt.Mro != "" {
+			fmt.Fprintf(w, "    c3: %s\n", wt.Mro)
+		}
 		if len(wt.Classes) > 0 {
 			fmt.Fprintf(w, "    via: %s\n", strings.Join(wt.Classes, ", "))
 		}
@@ -204,6 +211,7 @@ type jsonWitness struct {
 	Classes      []string `json:"classes,omitempty"`
 	Paper        string   `json:"paper,omitempty"`
 	Gxx          string   `json:"gxx,omitempty"`
+	Mro          string   `json:"mro,omitempty"`
 	Visited      int      `json:"visited,omitempty"`
 	Abstractions []string `json:"abstractions,omitempty"`
 }

@@ -7,6 +7,7 @@ import (
 	"cpplookup/internal/bitset"
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
+	"cpplookup/internal/semantics"
 )
 
 // Warm-cache carry-over. An engine Update normally publishes a
@@ -49,7 +50,9 @@ type ConeEntry struct {
 
 // CarryStats reports what a carried snapshot inherited — the
 // observability the benchmarks and experiments use to assert the
-// carry actually happened.
+// carry actually happened. Carried/Invalidated count the primary
+// (dominance) cells only, keeping the historical benchmark axes
+// stable; each extra backend column reports its own pair in Columns.
 type CarryStats struct {
 	Carried     int // predecessor cells surviving into this snapshot
 	Invalidated int // predecessor cells cleared by the cone
@@ -58,6 +61,17 @@ type CarryStats struct {
 	PoolCompacted bool // chained to a fresh pool, live payloads re-interned
 	PoolLive      int  // distinct payloads the carried cells reference
 	PoolGarbage   int  // dead payloads left behind in the predecessor's pool
+
+	// Columns reports the per-backend carry of every extra semantics
+	// column, in column order; nil for dominance-only snapshots.
+	Columns []ColumnCarry
+}
+
+// ColumnCarry is one backend column's share of a warm carry.
+type ColumnCarry struct {
+	ID          core.SemanticsID
+	Carried     int
+	Invalidated int
 }
 
 // Carry returns the snapshot's carry-over statistics; the zero value
@@ -91,7 +105,11 @@ func (e *Engine) UpdateCarried(name string, g *chg.Graph, cone []ConeEntry) (*Sn
 	if snap, ok := carriedSnapshot(name, ent.version, g, ent.opts, ent.snap, cone); ok {
 		ent.snap = snap
 	} else {
-		ent.snap = newSnapshot(name, ent.version, core.NewKernel(g, ent.opts...))
+		snap, err := newSnapshot(name, ent.version, core.NewKernel(g, ent.opts...))
+		if err != nil {
+			return nil, err
+		}
+		ent.snap = snap
 	}
 	return ent.snap, nil
 }
@@ -139,47 +157,65 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 	oldN, oldM := prev.Graph().NumClasses(), prev.numMembers
 	newM := g.NumMemberNames()
 
-	// Stage the carried cells directly in the successor's slice with
+	// Validate the cone's member ids once, up front.
+	for _, ce := range cone {
+		if m := int(ce.Member); m < 0 || m >= newM {
+			return nil, false
+		}
+	}
+
+	// Stage the carried cells directly in the successor's slices with
 	// plain stores: the snapshot is not published yet, so no other
 	// goroutine can observe it, and publication through the engine
 	// mutex orders these writes before any reader's first load. The
 	// predecessor is still live (its readers may be filling misses
 	// concurrently), so its side is read atomically.
-	cells := make([]uint64, g.NumClasses()*newM)
-	carried := 0
-	for c := 0; c < oldN; c++ {
-		src, dst := prev.cells[c*oldM:(c+1)*oldM], cells[c*newM:]
-		for m := range src {
-			if w := atomic.LoadUint64(&src[m]); w != 0 {
-				dst[m] = w
-				carried++
+	//
+	// The same invalidation cone clears every backend column: all
+	// served semantics — dominance, C3, gxx — decide lookup[C,m] from
+	// the declarations over C's base closure only (carry compatibility
+	// pins the closure's edges), so an edit at (X, m) can change
+	// exactly ({X} ∪ descendants(X)) × {m} entries under each of them.
+	carryColumn := func(src []uint64) (cells []uint64, carried, invalidated int) {
+		cells = make([]uint64, g.NumClasses()*newM)
+		for c := 0; c < oldN; c++ {
+			srow, dst := src[c*oldM:(c+1)*oldM], cells[c*newM:]
+			for m := range srow {
+				if w := atomic.LoadUint64(&srow[m]); w != 0 {
+					dst[m] = w
+					carried++
+				}
 			}
 		}
+		for _, ce := range cone {
+			m := int(ce.Member)
+			if m >= oldM || ce.Classes == nil {
+				continue
+			}
+			ce.Classes.ForEach(func(c int) {
+				if c >= oldN {
+					return
+				}
+				if i := c*newM + m; cells[i] != 0 {
+					cells[i] = 0
+					invalidated++
+				}
+			})
+		}
+		carried -= invalidated
+		return cells, carried, invalidated
 	}
 
-	// Clear the invalidation cone — the only entries an edit could
-	// have changed. Bits beyond the predecessor's universe (classes or
-	// member names added since) have nothing carried to clear.
-	invalidated := 0
-	for _, ce := range cone {
-		m := int(ce.Member)
-		if m < 0 || m >= newM {
-			return nil, false
-		}
-		if m >= oldM || ce.Classes == nil {
-			continue
-		}
-		ce.Classes.ForEach(func(c int) {
-			if c >= oldN {
-				return
-			}
-			if i := c*newM + m; cells[i] != 0 {
-				cells[i] = 0
-				invalidated++
-			}
-		})
+	cells, carried, invalidated := carryColumn(prev.cells)
+	colCells := make([][]uint64, len(prev.sems))
+	colStats := make([]ColumnCarry, len(prev.sems))
+	totalInvalidated := invalidated
+	for i, pcol := range prev.sems {
+		cc, cCarried, cInval := carryColumn(pcol.cells)
+		colCells[i] = cc
+		colStats[i] = ColumnCarry{ID: pcol.id, Carried: cCarried, Invalidated: cInval}
+		totalInvalidated += cInval
 	}
-	carried -= invalidated
 
 	// Pool lifetime: share the predecessor's pool (carried words keep
 	// their payload indices) unless its garbage outweighs the live
@@ -189,12 +225,20 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 	// growth) plus cone-cleared cells — cannot have reached the
 	// compaction floor; steady-state serving republishes pay nothing.
 	pool := prev.pool
-	stats := CarryStats{Carried: carried, Invalidated: invalidated, PoolShared: true}
-	weighedLen, invalSince := prev.poolWeighedLen, prev.invalSinceWeigh+invalidated
+	stats := CarryStats{Carried: carried, Invalidated: invalidated, PoolShared: true, Columns: colStats}
+	weighedLen, invalSince := prev.poolWeighedLen, prev.invalSinceWeigh+totalInvalidated
 	if pool.Len()-weighedLen+invalSince >= carryCompactMinGarbage {
+		// Weigh (and, if compacting, migrate) across the primary cells
+		// and every backend column: they all reference the one shared
+		// pool, so liveness is the union of their referenced payloads.
 		lc := core.NewPoolLiveCounter()
 		for _, w := range cells {
 			lc.Observe(core.Cell(w))
+		}
+		for _, cc := range colCells {
+			for _, w := range cc {
+				lc.Observe(core.Cell(w))
+			}
 		}
 		stats.PoolLive = lc.Live()
 		stats.PoolGarbage = pool.Len() - stats.PoolLive
@@ -206,6 +250,13 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 					cells[i] = uint64(mg.Migrate(core.Cell(w)))
 				}
 			}
+			for _, cc := range colCells {
+				for i, w := range cc {
+					if w != 0 {
+						cc[i] = uint64(mg.Migrate(core.Cell(w)))
+					}
+				}
+			}
 			pool = np
 			stats.PoolShared, stats.PoolCompacted = false, true
 		}
@@ -213,6 +264,14 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 	}
 
 	kopts := append(append([]core.Option(nil), opts...), core.WithPool(pool))
+	cols := make([]*semColumn, len(prev.sems))
+	for i, pcol := range prev.sems {
+		sem, err := semantics.New(pcol.id, g, pool)
+		if err != nil {
+			return nil, false
+		}
+		cols[i] = &semColumn{id: pcol.id, sem: sem, cells: colCells[i]}
+	}
 	return &Snapshot{
 		name:            name,
 		version:         version,
@@ -220,6 +279,7 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 		pool:            pool,
 		numMembers:      newM,
 		cells:           cells,
+		sems:            cols,
 		carry:           stats,
 		poolWeighedLen:  weighedLen,
 		invalSinceWeigh: invalSince,

@@ -54,7 +54,11 @@ func (e *Engine) Register(name string, g *chg.Graph, opts ...core.Option) (*Snap
 		return nil, fmt.Errorf("engine: hierarchy %q already registered (use Update to publish a new version)", name)
 	}
 	ent := &entry{opts: opts, version: 1}
-	ent.snap = newSnapshot(name, 1, core.NewKernel(g, opts...))
+	snap, err := newSnapshot(name, 1, core.NewKernel(g, opts...))
+	if err != nil {
+		return nil, err
+	}
+	ent.snap = snap
 	e.entries[name] = ent
 	e.order = append(e.order, name)
 	return ent.snap, nil
@@ -76,7 +80,11 @@ func (e *Engine) Update(name string, g *chg.Graph) (*Snapshot, error) {
 		return nil, fmt.Errorf("engine: hierarchy %q is not registered", name)
 	}
 	ent.version++
-	ent.snap = newSnapshot(name, ent.version, core.NewKernel(g, ent.opts...))
+	snap, err := newSnapshot(name, ent.version, core.NewKernel(g, ent.opts...))
+	if err != nil {
+		return nil, err
+	}
+	ent.snap = snap
 	return ent.snap, nil
 }
 

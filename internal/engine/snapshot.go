@@ -45,6 +45,11 @@ type Snapshot struct {
 	cells      []uint64
 	fillLocks  [shardCount]sync.Mutex
 
+	// sems holds one cache column per extra resolution backend the
+	// snapshot was built to serve (core.WithSemantics); nil for
+	// dominance-only snapshots. See semantics.go.
+	sems []*semColumn
+
 	// carry records what UpdateCarried seeded this snapshot with; the
 	// zero value for cold snapshots.
 	carry CarryStats
@@ -64,14 +69,23 @@ type Snapshot struct {
 }
 
 // NewSnapshot wraps g in a standalone snapshot (version 1, no engine).
-// It panics if g is nil, with the same message as core.NewKernel.
+// It panics if g is nil (with the same message as core.NewKernel) or
+// if WithSemantics named a backend the registry does not know.
 func NewSnapshot(g *chg.Graph, opts ...core.Option) *Snapshot {
-	return newSnapshot("", 1, core.NewKernel(g, opts...))
+	s, err := newSnapshot("", 1, core.NewKernel(g, opts...))
+	if err != nil {
+		panic("engine: " + err.Error())
+	}
+	return s
 }
 
-func newSnapshot(name string, version uint64, k *core.Kernel) *Snapshot {
+func newSnapshot(name string, version uint64, k *core.Kernel) (*Snapshot, error) {
 	g := k.Graph()
 	numM := g.NumMemberNames()
+	cols, err := newColumns(k)
+	if err != nil {
+		return nil, err
+	}
 	return &Snapshot{
 		name:       name,
 		version:    version,
@@ -79,7 +93,8 @@ func newSnapshot(name string, version uint64, k *core.Kernel) *Snapshot {
 		pool:       k.Pool(),
 		numMembers: numM,
 		cells:      make([]uint64, g.NumClasses()*numM),
-	}
+		sems:       cols,
+	}, nil
 }
 
 // Name returns the engine registration name ("" for standalone

@@ -1,0 +1,132 @@
+package gxx
+
+// Backend adapts the g++ 2.7.2.1 breadth-first lookup to the
+// core.Semantics resolution-backend interface, so the baseline —
+// Figure 9 bug included — can be served through the same packed-cell
+// caches (analyzer memo, eager tables, engine snapshot columns) as
+// the paper's algorithm, instead of rebuilding subobject graphs per
+// query. That is what turns the Figure 9 divergence from a bespoke
+// lint rule into an ordinary cross-backend table diff.
+
+import (
+	"sync"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/subobject"
+)
+
+// Backend serves g++-style lookups as a core.Semantics. Outcomes map
+// onto result kinds as:
+//
+//	NotFound          → Undefined
+//	Resolved          → Red (declaring class, Ω)
+//	ReportedAmbiguous → Blue {(c1, Ω), (c2, Ω)} — the incomparable
+//	                    subobject pair's classes, the scan's quitting
+//	                    witness (possibly a *false* ambiguity)
+//	graph over limit  → FailKind blaming the context class: the
+//	                    baseline is exponential in the subobject
+//	                    graph, and beyond the limit it has no answer
+//
+// Subobject graphs are built once per context class and cached, so a
+// whole table row costs one graph plus one scan per member.
+type Backend struct {
+	g     *chg.Graph
+	pool  *core.Pool
+	limit int
+
+	mu  sync.Mutex
+	sgs map[chg.ClassID]*subobject.Graph // nil entry = over limit
+}
+
+// NewBackend returns a g++ backend over g, packing results into pool
+// (nil gets a fresh private pool). limit bounds each context class's
+// subobject graph (0 = subobject.DefaultLimit); classes beyond it
+// resolve to FailKind.
+func NewBackend(g *chg.Graph, pool *core.Pool, limit int) *Backend {
+	if pool == nil {
+		pool = core.NewPool()
+	}
+	return &Backend{
+		g:     g,
+		pool:  pool,
+		limit: limit,
+		sgs:   map[chg.ClassID]*subobject.Graph{},
+	}
+}
+
+// ID names the backend.
+func (b *Backend) ID() core.SemanticsID { return core.SemGxx }
+
+// Graph returns the underlying CHG.
+func (b *Backend) Graph() *chg.Graph { return b.g }
+
+// Pool returns the payload pool results are packed over.
+func (b *Backend) Pool() *core.Pool { return b.pool }
+
+// graphFor returns c's cached subobject graph, building it on first
+// use; (nil, false) means the graph exceeded the limit. Building
+// under the mutex single-flights concurrent requests for one class.
+func (b *Backend) graphFor(c chg.ClassID) (*subobject.Graph, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sg, ok := b.sgs[c]; ok {
+		return sg, sg != nil
+	}
+	sg, err := subobject.Build(b.g, c, b.limit)
+	if err != nil {
+		sg = nil
+	}
+	b.sgs[c] = sg
+	return sg, sg != nil
+}
+
+// pack converts one scan outcome into a packed result.
+func (b *Backend) pack(r Result, tr Trace, sg *subobject.Graph) core.Result {
+	switch r.Outcome {
+	case Resolved:
+		return b.pool.Red(core.Def{L: r.Class, V: chg.Omega})
+	case ReportedAmbiguous:
+		c1 := sg.Class(tr.Conflict[0])
+		c2 := sg.Class(tr.Conflict[1])
+		if c2 < c1 {
+			c1, c2 = c2, c1
+		}
+		defs := []core.Def{{L: c1, V: chg.Omega}}
+		if c2 != c1 {
+			defs = append(defs, core.Def{L: c2, V: chg.Omega})
+		}
+		return b.pool.Blue(defs)
+	default:
+		return core.UndefinedResult()
+	}
+}
+
+// Resolve answers lookup[c,m] with the g++ scan. The get callback is
+// ignored: the baseline searches c's subobject graph directly rather
+// than recursing over direct bases.
+func (b *Backend) Resolve(c chg.ClassID, m chg.MemberID, _ func(chg.ClassID) core.Result) core.Result {
+	sg, ok := b.graphFor(c)
+	if !ok {
+		return b.pool.Fail(c)
+	}
+	r, tr := LookupTrace(sg, m)
+	return b.pack(r, tr, sg)
+}
+
+// ResolveClass fills a whole table row from one cached subobject
+// graph — the batched core.ClassResolver hook.
+func (b *Backend) ResolveClass(c chg.ClassID, ms []chg.MemberID, out []core.Cell) {
+	sg, ok := b.graphFor(c)
+	if !ok {
+		cell := b.pool.Fail(c).Cell()
+		for i := range out {
+			out[i] = cell
+		}
+		return
+	}
+	for i, m := range ms {
+		r, tr := LookupTrace(sg, m)
+		out[i] = b.pack(r, tr, sg).Cell()
+	}
+}

@@ -1,0 +1,144 @@
+package harness
+
+// E16 measures the resolution-backend dimension introduced with
+// core.Semantics: the same whole-table cache path — packed cells,
+// interned payload pool, one topological fill — driven by three
+// different member-lookup rules:
+//
+//   - dominance: the paper's Figure 8 kernel (BuildSemTable takes the
+//     support-pruned word-batched fast path, so these numbers are the
+//     E14 batched build seen through the generic interface);
+//   - c3:        C3/MRO linearization (internal/mro) — linearize once,
+//     then resolve each class by one scan of its precedence list;
+//   - gxx:       the g++ 2.7.2.1 breadth-first baseline
+//     (internal/gxx) — one subobject graph per context class,
+//     amortized over the class's members.
+//
+// Alongside wall-clock per whole-table build it counts, per shape,
+// how many table cells each alternative backend answers differently
+// from dominance — the semantic spread the divergence lint rules and
+// oraclefuzz -cross patrol.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/gxx"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/mro"
+)
+
+// SemanticsTableConfig is one hierarchy shape of the cross-semantics
+// benchmark family, shared by experiment E16, BenchmarkSemanticsTable
+// and cmd/benchjson.
+type SemanticsTableConfig struct {
+	Name  string
+	Shape string // "dense", "conflict", or "sparse"
+	Make  func() *chg.Graph
+}
+
+// SemanticsTableConfigs returns the benchmark family: a realistic
+// dense hierarchy, a maximally conflicting wide-MI shape (every cell
+// dominance calls blue, C3 resolves — the divergence-rich regime),
+// and the sparse many-member serving shape of E14/E15.
+func SemanticsTableConfigs() []SemanticsTableConfig {
+	return []SemanticsTableConfig{
+		{"realistic-6x4", "dense", func() *chg.Graph { return hiergen.Realistic(6, 4) }},
+		{"wide-mi-64", "conflict", func() *chg.Graph { return hiergen.WideMI(64, true) }},
+		{"sparse-200c-1000m", "sparse", func() *chg.Graph { return hiergen.SparseMembers(200, 1000, 3, 7) }},
+	}
+}
+
+// semGxxLimit bounds the baseline's subobject graphs; the family's
+// shapes all stay far under it, so no cell degrades to FailKind.
+const semGxxLimit = 1 << 18
+
+// SemanticsBackend is one resolution backend under test. New builds a
+// fresh backend over its own pool — each benchmark iteration pays the
+// backend's full preprocessing (linearization, subobject graphs), the
+// honest whole-table cost.
+type SemanticsBackend struct {
+	Name string
+	ID   core.SemanticsID
+	New  func(g *chg.Graph) core.Semantics
+}
+
+// SemanticsBackends returns the backends E16 and the benchmarks
+// compare, dominance first (the baseline the others diverge from).
+func SemanticsBackends() []SemanticsBackend {
+	return []SemanticsBackend{
+		{"dominance", core.SemDominance, func(g *chg.Graph) core.Semantics { return core.NewKernel(g) }},
+		{"c3", core.SemC3, func(g *chg.Graph) core.Semantics { return mro.New(g, nil) }},
+		{"gxx", core.SemGxx, func(g *chg.Graph) core.Semantics { return gxx.NewBackend(g, nil, semGxxLimit) }},
+	}
+}
+
+// SemanticsDivergences builds the whole table under every backend and
+// counts, for each non-dominance backend, the cells it answers
+// differently from dominance: a different result kind, or both red
+// with different declaring classes (the latter cannot happen for C3 —
+// oraclefuzz -cross asserts it — but is counted rather than assumed).
+func SemanticsDivergences(g *chg.Graph) map[core.SemanticsID]int {
+	backends := SemanticsBackends()
+	tables := make(map[core.SemanticsID]*core.Table, len(backends))
+	for _, s := range backends {
+		tables[s.ID] = core.BuildSemTable(s.New(g), 0)
+	}
+	dom := tables[core.SemDominance]
+	out := map[core.SemanticsID]int{}
+	for _, s := range backends {
+		if s.ID == core.SemDominance {
+			continue
+		}
+		t := tables[s.ID]
+		n := 0
+		for c := 0; c < g.NumClasses(); c++ {
+			for _, m := range dom.Members(chg.ClassID(c)) {
+				rd, rt := dom.Lookup(chg.ClassID(c), m), t.Lookup(chg.ClassID(c), m)
+				if rd.Kind() != rt.Kind() ||
+					(rd.Kind() == core.RedKind && rd.Def().L != rt.Def().L) {
+					n++
+				}
+			}
+		}
+		out[s.ID] = n
+	}
+	return out
+}
+
+// RunE16 prints the per-backend build times and divergence counts.
+func RunE16(w io.Writer) error {
+	fmt.Fprintln(w, "Resolution backends through one cache path: whole-table build under")
+	fmt.Fprintln(w, "the Figure 8 dominance kernel, C3/MRO linearization, and the g++")
+	fmt.Fprintln(w, "2.7.2.1 breadth-first baseline — all filling the same packed-cell")
+	fmt.Fprintln(w, "table over an interned payload pool via core.BuildSemTable.")
+	fmt.Fprintln(w)
+
+	t := newTable("hierarchy", "|N|", "|M|", "entries", "dominance", "c3", "gxx", "c3≠dom", "gxx≠dom")
+	for _, cfg := range SemanticsTableConfigs() {
+		g := cfg.Make()
+		times := map[string]time.Duration{}
+		var entries int
+		for _, s := range SemanticsBackends() {
+			mk := s.New
+			times[s.Name] = timePerOp(20*time.Millisecond, func() {
+				entries = core.BuildSemTable(mk(g), 0).Entries()
+			})
+		}
+		div := SemanticsDivergences(g)
+		t.add(cfg.Name, g.NumClasses(), g.NumMemberNames(), entries,
+			times["dominance"], times["c3"], times["gxx"],
+			div[core.SemC3], div[core.SemGxx])
+	}
+	t.write(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "divergent cells are table entries the backend answers differently")
+	fmt.Fprintln(w, "from dominance (different kind; red picks never differ — the dominant")
+	fmt.Fprintln(w, "definition heads every monotonic linearization). The conflict shape")
+	fmt.Fprintln(w, "is the regime the dominance-vs-mro-divergence lint rule patrols.")
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"cpplookup/internal/cpp/token"
 	"cpplookup/internal/diag"
 	"cpplookup/internal/engine"
+	"cpplookup/internal/mro"
 )
 
 // Rule IDs, one per check.
@@ -37,6 +38,10 @@ const (
 	// AmbiguousMember: lookup[C,m] is Blue — no definition dominates,
 	// and any use of C::m is ill-formed (Definition 9).
 	AmbiguousMember = "ambiguous-member"
+	// C3FailsToLinearize: the class's base precedence lists are
+	// contradictory, so no C3 linearization exists — an MRO-based
+	// language (Python ≥ 2.3, Dylan, Raku) rejects the class outright.
+	C3FailsToLinearize = "c3-fails-to-linearize"
 	// DeadMember: a declaration that is never the result of any
 	// lookup in any derived class (every derived class shadows it).
 	DeadMember = "dead-member"
@@ -46,6 +51,11 @@ const (
 	// DominanceShadowing: a derived declaration hides a base
 	// declaration by dominance (Definition 5).
 	DominanceShadowing = "dominance-shadowing"
+	// DominanceVsMroDivergence: the paper's dominance lookup and the
+	// C3 linearization backend (internal/mro) disagree on a table cell
+	// — the hierarchy means different things in C++ and in an
+	// MRO-based language.
+	DominanceVsMroDivergence = "dominance-vs-mro-divergence"
 	// GxxDivergence: the g++ 2.7.2.1 baseline (internal/gxx) and the
 	// paper's algorithm disagree on a table cell — Figure 9 as a
 	// diagnostic.
@@ -70,12 +80,16 @@ type Rule struct {
 var Rules = []Rule{
 	{AmbiguousMember, diag.Warning,
 		"member lookup has no dominant definition; any use of the member is ill-formed"},
+	{C3FailsToLinearize, diag.Warning,
+		"the class has no C3 linearization: its base precedence lists are contradictory"},
 	{DeadMember, diag.Info,
 		"declaration is shadowed in every derived class and is never the result of a lookup below it"},
 	{DiamondWithoutVirtual, diag.Warning,
 		"a repeated base class is duplicated into distinct subobjects because no inheritance path to it is virtual"},
 	{DominanceShadowing, diag.Warning,
 		"a derived declaration hides a base declaration of the same name by dominance"},
+	{DominanceVsMroDivergence, diag.Info,
+		"the C3 linearization backend resolves this member differently from the paper's dominance lookup"},
 	{GxxDivergence, diag.Warning,
 		"the g++ 2.7.2.1 baseline lookup disagrees with the paper's algorithm on this member"},
 	{RedundantInheritanceEdge, diag.Warning,
@@ -135,6 +149,11 @@ type Options struct {
 	// beyond this many CHG paths the witness falls back to the Blue
 	// set's abstractions. 0 means DefaultPathLimit.
 	PathLimit int
+	// Semantics restricts the resolution backends the cross-semantics
+	// rules may consult: rules needing the C3 backend run only when
+	// core.SemC3 is listed, gxx-divergence only with core.SemGxx. nil
+	// means all backends (every enabled rule runs).
+	Semantics []core.SemanticsID
 }
 
 // DefaultSubobjectLimit bounds the subobject graphs the gxx rule will
@@ -156,6 +175,19 @@ func Run(snap *engine.Snapshot, opts Options) ([]diag.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Semantics != nil {
+		serve := make(map[core.SemanticsID]bool, len(opts.Semantics))
+		for _, id := range opts.Semantics {
+			serve[id] = true
+		}
+		if !serve[core.SemC3] {
+			delete(enabled, C3FailsToLinearize)
+			delete(enabled, DominanceVsMroDivergence)
+		}
+		if !serve[core.SemGxx] {
+			delete(enabled, GxxDivergence)
+		}
+	}
 	r := &runner{
 		g:       snap.Graph(),
 		t:       snap.Table(),
@@ -167,6 +199,20 @@ func Run(snap *engine.Snapshot, opts Options) ([]diag.Diagnostic, error) {
 	}
 	if r.pathLimit = opts.PathLimit; r.pathLimit <= 0 {
 		r.pathLimit = DefaultPathLimit
+	}
+	if enabled[C3FailsToLinearize] || enabled[DominanceVsMroDivergence] {
+		b := mro.New(r.g, nil)
+		r.lin = b.Linearization()
+		if enabled[DominanceVsMroDivergence] {
+			// Snapshots built to serve the C3 backend share their table
+			// (and its payload pool); otherwise tabulate the local
+			// backend once for this run.
+			if tab, ok := snap.TableSem(core.SemC3); ok {
+				r.c3 = tab
+			} else {
+				r.c3 = core.BuildSemTable(b, opts.Workers)
+			}
+		}
 	}
 
 	// Member-indexed rules fan out per member name, class-indexed
@@ -252,6 +298,11 @@ type runner struct {
 
 	subLimit  int
 	pathLimit int
+
+	// lin and c3 are the C3 backend's view of the hierarchy, populated
+	// only when a cross-semantics rule is enabled.
+	lin *mro.Linearization
+	c3  *core.Table
 }
 
 func (r *runner) classPos(c chg.ClassID) token.Pos {

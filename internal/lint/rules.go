@@ -45,6 +45,9 @@ func (r *runner) checkMember(m chg.MemberID) []diag.Diagnostic {
 		if r.enabled[DeadMember] {
 			out = r.deadMember(out, c, m)
 		}
+		if r.enabled[DominanceVsMroDivergence] {
+			out = r.dominanceVsMroDivergence(out, c, m, res)
+		}
 	}
 	return out
 }
@@ -162,6 +165,9 @@ func (r *runner) checkClass(c chg.ClassID) []diag.Diagnostic {
 	}
 	if r.enabled[GxxDivergence] {
 		out = r.gxxDivergence(out, c)
+	}
+	if r.enabled[C3FailsToLinearize] {
+		out = r.c3FailsToLinearize(out, c)
 	}
 	return out
 }

@@ -1,0 +1,120 @@
+package lint
+
+// Cross-semantics rules: checks that compare the paper's dominance
+// lookup against the C3 linearization backend (internal/mro) over the
+// same hierarchy. Like gxx-divergence they use divergence between
+// resolution semantics as the diagnostic signal, but where the g++
+// baseline is a bug reproduction, C3 is a legitimate sibling
+// semantics — a divergence means the hierarchy answers differently in
+// C++ and in an MRO-based language, which is worth knowing when a
+// design is ported between the two.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/diag"
+)
+
+// c3FailsToLinearize fires at origin failures only: classes whose own
+// merge broke. Classes below a failed class fail too (they can never
+// exist in an MRO language), but they repeat the origin's
+// contradiction and are not reported again — the same formation
+// discipline as ambiguousMember.
+func (r *runner) c3FailsToLinearize(out []diag.Diagnostic, c chg.ClassID) []diag.Diagnostic {
+	blame, failed := r.lin.Failure(c)
+	if !failed || blame != c {
+		return out
+	}
+	heads := r.lin.BlockedHeads(c)
+	names := make([]string, len(heads))
+	for i, h := range heads {
+		names[i] = r.g.Name(h)
+	}
+	msg := fmt.Sprintf("%s has no C3 linearization: no consistent order of %s exists (each candidate appears in another precedence list's tail)",
+		r.g.Name(c), strings.Join(names, ", "))
+	w := &diag.Witness{
+		Classes: names,
+		Mro:     fmt.Sprintf("merge for %s rejected every candidate head", r.g.Name(c)),
+	}
+	return append(out, r.diag(C3FailsToLinearize, r.classPos(c), c, "", msg, w))
+}
+
+// dominanceVsMroDivergence compares one dominance cell against the C3
+// table. Only cells where C3 has a positive verdict (Red) can diverge
+// meaningfully: Fail cells are c3-fails-to-linearize findings,
+// Undefined cells carry no verdict, and C3 never produces Blue. Cells
+// the static rule shaped are skipped — Definition 17 is a
+// dominance-only refinement, so a difference there is a rule
+// difference, not a linearization one.
+func (r *runner) dominanceVsMroDivergence(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID, paper core.Result) []diag.Diagnostic {
+	c3 := r.c3.Lookup(c, m)
+	if c3.Kind() != core.RedKind || r.staticRuleApplies(paper, m) {
+		return out
+	}
+
+	var msg string
+	w := &diag.Witness{}
+	switch paper.Kind() {
+	case core.RedKind:
+		if paper.Def().L == c3.Def().L {
+			return out
+		}
+		msg = fmt.Sprintf("dominance and C3 disagree on lookup(%s, %s): the dominant definition is %s::%s, the C3 order picks %s::%s",
+			r.g.Name(c), r.g.MemberName(m),
+			r.g.Name(paper.Def().L), r.g.MemberName(m),
+			r.g.Name(c3.Def().L), r.g.MemberName(m))
+		w.Paper = fmt.Sprintf("resolves to %s::%s", r.g.Name(paper.Def().L), r.g.MemberName(m))
+	case core.BlueKind:
+		msg = fmt.Sprintf("lookup(%s, %s) is ambiguous under dominance, but the C3 order resolves it to %s::%s",
+			r.g.Name(c), r.g.MemberName(m), r.g.Name(c3.Def().L), r.g.MemberName(m))
+		w.Paper = paper.Format(r.g)
+	default:
+		return out
+	}
+	w.Mro = fmt.Sprintf("resolves to %s::%s", r.g.Name(c3.Def().L), r.g.MemberName(m))
+
+	// Formation filter: a class whose direct base already shows the
+	// identical verdict pair merely inherits its base's divergence.
+	for _, e := range r.g.DirectBases(c) {
+		if verdictKey(r.t.Lookup(e.Base, m)) == verdictKey(paper) &&
+			verdictKey(r.c3.Lookup(e.Base, m)) == verdictKey(c3) {
+			return out
+		}
+	}
+
+	// The witness's via line is the prefix of L(c) the C3 scan walked,
+	// ending at the declarer it picked.
+	order, _ := r.lin.Order(c)
+	for _, x := range order {
+		w.Classes = append(w.Classes, r.g.Name(x))
+		if x == c3.Def().L {
+			break
+		}
+	}
+	return append(out, r.diag(DominanceVsMroDivergence, r.classPos(c), c, r.g.MemberName(m), msg, w))
+}
+
+// verdictKey summarizes a result for the formation filter: its kind
+// plus the declaring classes it names. The V components are relative
+// to the context class and change along an inheritance edge without
+// changing which divergence is reported, so they are deliberately
+// excluded.
+func verdictKey(r core.Result) string {
+	switch r.Kind() {
+	case core.RedKind:
+		return fmt.Sprintf("red:%d", r.Def().L)
+	case core.BlueKind:
+		defs := r.Blue()
+		ls := make([]string, len(defs))
+		for i, d := range defs {
+			ls[i] = fmt.Sprintf("%d", d.L)
+		}
+		sort.Strings(ls)
+		return "blue:" + strings.Join(ls, ",")
+	}
+	return r.Kind().String()
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/diag"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/mro"
+)
+
+// serpentine is the classic C3 failure shape: X and Y order the same
+// two bases oppositely, so any class combining them cannot linearize.
+// W inherits Z's failure without adding a contradiction of its own.
+func serpentine() *chg.Graph {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	bb := b.Class("B")
+	x := b.Class("X")
+	y := b.Class("Y")
+	z := b.Class("Z")
+	w := b.Class("W")
+	b.Base(x, a, chg.NonVirtual)
+	b.Base(x, bb, chg.NonVirtual)
+	b.Base(y, bb, chg.NonVirtual)
+	b.Base(y, a, chg.NonVirtual)
+	b.Base(z, x, chg.NonVirtual)
+	b.Base(z, y, chg.NonVirtual)
+	b.Base(w, z, chg.NonVirtual)
+	b.Method(a, "f")
+	b.Method(bb, "f")
+	return b.MustBuild()
+}
+
+// TestC3FailsToLinearize: the rule fires exactly once, at the origin
+// class Z, naming the blocked heads; W repeats Z's failure and stays
+// quiet, as do the classes that do linearize.
+func TestC3FailsToLinearize(t *testing.T) {
+	ds := byRule(runAll(t, serpentine(), Options{}), C3FailsToLinearize)
+	if len(ds) != 1 {
+		t.Fatalf("c3-fails-to-linearize: got %d diagnostics, want 1: %+v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Class != "Z" {
+		t.Errorf("reported at %s, want the origin class Z", d.Class)
+	}
+	if !strings.Contains(d.Message, "no C3 linearization") {
+		t.Errorf("message %q does not state the failure", d.Message)
+	}
+	w := d.Witness
+	if w == nil || len(w.Classes) == 0 {
+		t.Fatalf("witness %+v, want the blocked heads", w)
+	}
+	for _, c := range w.Classes {
+		if c != "A" && c != "B" {
+			t.Errorf("blocked head %q is not one of the contradictory bases A, B", c)
+		}
+	}
+	if w.Mro == "" {
+		t.Error("witness has no C3 side")
+	}
+}
+
+// TestDominanceVsMroDivergence: a non-virtual diamond where one arm
+// redeclares the member. Dominance finds lookup(D, f) ambiguous — the
+// A-via-L subobject is not hidden — while C3's order [D L R A] picks
+// R::f. The finding lands at D where the verdict pair forms; E below
+// merely inherits it.
+func TestDominanceVsMroDivergence(t *testing.T) {
+	b := chg.NewBuilder()
+	a := b.Class("A")
+	l := b.Class("L")
+	r := b.Class("R")
+	d := b.Class("D")
+	e := b.Class("E")
+	b.Base(l, a, chg.NonVirtual)
+	b.Base(r, a, chg.NonVirtual)
+	b.Base(d, l, chg.NonVirtual)
+	b.Base(d, r, chg.NonVirtual)
+	b.Base(e, d, chg.NonVirtual)
+	b.Method(a, "f")
+	b.Method(r, "f")
+	g := b.MustBuild()
+
+	ds := byRule(runAll(t, g, Options{}), DominanceVsMroDivergence)
+	if len(ds) != 1 {
+		t.Fatalf("dominance-vs-mro-divergence: got %d diagnostics, want 1: %+v", len(ds), ds)
+	}
+	dg := ds[0]
+	if dg.Class != "D" || dg.Member != "f" {
+		t.Errorf("divergence at (%s, %s), want (D, f)", dg.Class, dg.Member)
+	}
+	if !strings.Contains(dg.Message, "ambiguous under dominance") || !strings.Contains(dg.Message, "R::f") {
+		t.Errorf("message %q does not state the two verdicts", dg.Message)
+	}
+	w := dg.Witness
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	if w.Paper == "" || !strings.Contains(w.Mro, "R::f") {
+		t.Errorf("witness sides paper=%q c3=%q, want both verdicts", w.Paper, w.Mro)
+	}
+	if n := len(w.Classes); n == 0 || w.Classes[n-1] != "R" {
+		t.Errorf("witness via = %v, want the L(D) prefix ending at R", w.Classes)
+	}
+
+	// The Mro witness side survives every renderer.
+	var text, js bytes.Buffer
+	if err := diag.WriteText(&text, ds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "    c3: resolves to R::f") {
+		t.Errorf("text rendering lacks the c3 line:\n%s", text.String())
+	}
+	if err := diag.WriteJSON(&js, ds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"mro": "resolves to R::f"`) {
+		t.Errorf("json rendering lacks the mro field:\n%s", js.String())
+	}
+	var sarif bytes.Buffer
+	if err := diag.WriteSARIF(&sarif, ds, diag.Tool{Name: "chglint", RuleDescriptions: Descriptions()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sarif.String(), `"mro": "resolves to R::f"`) {
+		t.Errorf("sarif rendering lacks the mro witness:\n%s", sarif.String())
+	}
+}
+
+// TestDivergenceVerdictsCheckOut cross-checks every reported
+// divergence on random hierarchies against the two backends directly:
+// the dominance cell must be Blue (when both semantics resolve, the
+// dominant definition precedes every other declarer in any monotonic
+// linearization, so Red cells cannot diverge) and the C3 cell must be
+// the Red verdict the message names.
+func TestDivergenceVerdictsCheckOut(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := hiergen.Random(hiergen.RandomConfig{
+			Classes:     50,
+			MaxBases:    3,
+			VirtualProb: 0.2,
+			MemberNames: 6,
+			MemberProb:  0.3,
+			Seed:        seed,
+		})
+		dom := core.New(g)
+		c3 := core.NewFor(mro.New(g, nil))
+		ds := byRule(runAll(t, g, Options{Rules: []string{DominanceVsMroDivergence}}), DominanceVsMroDivergence)
+		for _, d := range ds {
+			c, _ := g.ID(d.Class)
+			m, _ := g.MemberID(d.Member)
+			pr := dom.Lookup(c, m)
+			cr := c3.Lookup(c, m)
+			if pr.Kind() != core.BlueKind {
+				t.Errorf("seed %d: (%s, %s) reported but dominance is %s, want blue",
+					seed, d.Class, d.Member, pr.Format(g))
+			}
+			if cr.Kind() != core.RedKind || !strings.Contains(d.Message, g.Name(cr.Def().L)+"::"+d.Member) {
+				t.Errorf("seed %d: (%s, %s) message %q does not match the C3 verdict %s",
+					seed, d.Class, d.Member, d.Message, cr.Format(g))
+			}
+		}
+	}
+}
+
+// TestSemRulesOnFigures pins the cross-semantics verdicts on the
+// paper's figures. Figure 2 linearizes and agrees with dominance
+// everywhere. Figure 9's E is itself a C3 failure: its local
+// precedence list wants A before D, while D's linearization puts D
+// before A — so the rule fires at E, and the divergence rule stays
+// quiet (Fail cells are the other rule's finding).
+func TestSemRulesOnFigures(t *testing.T) {
+	ds := runAll(t, hiergen.Figure2(), Options{})
+	if f := byRule(ds, C3FailsToLinearize); len(f) != 0 {
+		t.Errorf("figure2: unexpected c3-fails-to-linearize: %+v", f)
+	}
+	if f := byRule(ds, DominanceVsMroDivergence); len(f) != 0 {
+		t.Errorf("figure2: unexpected dominance-vs-mro-divergence: %+v", f)
+	}
+
+	ds = runAll(t, hiergen.Figure9(), Options{})
+	if f := byRule(ds, C3FailsToLinearize); len(f) != 1 || f[0].Class != "E" {
+		t.Errorf("figure9: c3-fails-to-linearize = %+v, want exactly one at E", f)
+	}
+	if f := byRule(ds, DominanceVsMroDivergence); len(f) != 0 {
+		t.Errorf("figure9: unexpected dominance-vs-mro-divergence: %+v", f)
+	}
+}

@@ -1,0 +1,97 @@
+// Package semantics is the resolution-backend registry: it maps
+// core.SemanticsID values to constructed backends, so layers that are
+// configured with ids only (engine snapshot columns, the CLI
+// -semantics flags, the fuzzer's cross-backend mode) can materialize
+// backends without importing every implementation themselves.
+//
+// It exists as its own package to keep the dependency arrows one-way:
+// core defines the interface, internal/mro and internal/gxx implement
+// it, and this registry — above all three — does the name-to-
+// constructor wiring.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/gxx"
+	"cpplookup/internal/mro"
+)
+
+// New constructs the backend named by id over g, packing results into
+// pool (nil gets each backend a fresh private pool). The dominance id
+// yields a plain kernel; options that shape the dominance kernel
+// (static rule, path tracking) belong to the caller's own kernel, not
+// here — a registry-built dominance backend is the paper's plain
+// Figure 8.
+func New(id core.SemanticsID, g *chg.Graph, pool *core.Pool) (core.Semantics, error) {
+	switch id {
+	case core.SemDominance:
+		opts := []core.Option{}
+		if pool != nil {
+			opts = append(opts, core.WithPool(pool))
+		}
+		return core.NewKernel(g, opts...), nil
+	case core.SemC3:
+		return mro.New(g, pool), nil
+	case core.SemGxx:
+		return gxx.NewBackend(g, pool, 0), nil
+	}
+	return nil, fmt.Errorf("semantics: unknown backend %q (known: %s)", id, strings.Join(Names(), ", "))
+}
+
+// IDs returns every registered backend id, sorted.
+func IDs() []core.SemanticsID {
+	ids := []core.SemanticsID{core.SemC3, core.SemDominance, core.SemGxx}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Names returns every registered backend id as strings, sorted — for
+// flag documentation and error messages.
+func Names() []string {
+	ids := IDs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = string(id)
+	}
+	return names
+}
+
+// ParseIDs parses a comma-separated -semantics flag value into
+// backend ids, validating each against the registry and collapsing
+// duplicates while preserving first-occurrence order. An empty string
+// yields nil.
+func ParseIDs(s string) ([]core.SemanticsID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []core.SemanticsID
+	seen := map[core.SemanticsID]bool{}
+	for _, part := range strings.Split(s, ",") {
+		id := core.SemanticsID(strings.TrimSpace(part))
+		if id == "" {
+			continue
+		}
+		if !Known(id) {
+			return nil, fmt.Errorf("semantics: unknown backend %q (known: %s)", id, strings.Join(Names(), ", "))
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Known reports whether id names a registered backend.
+func Known(id core.SemanticsID) bool {
+	switch id {
+	case core.SemDominance, core.SemC3, core.SemGxx:
+		return true
+	}
+	return false
+}

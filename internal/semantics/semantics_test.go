@@ -1,0 +1,103 @@
+package semantics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+// New must materialize every registered id as a backend reporting
+// that id, agree with the registry's Known/Names views, and honor the
+// shared-pool contract (nil pool → private pool; explicit pool →
+// every backend packs into it).
+func TestNewCoversRegistry(t *testing.T) {
+	g := hiergen.Figure2()
+	for _, id := range IDs() {
+		s, err := New(id, g, nil)
+		if err != nil {
+			t.Fatalf("New(%s): %v", id, err)
+		}
+		if s.ID() != id {
+			t.Errorf("New(%s).ID() = %s", id, s.ID())
+		}
+		if s.Graph() != g {
+			t.Errorf("New(%s) does not answer over the given graph", id)
+		}
+		if s.Pool() == nil {
+			t.Errorf("New(%s) with nil pool should make a private pool", id)
+		}
+		if !Known(id) {
+			t.Errorf("Known(%s) = false for a registered id", id)
+		}
+	}
+	pool := core.NewPool()
+	for _, id := range IDs() {
+		s, err := New(id, g, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Pool() != pool {
+			t.Errorf("New(%s) ignored the shared pool", id)
+		}
+	}
+	if _, err := New("cecil", g, nil); err == nil {
+		t.Error("New should reject an unknown id")
+	} else if !strings.Contains(err.Error(), "dominance") {
+		t.Errorf("unknown-id error should list the known backends, got %v", err)
+	}
+	if Known("cecil") {
+		t.Error(`Known("cecil") = true`)
+	}
+}
+
+// Registry-built backends must answer Figure 2 correctly through the
+// generic table path: every backend resolves lookup(E, m) to D.
+func TestRegistryBackendsResolveFigure2(t *testing.T) {
+	g := hiergen.Figure2()
+	e, m := g.MustID("E"), g.MustMemberID("m")
+	d := g.MustID("D")
+	for _, id := range IDs() {
+		s, err := New(id, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := core.BuildSemTable(s, 1).Lookup(e, m)
+		if r.Kind() != core.RedKind || r.Def().L != d {
+			t.Errorf("[%s] lookup(E, m) = %s, want red at D", id, r.Format(g))
+		}
+	}
+}
+
+func TestParseIDs(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []core.SemanticsID
+		err  bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"dominance", []core.SemanticsID{core.SemDominance}, false},
+		{"c3, gxx", []core.SemanticsID{core.SemC3, core.SemGxx}, false},
+		{"gxx,c3,gxx, ,c3", []core.SemanticsID{core.SemGxx, core.SemC3}, false},
+		{"dominance,python", nil, true},
+	} {
+		got, err := ParseIDs(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseIDs(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseIDs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	want := []string{"c3", "dominance", "gxx"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+}
