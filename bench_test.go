@@ -472,6 +472,35 @@ func BenchmarkSemanticsTable(b *testing.B) {
 	}
 }
 
+// --- E17: cone-scoped incremental lint vs full re-analysis ---
+
+// BenchmarkLintRelint is the lint-relint benchmark family of E17 and
+// BENCH_lint.json: a single-member edit on an analyzed hierarchy
+// followed by a republish and re-analysis, under both strategies
+// (re-running every rule from scratch, and the cone-scoped
+// lint.Session) over the E15 hierarchy shapes. `make bench-json`
+// captures the same family as machine-readable JSON.
+func BenchmarkLintRelint(b *testing.B) {
+	for _, cfg := range harness.LintRelintConfigs() {
+		g := cfg.Make()
+		for _, s := range harness.LintRelintStrategies() {
+			setup := s.Setup
+			b.Run(cfg.Name+"/"+s.Name, func(b *testing.B) {
+				sess, err := setup(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.Step() // settle into the steady warm state
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sess.Step()
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationNoKilling(b *testing.B) {

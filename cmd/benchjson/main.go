@@ -1,11 +1,11 @@
 // Command benchjson runs the machine-readable benchmark families —
 // the same configs and strategies as BenchmarkTableBuild / experiment
-// E14, BenchmarkEditRelookup / experiment E15, and
-// BenchmarkSemanticsTable / experiment E16 — through testing.Benchmark
-// and writes the results as JSON, so the performance trajectory is
-// machine-readable across PRs:
+// E14, BenchmarkEditRelookup / experiment E15, BenchmarkSemanticsTable
+// / experiment E16, and BenchmarkLintRelint / experiment E17 — through
+// testing.Benchmark and writes the results as JSON, so the performance
+// trajectory is machine-readable across PRs:
 //
-//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json
+//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json
 //
 // For the table-build family it records, per strategy, ns/op,
 // allocs/op and bytes/op, alongside the analytic work profile and the
@@ -13,7 +13,10 @@
 // edit-relookup family it records the same timing triple per serving
 // strategy, the warm-carry speedups over cold rebuild and the legacy
 // map cache, and the fraction of the warm cache surviving each carry.
-// For the cross-semantics family the strategy axis is the resolution
+// For the lint-relint family it records the timing triple per
+// re-analysis strategy, the cone-over-full speedup, and the per-edit
+// bucket re-evaluation counts of the cone strategy. For the
+// cross-semantics family the strategy axis is the resolution
 // backend (-semantics narrows it for local runs; the committed
 // snapshot carries all three), each strategy a whole-table build
 // through core.BuildSemTable, plus the per-backend counts of cells
@@ -68,6 +71,14 @@ type configResult struct {
 	// Cross-semantics metrics (absent for the other families): table
 	// cells the backend answers differently from dominance.
 	DivergentCells map[string]int `json:"divergent_cells_vs_dominance,omitempty"`
+
+	// Lint-relint metrics (absent for the other families): the
+	// cone-scoped session's speedup over full re-analysis, and its
+	// bucket re-evaluations per edit by footprint.
+	ConeSpeedupVsFull  float64 `json:"cone_speedup_vs_full,omitempty"`
+	MemberTasksPerEdit float64 `json:"member_tasks_per_edit,omitempty"`
+	RowTasksPerEdit    float64 `json:"row_tasks_per_edit,omitempty"`
+	StructTasksPerEdit float64 `json:"structural_tasks_per_edit,omitempty"`
 }
 
 type report struct {
@@ -80,6 +91,7 @@ func main() {
 	out := flag.String("o", "BENCH_table_build.json", "table-build output file")
 	editOut := flag.String("edit-o", "BENCH_edit_relookup.json", "edit-relookup output file")
 	mroOut := flag.String("mro-o", "BENCH_mro.json", "cross-semantics output file")
+	lintOut := flag.String("lint-o", "BENCH_lint.json", "lint-relint output file")
 	sems := flag.String("semantics", "", "comma-separated backends the cross-semantics family measures: dominance, c3, gxx (default all; a narrowed snapshot fails -check)")
 	check := flag.Bool("check", false, "verify the JSON snapshots structurally match the current families instead of running benchmarks")
 	flag.Parse()
@@ -87,7 +99,8 @@ func main() {
 	if *check {
 		ok := checkFile(*out, "BenchmarkTableBuild", tableBuildShape()) &&
 			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape()) &&
-			checkFile(*mroOut, "BenchmarkSemanticsTable", semanticsShape())
+			checkFile(*mroOut, "BenchmarkSemanticsTable", semanticsShape()) &&
+			checkFile(*lintOut, "BenchmarkLintRelint", lintRelintShape())
 		if !ok {
 			os.Exit(1)
 		}
@@ -103,6 +116,7 @@ func main() {
 	writeReport(*out, tableBuildReport())
 	writeReport(*editOut, editRelookupReport())
 	writeReport(*mroOut, semanticsReport(backends))
+	writeReport(*lintOut, lintRelintReport())
 }
 
 // selectBackends resolves the -semantics flag against the family's
@@ -209,6 +223,55 @@ func editRelookupReport() report {
 	return rep
 }
 
+func lintRelintReport() report {
+	rep := report{
+		Benchmark: "BenchmarkLintRelint",
+		Unit:      "ns_per_op is wall time per edit→republish→re-analyze round on an analyzed hierarchy; tasks_per_edit count the cone strategy's bucket re-evaluations by footprint",
+	}
+	for _, cfg := range harness.LintRelintConfigs() {
+		g := cfg.Make()
+		cr := configResult{
+			Name:        cfg.Name,
+			Shape:       cfg.Shape,
+			Classes:     g.NumClasses(),
+			MemberNames: g.NumMemberNames(),
+			Strategies:  map[string]strategyResult{},
+		}
+		for _, s := range harness.LintRelintStrategies() {
+			sess, err := s.Setup(g)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			sess.Step() // settle into the steady warm state
+			before := sess.Stats()
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sess.Step()
+				}
+			})
+			cr.Strategies[s.Name] = toStrategyResult(r)
+			if s.Name == "cone-relint" {
+				// testing.Benchmark probes with growing b.N; the counter
+				// delta over every probe round divided by total steps is
+				// still the exact per-edit rate.
+				after := sess.Stats()
+				steps := after.Syncs - before.Syncs
+				if steps > 0 {
+					cr.MemberTasksPerEdit = float64(after.MemberTasks-before.MemberTasks) / float64(steps)
+					cr.RowTasksPerEdit = float64(after.RowTasks-before.RowTasks) / float64(steps)
+					cr.StructTasksPerEdit = float64(after.StructuralTasks-before.StructuralTasks) / float64(steps)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", cfg.Name, s.Name, r.NsPerOp(), r.N)
+		}
+		cr.ConeSpeedupVsFull = ratio(cr.Strategies["full-relint"].NsPerOp, cr.Strategies["cone-relint"].NsPerOp)
+		rep.Configs = append(rep.Configs, cr)
+	}
+	return rep
+}
+
 func semanticsReport(backends []harness.SemanticsBackend) report {
 	rep := report{
 		Benchmark: "BenchmarkSemanticsTable",
@@ -294,6 +357,18 @@ func editRelookupShape() familyShape {
 	for _, cfg := range harness.EditRelookupConfigs() {
 		var names []string
 		for _, s := range harness.EditRelookupStrategies() {
+			names = append(names, s.Name)
+		}
+		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+func lintRelintShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.LintRelintConfigs() {
+		var names []string
+		for _, s := range harness.LintRelintStrategies() {
 			names = append(names, s.Name)
 		}
 		shape[cfg.Name] = names

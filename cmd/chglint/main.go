@@ -7,6 +7,7 @@
 // Usage:
 //
 //	chglint [flags] input...
+//	chglint [flags] -session shape
 //
 // Flags:
 //
@@ -19,6 +20,17 @@
 //	                          rules consult (dominance, c3, gxx);
 //	                          rules needing an unlisted backend are
 //	                          skipped (default all)
+//	-baseline file            suppress findings fingerprinted in file;
+//	                          only new findings count toward -fail-on
+//	-write-baseline file      write the run's findings to file as a
+//	                          baseline and exit 0
+//	-session shape            replay a seeded edit script against an
+//	                          incremental lint session on the named
+//	                          hierarchy shape and print per-edit deltas
+//	                          (shapes: realistic-6x4, sparse-200c-1000m,
+//	                          sparse-400c-2000m)
+//	-session-edits n          edit-script length for -session (default 20)
+//	-session-seed n           edit-script seed for -session (default 1)
 //	-list-rules               print the hierarchy rules and exit
 //
 // Exit status: 0 clean, 1 findings at or above the threshold, 2 usage
@@ -32,20 +44,27 @@ import (
 	"strings"
 
 	"cpplookup/internal/cli"
+	"cpplookup/internal/core"
 	"cpplookup/internal/lint"
 	"cpplookup/internal/semantics"
 )
 
 func main() {
 	var (
-		format    = flag.String("format", "text", "output format: text, json, or sarif")
-		rules     = flag.String("rules", "", "comma-separated rule IDs to enable (default all)")
-		failOn    = flag.String("fail-on", "error", "fail when findings of at least this severity exist: error, warning, info, or never")
-		sems      = flag.String("semantics", "", "comma-separated resolution backends the cross-semantics rules consult: dominance, c3, gxx (default all)")
-		listRules = flag.Bool("list-rules", false, "list the hierarchy rules and exit")
+		format        = flag.String("format", "text", "output format: text, json, or sarif")
+		rules         = flag.String("rules", "", "comma-separated rule IDs to enable (default all)")
+		failOn        = flag.String("fail-on", "error", "fail when findings of at least this severity exist: error, warning, info, or never")
+		sems          = flag.String("semantics", "", "comma-separated resolution backends the cross-semantics rules consult: dominance, c3, gxx (default all)")
+		baseline      = flag.String("baseline", "", "baseline file of fingerprints to suppress")
+		writeBaseline = flag.String("write-baseline", "", "write the run's findings to this file as a baseline and exit 0")
+		session       = flag.String("session", "", "replay a seeded edit script on the named hierarchy shape and print per-edit deltas")
+		sessionEdits  = flag.Int("session-edits", 20, "edit-script length for -session")
+		sessionSeed   = flag.Int64("session-seed", 1, "edit-script seed for -session")
+		listRules     = flag.Bool("list-rules", false, "list the hierarchy rules and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chglint [flags] input...\n")
+		fmt.Fprintf(os.Stderr, "       chglint [flags] -session shape\n")
 		fmt.Fprintf(os.Stderr, "inputs: C++ sources (.cpp), encoded hierarchies (.json, .chg), or directories\n")
 		flag.PrintDefaults()
 	}
@@ -53,26 +72,57 @@ func main() {
 
 	if *listRules {
 		for _, r := range lint.Rules {
-			fmt.Printf("%-28s %-8s %s\n", r.ID, r.Severity, r.Doc)
+			fmt.Printf("%-28s %-8s %-9s %s\n", r.ID, r.Severity, r.Footprint, r.Doc)
 		}
 		return
 	}
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
-	}
 
-	cfg := cli.LintConfig{Format: *format, FailOn: *failOn}
-	if *rules != "" {
-		cfg.Rules = strings.Split(*rules, ",")
-	}
+	var semIDs []core.SemanticsID
 	if *sems != "" {
 		ids, err := semantics.ParseIDs(*sems)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chglint: %v\n", err)
 			os.Exit(2)
 		}
-		cfg.Semantics = ids
+		semIDs = ids
+	}
+	var ruleIDs []string
+	if *rules != "" {
+		ruleIDs = strings.Split(*rules, ",")
+	}
+
+	if *session != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintf(os.Stderr, "chglint: -session takes no input files\n")
+			os.Exit(2)
+		}
+		err := cli.RunLintSession(os.Stdout, cli.SessionConfig{
+			Shape:     *session,
+			Edits:     *sessionEdits,
+			Seed:      *sessionSeed,
+			Format:    *format,
+			Rules:     ruleIDs,
+			Semantics: semIDs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := cli.LintConfig{
+		Format:        *format,
+		FailOn:        *failOn,
+		Rules:         ruleIDs,
+		Semantics:     semIDs,
+		Baseline:      *baseline,
+		WriteBaseline: *writeBaseline,
 	}
 	n, err := cli.RunLint(os.Stdout, flag.Args(), cfg)
 	if err != nil {

@@ -1,0 +1,17 @@
+// The "after" state of the lintdelta walkthrough: the edit moved the
+// draw override from Widget down to Button and added Combo, a
+// non-virtual diamond over the two widget branches.
+//
+// The before-state findings on Widget::draw are fixed (the override
+// is gone), but the edit introduces new ones: Combo duplicates the
+// Gadget subobject (diamond-without-virtual), which makes draw and id
+// ambiguous in Combo, and Button::draw now shadows Gadget::draw.
+// The Legacy/App findings persist unchanged.
+struct Gadget { void draw(); void id(); };
+struct Widget : Gadget {};
+struct Button : Widget { void draw(); };
+struct Toggle : Widget {};
+struct Combo : Button, Toggle {};
+
+struct Legacy { void log(); };
+struct App : Legacy { void log(); };

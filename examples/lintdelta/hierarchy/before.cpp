@@ -1,0 +1,16 @@
+// The "before" state of the lintdelta walkthrough: a widget toolkit
+// where Widget overrides Gadget::draw for every widget at once.
+//
+// chglint reports two findings here:
+//   - dominance-shadowing: Widget::draw hides Gadget::draw
+//   - dead-member: Gadget::draw is hidden in every derived class
+// plus the persisting Legacy/App pair shared with the edited state.
+struct Gadget { void draw(); void id(); };
+struct Widget : Gadget { void draw(); };
+struct Button : Widget {};
+struct Toggle : Widget {};
+
+// Untouched by the edit: App::log shadows Legacy::log in both states,
+// so its findings persist across the delta.
+struct Legacy { void log(); };
+struct App : Legacy { void log(); };

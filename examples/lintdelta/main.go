@@ -1,0 +1,81 @@
+// lintdelta demonstrates the incremental lint session: the hierarchy
+// of hierarchy/before.cpp is built in a workspace, a lint.Session
+// computes its findings once, and then the edit that produces
+// edited/after.cpp — moving the draw override from Widget to Button
+// and adding the Combo diamond — is replayed one step at a time. After
+// each step the session re-analyzes only the invalidation cone and
+// prints what changed: fixed findings, new findings, and how much
+// simply persisted.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/diag"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/incremental"
+	"cpplookup/internal/lint"
+)
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func main() {
+	ws := incremental.New()
+	method := func(name string) chg.Member { return chg.Member{Name: name, Kind: chg.Method} }
+
+	// The before state: Widget overrides Gadget::draw for everyone.
+	gadget := must(ws.AddClass("Gadget", nil))
+	check(ws.AddMember(gadget, method("draw")))
+	check(ws.AddMember(gadget, method("id")))
+	widget := must(ws.AddClass("Widget", []incremental.BaseDecl{{Class: gadget}}))
+	check(ws.AddMember(widget, method("draw")))
+	button := must(ws.AddClass("Button", []incremental.BaseDecl{{Class: widget}}))
+	toggle := must(ws.AddClass("Toggle", []incremental.BaseDecl{{Class: widget}}))
+	legacy := must(ws.AddClass("Legacy", nil))
+	check(ws.AddMember(legacy, method("log")))
+	app := must(ws.AddClass("App", []incremental.BaseDecl{{Class: legacy}}))
+	check(ws.AddMember(app, method("log")))
+
+	b, _, err := engine.New().BindWorkspace("lintdelta", ws)
+	if err != nil {
+		panic(err)
+	}
+	s := must(lint.NewSession(b, lint.Options{File: "lintdelta"}))
+	fmt.Printf("before: %d findings\n\n", len(s.Diagnostics()))
+
+	// Edit 1: the override moves from Widget down to Button.
+	check(ws.RemoveMember(widget, "draw"))
+	check(ws.AddMember(button, method("draw")))
+	report("move draw override from Widget to Button", s)
+
+	// Edit 2: Combo joins the two widget branches without virtual
+	// inheritance, duplicating the Gadget subobject.
+	must(ws.AddClass("Combo", []incremental.BaseDecl{{Class: button}, {Class: toggle}}))
+	report("add Combo : Button, Toggle", s)
+
+	st := s.Stats()
+	fmt.Printf("session work: %d member / %d row / %d structural bucket re-evaluations over %d republishes (1 initial full analysis)\n",
+		st.MemberTasks, st.RowTasks, st.StructuralTasks, st.Republishes)
+}
+
+func report(edit string, s *lint.Session) {
+	delta := must(s.Sync())
+	fmt.Printf("edit: %s\n", edit)
+	if err := diag.WriteDeltaText(os.Stdout, delta); err != nil {
+		panic(err)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"cpplookup/internal/diag"
 )
 
 var update = flag.Bool("update", false, "rewrite the lint golden files")
@@ -92,5 +94,44 @@ func TestExampleGoldens(t *testing.T) {
 			t.Fatal(err)
 		}
 		checkGolden(t, filepath.Join("testdata", "golden", "mro.sarif"), goldenNormalize(buf.String()))
+	})
+
+	// The delta renderers, pinned over the lintdelta before/after pair:
+	// the diff of the two states in every format. Both files are
+	// relabelled to one logical name first — fingerprints include the
+	// file, and the delta should describe the edit, not the rename.
+	t.Run("lintdelta-delta", func(t *testing.T) {
+		load := func(path string) []diag.Diagnostic {
+			ds, err := lintFile(path, LintConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ds {
+				ds[i].File = "examples/lintdelta"
+			}
+			diag.Sort(ds)
+			return ds
+		}
+		before := load("../../examples/lintdelta/hierarchy/before.cpp")
+		after := load("../../examples/lintdelta/edited/after.cpp")
+		delta := diag.Diff(before, after)
+
+		var buf bytes.Buffer
+		if err := diag.WriteDeltaText(&buf, delta); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "golden", "lintdelta.delta.txt"), buf.String())
+
+		buf.Reset()
+		if err := diag.WriteDeltaJSON(&buf, delta); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "golden", "lintdelta.delta.json"), buf.String())
+
+		buf.Reset()
+		if err := diag.WriteDeltaSARIF(&buf, delta, lintTool()); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join("testdata", "golden", "lintdelta.delta.sarif"), buf.String())
 	})
 }

@@ -36,6 +36,15 @@ type LintConfig struct {
 	// built to serve the listed backends so their tables share the
 	// lint run's payload pool. nil means all.
 	Semantics []core.SemanticsID
+	// Baseline names a fingerprint file (diag.WriteBaseline format):
+	// findings it lists are suppressed from the output and excluded
+	// from the failure count, so CI fails only on new findings.
+	Baseline string
+	// WriteBaseline names a file to write the run's findings to as a
+	// baseline. The findings are still printed, but the failure count
+	// is forced to zero — adopting a baseline is an explicitly clean
+	// starting point.
+	WriteBaseline string
 }
 
 // RunLint lints every input — C++ sources (.cpp, .cc, .cxx, .hpp, .h),
@@ -66,9 +75,22 @@ func RunLint(w io.Writer, inputs []string, cfg LintConfig) (int, error) {
 	}
 	diag.Sort(all)
 
+	suppressed := 0
+	if cfg.Baseline != "" {
+		base, err := readBaselineFile(cfg.Baseline)
+		if err != nil {
+			return 0, err
+		}
+		var known []diag.Diagnostic
+		all, known = base.Apply(all)
+		suppressed = len(known)
+	}
+
 	switch cfg.Format {
 	case "", "text":
-		err = diag.WriteText(w, all)
+		if err = diag.WriteText(w, all); err == nil && suppressed > 0 {
+			_, err = fmt.Fprintf(w, "%d finding(s) suppressed by baseline %s\n", suppressed, cfg.Baseline)
+		}
 	case "json":
 		err = diag.WriteJSON(w, all)
 	case "sarif":
@@ -80,6 +102,12 @@ func RunLint(w io.Writer, inputs []string, cfg LintConfig) (int, error) {
 		return 0, err
 	}
 
+	if cfg.WriteBaseline != "" {
+		if err := writeBaselineFile(cfg.WriteBaseline, all); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
 	if cfg.FailOn == "never" {
 		return 0, nil
 	}
@@ -91,6 +119,39 @@ func RunLint(w io.Writer, inputs []string, cfg LintConfig) (int, error) {
 		}
 	}
 	return diag.CountAtLeast(all, min), nil
+}
+
+// readBaselineFile loads a -baseline fingerprint file.
+func readBaselineFile(path string) (diag.Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("chglint: %w", err)
+	}
+	defer f.Close()
+	base, err := diag.ReadBaseline(f)
+	if err != nil {
+		return nil, fmt.Errorf("chglint: %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// writeBaselineFile writes the run's findings as a -write-baseline
+// file. When a baseline was also read, the surviving (fresh) findings
+// are what lands in the file on top of nothing — callers wanting to
+// extend an old baseline should regenerate without -baseline.
+func writeBaselineFile(path string, ds []diag.Diagnostic) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("chglint: %w", err)
+	}
+	if err := diag.WriteBaseline(f, ds); err != nil {
+		f.Close()
+		return fmt.Errorf("chglint: %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("chglint: %s: %w", path, err)
+	}
+	return nil
 }
 
 // lintTool describes chglint for SARIF output: every rule the run can

@@ -1,0 +1,194 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/diag"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/incremental"
+	"cpplookup/internal/lint"
+)
+
+// sessionShapes names the hierarchy shapes -session can replay. They
+// mirror the E15/E17 benchmark family so a replayed session exercises
+// the same regime the incremental numbers are reported on.
+var sessionShapes = map[string]func() *chg.Graph{
+	"realistic-6x4":     func() *chg.Graph { return hiergen.Realistic(6, 4) },
+	"sparse-200c-1000m": func() *chg.Graph { return hiergen.SparseMembers(200, 1000, 3, 7) },
+	"sparse-400c-2000m": func() *chg.Graph { return hiergen.SparseMembers(400, 2000, 3, 11) },
+}
+
+// SessionShapeNames returns the valid -session shape names, sorted.
+func SessionShapeNames() []string {
+	names := make([]string, 0, len(sessionShapes))
+	for n := range sessionShapes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SessionConfig configures a chglint -session replay.
+type SessionConfig struct {
+	// Shape names the starting hierarchy (see SessionShapeNames).
+	Shape string
+	// Edits is the script length; Seed seeds the generator.
+	Edits int
+	Seed  int64
+	// Format, Rules, Workers, and Semantics mean what they do in
+	// LintConfig.
+	Format    string
+	Rules     []string
+	Workers   int
+	Semantics []core.SemanticsID
+}
+
+// RunLintSession replays a seeded edit script against an incremental
+// lint session and writes the per-edit diagnostic deltas to w.
+//
+// The text and json formats report one delta per edit; the sarif
+// format reports the cumulative delta of the whole session (initial
+// state vs final state) with per-result baselineState, since SARIF
+// models one run, not a sequence.
+func RunLintSession(w io.Writer, cfg SessionConfig) error {
+	mk, ok := sessionShapes[cfg.Shape]
+	if !ok {
+		return fmt.Errorf("chglint: unknown session shape %q (want %s)",
+			cfg.Shape, strings.Join(SessionShapeNames(), ", "))
+	}
+	if cfg.Edits <= 0 {
+		cfg.Edits = 20
+	}
+
+	g := mk()
+	ws, err := incremental.FromGraph(g)
+	if err != nil {
+		return fmt.Errorf("chglint: %w", err)
+	}
+	snapOpts := []core.Option{core.WithStaticRule(), core.WithTrackPaths()}
+	if len(cfg.Semantics) > 0 {
+		snapOpts = append(snapOpts, core.WithSemantics(cfg.Semantics...))
+	}
+	b, _, err := engine.New().BindWorkspace("session", ws, snapOpts...)
+	if err != nil {
+		return fmt.Errorf("chglint: %w", err)
+	}
+	s, err := lint.NewSession(b, lint.Options{
+		Rules:     cfg.Rules,
+		File:      cfg.Shape,
+		Workers:   cfg.Workers,
+		Semantics: cfg.Semantics,
+	})
+	if err != nil {
+		return err
+	}
+	initial := append([]diag.Diagnostic(nil), s.Diagnostics()...)
+
+	script := hiergen.EditScript(g, cfg.Edits, cfg.Seed)
+	steps := make([]sessionStep, 0, len(script))
+	for _, op := range script {
+		if err := applySessionOp(ws, op); err != nil {
+			return fmt.Errorf("chglint: %s: %w", op, err)
+		}
+		delta, err := s.Sync()
+		if err != nil {
+			return err
+		}
+		steps = append(steps, sessionStep{op, delta})
+	}
+
+	switch cfg.Format {
+	case "", "text":
+		return writeSessionText(w, cfg, initial, steps, s)
+	case "json":
+		return writeSessionJSON(w, cfg, steps, s)
+	case "sarif":
+		return diag.WriteDeltaSARIF(w, diag.Diff(initial, s.Diagnostics()), lintTool())
+	default:
+		return fmt.Errorf("chglint: unknown format %q (want text, json, or sarif)", cfg.Format)
+	}
+}
+
+// applySessionOp replays one abstract edit onto the workspace. Toggles
+// consult the workspace's current declaration state, so a script stays
+// applicable however earlier ops changed it.
+func applySessionOp(ws *incremental.Workspace, op hiergen.EditOp) error {
+	if op.IsClassAdd() {
+		bases := make([]incremental.BaseDecl, 0, len(op.BaseNames))
+		for _, name := range op.BaseNames {
+			id, ok := ws.ID(name)
+			if !ok {
+				return fmt.Errorf("unknown base class %q", name)
+			}
+			bases = append(bases, incremental.BaseDecl{Class: id})
+		}
+		_, err := ws.AddClass(op.NewClass, bases)
+		return err
+	}
+	c, ok := ws.ID(op.Class)
+	if !ok {
+		return fmt.Errorf("unknown class %q", op.Class)
+	}
+	if ws.DeclaresName(c, op.Member) {
+		return ws.RemoveMember(c, op.Member)
+	}
+	return ws.AddMember(c, chg.Member{Name: op.Member, Kind: chg.Method})
+}
+
+// sessionStep pairs one replayed edit with the delta it produced.
+type sessionStep struct {
+	op    hiergen.EditOp
+	delta diag.Delta
+}
+
+func writeSessionText(w io.Writer, cfg SessionConfig, initial []diag.Diagnostic, steps []sessionStep, s *lint.Session) error {
+	if _, err := fmt.Fprintf(w, "session %s: %d edits, seed %d, %d initial findings\n",
+		cfg.Shape, len(steps), cfg.Seed, len(initial)); err != nil {
+		return err
+	}
+	for i, st := range steps {
+		if _, err := fmt.Fprintf(w, "\nedit %d: %s\n", i+1, st.op); err != nil {
+			return err
+		}
+		if err := diag.WriteDeltaText(w, st.delta); err != nil {
+			return err
+		}
+	}
+	stats := s.Stats()
+	_, err := fmt.Fprintf(w, "\nfinal: %d findings (%d syncs, %d full relints, %d member / %d row / %d structural tasks)\n",
+		len(s.Diagnostics()), stats.Syncs, stats.FullRelints,
+		stats.MemberTasks, stats.RowTasks, stats.StructuralTasks)
+	return err
+}
+
+func writeSessionJSON(w io.Writer, cfg SessionConfig, steps []sessionStep, s *lint.Session) error {
+	type jsonStep struct {
+		Edit  int             `json:"edit"`
+		Op    string          `json:"op"`
+		Delta json.RawMessage `json:"delta"`
+	}
+	out := struct {
+		Shape string     `json:"shape"`
+		Seed  int64      `json:"seed"`
+		Edits []jsonStep `json:"edits"`
+		Final int        `json:"final_findings"`
+	}{Shape: cfg.Shape, Seed: cfg.Seed, Final: len(s.Diagnostics())}
+	for i, st := range steps {
+		var buf bytes.Buffer
+		if err := diag.WriteDeltaJSON(&buf, st.delta); err != nil {
+			return err
+		}
+		out.Edits = append(out.Edits, jsonStep{Edit: i + 1, Op: st.op.String(), Delta: buf.Bytes()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -248,7 +248,11 @@ func WriteJSON(w io.Writer, ds []Diagnostic) error {
 		}
 		out = append(out, jd)
 	}
+	return encodeIndentJSON(w, out)
+}
+
+func encodeIndentJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(v)
 }

@@ -1,7 +1,6 @@
 package diag
 
 import (
-	"encoding/json"
 	"io"
 	"sort"
 )
@@ -52,12 +51,19 @@ type sarifText struct {
 }
 
 type sarifResult struct {
-	RuleID     string          `json:"ruleId"`
-	RuleIndex  int             `json:"ruleIndex"`
-	Level      string          `json:"level"`
-	Message    sarifText       `json:"message"`
-	Locations  []sarifLocation `json:"locations,omitempty"`
-	Properties *sarifProps     `json:"properties,omitempty"`
+	RuleID    string    `json:"ruleId"`
+	RuleIndex int       `json:"ruleIndex"`
+	Level     string    `json:"level"`
+	Message   sarifText `json:"message"`
+	// BaselineState is set only by WriteDeltaSARIF: "new", "unchanged",
+	// or "absent" (a fixed finding from the before side).
+	BaselineState string `json:"baselineState,omitempty"`
+	// PartialFingerprints carries the stable finding fingerprint
+	// (positions excluded) under the versioned key "chgFinding/v1", the
+	// SARIF-native hook result-matching baselines key on.
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+	Locations           []sarifLocation   `json:"locations,omitempty"`
+	Properties          *sarifProps       `json:"properties,omitempty"`
 }
 
 type sarifLocation struct {
@@ -96,16 +102,18 @@ func (s Severity) sarifLevel() string {
 	return "error"
 }
 
-// WriteSARIF renders diagnostics as one SARIF 2.1.0 run. The driver's
-// rules array lists exactly the rule IDs that occur in ds, sorted, and
-// each result references its descriptor by index.
-func WriteSARIF(w io.Writer, ds []Diagnostic, tool Tool) error {
+// sarifRuleIndex builds the driver's rules array — exactly the rule
+// IDs that occur across the given diagnostic slices, sorted — and the
+// id→index map results reference into it.
+func sarifRuleIndex(tool Tool, slices ...[]Diagnostic) ([]sarifRule, map[string]int) {
 	seen := map[string]bool{}
 	var ids []string
-	for _, d := range ds {
-		if !seen[d.Rule] {
-			seen[d.Rule] = true
-			ids = append(ids, d.Rule)
+	for _, ds := range slices {
+		for _, d := range ds {
+			if !seen[d.Rule] {
+				seen[d.Rule] = true
+				ids = append(ids, d.Rule)
+			}
 		}
 	}
 	sort.Strings(ids)
@@ -119,32 +127,38 @@ func WriteSARIF(w io.Writer, ds []Diagnostic, tool Tool) error {
 		}
 		rules = append(rules, r)
 	}
+	return rules, index
+}
 
-	results := make([]sarifResult, 0, len(ds))
-	for _, d := range ds {
-		res := sarifResult{
-			RuleID:    d.Rule,
-			RuleIndex: index[d.Rule],
-			Level:     d.Severity.sarifLevel(),
-			Message:   sarifText{Text: d.Message},
-		}
-		if d.File != "" {
-			phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
-			if d.Pos.IsValid() {
-				phys.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
-			}
-			res.Locations = []sarifLocation{{PhysicalLocation: phys}}
-		}
-		if d.Class != "" || d.Member != "" || d.Witness != nil {
-			p := &sarifProps{Class: d.Class, Member: d.Member}
-			if d.Witness != nil {
-				p.Witness = (*jsonWitness)(d.Witness)
-			}
-			res.Properties = p
-		}
-		results = append(results, res)
+// sarifResultOf renders one diagnostic; baselineState is "" for a
+// plain (non-delta) run.
+func sarifResultOf(d Diagnostic, index map[string]int, baselineState string) sarifResult {
+	res := sarifResult{
+		RuleID:              d.Rule,
+		RuleIndex:           index[d.Rule],
+		Level:               d.Severity.sarifLevel(),
+		Message:             sarifText{Text: d.Message},
+		BaselineState:       baselineState,
+		PartialFingerprints: map[string]string{"chgFinding/v1": FingerprintString(d)},
 	}
+	if d.File != "" {
+		phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.File}}
+		if d.Pos.IsValid() {
+			phys.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+		}
+		res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+	}
+	if d.Class != "" || d.Member != "" || d.Witness != nil {
+		p := &sarifProps{Class: d.Class, Member: d.Member}
+		if d.Witness != nil {
+			p.Witness = (*jsonWitness)(d.Witness)
+		}
+		res.Properties = p
+	}
+	return res
+}
 
+func sarifEncode(w io.Writer, tool Tool, rules []sarifRule, results []sarifResult) error {
 	log := sarifLog{
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
 		Version: "2.1.0",
@@ -158,7 +172,38 @@ func WriteSARIF(w io.Writer, ds []Diagnostic, tool Tool) error {
 			Results: results,
 		}},
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(&log)
+	return encodeIndentJSON(w, &log)
+}
+
+// WriteSARIF renders diagnostics as one SARIF 2.1.0 run. The driver's
+// rules array lists exactly the rule IDs that occur in ds, sorted, and
+// each result references its descriptor by index. Every result carries
+// the finding's stable fingerprint in partialFingerprints.
+func WriteSARIF(w io.Writer, ds []Diagnostic, tool Tool) error {
+	rules, index := sarifRuleIndex(tool, ds)
+	results := make([]sarifResult, 0, len(ds))
+	for _, d := range ds {
+		results = append(results, sarifResultOf(d, index, ""))
+	}
+	return sarifEncode(w, tool, rules, results)
+}
+
+// WriteDeltaSARIF renders a delta as one SARIF 2.1.0 run using the
+// spec's baselineState: persisting findings are "unchanged", added
+// ones "new", and fixed ones are emitted as "absent" results (their
+// last known form). Results appear in that order — the after-side
+// findings first, then the fixed tail — each with its fingerprint.
+func WriteDeltaSARIF(w io.Writer, delta Delta, tool Tool) error {
+	rules, index := sarifRuleIndex(tool, delta.Persisting, delta.Added, delta.Fixed)
+	results := make([]sarifResult, 0, len(delta.Persisting)+len(delta.Added)+len(delta.Fixed))
+	for _, d := range delta.Persisting {
+		results = append(results, sarifResultOf(d, index, "unchanged"))
+	}
+	for _, d := range delta.Added {
+		results = append(results, sarifResultOf(d, index, "new"))
+	}
+	for _, d := range delta.Fixed {
+		results = append(results, sarifResultOf(d, index, "absent"))
+	}
+	return sarifEncode(w, tool, rules, results)
 }

@@ -281,3 +281,83 @@ func TestEachTableEntry(t *testing.T) {
 		t.Fatalf("visited %d entries, table has %d", n, table.Entries())
 	}
 }
+
+func TestSyncDetailExposesConeAndEdits(t *testing.T) {
+	ws := incremental.New()
+	base, err := ws.AddClass("Base", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AddMember(base, chg.Member{Name: "m", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	derived, err := ws.AddClass("Derived", []incremental.BaseDecl{{Class: base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New()
+	b, snap1, err := e.BindWorkspace("ide", ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No-op sync: same snapshot, no republish, no change record.
+	res, err := b.SyncDetail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != snap1 || res.Republished || res.Carried || res.Cone != nil || res.Edits != nil {
+		t.Fatalf("no-op SyncDetail = %+v", res)
+	}
+
+	// One member edit + one class add: a carried republish whose cone
+	// covers only the member edit, while Edits records both.
+	if err := ws.AddMember(derived, chg.Member{Name: "m", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ws.AddClass("Leaf", []incremental.BaseDecl{{Class: derived}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = b.SyncDetail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Republished || !res.Carried {
+		t.Fatalf("edited SyncDetail = %+v, want carried republish", res)
+	}
+	if res.Snapshot.Version() != 2 {
+		t.Fatalf("version = %d, want 2", res.Snapshot.Version())
+	}
+	if len(res.Cone) != 1 {
+		t.Fatalf("cone = %+v, want one member cone", res.Cone)
+	}
+	mid, ok := res.Snapshot.Graph().MemberID("m")
+	if !ok || res.Cone[0].Member != mid {
+		t.Fatalf("cone member = %d, want id of m (%d, %v)", res.Cone[0].Member, mid, ok)
+	}
+	// Descendant sets are maintained live, so the cone for the edit at
+	// Derived conservatively includes Leaf (added after the edit).
+	if got := res.Cone[0].Classes.Elems(); len(got) != 2 || got[0] != int(derived) || got[1] != int(leaf) {
+		t.Fatalf("cone classes = %v, want [Derived Leaf]", got)
+	}
+	if len(res.Edits) != 2 {
+		t.Fatalf("edits = %+v, want member add + class add", res.Edits)
+	}
+	if res.Edits[0].Kind != incremental.EditAddMember || res.Edits[0].Class != derived || res.Edits[0].Member != mid {
+		t.Errorf("edit 0 = %+v, want add-member Derived/m", res.Edits[0])
+	}
+	if res.Edits[1].Kind != incremental.EditAddClass || res.Edits[1].Class != leaf {
+		t.Errorf("edit 1 = %+v, want add-class Leaf", res.Edits[1])
+	}
+
+	// The sync consumed the window: an immediate SyncDetail is a no-op.
+	again, err := b.SyncDetail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Republished || again.Snapshot != res.Snapshot {
+		t.Fatalf("post-sync SyncDetail = %+v, want no-op", again)
+	}
+}

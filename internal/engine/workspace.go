@@ -46,6 +46,23 @@ func (e *Engine) BindWorkspace(name string, ws *incremental.Workspace, opts ...c
 // Workspace returns the bound mutable workspace.
 func (b *WorkspaceBinding) Workspace() *incremental.Workspace { return b.ws }
 
+// SyncResult describes one Sync: the snapshot now current, whether it
+// was republished, and — when the edit log covered the window — the
+// exact change since the previous publication, in the two shapes
+// incremental consumers want: the invalidation cone (per edited
+// member, edited classes ∪ descendants) and the typed edit list
+// (class adds included, which the cone by design omits). Cone and
+// Edits are nil on a no-op sync and on a cold republish.
+type SyncResult struct {
+	Snapshot    *Snapshot
+	Republished bool
+	// Carried is true when the republish seeded the new snapshot from
+	// its predecessor's warm cache (the cone was answerable).
+	Carried bool
+	Cone    []ConeEntry
+	Edits   []incremental.Edit
+}
+
 // Sync publishes the workspace's current hierarchy if it was edited
 // since the last publication, and returns the current snapshot either
 // way. The copy-on-write freeze in Workspace.Snapshot makes a no-op
@@ -61,31 +78,50 @@ func (b *WorkspaceBinding) Workspace() *incremental.Workspace { return b.ws }
 // is behaviourally identical to a cold one — readers cannot tell,
 // except through Snapshot.Carry and latency.
 func (b *WorkspaceBinding) Sync() (*Snapshot, error) {
+	res, err := b.SyncDetail()
+	if err != nil {
+		return nil, err
+	}
+	return res.Snapshot, nil
+}
+
+// SyncDetail is Sync exposing what changed: incremental consumers
+// (a lint session, a replication feed) get the same cone the cache
+// carry used plus the typed edits behind it, so they can re-derive
+// exactly their affected state instead of re-deriving everything.
+func (b *WorkspaceBinding) SyncDetail() (SyncResult, error) {
 	gen := b.ws.Generation()
 	if gen == b.lastGen {
 		snap, ok := b.e.Snapshot(b.name)
 		if !ok {
-			return nil, fmt.Errorf("engine: hierarchy %q disappeared from the engine", b.name)
+			return SyncResult{}, fmt.Errorf("engine: hierarchy %q disappeared from the engine", b.name)
 		}
-		return snap, nil
+		return SyncResult{Snapshot: snap}, nil
 	}
 	g, err := b.ws.Snapshot()
 	if err != nil {
-		return nil, fmt.Errorf("engine: freezing workspace for %q: %w", b.name, err)
+		return SyncResult{}, fmt.Errorf("engine: freezing workspace for %q: %w", b.name, err)
 	}
+	res := SyncResult{Republished: true}
 	var snap *Snapshot
 	if cone, ok := b.ws.InvalidationConeSince(b.lastGen); ok {
 		entries := make([]ConeEntry, len(cone))
 		for i, mc := range cone {
 			entries[i] = ConeEntry{Member: mc.Member, Classes: mc.Classes}
 		}
+		// Edits and cone come from the same log over the same window,
+		// so when the cone is answerable the edit list is too.
+		res.Edits, _ = b.ws.EditsSince(b.lastGen)
+		res.Cone = entries
+		res.Carried = true
 		snap, err = b.e.UpdateCarried(b.name, g, entries)
 	} else {
 		snap, err = b.e.Update(b.name, g)
 	}
 	if err != nil {
-		return nil, err
+		return SyncResult{}, err
 	}
 	b.lastGen = gen
-	return snap, nil
+	res.Snapshot = snap
+	return res, nil
 }

@@ -1,5 +1,5 @@
 // Package harness regenerates every figure and measurable claim of
-// the paper as a printed experiment (E1–E16, plus ablations A1–A4).
+// the paper as a printed experiment (E1–E17, plus ablations A1–A4).
 // cmd/experiments is its CLI; EXPERIMENTS.md records one captured run
 // and compares it against what the paper reports.
 package harness
@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"E14", "Extension: support-pruned, word-batched whole-table construction", RunE14},
 		{"E15", "Extension: warm-cache carry-over on the edit→serve hot path", RunE15},
 		{"E16", "Extension: resolution backends — dominance, C3/MRO, gxx through one cache path", RunE16},
+		{"E17", "Extension: cone-scoped incremental lint vs full re-analysis", RunE17},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

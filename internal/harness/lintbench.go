@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/incremental"
+	"cpplookup/internal/lint"
+)
+
+// LintRelintConfigs is the hierarchy axis of the lint-relint family —
+// the E15 shapes, so the lint numbers sit on the same hierarchies as
+// the serving numbers they build on.
+func LintRelintConfigs() []EditRelookupConfig { return EditRelookupConfigs() }
+
+// LintRelintSession is one re-analysis strategy instantiated on one
+// hierarchy: Step performs a full edit→republish→re-analyze round and
+// Stats reports the session's task counters (zero-valued for the
+// full-relint strategy, which has no cone bookkeeping).
+type LintRelintSession struct {
+	Step  func()
+	Stats func() lint.SessionStats
+}
+
+// LintRelintStrategy is one re-analysis strategy under test.
+type LintRelintStrategy struct {
+	Name  string
+	Setup func(g *chg.Graph) (*LintRelintSession, error)
+}
+
+// LintRelintStrategies returns the strategies E17 and the benchmarks
+// compare: re-running every rule on every snapshot versus the
+// cone-scoped session of internal/lint.
+func LintRelintStrategies() []LintRelintStrategy {
+	return []LintRelintStrategy{
+		{"full-relint", setupFullRelint},
+		{"cone-relint", setupConeRelint},
+	}
+}
+
+// setupFullRelint is the baseline: every edit republishes through the
+// binding (warm serving carry included — only the re-analysis
+// strategy differs) and re-runs every lint rule over the whole
+// hierarchy.
+func setupFullRelint(g *chg.Graph) (*LintRelintSession, error) {
+	w, err := incremental.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	b, snap, err := engine.New().BindWorkspace("bench", w)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := lint.Run(snap, lint.Options{}); err != nil {
+		return nil, err
+	}
+	c, name := editTarget(g)
+	present := declaresName(g, c, name)
+	return &LintRelintSession{
+		Step: func() {
+			present = toggleMember(w, c, name, present)
+			s, err := b.Sync()
+			if err != nil {
+				panic(err)
+			}
+			if _, err := lint.Run(s, lint.Options{}); err != nil {
+				panic(err)
+			}
+		},
+		Stats: func() lint.SessionStats { return lint.SessionStats{} },
+	}, nil
+}
+
+// setupConeRelint is the incremental engine: a lint.Session over the
+// same binding re-evaluates only the buckets the edit's invalidation
+// cone touches.
+func setupConeRelint(g *chg.Graph) (*LintRelintSession, error) {
+	w, err := incremental.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	b, _, err := engine.New().BindWorkspace("bench", w)
+	if err != nil {
+		return nil, err
+	}
+	s, err := lint.NewSession(b, lint.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c, name := editTarget(g)
+	present := declaresName(g, c, name)
+	return &LintRelintSession{
+		Step: func() {
+			present = toggleMember(w, c, name, present)
+			if _, err := s.Sync(); err != nil {
+				panic(err)
+			}
+		},
+		Stats: func() lint.SessionStats { return s.Stats() },
+	}, nil
+}
+
+// RunE17 prints the full-vs-cone re-lint comparison.
+func RunE17(w io.Writer) error {
+	fmt.Fprintln(w, "Incremental lint: one member edit on an analyzed hierarchy, then")
+	fmt.Fprintln(w, "republish and re-lint. full-relint re-runs every rule over the whole")
+	fmt.Fprintln(w, "hierarchy each round; cone-relint keeps per-rule diagnostic state in a")
+	fmt.Fprintln(w, "lint.Session and re-evaluates only the buckets the edit's invalidation")
+	fmt.Fprintln(w, "cone touches (per the rules' declared footprints). Both strategies")
+	fmt.Fprintln(w, "serve lookups through the same warm-carried binding; only the")
+	fmt.Fprintln(w, "re-analysis differs.")
+	fmt.Fprintln(w)
+
+	t := newTable("hierarchy", "|N|", "|M|", "full-relint", "cone-relint", "speedup", "tasks/edit")
+	for _, cfg := range LintRelintConfigs() {
+		g := cfg.Make()
+		times := map[string]time.Duration{}
+		var tasksPerEdit string
+		for _, s := range LintRelintStrategies() {
+			sess, err := s.Setup(g)
+			if err != nil {
+				return err
+			}
+			sess.Step() // settle into the steady warm state
+			before := sess.Stats()
+			steps := 0
+			times[s.Name] = timePerOp(20*time.Millisecond, func() {
+				sess.Step()
+				steps++
+			})
+			if s.Name == "cone-relint" && steps > 0 {
+				after := sess.Stats()
+				tasksPerEdit = fmt.Sprintf("%.1fm %.1fr %.1fs",
+					float64(after.MemberTasks-before.MemberTasks)/float64(steps),
+					float64(after.RowTasks-before.RowTasks)/float64(steps),
+					float64(after.StructuralTasks-before.StructuralTasks)/float64(steps))
+			}
+		}
+		t.add(cfg.Name, g.NumClasses(), g.NumMemberNames(),
+			times["full-relint"], times["cone-relint"],
+			fmt.Sprintf("%.2fx", float64(times["full-relint"])/float64(times["cone-relint"])),
+			tasksPerEdit)
+	}
+	t.write(w)
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "tasks/edit = cone-relint bucket re-evaluations per edit by footprint")
+	fmt.Fprintln(w, "(member columns, gxx class rows, structural tasks); a single-member")
+	fmt.Fprintln(w, "toggle dirties one member column and one class row, independent of")
+	fmt.Fprintln(w, "hierarchy size — that sliver is the whole re-analysis.")
+	return nil
+}

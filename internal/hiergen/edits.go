@@ -1,0 +1,93 @@
+package hiergen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cpplookup/internal/chg"
+)
+
+// EditOp is one abstract hierarchy edit in a generated script. Ops
+// reference classes and members by name so a script can be generated
+// from a *chg.Graph and replayed against any mutable view of the same
+// hierarchy (an incremental.Workspace, a rebuilt graph, ...).
+//
+// Exactly one of the two forms is populated:
+//
+//   - NewClass != "": define class NewClass with the (already
+//     existing) direct bases named in BaseNames.
+//   - otherwise: toggle the declaration of Member on Class — add it
+//     when absent, remove it when present. The toggle form keeps
+//     scripts self-inverse-friendly without the generator having to
+//     track declaration state.
+type EditOp struct {
+	NewClass  string
+	BaseNames []string
+
+	Class  string
+	Member string
+}
+
+// IsClassAdd reports whether the op defines a new class.
+func (op EditOp) IsClassAdd() bool { return op.NewClass != "" }
+
+// String renders the op for replay transcripts and logs.
+func (op EditOp) String() string {
+	if op.IsClassAdd() {
+		if len(op.BaseNames) == 0 {
+			return fmt.Sprintf("add-class %s", op.NewClass)
+		}
+		return fmt.Sprintf("add-class %s : %s", op.NewClass, strings.Join(op.BaseNames, ", "))
+	}
+	return fmt.Sprintf("toggle %s::%s", op.Class, op.Member)
+}
+
+// EditScript generates a deterministic seeded script of n edits
+// against g: roughly 80% member toggles on existing classes and 20%
+// class adds deriving from one or two already-defined classes.
+// Classes added earlier in the script join the toggle and base pools,
+// so long scripts exercise the grown region of the hierarchy too. The
+// member-name pool is the graph's member universe, so toggles hit
+// columns the hierarchy already serves (the cone-relevant regime).
+func EditScript(g *chg.Graph, n int, seed int64) []EditOp {
+	rng := rand.New(rand.NewSource(seed))
+
+	classes := g.ClassNames()
+	members := g.MemberNames()
+	if len(classes) == 0 || len(members) == 0 {
+		return nil
+	}
+	taken := make(map[string]bool, len(classes))
+	for _, name := range classes {
+		taken[name] = true
+	}
+
+	ops := make([]EditOp, 0, n)
+	added := 0
+	for len(ops) < n {
+		if rng.Float64() < 0.2 {
+			name := fmt.Sprintf("E%d", added)
+			added++
+			for taken[name] {
+				name = fmt.Sprintf("E%d", added)
+				added++
+			}
+			taken[name] = true
+			bases := []string{classes[rng.Intn(len(classes))]}
+			if len(classes) > 1 && rng.Float64() < 0.5 {
+				if b := classes[rng.Intn(len(classes))]; b != bases[0] {
+					bases = append(bases, b)
+				}
+			}
+			classes = append(classes, name)
+			ops = append(ops, EditOp{NewClass: name, BaseNames: bases})
+			continue
+		}
+		ops = append(ops, EditOp{
+			Class:  classes[rng.Intn(len(classes))],
+			Member: members[rng.Intn(len(members))],
+		})
+	}
+	return ops
+}

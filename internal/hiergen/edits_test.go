@@ -1,0 +1,73 @@
+package hiergen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEditScriptDeterministicAndWellFormed(t *testing.T) {
+	g := Realistic(4, 3)
+	a := EditScript(g, 200, 42)
+	b := EditScript(g, 200, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	if len(a) != 200 {
+		t.Fatalf("script length = %d", len(a))
+	}
+	if c := EditScript(g, 200, 43); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical scripts")
+	}
+
+	known := map[string]bool{}
+	for _, name := range g.ClassNames() {
+		known[name] = true
+	}
+	members := map[string]bool{}
+	for _, name := range g.MemberNames() {
+		members[name] = true
+	}
+	adds, toggles := 0, 0
+	for i, op := range a {
+		if op.IsClassAdd() {
+			adds++
+			if known[op.NewClass] {
+				t.Fatalf("op %d redefines class %q", i, op.NewClass)
+			}
+			if len(op.BaseNames) == 0 {
+				t.Fatalf("op %d adds a baseless class", i)
+			}
+			for _, base := range op.BaseNames {
+				if !known[base] {
+					t.Fatalf("op %d derives from undefined class %q", i, base)
+				}
+			}
+			known[op.NewClass] = true
+			continue
+		}
+		toggles++
+		if !known[op.Class] {
+			t.Fatalf("op %d toggles on undefined class %q", i, op.Class)
+		}
+		if !members[op.Member] {
+			t.Fatalf("op %d toggles unknown member %q", i, op.Member)
+		}
+	}
+	// The mix is roughly 80/20; allow a wide deterministic margin.
+	if adds == 0 || toggles == 0 || adds > toggles {
+		t.Errorf("script mix adds=%d toggles=%d", adds, toggles)
+	}
+
+	if got := EditScript(g, 0, 1); len(got) != 0 {
+		t.Errorf("zero-length script = %v", got)
+	}
+}
+
+func TestEditOpString(t *testing.T) {
+	if got := (EditOp{NewClass: "E0", BaseNames: []string{"A", "B"}}).String(); got != "add-class E0 : A, B" {
+		t.Errorf("class add String = %q", got)
+	}
+	if got := (EditOp{Class: "A", Member: "f"}).String(); got != "toggle A::f" {
+		t.Errorf("toggle String = %q", got)
+	}
+}

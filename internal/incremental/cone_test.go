@@ -244,3 +244,79 @@ func TestPoolCompactionPreservesResults(t *testing.T) {
 	}
 	checkAgainstBatch(t, w, "after forced compaction")
 }
+
+func TestEditsSinceAndDeclaresName(t *testing.T) {
+	w := New()
+	root, _ := w.AddClass("Root", nil)
+	left, _ := w.AddClass("Left", []BaseDecl{{Class: root}})
+
+	since := w.Generation()
+	if edits, ok := w.EditsSince(since); !ok || len(edits) != 0 {
+		t.Fatalf("empty window: got %v, %v", edits, ok)
+	}
+	if _, ok := w.EditsSince(since + 1); ok {
+		t.Fatal("future generation should not be answerable")
+	}
+
+	iso, _ := w.AddClass("Iso", nil)
+	if err := w.AddMember(left, chg.Member{Name: "m", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RemoveMember(left, "m"); err != nil {
+		t.Fatal(err)
+	}
+	edits, ok := w.EditsSince(since)
+	if !ok || len(edits) != 3 {
+		t.Fatalf("edits = %v, ok = %v; want 3 typed edits", edits, ok)
+	}
+	mid := w.memberIDs["m"]
+	want := []Edit{
+		{Kind: EditAddClass, Class: iso},
+		{Kind: EditAddMember, Class: left, Member: mid},
+		{Kind: EditRemoveMember, Class: left, Member: mid},
+	}
+	for i, e := range edits {
+		if e.Kind != want[i].Kind || e.Class != want[i].Class || e.Member != want[i].Member {
+			t.Errorf("edit %d = {%v %d %d}, want {%v %d %d}",
+				i, e.Kind, e.Class, e.Member, want[i].Kind, want[i].Class, want[i].Member)
+		}
+	}
+	// Later edits fall outside an advanced window.
+	mid2 := w.Generation()
+	if err := w.AddMember(root, chg.Member{Name: "n", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	if edits, ok = w.EditsSince(mid2); !ok || len(edits) != 1 || edits[0].Kind != EditAddMember {
+		t.Fatalf("recent window: got %v, %v", edits, ok)
+	}
+
+	// DeclaresName tracks direct declarations only.
+	if !w.DeclaresName(root, "n") {
+		t.Error("Root should declare n")
+	}
+	if w.DeclaresName(left, "n") {
+		t.Error("Left inherits n but does not declare it")
+	}
+	if w.DeclaresName(left, "m") {
+		t.Error("m was removed from Left")
+	}
+	if w.DeclaresName(chg.ClassID(99), "n") {
+		t.Error("invalid class should not declare anything")
+	}
+	if w.DeclaresName(root, "never-interned") {
+		t.Error("unknown member name should not be declared")
+	}
+
+	// Trimming past the window makes EditsSince unanswerable too.
+	for i := 0; i <= maxEditLog; i++ {
+		if err := w.AddMember(root, chg.Member{Name: "t", Kind: chg.Method}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.RemoveMember(root, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := w.EditsSince(since); ok {
+		t.Error("trimmed log should refuse the old window")
+	}
+}

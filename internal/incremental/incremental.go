@@ -77,12 +77,43 @@ var (
 	poolCompactMinGarbage = 128
 )
 
-// memberEdit is one logged declaration edit: after generation gen,
-// entries (D, m) with D ∈ {c} ∪ descendants(c) are stale.
-type memberEdit struct {
-	gen uint64
-	c   chg.ClassID
-	m   chg.MemberID
+// EditKind discriminates the logged hierarchy edits. Consumers that
+// maintain derived state per edit kind (e.g. a lint session deciding
+// which rule footprints to re-run) read these off EditsSince.
+type EditKind uint8
+
+const (
+	// EditAddClass defines a new class. It invalidates no lookup entry
+	// (classes are closed at definition), but it does extend the
+	// hierarchy's structure: descendant sets of its ancestors grow, and
+	// new (class, member) entries come into existence.
+	EditAddClass EditKind = iota
+	// EditAddMember declares a member; entries (D, m) with
+	// D ∈ {c} ∪ descendants(c) are stale.
+	EditAddMember
+	// EditRemoveMember removes a declaration; same cone as EditAddMember.
+	EditRemoveMember
+)
+
+func (k EditKind) String() string {
+	switch k {
+	case EditAddClass:
+		return "add-class"
+	case EditAddMember:
+		return "add-member"
+	case EditRemoveMember:
+		return "remove-member"
+	}
+	return fmt.Sprintf("EditKind(%d)", uint8(k))
+}
+
+// Edit is one logged hierarchy edit: after generation gen the edit is
+// visible. Member is meaningful only for the member edit kinds.
+type Edit struct {
+	gen    uint64
+	Kind   EditKind
+	Class  chg.ClassID
+	Member chg.MemberID
 }
 
 // MemberCone is one member name's invalidation cone: the classes
@@ -134,10 +165,11 @@ type Workspace struct {
 	pool  *core.Pool
 	stats Stats
 
-	// editLog records declaration edits so a publisher can compute
-	// the exact cone between two generations; logFloor is the highest
-	// generation whose edits may have been trimmed away.
-	editLog  []memberEdit
+	// editLog records hierarchy edits so a publisher can compute the
+	// exact cone (and consumers the edit kinds) between two
+	// generations; logFloor is the highest generation whose edits may
+	// have been trimmed away.
+	editLog  []Edit
 	logFloor uint64
 
 	// gen counts hierarchy edits; frozen caches the graph built by the
@@ -290,6 +322,7 @@ func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error)
 	w.anc = append(w.anc, a)
 	w.desc = append(w.desc, bitset.New(w.univ))
 	a.ForEach(func(anc int) { w.desc[anc].Add(int(id)) })
+	w.logEdit(EditAddClass, id, 0)
 	w.edited()
 	return id, nil
 }
@@ -314,7 +347,7 @@ func (w *Workspace) AddMember(c chg.ClassID, m chg.Member) error {
 		return fmt.Errorf("incremental: %s::%s already declared", w.names[c], m.Name)
 	}
 	w.members[c][id] = m
-	w.invalidate(c, id)
+	w.invalidate(EditAddMember, c, id)
 	w.edited()
 	return nil
 }
@@ -333,7 +366,7 @@ func (w *Workspace) RemoveMember(c chg.ClassID, name string) error {
 		return fmt.Errorf("incremental: %s does not declare %s", w.names[c], name)
 	}
 	delete(w.members[c], id)
-	w.invalidate(c, id)
+	w.invalidate(EditRemoveMember, c, id)
 	w.edited()
 	return nil
 }
@@ -344,7 +377,7 @@ func (w *Workspace) RemoveMember(c chg.ClassID, name string) error {
 // filled gate is what makes an entry live — so nothing is hashed,
 // walked, or freed per entry. The edit is logged so publishers can
 // reconstruct the cone later.
-func (w *Workspace) invalidate(c chg.ClassID, m chg.MemberID) {
+func (w *Workspace) invalidate(kind EditKind, c chg.ClassID, m chg.MemberID) {
 	if f := w.filled[m]; f != nil {
 		n := f.CountAnd(w.desc[c])
 		if f.Has(int(c)) {
@@ -356,13 +389,13 @@ func (w *Workspace) invalidate(c chg.ClassID, m chg.MemberID) {
 			f.Remove(int(c))
 		}
 	}
-	w.logEdit(c, m)
+	w.logEdit(kind, c, m)
 }
 
-// logEdit appends the declaration edit (taking effect at generation
-// gen+1 — edited() runs after invalidate) and bounds the log.
-func (w *Workspace) logEdit(c chg.ClassID, m chg.MemberID) {
-	w.editLog = append(w.editLog, memberEdit{gen: w.gen + 1, c: c, m: m})
+// logEdit appends the edit (taking effect at generation gen+1 —
+// edited() runs after the invalidation) and bounds the log.
+func (w *Workspace) logEdit(kind EditKind, c chg.ClassID, m chg.MemberID) {
+	w.editLog = append(w.editLog, Edit{gen: w.gen + 1, Kind: kind, Class: c, Member: m})
 	if len(w.editLog) > maxEditLog {
 		drop := len(w.editLog) / 2
 		w.logFloor = w.editLog[drop-1].gen
@@ -386,13 +419,16 @@ func (w *Workspace) InvalidationConeSince(since uint64) ([]MemberCone, bool) {
 	cones := make(map[chg.MemberID]*bitset.Set)
 	for i := len(w.editLog) - 1; i >= 0 && w.editLog[i].gen > since; i-- {
 		e := w.editLog[i]
-		s := cones[e.m]
+		if e.Kind == EditAddClass {
+			continue // defines entries, invalidates none
+		}
+		s := cones[e.Member]
 		if s == nil {
 			s = bitset.New(w.univ)
-			cones[e.m] = s
+			cones[e.Member] = s
 		}
-		s.Add(int(e.c))
-		s.UnionWith(w.desc[e.c])
+		s.Add(int(e.Class))
+		s.UnionWith(w.desc[e.Class])
 	}
 	out := make([]MemberCone, 0, len(cones))
 	for m, s := range cones {
@@ -400,6 +436,37 @@ func (w *Workspace) InvalidationConeSince(since uint64) ([]MemberCone, bool) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
 	return out, true
+}
+
+// EditsSince returns every edit applied after generation since, oldest
+// first, with its kind — the per-edit record incremental consumers
+// (e.g. a lint session mapping edits onto rule footprints) combine
+// with InvalidationConeSince's member cones. ok is false when the
+// bounded edit log no longer covers the window (or since is in the
+// future); the caller must then treat the whole hierarchy as changed.
+// The returned slice is freshly allocated.
+func (w *Workspace) EditsSince(since uint64) ([]Edit, bool) {
+	if since > w.gen || since < w.logFloor {
+		return nil, false
+	}
+	i := sort.Search(len(w.editLog), func(k int) bool { return w.editLog[k].gen > since })
+	return append([]Edit(nil), w.editLog[i:]...), true
+}
+
+// DeclaresName reports whether class c currently declares a member
+// named name directly — the presence test edit drivers (toggling
+// scripts, replay tools) use to decide between AddMember and
+// RemoveMember.
+func (w *Workspace) DeclaresName(c chg.ClassID, name string) bool {
+	if err := w.checkClass(c); err != nil {
+		return false
+	}
+	id, ok := w.memberIDs[name]
+	if !ok {
+		return false
+	}
+	_, declared := w.members[c][id]
+	return declared
 }
 
 // Lookup resolves member `name` in class c, reusing every cached

@@ -22,6 +22,7 @@ package lint
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -65,11 +66,45 @@ const (
 	RedundantInheritanceEdge = "redundant-inheritance-edge"
 )
 
+// Footprint classifies what a rule's findings depend on — the axis an
+// incremental Session re-runs it along when the hierarchy is edited.
+type Footprint uint8
+
+const (
+	// FootprintMember marks member-indexed rules: the findings for
+	// member name m depend only on the lookup column of m (plus
+	// same-name declarations). An edit's invalidation cone names
+	// exactly the columns to re-run.
+	FootprintMember Footprint = iota
+	// FootprintClass marks class-indexed rules that read lookup cells
+	// of one class row: re-run for classes whose row intersects the
+	// cone, and for added classes.
+	FootprintClass
+	// FootprintHierarchy marks structural rules: findings depend only
+	// on the hierarchy's shape (edges, virtual flags), never on member
+	// lookup cells. Classes are closed at definition, so these re-run
+	// only when classes are added.
+	FootprintHierarchy
+)
+
+func (f Footprint) String() string {
+	switch f {
+	case FootprintMember:
+		return "member"
+	case FootprintClass:
+		return "class"
+	case FootprintHierarchy:
+		return "hierarchy"
+	}
+	return fmt.Sprintf("Footprint(%d)", uint8(f))
+}
+
 // Rule describes one lint check.
 type Rule struct {
-	ID       string
-	Severity diag.Severity
-	Doc      string
+	ID        string
+	Severity  diag.Severity
+	Footprint Footprint
+	Doc       string
 }
 
 // Rules lists every rule in ID order. Hierarchy-level ambiguity is a
@@ -78,21 +113,21 @@ type Rule struct {
 // hierarchy itself ill-formed (the frontend reports the error at the
 // access).
 var Rules = []Rule{
-	{AmbiguousMember, diag.Warning,
+	{AmbiguousMember, diag.Warning, FootprintMember,
 		"member lookup has no dominant definition; any use of the member is ill-formed"},
-	{C3FailsToLinearize, diag.Warning,
+	{C3FailsToLinearize, diag.Warning, FootprintHierarchy,
 		"the class has no C3 linearization: its base precedence lists are contradictory"},
-	{DeadMember, diag.Info,
+	{DeadMember, diag.Info, FootprintMember,
 		"declaration is shadowed in every derived class and is never the result of a lookup below it"},
-	{DiamondWithoutVirtual, diag.Warning,
+	{DiamondWithoutVirtual, diag.Warning, FootprintHierarchy,
 		"a repeated base class is duplicated into distinct subobjects because no inheritance path to it is virtual"},
-	{DominanceShadowing, diag.Warning,
+	{DominanceShadowing, diag.Warning, FootprintMember,
 		"a derived declaration hides a base declaration of the same name by dominance"},
-	{DominanceVsMroDivergence, diag.Info,
+	{DominanceVsMroDivergence, diag.Info, FootprintMember,
 		"the C3 linearization backend resolves this member differently from the paper's dominance lookup"},
-	{GxxDivergence, diag.Warning,
+	{GxxDivergence, diag.Warning, FootprintClass,
 		"the g++ 2.7.2.1 baseline lookup disagrees with the paper's algorithm on this member"},
-	{RedundantInheritanceEdge, diag.Warning,
+	{RedundantInheritanceEdge, diag.Warning, FootprintHierarchy,
 		"a direct base is already inherited through another direct base"},
 }
 
@@ -175,22 +210,12 @@ func Run(snap *engine.Snapshot, opts Options) ([]diag.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Semantics != nil {
-		serve := make(map[core.SemanticsID]bool, len(opts.Semantics))
-		for _, id := range opts.Semantics {
-			serve[id] = true
-		}
-		if !serve[core.SemC3] {
-			delete(enabled, C3FailsToLinearize)
-			delete(enabled, DominanceVsMroDivergence)
-		}
-		if !serve[core.SemGxx] {
-			delete(enabled, GxxDivergence)
-		}
-	}
+	gateSemantics(enabled, opts.Semantics)
+	t := snap.Table()
 	r := &runner{
 		g:       snap.Graph(),
-		t:       snap.Table(),
+		look:    t.Lookup,
+		members: t.Members,
 		opts:    opts,
 		enabled: enabled,
 	}
@@ -207,11 +232,11 @@ func Run(snap *engine.Snapshot, opts Options) ([]diag.Diagnostic, error) {
 			// Snapshots built to serve the C3 backend share their table
 			// (and its payload pool); otherwise tabulate the local
 			// backend once for this run.
-			if tab, ok := snap.TableSem(core.SemC3); ok {
-				r.c3 = tab
-			} else {
-				r.c3 = core.BuildSemTable(b, opts.Workers)
+			c3, ok := snap.TableSem(core.SemC3)
+			if !ok {
+				c3 = core.BuildSemTable(b, opts.Workers)
 			}
+			r.c3look = c3.Lookup
 		}
 	}
 
@@ -238,6 +263,25 @@ func Run(snap *engine.Snapshot, opts Options) ([]diag.Diagnostic, error) {
 	return out, nil
 }
 
+// gateSemantics drops the cross-semantics rules whose backend is not
+// being served. nil means all backends (every enabled rule runs).
+func gateSemantics(enabled map[string]bool, sems []core.SemanticsID) {
+	if sems == nil {
+		return
+	}
+	serve := make(map[core.SemanticsID]bool, len(sems))
+	for _, id := range sems {
+		serve[id] = true
+	}
+	if !serve[core.SemC3] {
+		delete(enabled, C3FailsToLinearize)
+		delete(enabled, DominanceVsMroDivergence)
+	}
+	if !serve[core.SemGxx] {
+		delete(enabled, GxxDivergence)
+	}
+}
+
 func ruleSet(ids []string) (map[string]bool, error) {
 	enabled := make(map[string]bool, len(Rules))
 	if ids == nil {
@@ -249,7 +293,8 @@ func ruleSet(ids []string) (map[string]bool, error) {
 	known := Descriptions()
 	for _, id := range ids {
 		if _, ok := known[id]; !ok {
-			return nil, fmt.Errorf("lint: unknown rule %q", id)
+			return nil, fmt.Errorf("lint: unknown rule %q (valid rules: %s)",
+				id, strings.Join(RuleIDs(), ", "))
 		}
 		enabled[id] = true
 	}
@@ -289,20 +334,27 @@ func parallelFor(n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
-// runner holds the shared read-only state of one lint run.
+// runner holds the shared read-only state of one lint run. The lookup
+// surface is a pair of function views rather than a concrete table:
+// Run binds them to an eagerly built core.Table, while an incremental
+// Session binds them to the snapshot's lazy warm-carried cache —
+// identical cells either way (pinned by the engine's differential
+// tests), so the two paths produce identical diagnostics.
 type runner struct {
-	g       *chg.Graph
-	t       *core.Table
+	g *chg.Graph
+	// look is lookup[c,m]; members lists Members[c] sorted by id.
+	look    func(chg.ClassID, chg.MemberID) core.Result
+	members func(chg.ClassID) []chg.MemberID
 	opts    Options
 	enabled map[string]bool
 
 	subLimit  int
 	pathLimit int
 
-	// lin and c3 are the C3 backend's view of the hierarchy, populated
-	// only when a cross-semantics rule is enabled.
-	lin *mro.Linearization
-	c3  *core.Table
+	// lin and c3look are the C3 backend's view of the hierarchy,
+	// populated only when a cross-semantics rule is enabled.
+	lin    *mro.Linearization
+	c3look func(chg.ClassID, chg.MemberID) core.Result
 }
 
 func (r *runner) classPos(c chg.ClassID) token.Pos {

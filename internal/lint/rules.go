@@ -32,7 +32,7 @@ func topoOrdered(g *chg.Graph, set *bitset.Set) []chg.ClassID {
 func (r *runner) checkMember(m chg.MemberID) []diag.Diagnostic {
 	var out []diag.Diagnostic
 	for _, c := range r.g.Topo() {
-		res := r.t.Lookup(c, m)
+		res := r.look(c, m)
 		if res.Kind() == core.Undefined {
 			continue
 		}
@@ -63,7 +63,7 @@ func (r *runner) ambiguousMember(out []diag.Diagnostic, c chg.ClassID, m chg.Mem
 	}
 	contributing := 0
 	for _, e := range r.g.DirectBases(c) {
-		if r.t.Lookup(e.Base, m).Kind() != core.Undefined {
+		if r.look(e.Base, m).Kind() != core.Undefined {
 			contributing++
 		}
 	}
@@ -122,7 +122,7 @@ func (r *runner) deadMember(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID
 	}
 	var example string
 	for _, d := range topoOrdered(r.g, r.g.Descendants(c)) {
-		res := r.t.Lookup(d, m)
+		res := r.look(d, m)
 		switch res.Kind() {
 		case core.RedKind:
 			if res.Def().L == c {
@@ -156,18 +156,33 @@ func (r *runner) deadMember(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID
 // key: redundant edges of c, duplication of c as a repeated base, and
 // the g++ cross-check of every cell of c's table row.
 func (r *runner) checkClass(c chg.ClassID) []diag.Diagnostic {
-	var out []diag.Diagnostic
+	out := r.checkClassStructural(nil, c)
+	return r.checkClassRow(out, c)
+}
+
+// checkClassStructural runs the FootprintHierarchy rules for task
+// class c. Their findings depend only on the hierarchy's shape, which
+// for any given class is fixed at definition — a Session re-runs them
+// only when classes are added.
+func (r *runner) checkClassStructural(out []diag.Diagnostic, c chg.ClassID) []diag.Diagnostic {
 	if r.enabled[RedundantInheritanceEdge] {
 		out = r.redundantEdges(out, c)
 	}
 	if r.enabled[DiamondWithoutVirtual] {
 		out = r.diamondJoins(out, c)
 	}
-	if r.enabled[GxxDivergence] {
-		out = r.gxxDivergence(out, c)
-	}
 	if r.enabled[C3FailsToLinearize] {
 		out = r.c3FailsToLinearize(out, c)
+	}
+	return out
+}
+
+// checkClassRow runs the FootprintClass rules for class c — the ones
+// that read lookup cells of row c, so a Session re-runs them for every
+// class an edit's cone touches.
+func (r *runner) checkClassRow(out []diag.Diagnostic, c chg.ClassID) []diag.Diagnostic {
+	if r.enabled[GxxDivergence] {
+		out = r.gxxDivergence(out, c)
 	}
 	return out
 }
@@ -307,8 +322,8 @@ func (r *runner) gxxDivergence(out []diag.Diagnostic, c chg.ClassID) []diag.Diag
 	if err != nil {
 		return out
 	}
-	for _, m := range r.t.Members(c) {
-		paper := r.t.Lookup(c, m)
+	for _, m := range r.members(c) {
+		paper := r.look(c, m)
 		if r.staticRuleApplies(paper, m) {
 			continue
 		}

@@ -51,7 +51,7 @@ func (r *runner) c3FailsToLinearize(out []diag.Diagnostic, c chg.ClassID) []diag
 // dominance-only refinement, so a difference there is a rule
 // difference, not a linearization one.
 func (r *runner) dominanceVsMroDivergence(out []diag.Diagnostic, c chg.ClassID, m chg.MemberID, paper core.Result) []diag.Diagnostic {
-	c3 := r.c3.Lookup(c, m)
+	c3 := r.c3look(c, m)
 	if c3.Kind() != core.RedKind || r.staticRuleApplies(paper, m) {
 		return out
 	}
@@ -80,8 +80,8 @@ func (r *runner) dominanceVsMroDivergence(out []diag.Diagnostic, c chg.ClassID, 
 	// Formation filter: a class whose direct base already shows the
 	// identical verdict pair merely inherits its base's divergence.
 	for _, e := range r.g.DirectBases(c) {
-		if verdictKey(r.t.Lookup(e.Base, m)) == verdictKey(paper) &&
-			verdictKey(r.c3.Lookup(e.Base, m)) == verdictKey(c3) {
+		if verdictKey(r.look(e.Base, m)) == verdictKey(paper) &&
+			verdictKey(r.c3look(e.Base, m)) == verdictKey(c3) {
 			return out
 		}
 	}

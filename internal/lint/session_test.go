@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/diag"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/incremental"
+)
+
+// renderAll is the byte-exact comparison form for two diagnostic
+// lists: canonical text rendering plus the fingerprint sequence.
+func renderAll(t *testing.T, ds []diag.Diagnostic) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := diag.WriteText(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		buf.WriteString(diag.FingerprintString(d))
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// checkSessionMatchesRun asserts the session's accumulated state is
+// identical — same findings, same canonical order, same fingerprints —
+// to a full Run over a cold snapshot of the same graph.
+func checkSessionMatchesRun(t *testing.T, s *Session, kernelOpts []core.Option, opts Options, label string) {
+	t.Helper()
+	cold := engine.NewSnapshot(s.Snapshot().Graph(), kernelOpts...)
+	want, err := Run(cold, opts)
+	if err != nil {
+		t.Fatalf("%s: full Run: %v", label, err)
+	}
+	got := s.Diagnostics()
+	if g, w := renderAll(t, got), renderAll(t, want); g != w {
+		t.Fatalf("%s: session state diverges from full Run.\nsession (%d):\n%s\nfull run (%d):\n%s",
+			label, len(got), g, len(want), w)
+	}
+}
+
+// fpMultiset is a fingerprint multiset, for composing deltas.
+type fpMultiset map[uint64]int
+
+func (s fpMultiset) apply(t *testing.T, delta diag.Delta, label string) {
+	t.Helper()
+	for _, d := range delta.Fixed {
+		fp := diag.Fingerprint(d)
+		if s[fp] == 0 {
+			t.Fatalf("%s: delta fixes a finding not in the composed state: %s", label, d)
+		}
+		s[fp]--
+		if s[fp] == 0 {
+			delete(s, fp)
+		}
+	}
+	for _, d := range delta.Added {
+		s[diag.Fingerprint(d)]++
+	}
+}
+
+func (s fpMultiset) equals(ds []diag.Diagnostic) bool {
+	if len(ds) == 0 && len(s) == 0 {
+		return true
+	}
+	other := fpMultiset{}
+	n := 0
+	for _, d := range ds {
+		other[diag.Fingerprint(d)]++
+		n++
+	}
+	total := 0
+	for fp, c := range s {
+		if other[fp] != c {
+			return false
+		}
+		total += c
+	}
+	return total == n
+}
+
+func TestSessionBasicDelta(t *testing.T) {
+	ws := incremental.New()
+	a, _ := ws.AddClass("A", nil)
+	if err := ws.AddMember(a, chg.Member{Name: "f", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	// Virtual inheritance: one shared A subobject, so the diamond join
+	// below introduces no ambiguity by itself.
+	b, _ := ws.AddClass("B", []incremental.BaseDecl{{Class: a, Virtual: true}})
+	c, _ := ws.AddClass("C", []incremental.BaseDecl{{Class: a, Virtual: true}})
+
+	e := engine.New()
+	bind, _, err := e.BindWorkspace("ide", ws, core.WithStaticRule(), core.WithTrackPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{File: "ws",
+		Rules: []string{AmbiguousMember, DominanceShadowing, DeadMember, DiamondWithoutVirtual}}
+	s, err := NewSession(bind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Diagnostics()); n != 0 {
+		t.Fatalf("seed findings = %v", s.Diagnostics())
+	}
+
+	// A join class D(B, C): the shared virtual A keeps lookup(D, f)
+	// unambiguous and forms no duplicated subobject — empty delta.
+	d, err := ws.AddClass("D", []incremental.BaseDecl{{Class: b}, {Class: c}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() {
+		t.Fatalf("delta after virtual join = %+v", delta)
+	}
+
+	// Declaring f in both B and C forms an ambiguity at D and shadows
+	// A::f everywhere below: ambiguous-member at D, two
+	// dominance-shadowing findings, and dead-member at A.
+	if err := ws.AddMember(b, chg.Member{Name: "f", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AddMember(c, chg.Member{Name: "f", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err = s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]int{}
+	for _, d2 := range delta.Added {
+		rules[d2.Rule]++
+	}
+	if rules[AmbiguousMember] != 1 || rules[DominanceShadowing] != 2 || rules[DeadMember] != 1 {
+		t.Fatalf("delta rules after shadowing = %v\n%v", rules, delta.Added)
+	}
+	if len(delta.Fixed) != 0 || len(delta.Persisting) != 0 {
+		t.Fatalf("fixed/persisting = %v / %v", delta.Fixed, delta.Persisting)
+	}
+
+	// Removing C::f fixes the ambiguity and C's shadowing; B::f still
+	// shadows A::f and A::f stays dead (B's lookup wins below B; D now
+	// resolves to B::f).
+	if err := ws.RemoveMember(c, "f"); err != nil {
+		t.Fatal(err)
+	}
+	delta, err = s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := map[string]int{}
+	for _, d2 := range delta.Fixed {
+		fixed[d2.Rule]++
+	}
+	if fixed[AmbiguousMember] != 1 || fixed[DominanceShadowing] != 1 {
+		t.Fatalf("fixed rules = %v", fixed)
+	}
+	// dead-member at A persists? D resolves to B::f, C resolves to
+	// A::f (C no longer declares it) — so A::f is live again: fixed.
+	if fixed[DeadMember] != 1 {
+		t.Fatalf("expected dead-member fixed when C's lookup resolves to A::f again: %v", delta)
+	}
+
+	// A no-op sync: empty delta, everything persisting.
+	delta, err = s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() || len(delta.Persisting) != len(s.Diagnostics()) {
+		t.Fatalf("no-op delta = %+v", delta)
+	}
+
+	checkSessionMatchesRun(t, s,
+		[]core.Option{core.WithStaticRule(), core.WithTrackPaths()}, opts, "basic")
+	_ = d
+}
+
+// TestSessionDifferentialRandom is the oraclefuzz-style equivalence
+// gate: randomized 200+-edit sessions, checked against a full Run on
+// a cold snapshot at interior checkpoints and at the end, for every
+// semantics backend configuration — and the per-sync deltas, composed
+// from scratch as a fingerprint multiset, must reproduce the same
+// state.
+func TestSessionDifferentialRandom(t *testing.T) {
+	configs := []struct {
+		name       string
+		kernelOpts []core.Option
+		opts       Options
+	}{
+		{"dominance-only",
+			[]core.Option{core.WithStaticRule()},
+			Options{File: "ws", Semantics: []core.SemanticsID{core.SemDominance}}},
+		{"all-rules-local-c3",
+			[]core.Option{core.WithStaticRule(), core.WithTrackPaths()},
+			Options{File: "ws"}},
+		{"all-rules-served-backends",
+			[]core.Option{core.WithStaticRule(), core.WithSemantics(core.SemC3, core.SemGxx)},
+			Options{File: "ws"}},
+		{"gxx-only",
+			[]core.Option{core.WithStaticRule()},
+			Options{File: "ws", Semantics: []core.SemanticsID{core.SemDominance, core.SemGxx}}},
+	}
+	const (
+		edits      = 220
+		checkEvery = 25
+	)
+	memberPool := []string{"m0", "m1", "m2", "m3", "f", "g"}
+	for ci, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			ws := incremental.New()
+			var ids []chg.ClassID
+			for i := 0; i < 8; i++ {
+				var bases []incremental.BaseDecl
+				if len(ids) > 0 {
+					n := rng.Intn(min(3, len(ids)) + 1)
+					perm := rng.Perm(len(ids))
+					for j := 0; j < n; j++ {
+						bases = append(bases, incremental.BaseDecl{Class: ids[perm[j]], Virtual: rng.Float64() < 0.3})
+					}
+				}
+				id, err := ws.AddClass(fmt.Sprintf("C%d", i), bases)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			e := engine.New()
+			bind, _, err := e.BindWorkspace("fuzz", ws, cfg.kernelOpts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := cfg.opts
+			opts.Workers = 1 + rng.Intn(4)
+			s, err := NewSession(bind, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			composed := fpMultiset{}
+			composed.apply(t, s.Delta(), "initial")
+
+			for step := 0; step < edits; step++ {
+				switch {
+				case rng.Float64() < 0.25 && len(ids) < 60:
+					var bases []incremental.BaseDecl
+					n := rng.Intn(min(3, len(ids)) + 1)
+					perm := rng.Perm(len(ids))
+					for j := 0; j < n; j++ {
+						bases = append(bases, incremental.BaseDecl{Class: ids[perm[j]], Virtual: rng.Float64() < 0.3})
+					}
+					id, err := ws.AddClass(fmt.Sprintf("K%d", step), bases)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ids = append(ids, id)
+				case rng.Float64() < 0.6:
+					c := ids[rng.Intn(len(ids))]
+					m := chg.Member{
+						Name:    memberPool[rng.Intn(len(memberPool))],
+						Kind:    chg.Method,
+						Static:  rng.Float64() < 0.1,
+						Virtual: rng.Float64() < 0.25,
+					}
+					_ = ws.AddMember(c, m) // duplicates rejected; fine
+				default:
+					c := ids[rng.Intn(len(ids))]
+					_ = ws.RemoveMember(c, memberPool[rng.Intn(len(memberPool))])
+				}
+				// Sync on a random cadence so windows span several edits.
+				if rng.Float64() < 0.4 || (step+1)%checkEvery == 0 || step == edits-1 {
+					delta, err := s.Sync()
+					if err != nil {
+						t.Fatal(err)
+					}
+					composed.apply(t, delta, fmt.Sprintf("step %d", step))
+					if !composed.equals(s.Diagnostics()) {
+						t.Fatalf("step %d: composed deltas diverge from session state", step)
+					}
+				}
+				if (step+1)%checkEvery == 0 || step == edits-1 {
+					checkSessionMatchesRun(t, s, cfg.kernelOpts, opts, fmt.Sprintf("step %d", step))
+				}
+			}
+			stats := s.Stats()
+			if stats.FullRelints != 1 {
+				t.Errorf("FullRelints = %d, want 1 (initial only)", stats.FullRelints)
+			}
+			t.Logf("%s: %d syncs, %d republishes, member/row/structural tasks %d/%d/%d",
+				cfg.name, stats.Syncs, stats.Republishes, stats.MemberTasks, stats.RowTasks, stats.StructuralTasks)
+		})
+	}
+}
+
+// TestSessionColdFallback drives more edits between syncs than the
+// workspace's edit log retains: the cone is unanswerable, the session
+// must fall back to a full re-analysis and still match a cold Run.
+func TestSessionColdFallback(t *testing.T) {
+	ws := incremental.New()
+	a, _ := ws.AddClass("A", nil)
+	if err := ws.AddMember(a, chg.Member{Name: "f", Kind: chg.Method}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ws.AddClass("B", []incremental.BaseDecl{{Class: a}})
+
+	e := engine.New()
+	bind, _, err := e.BindWorkspace("storm", ws, core.WithStaticRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{File: "ws", Semantics: []core.SemanticsID{core.SemDominance}}
+	s, err := NewSession(bind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An edit storm past any bounded log: toggle a member 5000 times
+	// (10000 edits), ending in the "declared" state.
+	for i := 0; i < 5000; i++ {
+		if err := ws.AddMember(b, chg.Member{Name: "f", Kind: chg.Method}); err != nil {
+			t.Fatal(err)
+		}
+		if i < 4999 {
+			if err := ws.RemoveMember(b, "f"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	delta, err := s.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().FullRelints != 2 {
+		t.Errorf("FullRelints = %d, want 2 (initial + storm fallback)", s.Stats().FullRelints)
+	}
+	found := false
+	for _, d := range delta.Added {
+		if d.Rule == DominanceShadowing && d.Class == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("storm delta missing B's shadowing finding: %+v", delta)
+	}
+	checkSessionMatchesRun(t, s, []core.Option{core.WithStaticRule()}, opts, "storm")
+}
+
+// TestSessionConeScoped pins the point of the exercise: on a sparse
+// hierarchy, one member edit re-runs ~one member column, not the
+// whole member universe.
+func TestSessionConeScoped(t *testing.T) {
+	g := hiergen.SparseMembers(120, 400, 3, 11)
+	ws, err := incremental.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New()
+	bind, _, err := e.BindWorkspace("sparse", ws, core.WithStaticRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Semantics: []core.SemanticsID{core.SemDominance}}
+	s, err := NewSession(bind, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Stats()
+
+	// Toggle one member on a leaf-ish class.
+	target := chg.ClassID(g.NumClasses() - 1)
+	name := g.MemberName(0)
+	var op func() error
+	if ws.DeclaresName(target, name) {
+		op = func() error { return ws.RemoveMember(target, name) }
+	} else {
+		op = func() error { return ws.AddMember(target, chg.Member{Name: name, Kind: chg.Method}) }
+	}
+	if err := op(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FullRelints != base.FullRelints {
+		t.Fatalf("single edit triggered a full relint")
+	}
+	if dirty := st.MemberTasks - base.MemberTasks; dirty != 1 {
+		t.Errorf("one member edit re-ran %d member columns, want 1", dirty)
+	}
+	if dirty := st.StructuralTasks - base.StructuralTasks; dirty != 0 {
+		t.Errorf("member edit re-ran %d structural tasks, want 0", dirty)
+	}
+	checkSessionMatchesRun(t, s, []core.Option{core.WithStaticRule()}, opts, "sparse")
+}
+
+// TestSeededShuffleDeterminism hardens the canonical-sort guarantee
+// the fingerprints and goldens stand on: across seeded-random worker
+// counts and repeated runs, text, JSON, and SARIF renderings of a
+// full Run are byte-identical.
+func TestSeededShuffleDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		rng := rand.New(rand.NewSource(seed))
+		g := hiergen.Random(hiergen.RandomConfig{
+			Classes:     50,
+			MaxBases:    3,
+			VirtualProb: 0.3,
+			MemberNames: 10,
+			MemberProb:  0.25,
+			StaticProb:  0.1,
+			Seed:        seed,
+		})
+		render := func(workers int) string {
+			ds := runAll(t, g, Options{File: "shuffle.chg", Workers: workers})
+			var buf bytes.Buffer
+			if err := diag.WriteText(&buf, ds); err != nil {
+				t.Fatal(err)
+			}
+			if err := diag.WriteJSON(&buf, ds); err != nil {
+				t.Fatal(err)
+			}
+			if err := diag.WriteSARIF(&buf, ds, diag.Tool{Name: "chglint", RuleDescriptions: Descriptions()}); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		}
+		want := render(1)
+		for i := 0; i < 6; i++ {
+			workers := 1 + rng.Intn(15)
+			if got := render(workers); got != want {
+				t.Fatalf("seed %d: output differs at workers=%d (run %d)", seed, workers, i)
+			}
+		}
+	}
+}
+
+// TestUnknownRuleListsValidIDs pins the ruleSet error contract the CLI
+// surfaces: an unknown rule names every valid ID.
+func TestUnknownRuleListsValidIDs(t *testing.T) {
+	_, err := ruleSet([]string{"no-such-rule"})
+	if err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+	for _, id := range RuleIDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not list valid rule %q", err, id)
+		}
+	}
+}
+
+// TestFootprints pins each rule's declared footprint — the session's
+// dirty-set mapping depends on these staying truthful.
+func TestFootprints(t *testing.T) {
+	want := map[string]Footprint{
+		AmbiguousMember:          FootprintMember,
+		DominanceShadowing:       FootprintMember,
+		DeadMember:               FootprintMember,
+		DominanceVsMroDivergence: FootprintMember,
+		GxxDivergence:            FootprintClass,
+		RedundantInheritanceEdge: FootprintHierarchy,
+		DiamondWithoutVirtual:    FootprintHierarchy,
+		C3FailsToLinearize:       FootprintHierarchy,
+	}
+	for _, r := range Rules {
+		if r.Footprint != want[r.ID] {
+			t.Errorf("%s footprint = %s, want %s", r.ID, r.Footprint, want[r.ID])
+		}
+	}
+	if FootprintMember.String() != "member" || FootprintClass.String() != "class" || FootprintHierarchy.String() != "hierarchy" {
+		t.Error("footprint names changed; -list-rules output depends on them")
+	}
+}
