@@ -25,10 +25,12 @@ lint:
 # per config and strategy), BENCH_edit_relookup.json (edit→requery
 # round times per serving strategy, cache-survival fractions),
 # BENCH_mro.json (whole-table build per resolution backend, divergent
-# cell counts), and BENCH_lint.json (edit→re-lint round times, full
-# vs cone-scoped re-analysis) — the cross-PR perf trajectory record.
+# cell counts), BENCH_lint.json (edit→re-lint round times, full vs
+# cone-scoped re-analysis), and BENCH_image.json (warm start per
+# strategy: mmap-load vs cold rebuild vs gob decode) — the cross-PR
+# perf trajectory record.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json
+	$(GO) run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json -image-o BENCH_image.json
 
 # Fail if the checked-in benchmark JSON snapshots no longer match the
 # current benchmark families structurally (configs/strategies renamed

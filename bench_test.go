@@ -501,6 +501,35 @@ func BenchmarkLintRelint(b *testing.B) {
 	}
 }
 
+// --- E18: zero-copy snapshot images ---
+
+// BenchmarkImageLoad is the image-load benchmark family of E18 and
+// BENCH_image.json: one warm start — restore a fully warmed
+// three-backend snapshot and serve a probe of warm lookups — under
+// every strategy (memory-mapping the relocatable image, cold
+// rebuild + WarmAll, gob round-trip) over every shared config.
+// `make bench-json` captures the same family as machine-readable JSON.
+func BenchmarkImageLoad(b *testing.B) {
+	for _, cfg := range harness.ImageLoadConfigs() {
+		g := cfg.Make()
+		for _, s := range harness.ImageLoadStrategies() {
+			setup := s.Setup
+			b.Run(cfg.Name+"/"+s.Name, func(b *testing.B) {
+				sess, err := setup(g, b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.Step() // settle page cache and lazy init
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sess.Step()
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationNoKilling(b *testing.B) {

@@ -1,11 +1,12 @@
 // Command benchjson runs the machine-readable benchmark families —
 // the same configs and strategies as BenchmarkTableBuild / experiment
 // E14, BenchmarkEditRelookup / experiment E15, BenchmarkSemanticsTable
-// / experiment E16, and BenchmarkLintRelint / experiment E17 — through
-// testing.Benchmark and writes the results as JSON, so the performance
-// trajectory is machine-readable across PRs:
+// / experiment E16, BenchmarkLintRelint / experiment E17, and
+// BenchmarkImageLoad / experiment E18 — through testing.Benchmark and
+// writes the results as JSON, so the performance trajectory is
+// machine-readable across PRs:
 //
-//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json
+//	go run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json -image-o BENCH_image.json
 //
 // For the table-build family it records, per strategy, ns/op,
 // allocs/op and bytes/op, alongside the analytic work profile and the
@@ -20,7 +21,11 @@
 // backend (-semantics narrows it for local runs; the committed
 // snapshot carries all three), each strategy a whole-table build
 // through core.BuildSemTable, plus the per-backend counts of cells
-// answered differently from dominance.
+// answered differently from dominance. For the image-load family it
+// records the timing triple per warm-start strategy (mmap-load,
+// cold-rebuild, gob-decode — all restoring a fully warmed
+// three-backend cache), each strategy's persisted artifact size, and
+// the mmap speedups over both baselines.
 //
 // With -check, no benchmarks run: the existing JSON snapshots are
 // verified to structurally match the current families (benchmark
@@ -33,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"cpplookup/internal/core"
@@ -79,6 +85,12 @@ type configResult struct {
 	MemberTasksPerEdit float64 `json:"member_tasks_per_edit,omitempty"`
 	RowTasksPerEdit    float64 `json:"row_tasks_per_edit,omitempty"`
 	StructTasksPerEdit float64 `json:"structural_tasks_per_edit,omitempty"`
+
+	// Image-load metrics (absent for the other families): each
+	// strategy's persisted artifact size and the mmap-load speedups.
+	ArtifactBytes   map[string]int64 `json:"artifact_bytes,omitempty"`
+	MmapSpeedupCold float64          `json:"mmap_speedup_vs_cold_rebuild,omitempty"`
+	MmapSpeedupGob  float64          `json:"mmap_speedup_vs_gob_decode,omitempty"`
 }
 
 type report struct {
@@ -92,6 +104,7 @@ func main() {
 	editOut := flag.String("edit-o", "BENCH_edit_relookup.json", "edit-relookup output file")
 	mroOut := flag.String("mro-o", "BENCH_mro.json", "cross-semantics output file")
 	lintOut := flag.String("lint-o", "BENCH_lint.json", "lint-relint output file")
+	imageOut := flag.String("image-o", "BENCH_image.json", "image-load output file")
 	sems := flag.String("semantics", "", "comma-separated backends the cross-semantics family measures: dominance, c3, gxx (default all; a narrowed snapshot fails -check)")
 	check := flag.Bool("check", false, "verify the JSON snapshots structurally match the current families instead of running benchmarks")
 	flag.Parse()
@@ -100,7 +113,8 @@ func main() {
 		ok := checkFile(*out, "BenchmarkTableBuild", tableBuildShape()) &&
 			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape()) &&
 			checkFile(*mroOut, "BenchmarkSemanticsTable", semanticsShape()) &&
-			checkFile(*lintOut, "BenchmarkLintRelint", lintRelintShape())
+			checkFile(*lintOut, "BenchmarkLintRelint", lintRelintShape()) &&
+			checkFile(*imageOut, "BenchmarkImageLoad", imageShape())
 		if !ok {
 			os.Exit(1)
 		}
@@ -117,6 +131,7 @@ func main() {
 	writeReport(*editOut, editRelookupReport())
 	writeReport(*mroOut, semanticsReport(backends))
 	writeReport(*lintOut, lintRelintReport())
+	writeReport(*imageOut, imageReport())
 }
 
 // selectBackends resolves the -semantics flag against the family's
@@ -312,6 +327,58 @@ func semanticsReport(backends []harness.SemanticsBackend) report {
 	return rep
 }
 
+func imageReport() report {
+	rep := report{
+		Benchmark: "BenchmarkImageLoad",
+		Unit:      "ns_per_op is wall time per warm start — restore a fully warmed three-backend snapshot and serve a probe of warm lookups; artifact_bytes is what each strategy persisted",
+	}
+	dir, err := os.MkdirTemp("", "benchjson-image-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	for _, cfg := range harness.ImageLoadConfigs() {
+		g := cfg.Make()
+		cr := configResult{
+			Name:          cfg.Name,
+			Shape:         cfg.Shape,
+			Classes:       g.NumClasses(),
+			MemberNames:   g.NumMemberNames(),
+			Strategies:    map[string]strategyResult{},
+			ArtifactBytes: map[string]int64{},
+		}
+		for _, s := range harness.ImageLoadStrategies() {
+			sdir := filepath.Join(dir, cfg.Name+"-"+s.Name)
+			if err := os.MkdirAll(sdir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			sess, err := s.Setup(g, sdir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			sess.Step() // settle page cache and lazy init
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sess.Step()
+				}
+			})
+			cr.Strategies[s.Name] = toStrategyResult(r)
+			if sess.ArtifactBytes > 0 {
+				cr.ArtifactBytes[s.Name] = sess.ArtifactBytes
+			}
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", cfg.Name, s.Name, r.NsPerOp(), r.N)
+		}
+		cr.MmapSpeedupCold = ratio(cr.Strategies["cold-rebuild"].NsPerOp, cr.Strategies["mmap-load"].NsPerOp)
+		cr.MmapSpeedupGob = ratio(cr.Strategies["gob-decode"].NsPerOp, cr.Strategies["mmap-load"].NsPerOp)
+		rep.Configs = append(rep.Configs, cr)
+	}
+	return rep
+}
+
 func toStrategyResult(r testing.BenchmarkResult) strategyResult {
 	return strategyResult{
 		NsPerOp:     r.NsPerOp(),
@@ -369,6 +436,18 @@ func lintRelintShape() familyShape {
 	for _, cfg := range harness.LintRelintConfigs() {
 		var names []string
 		for _, s := range harness.LintRelintStrategies() {
+			names = append(names, s.Name)
+		}
+		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+func imageShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.ImageLoadConfigs() {
+		var names []string
+		for _, s := range harness.ImageLoadStrategies() {
 			names = append(names, s.Name)
 		}
 		shape[cfg.Name] = names

@@ -18,6 +18,18 @@
 // linearization), and gxx (the g++ 2.7.2.1 breadth-first baseline).
 // Listing several prints each backend's answer.
 //
+// Snapshot images persist a fully warmed lookup cache between runs:
+//
+//	cpplookup -semantics dominance,c3,gxx -save-image lib.img lib.cpp
+//	cpplookup -load-image lib.img -lookup E::m
+//	cpplookup -load-image lib.img -table
+//
+// -save-image analyzes the unit, fills every cell of every requested
+// backend, and writes the snapshot as a relocatable image.
+// -load-image serves queries straight from the memory-mapped file —
+// no source argument, no re-analysis, no per-cell deserialization;
+// -semantics then selects among the backends baked into the image.
+//
 // The file may be "-" for stdin. Exit status 1 if any diagnostics
 // were produced.
 package main
@@ -30,6 +42,9 @@ import (
 
 	"cpplookup/internal/cli"
 	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/image"
+	"cpplookup/internal/cpp/sema"
 	"cpplookup/internal/semantics"
 )
 
@@ -42,6 +57,8 @@ func main() {
 	layoutClass := flag.String("layout", "", "print the complete-object layout of this class")
 	run := flag.String("run", "", "execute this function with the interpreter and dump global objects")
 	sems := flag.String("semantics", "", "comma-separated resolution backends for -lookup/-table: dominance, c3, gxx (default dominance)")
+	saveImage := flag.String("save-image", "", "warm every requested backend and write the snapshot image to this path")
+	loadImage := flag.String("load-image", "", "serve queries from this memory-mapped snapshot image instead of analyzing a source file")
 	flag.Parse()
 
 	ids, err := semantics.ParseIDs(*sems)
@@ -49,29 +66,91 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
 		os.Exit(2)
 	}
-	if len(ids) == 0 {
-		ids = []core.SemanticsID{core.SemDominance}
+
+	var snap *engine.Snapshot
+	var unit *sema.Unit
+	var src string
+	clean := true
+	if *loadImage != "" {
+		// Image mode: the hierarchy, pool, and warm cells come off the
+		// mapped file; there is no source file and no re-analysis.
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: cpplookup -load-image file.img [-lookup C::m | -table | -ambiguities]")
+			os.Exit(2)
+		}
+		im, err := image.OpenFile(*loadImage)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+		defer im.Close()
+		snap = im.Snapshot()
+		if len(ids) == 0 {
+			ids = im.Meta().Backends
+		}
+		for _, id := range ids {
+			if _, ok := snap.LookupSem(id, 0, 0); !ok && snap.Graph().NumClasses() > 0 {
+				fmt.Fprintf(os.Stderr, "cpplookup: image %s does not serve backend %q (it has: %v)\n",
+					*loadImage, id, im.Meta().Backends)
+				os.Exit(2)
+			}
+		}
+	} else {
+		if len(ids) == 0 {
+			ids = []core.SemanticsID{core.SemDominance}
+		}
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: cpplookup [flags] file.cpp  (file may be -)")
+			os.Exit(2)
+		}
+		src, err = readSource(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(2)
+		}
+		unit, clean, err = cli.Analyze(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+		// Every query command works against one published snapshot of the
+		// unit's hierarchy (the same artifact a long-running server would
+		// share among its request goroutines), built to serve every
+		// backend the -semantics flag asked for.
+		snap = cli.QuerySnapshotSem(unit.Graph, ids...)
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cpplookup [flags] file.cpp  (file may be -)")
-		os.Exit(2)
+	if *saveImage != "" {
+		snap.WarmAll()
+		if err := image.WriteFile(*saveImage, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+		st, err := os.Stat(*saveImage)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
+			os.Exit(1)
+		}
+		g := snap.Graph()
+		fmt.Printf("wrote %s: %d bytes, %d classes × %d members, backends %v\n",
+			*saveImage, st.Size(), g.NumClasses(), g.NumMemberNames(), snap.Semantics())
+		if !clean {
+			cli.PrintDiags(os.Stderr, unit)
+			os.Exit(1)
+		}
+		return
 	}
-	src, err := readSource(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
-		os.Exit(2)
+
+	if unit == nil {
+		// Image mode serves the cache-backed queries only; commands
+		// that need the parsed translation unit have no source here.
+		switch {
+		case *vtables, *slice != "", *layoutClass != "", *run != "",
+			*lookup == "" && !*table && !*ambiguities:
+			fmt.Fprintln(os.Stderr, "cpplookup: -load-image serves -lookup, -table, and -ambiguities")
+			os.Exit(2)
+		}
 	}
-	unit, clean, err := cli.Analyze(src)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cpplookup: %v\n", err)
-		os.Exit(1)
-	}
-	// Every query command works against one published snapshot of the
-	// unit's hierarchy (the same artifact a long-running server would
-	// share among its request goroutines), built to serve every
-	// backend the -semantics flag asked for.
-	snap := cli.QuerySnapshotSem(unit.Graph, ids...)
 
 	switch {
 	case *lookup != "":

@@ -15,6 +15,26 @@ import (
 // order, closures) is recomputed through Builder on load, which also
 // re-validates untrusted inputs.
 
+// MaxMemberNames is the largest member-name universe any serialized
+// form of a Graph supports: every persistent encoding (the gob/JSON
+// wire forms here, and internal/image's snapshot images, whose
+// topology section stores member ids in 16 bits) addresses member
+// names with 16-bit ids. In-memory graphs are not limited; the bound
+// is checked at the serialization boundary and violating it is a
+// *MemberSpaceError.
+const MaxMemberNames = 1 << 16
+
+// MemberSpaceError reports a graph whose interned member names exceed
+// the 16-bit id space persistent encodings use.
+type MemberSpaceError struct {
+	NumMemberNames int
+}
+
+func (e *MemberSpaceError) Error() string {
+	return fmt.Sprintf("chg: graph has %d member names, more than the %d a serialized graph can address",
+		e.NumMemberNames, MaxMemberNames)
+}
+
 // graphWire is the stable wire form.
 type graphWire struct {
 	Classes []classWire
@@ -68,11 +88,21 @@ func fromWire(w graphWire) (*Graph, error) {
 			b.Member(id, m)
 		}
 	}
-	return b.Build()
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumMemberNames() > MaxMemberNames {
+		return nil, &MemberSpaceError{NumMemberNames: g.NumMemberNames()}
+	}
+	return g, nil
 }
 
 // MarshalBinary encodes the graph with encoding/gob.
 func (g *Graph) MarshalBinary() ([]byte, error) {
+	if g.NumMemberNames() > MaxMemberNames {
+		return nil, &MemberSpaceError{NumMemberNames: g.NumMemberNames()}
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(g.wire()); err != nil {
 		return nil, fmt.Errorf("chg: encode: %w", err)
@@ -93,6 +123,9 @@ func UnmarshalBinary(data []byte) (*Graph, error) {
 // WriteJSON writes the graph's declared facts as JSON (stable,
 // human-inspectable interop form).
 func (g *Graph) WriteJSON(w io.Writer) error {
+	if g.NumMemberNames() > MaxMemberNames {
+		return &MemberSpaceError{NumMemberNames: g.NumMemberNames()}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(g.wire())

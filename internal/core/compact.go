@@ -42,7 +42,7 @@ func (mg *Migrator) Migrate(c Cell) Cell {
 	idx := c.poolIndex()
 	ni, ok := mg.remap[idx]
 	if !ok {
-		ni = mg.to.intern(*mg.from.entry(idx))
+		ni = mg.to.intern(mg.from.payloadAt(idx))
 		mg.remap[idx] = ni
 	}
 	return cellPooled(c.Kind(), ni)

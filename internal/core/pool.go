@@ -11,7 +11,10 @@ import (
 // payload is the unpacked data of one rare result: everything a
 // lookup outcome can carry beyond the word that the Cell encodes
 // inline. It is exactly the old wide-struct representation of a
-// result; pooled cells index one of these.
+// result; pooled cells index one of these. The struct is only the
+// *intern-time* shape — stored payloads live in the pool's flat
+// arenas (see below), so the pool itself holds no Go pointers or
+// slices-of-slices.
 type payload struct {
 	kind      Kind
 	def       Def
@@ -21,13 +24,35 @@ type payload struct {
 	path      []chg.ClassID
 }
 
-// poolChunkSize is the payload arena granularity. Chunks are never
-// reallocated once published, so a *payload stays valid (and safely
-// readable) for the pool's lifetime; only the small chunk directory
-// is copied when the pool grows.
-const poolChunkSize = 64
+// Stored-payload layout. Every interned payload is one fixed-size
+// record of poolRecWords int32 fields — kind, the Def pair, and
+// (offset, length) handles into two shared append-only arenas: the
+// ids arena ([]chg.ClassID, holding StaticSet/StaticRed/Path
+// segments) and the defs arena ([]Def, holding Blue segments). A
+// length of -1 encodes a nil slice (nil-ness is part of a result's
+// meaning — a nil StaticSet stands for the singleton {Def.V}).
+//
+// This representation is *relocatable*: records and arenas contain
+// integers only, no process-local pointers, so the three flat arrays
+// ARE the pool's serialized form. internal/image writes them to disk
+// verbatim and maps them back with zero per-payload deserialization;
+// PoolFromImage wraps the mapped arrays directly.
+const poolRecWords = 12
 
-type poolChunk [poolChunkSize]payload
+const (
+	recKind  = 0 // Kind
+	recL     = 1 // Def.L
+	recV     = 2 // Def.V
+	recSSOff = 3 // StaticSet offset into the ids arena
+	recSSLen = 4 // StaticSet length, -1 = nil
+	recSROff = 5 // StaticRed offset
+	recSRLen = 6 // StaticRed length, -1 = nil
+	recPOff  = 7 // Path offset
+	recPLen  = 8 // Path length, -1 = nil
+	recBOff  = 9 // Blue offset into the defs arena
+	recBLen  = 10
+	recPad   = 11 // reserved; keeps the stride 8-byte friendly
+)
 
 // Pool interns the rare result payloads of one table or snapshot:
 // Blue sets, StaticSet/StaticRed coverage, and tracked paths.
@@ -35,26 +60,42 @@ type poolChunk [poolChunkSize]payload
 // or static coverage, so interning shrinks a table as well as keeping
 // cells word-sized.
 //
+// Storage is three flat arrays (records, id arena, def arena) holding
+// integers only — offset handles instead of Go pointers — so a pool
+// can be frozen into a byte-for-byte on-disk image and thawed from a
+// memory-mapped one without copying (see PoolImage / PoolFromImage).
+//
 // Concurrency: interning takes the pool's mutex (it happens only on
 // the cold fill path), while payload reads are lock-free — readers
-// navigate an atomically published chunk directory. A payload is
-// fully written, under the mutex, before the index referencing it is
-// returned to the caller; the caller's atomic publication of the cell
-// is therefore what makes the payload visible to other goroutines.
+// navigate atomically published array headers. The arrays are
+// append-only and republished after every growth, so a header once
+// loaded stays valid forever (growth copies into a fresh backing
+// array; superseded arrays keep their contents for readers still
+// holding them). A payload is fully appended, under the mutex, before
+// the index referencing it is returned to the caller; the caller's
+// atomic publication of the cell is therefore what makes the payload
+// visible to other goroutines.
 type Pool struct {
 	mu     sync.Mutex
-	index  map[string]uint32
-	keyBuf []byte // reusable key scratch, guarded by mu
+	index  map[string]uint32 // nil for thawed pools until the first intern
+	keyBuf []byte            // reusable key scratch, guarded by mu
 	n      uint32
 	hits   atomic.Uint64
-	chunks atomic.Pointer[[]*poolChunk]
+
+	recs atomic.Pointer[[]int32]       // fixed-size records, stride poolRecWords
+	ids  atomic.Pointer[[]chg.ClassID] // StaticSet/StaticRed/Path segments
+	defs atomic.Pointer[[]Def]         // Blue segments
 }
 
 // NewPool returns an empty payload pool.
 func NewPool() *Pool {
 	p := &Pool{index: make(map[string]uint32)}
-	dir := []*poolChunk{}
-	p.chunks.Store(&dir)
+	recs := []int32{}
+	ids := []chg.ClassID{}
+	defs := []Def{}
+	p.recs.Store(&recs)
+	p.ids.Store(&ids)
+	p.defs.Store(&defs)
 	return p
 }
 
@@ -66,24 +107,82 @@ type PoolStats struct {
 
 // Stats returns the pool's current counters.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	n := int(p.n)
-	p.mu.Unlock()
-	return PoolStats{Entries: n, Hits: p.hits.Load()}
+	return PoolStats{Entries: p.Len(), Hits: p.hits.Load()}
 }
 
 // Len returns the number of distinct payloads interned so far.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int(p.n)
+	return len(*p.recs.Load()) / poolRecWords
 }
 
-// entry returns the payload at index i. Indices come only from cells
-// this pool produced, so i is always in range.
-func (p *Pool) entry(i uint32) *payload {
-	dir := *p.chunks.Load()
-	return &dir[i/poolChunkSize][i%poolChunkSize]
+// rec returns payload i's record. Indices come only from cells this
+// pool produced (or validated image loads), so i is always in range.
+func (p *Pool) rec(i uint32) []int32 {
+	recs := *p.recs.Load()
+	return recs[int(i)*poolRecWords : (int(i)+1)*poolRecWords]
+}
+
+// idsSeg resolves an (offset, length) handle against the ids arena.
+// A negative length decodes as nil; a zero length as a non-nil empty
+// slice (the distinction is part of a result's meaning).
+func (p *Pool) idsSeg(off, n int32) []chg.ClassID {
+	if n < 0 {
+		return nil
+	}
+	ids := *p.ids.Load()
+	return ids[off : off+n : off+n]
+}
+
+func (p *Pool) defsSeg(off, n int32) []Def {
+	if n < 0 {
+		return nil
+	}
+	defs := *p.defs.Load()
+	return defs[off : off+n : off+n]
+}
+
+// Per-field payload accessors, used by the Result view. Each is one
+// atomic header load plus an index — no locking, no allocation.
+
+func (p *Pool) payloadKind(i uint32) Kind { return Kind(p.rec(i)[recKind]) }
+
+func (p *Pool) payloadDef(i uint32) Def {
+	r := p.rec(i)
+	return Def{L: chg.ClassID(r[recL]), V: chg.ClassID(r[recV])}
+}
+
+func (p *Pool) payloadStaticSet(i uint32) []chg.ClassID {
+	r := p.rec(i)
+	return p.idsSeg(r[recSSOff], r[recSSLen])
+}
+
+func (p *Pool) payloadStaticRed(i uint32) []chg.ClassID {
+	r := p.rec(i)
+	return p.idsSeg(r[recSROff], r[recSRLen])
+}
+
+func (p *Pool) payloadPath(i uint32) []chg.ClassID {
+	r := p.rec(i)
+	return p.idsSeg(r[recPOff], r[recPLen])
+}
+
+func (p *Pool) payloadBlue(i uint32) []Def {
+	r := p.rec(i)
+	return p.defsSeg(r[recBOff], r[recBLen])
+}
+
+// payloadAt reconstructs the intern-time view of payload i. The
+// slices alias the pool's arenas (callers must not modify them); the
+// Migrator uses this to re-intern live payloads across pools.
+func (p *Pool) payloadAt(i uint32) payload {
+	return payload{
+		kind:      p.payloadKind(i),
+		def:       p.payloadDef(i),
+		staticSet: p.payloadStaticSet(i),
+		staticRed: p.payloadStaticRed(i),
+		blue:      p.payloadBlue(i),
+		path:      p.payloadPath(i),
+	}
 }
 
 // appendPayloadKey appends the canonical dedup key to dst: a compact
@@ -122,17 +221,33 @@ func appendPayloadKey(dst []byte, pl *payload) []byte {
 	return b
 }
 
-// copyIDs clones a slice, preserving nil-ness, so interned payloads
-// never alias caller-owned storage.
-func copyIDs(s []chg.ClassID) []chg.ClassID {
-	if s == nil {
-		return nil
+// ensureIndex rebuilds the dedup index from the stored records. A
+// pool thawed from an image starts without one — rebuilding it eagerly
+// would make image loads O(pool) — so the first intern on top of a
+// mapped pool pays it lazily; read-only serving never does.
+// Called with mu held.
+func (p *Pool) ensureIndex() {
+	if p.index != nil {
+		return
 	}
-	// make+copy rather than append: append collapses a non-nil empty
-	// slice to nil, and the intern key distinguishes the two.
-	out := make([]chg.ClassID, len(s))
-	copy(out, s)
-	return out
+	p.index = make(map[string]uint32, p.n)
+	for i := uint32(0); i < p.n; i++ {
+		pl := p.payloadAt(i)
+		p.keyBuf = appendPayloadKey(p.keyBuf[:0], &pl)
+		if _, dup := p.index[string(p.keyBuf)]; !dup {
+			p.index[string(p.keyBuf)] = i
+		}
+	}
+}
+
+// appendIDs copies s into the arena, returning the new arena and the
+// (offset, length) handle; nil encodes as length -1.
+func appendIDs(arena []chg.ClassID, s []chg.ClassID) ([]chg.ClassID, int32, int32) {
+	if s == nil {
+		return arena, 0, -1
+	}
+	off := int32(len(arena))
+	return append(arena, s...), off, int32(len(s))
 }
 
 // intern stores pl (or finds an existing identical payload) and
@@ -140,6 +255,7 @@ func copyIDs(s []chg.ClassID) []chg.ClassID {
 func (p *Pool) intern(pl payload) uint32 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.ensureIndex()
 	// The string([]byte) conversions below are recognised by the
 	// compiler: the map probe does not materialise a string, so a
 	// dedup hit costs zero allocations; only a genuinely new payload
@@ -149,28 +265,38 @@ func (p *Pool) intern(pl payload) uint32 {
 		p.hits.Add(1)
 		return i
 	}
-	i := p.n
-	if int(i)%poolChunkSize == 0 {
-		// Grow by one chunk: republish a copied directory so readers
-		// never observe a partially grown one. Chunks already
-		// published keep their identity, so payload pointers and
-		// slices handed out earlier stay valid.
-		old := *p.chunks.Load()
-		dir := make([]*poolChunk, len(old)+1)
-		copy(dir, old)
-		dir[len(old)] = new(poolChunk)
-		p.chunks.Store(&dir)
-	}
-	slot := p.entry(i)
-	slot.kind = pl.kind
-	slot.def = pl.def
-	slot.staticSet = copyIDs(pl.staticSet)
-	slot.staticRed = copyIDs(pl.staticRed)
-	slot.path = copyIDs(pl.path)
+
+	// Append the variable-length segments first, then the record, and
+	// republish every grown array before returning. A pool thawed from
+	// a mapped image promotes copy-on-write here: its arenas arrive
+	// with len == cap, so the first append copies them onto the heap
+	// while readers of older cells keep the mapped storage. Publication
+	// order (arenas before records, record before the index) plus the
+	// caller's atomic cell store guarantee any reader that observes a
+	// cell also observes array headers covering its payload.
+	ids := *p.ids.Load()
+	var ssOff, ssLen, srOff, srLen, pOff, pLen int32
+	ids, ssOff, ssLen = appendIDs(ids, pl.staticSet)
+	ids, srOff, srLen = appendIDs(ids, pl.staticRed)
+	ids, pOff, pLen = appendIDs(ids, pl.path)
+	p.ids.Store(&ids)
+
+	defs := *p.defs.Load()
+	bOff, bLen := int32(0), int32(-1)
 	if pl.blue != nil {
-		slot.blue = make([]Def, len(pl.blue))
-		copy(slot.blue, pl.blue)
+		bOff = int32(len(defs))
+		bLen = int32(len(pl.blue))
+		defs = append(defs, pl.blue...)
 	}
+	p.defs.Store(&defs)
+
+	recs := *p.recs.Load()
+	recs = append(recs,
+		int32(pl.kind), int32(pl.def.L), int32(pl.def.V),
+		ssOff, ssLen, srOff, srLen, pOff, pLen, bOff, bLen, 0)
+	p.recs.Store(&recs)
+
+	i := p.n
 	p.n = i + 1
 	p.index[string(p.keyBuf)] = i
 	return i

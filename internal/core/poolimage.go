@@ -1,0 +1,146 @@
+package core
+
+// Pool freeze/thaw. The pool's storage is already relocatable — three
+// flat integer arrays with offset handles — so "serializing" a pool is
+// exposing those arrays, and "deserializing" one is wrapping arrays
+// (typically memory-mapped by internal/image) without copying a byte.
+
+import (
+	"fmt"
+
+	"cpplookup/internal/chg"
+)
+
+// PoolImage is the relocatable flat form of a pool: the exact arrays
+// a Pool stores, holding integers only. The slices are views — the
+// writer reads them in place, and PoolFromImage adopts them in place —
+// so neither direction copies payload data.
+type PoolImage struct {
+	// Recs holds one fixed-size record per payload, stride
+	// PoolRecWords: kind, Def.L, Def.V, then (offset, length) handle
+	// pairs for StaticSet, StaticRed, Path (into IDs) and Blue (into
+	// Defs). Length -1 encodes a nil slice.
+	Recs []int32
+	// IDs is the shared class-id arena behind StaticSet/StaticRed/Path.
+	IDs []chg.ClassID
+	// Defs is the shared Def arena behind Blue sets.
+	Defs []Def
+}
+
+// PoolRecWords is the record stride of PoolImage.Recs.
+const PoolRecWords = poolRecWords
+
+// Image returns the pool's current contents as relocatable flat
+// arrays, without copying. The views are immutable snapshots: the
+// pool only grows by republishing fresh arrays, so later interning
+// never mutates what Image returned. Safe for concurrent use.
+//
+// Consistency note for writers serializing a live snapshot: take the
+// cell columns FIRST and the pool image after — the pool is
+// append-only, so an image taken later covers every payload any
+// earlier-copied cell references.
+func (p *Pool) Image() PoolImage {
+	return PoolImage{
+		Recs: *p.recs.Load(),
+		IDs:  *p.ids.Load(),
+		Defs: *p.defs.Load(),
+	}
+}
+
+// PoolImageError reports a structurally invalid pool image — the
+// typed rejection the image loader surfaces instead of serving
+// corrupt payloads.
+type PoolImageError struct {
+	Rec    int // offending record index, -1 for array-level faults
+	Reason string
+}
+
+func (e *PoolImageError) Error() string {
+	if e.Rec < 0 {
+		return "core: pool image: " + e.Reason
+	}
+	return fmt.Sprintf("core: pool image: record %d: %s", e.Rec, e.Reason)
+}
+
+// PoolFromImage wraps relocatable pool arrays as a servable Pool
+// without copying them: record handles resolve straight into the
+// given arenas, so a memory-mapped image is served from the mapped
+// bytes. The arrays are validated structurally (stride, kinds, every
+// handle in bounds) — O(payloads), independent of any cell cache —
+// and must not be mutated by the caller afterwards.
+//
+// The returned pool supports interning on top of the frozen base:
+// the first intern rebuilds the dedup index lazily and the first
+// arena growth copies onto the heap (copy-on-write promotion), so
+// read-only serving stays zero-copy while carried successors of a
+// mapped snapshot behave like any other pool sharer.
+func PoolFromImage(img PoolImage) (*Pool, error) {
+	if len(img.Recs)%poolRecWords != 0 {
+		return nil, &PoolImageError{Rec: -1, Reason: fmt.Sprintf("record array length %d is not a multiple of the %d-word stride", len(img.Recs), poolRecWords)}
+	}
+	n := len(img.Recs) / poolRecWords
+	checkSeg := func(rec int, what string, off, ln int32, arena int) error {
+		if ln < 0 {
+			return nil // nil slice; the offset is ignored
+		}
+		if off < 0 || int64(off)+int64(ln) > int64(arena) {
+			return &PoolImageError{Rec: rec, Reason: fmt.Sprintf("%s segment [%d,%d) exceeds arena of %d", what, off, off+ln, arena)}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		r := img.Recs[i*poolRecWords : (i+1)*poolRecWords]
+		if k := r[recKind]; k < int32(Undefined) || k > int32(FailKind) {
+			return nil, &PoolImageError{Rec: i, Reason: fmt.Sprintf("unknown payload kind %d", k)}
+		}
+		if err := checkSeg(i, "StaticSet", r[recSSOff], r[recSSLen], len(img.IDs)); err != nil {
+			return nil, err
+		}
+		if err := checkSeg(i, "StaticRed", r[recSROff], r[recSRLen], len(img.IDs)); err != nil {
+			return nil, err
+		}
+		if err := checkSeg(i, "Path", r[recPOff], r[recPLen], len(img.IDs)); err != nil {
+			return nil, err
+		}
+		if err := checkSeg(i, "Blue", r[recBOff], r[recBLen], len(img.Defs)); err != nil {
+			return nil, err
+		}
+	}
+	p := &Pool{n: uint32(n)} // index stays nil: rebuilt lazily on first intern
+	recs, ids, defs := img.Recs, img.IDs, img.Defs
+	if recs == nil {
+		recs = []int32{}
+	}
+	if ids == nil {
+		ids = []chg.ClassID{}
+	}
+	if defs == nil {
+		defs = []Def{}
+	}
+	p.recs.Store(&recs)
+	p.ids.Store(&ids)
+	p.defs.Store(&defs)
+	return p, nil
+}
+
+// EqualPayloads reports whether two pools hold logically identical
+// payload sequences — same count, each record decoding to the same
+// payload. Index order matters (cells reference payloads by index),
+// which is exactly what a round-tripped image must preserve. Intended
+// for tests and image self-checks.
+func EqualPayloads(a, b *Pool) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := uint32(0); i < uint32(a.Len()); i++ {
+		pa, pb := a.payloadAt(i), b.payloadAt(i)
+		if pa.kind != pb.kind || pa.def != pb.def ||
+			!idsEqual(pa.staticSet, pb.staticSet) ||
+			!idsEqual(pa.staticRed, pb.staticRed) ||
+			!idsEqual(pa.path, pb.path) ||
+			!defsEqual(pa.blue, pb.blue) {
+			return false
+		}
+	}
+	return true
+}

@@ -110,7 +110,7 @@ func (r Result) Def() Def {
 	case cellTagRed:
 		return r.cell.inlineDef()
 	case cellTagPooled:
-		return r.payload().def
+		return r.pool.payloadDef(r.cell.poolIndex())
 	}
 	return Def{}
 }
@@ -125,7 +125,7 @@ func (r Result) Def() Def {
 // do not modify.
 func (r Result) StaticSet() []chg.ClassID {
 	if r.cell.tag() == cellTagPooled {
-		return r.payload().staticSet
+		return r.pool.payloadStaticSet(r.cell.poolIndex())
 	}
 	return nil
 }
@@ -139,7 +139,7 @@ func (r Result) StaticSet() []chg.ClassID {
 // storage; do not modify.
 func (r Result) StaticRed() []chg.ClassID {
 	if r.cell.tag() == cellTagPooled {
-		return r.payload().staticRed
+		return r.pool.payloadStaticRed(r.cell.poolIndex())
 	}
 	return nil
 }
@@ -148,7 +148,7 @@ func (r Result) StaticRed() []chg.ClassID {
 // deduplicated; nil otherwise. Shared storage; do not modify.
 func (r Result) Blue() []Def {
 	if r.cell.tag() == cellTagPooled {
-		return r.payload().blue
+		return r.pool.payloadBlue(r.cell.poolIndex())
 	}
 	return nil
 }
@@ -159,12 +159,10 @@ func (r Result) Blue() []Def {
 // access (Section 4). Shared storage; do not modify.
 func (r Result) Path() []chg.ClassID {
 	if r.cell.tag() == cellTagPooled {
-		return r.payload().path
+		return r.pool.payloadPath(r.cell.poolIndex())
 	}
 	return nil
 }
-
-func (r Result) payload() *payload { return r.pool.entry(r.cell.poolIndex()) }
 
 // vsetLen/vsetAt iterate the result's leastVirtual coverage set
 // (RedKind) without allocating — the packed replacement for the old

@@ -1,0 +1,94 @@
+package image
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/hiergen"
+)
+
+const childEnv = "CPPLOOKUP_IMAGE_CHILD"
+
+// tableDigest renders every (backend, class, member) result of the
+// snapshot in a canonical text form and hashes it — the
+// process-independent fingerprint the cross-process test compares.
+func tableDigest(s *engine.Snapshot) string {
+	g := s.Graph()
+	h := sha256.New()
+	w := bufio.NewWriter(h)
+	for _, id := range s.Semantics() {
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				r, _ := s.LookupSem(id, chg.ClassID(c), chg.MemberID(m))
+				fmt.Fprintf(w, "%s %s %s %v\n", id, g.Name(chg.ClassID(c)), g.MemberName(chg.MemberID(m)), r)
+			}
+		}
+	}
+	w.Flush()
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestImageServesAcrossProcesses writes an image, re-executes the test
+// binary as a child process that memory-maps it cold, and compares the
+// child's full-table digest with the parent's — the "precompiled
+// header" contract: a different process, sharing no memory, serves the
+// identical table from the mapped bytes.
+func TestImageServesAcrossProcesses(t *testing.T) {
+	if path := os.Getenv(childEnv); path != "" {
+		// Child mode: load, digest, print, exit. The parent greps the
+		// DIGEST line out of the verbose test output.
+		im, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("child: OpenFile: %v", err)
+		}
+		defer im.Close()
+		fmt.Printf("DIGEST %s\n", tableDigest(im.Snapshot()))
+		return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	g := hiergen.Random(hiergen.RandomConfig{
+		Classes: 80, MaxBases: 3, VirtualProb: 0.25,
+		MemberNames: 10, MemberProb: 0.3, StaticProb: 0.2,
+		Seed: 424242,
+	})
+	snap := warmSnapshot(g, core.WithSemantics(allBackends...), core.WithStaticRule())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cross.img")
+	if err := WriteFile(path, snap); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	cmd := exec.Command(exe, "-test.run", "^TestImageServesAcrossProcesses$", "-test.v")
+	cmd.Env = append(os.Environ(), childEnv+"="+path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	var childDigest string
+	for _, line := range strings.Split(string(out), "\n") {
+		if d, ok := strings.CutPrefix(strings.TrimSpace(line), "DIGEST "); ok {
+			childDigest = d
+			break
+		}
+	}
+	if childDigest == "" {
+		t.Fatalf("child printed no digest:\n%s", out)
+	}
+	if want := tableDigest(snap); childDigest != want {
+		t.Fatalf("cross-process drift: child served %s, parent computed %s", childDigest, want)
+	}
+}

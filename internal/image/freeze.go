@@ -1,0 +1,29 @@
+package image
+
+import (
+	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/incremental"
+)
+
+// FreezeWorkspace freezes an editable workspace into a fully warmed
+// snapshot image at path: the workspace's current hierarchy is frozen
+// (Workspace.Snapshot pins class and member ids), a snapshot is built
+// with the given kernel options, every cell of every requested backend
+// is filled eagerly, and the result is written as an image.
+//
+// This lives here rather than in internal/incremental because the
+// engine already depends on incremental's cone types for carry-over;
+// image sits above both.
+func FreezeWorkspace(w *incremental.Workspace, path string, opts ...core.Option) (*engine.Snapshot, error) {
+	g, err := w.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	snap := engine.NewSnapshot(g, opts...)
+	snap.WarmAll()
+	if err := WriteFile(path, snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

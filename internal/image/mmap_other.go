@@ -1,0 +1,17 @@
+//go:build !unix
+
+package image
+
+import "os"
+
+// mapFile on platforms without the unix mmap surface falls back to
+// reading the file into memory. Loading still aliases the buffer —
+// only the zero-copy-from-page-cache property is lost, never
+// correctness.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

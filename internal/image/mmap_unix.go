@@ -1,0 +1,39 @@
+//go:build unix
+
+package image
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path MAP_PRIVATE with PROT_READ|PROT_WRITE: reads are
+// served from the page cache, and the stores lazy cache fills perform
+// after a load go to anonymous copy-on-write pages — the file itself
+// is never written through the mapping. The descriptor is closed
+// immediately (the mapping keeps the pages); the returned release
+// unmaps.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, formatErrf("empty file")
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("image: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("image: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,232 @@
+package image
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
+)
+
+// Bytes serializes the snapshot's current warm state into a version-1
+// image. Consistency under concurrent fills comes from ordering: the
+// cell columns are copied atomically FIRST and the pool image is taken
+// after, so (the pool being append-only) every payload any copied cell
+// references is covered. Cells not yet filled are written as zero
+// words and fill lazily after a load.
+//
+// Graphs whose member-name universe exceeds chg.MaxMemberNames cannot
+// be imaged (the topology section stores 16-bit member ids) and return
+// a *chg.MemberSpaceError.
+func Bytes(s *engine.Snapshot) ([]byte, error) {
+	g := s.Graph()
+	if g.NumMemberNames() > chg.MaxMemberNames {
+		return nil, &chg.MemberSpaceError{NumMemberNames: g.NumMemberNames()}
+	}
+	cols := s.CopyColumns()
+	pool := s.Pool().Image()
+	k := s.Kernel()
+
+	w := newImageBuf()
+
+	w.beginSection(secClassNames)
+	w.stringTable(g.ClassNames())
+	w.beginSection(secMemberNames)
+	w.stringTable(g.MemberNames())
+
+	w.beginSection(secTopology)
+	for c := 0; c < g.NumClasses(); c++ {
+		bases := g.DirectBases(chg.ClassID(c))
+		members := g.DeclaredMembers(chg.ClassID(c))
+		w.u32(uint32(len(bases)))
+		w.u32(uint32(len(members)))
+		for _, e := range bases {
+			word := uint32(e.Base) << 1
+			if e.Kind == chg.Virtual {
+				word |= 1
+			}
+			w.u32(word)
+		}
+		for _, m := range members {
+			mid := g.MustMemberID(m.Name)
+			word := uint32(uint16(mid)) | uint32(m.Kind)<<16
+			if m.Static {
+				word |= 1 << 18
+			}
+			if m.Virtual {
+				word |= 1 << 19
+			}
+			w.u32(word)
+		}
+	}
+
+	w.beginSection(secBackends)
+	ids := make([]string, len(cols))
+	for i, col := range cols {
+		ids[i] = string(col.ID)
+	}
+	w.stringTable(ids)
+
+	w.beginSection(secPoolRecs)
+	w.rawInt32(pool.Recs)
+	w.beginSection(secPoolIDs)
+	w.rawClassIDs(pool.IDs)
+	w.beginSection(secPoolDefs)
+	w.rawDefs(pool.Defs)
+
+	w.beginSection(secCells)
+	wantCells := g.NumClasses() * g.NumMemberNames()
+	for _, col := range cols {
+		if len(col.Cells) != wantCells {
+			return nil, fmt.Errorf("image: column %q has %d cells, want %d", col.ID, len(col.Cells), wantCells)
+		}
+		w.rawUint64(col.Cells)
+	}
+
+	return w.finish(header{
+		version:      Version,
+		flags:        packFlags(k.TrackPaths(), k.StaticRule()),
+		numClasses:   uint32(g.NumClasses()),
+		numMembers:   uint32(g.NumMemberNames()),
+		numColumns:   uint32(len(cols)),
+		sectionCount: numSections,
+	}), nil
+}
+
+// Write serializes the snapshot to w.
+func Write(w io.Writer, s *engine.Snapshot) error {
+	b, err := Bytes(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile serializes the snapshot to path (0644, replaced
+// atomically-enough via a straight write; images are caches, a torn
+// write is caught by the loader's content hash).
+func WriteFile(path string, s *engine.Snapshot) error {
+	b, err := Bytes(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func packFlags(trackPaths, staticRule bool) uint32 {
+	var f uint32
+	if trackPaths {
+		f |= flagTrackPaths
+	}
+	if staticRule {
+		f |= flagStaticRule
+	}
+	return f
+}
+
+// imageBuf assembles the file: header and section table reserved up
+// front, sections appended 8-aligned, offsets recorded as they are
+// laid down, hash computed last over the assembled bytes (the hash
+// field still zero at that point, which is exactly the hashing rule).
+type imageBuf struct {
+	b    []byte
+	secs []section
+}
+
+func newImageBuf() *imageBuf {
+	return &imageBuf{b: make([]byte, headerSize+numSections*sectionEntrySize)}
+}
+
+func (w *imageBuf) align8() {
+	for len(w.b)%8 != 0 {
+		w.b = append(w.b, 0)
+	}
+}
+
+// beginSection closes the previous section at the exact end of its
+// payload (before any alignment padding — sizes are used as element
+// counts by the loader) and starts a new one at the next 8-aligned
+// offset.
+func (w *imageBuf) beginSection(id uint32) {
+	w.closeSection()
+	w.align8()
+	w.secs = append(w.secs, section{id: id, off: uint64(len(w.b))})
+}
+
+func (w *imageBuf) closeSection() {
+	if n := len(w.secs); n > 0 {
+		w.secs[n-1].size = uint64(len(w.b)) - w.secs[n-1].off
+	}
+}
+
+func (w *imageBuf) u32(v uint32) {
+	var t [4]byte
+	nativeOrder.PutUint32(t[:], v)
+	w.b = append(w.b, t[:]...)
+}
+
+// stringTable writes: u32 count, count × u32 byte lengths, then the
+// concatenated UTF-8 bytes.
+func (w *imageBuf) stringTable(ss []string) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.u32(uint32(len(s)))
+	}
+	for _, s := range ss {
+		w.b = append(w.b, s...)
+	}
+}
+
+func (w *imageBuf) rawInt32(s []int32) {
+	if len(s) > 0 {
+		w.b = append(w.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)...)
+	}
+}
+
+func (w *imageBuf) rawClassIDs(s []chg.ClassID) {
+	if len(s) > 0 {
+		w.b = append(w.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)...)
+	}
+}
+
+func (w *imageBuf) rawDefs(s []core.Def) {
+	if len(s) > 0 {
+		w.b = append(w.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(core.Def{})))...)
+	}
+}
+
+func (w *imageBuf) rawUint64(s []uint64) {
+	if len(s) > 0 {
+		w.b = append(w.b, unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)...)
+	}
+}
+
+// finish closes the last section, writes the header and section
+// table into the reserved prefix, computes the content hash (the hash
+// field is still zero), and stamps it in.
+func (w *imageBuf) finish(h header) []byte {
+	w.closeSection()
+
+	copy(w.b[:8], Magic)
+	nativeOrder.PutUint32(w.b[8:], h.version)
+	nativeOrder.PutUint32(w.b[12:], h.flags)
+	nativeOrder.PutUint32(w.b[16:], byteOrderMark)
+	nativeOrder.PutUint32(w.b[20:], h.numClasses)
+	nativeOrder.PutUint32(w.b[24:], h.numMembers)
+	nativeOrder.PutUint32(w.b[28:], h.numColumns)
+	nativeOrder.PutUint32(w.b[32:], h.sectionCount)
+	for i, s := range w.secs {
+		e := w.b[headerSize+i*sectionEntrySize:]
+		nativeOrder.PutUint32(e, s.id)
+		nativeOrder.PutUint64(e[8:], s.off)
+		nativeOrder.PutUint64(e[16:], s.size)
+	}
+	sum := sha256.Sum256(w.b)
+	copy(w.b[hashOff:hashOff+hashSize], sum[:])
+	return w.b
+}
