@@ -91,6 +91,17 @@ type configResult struct {
 	ArtifactBytes   map[string]int64 `json:"artifact_bytes,omitempty"`
 	MmapSpeedupCold float64          `json:"mmap_speedup_vs_cold_rebuild,omitempty"`
 	MmapSpeedupGob  float64          `json:"mmap_speedup_vs_gob_decode,omitempty"`
+
+	// Scale metrics (absent for the other families). Build strategies
+	// record their peak transient heap and its per-class flatness axis;
+	// session strategies record republish counts, and the bulk session
+	// its ns/edit advantage over the probed serial-per-edit loop. For
+	// session strategies ns_per_op is ns per edit and iterations the
+	// edits applied (the serial probe is bounded and normalized).
+	PeakHeapBytes    map[string]uint64  `json:"peak_heap_bytes,omitempty"`
+	BytesPerClass    map[string]float64 `json:"bytes_per_class,omitempty"`
+	Republishes      map[string]int     `json:"republishes,omitempty"`
+	BulkVsSerialEdit float64            `json:"bulk_carry_speedup_vs_serial_per_edit,omitempty"`
 }
 
 type report struct {
@@ -106,19 +117,33 @@ func main() {
 	lintOut := flag.String("lint-o", "BENCH_lint.json", "lint-relint output file")
 	imageOut := flag.String("image-o", "BENCH_image.json", "image-load output file")
 	sems := flag.String("semantics", "", "comma-separated backends the cross-semantics family measures: dominance, c3, gxx (default all; a narrowed snapshot fails -check)")
+	scaleOut := flag.String("scale-o", "", "scale-family output file (e.g. BENCH_scale.json); empty skips the family — a 100k-class run takes minutes")
+	scaleSmoke := flag.Bool("scale-smoke", false, "run only the bounded scale smoke (20k-class streamed build + 100-edit bulk-carry session) and verify its invariants; no JSON is written")
 	check := flag.Bool("check", false, "verify the JSON snapshots structurally match the current families instead of running benchmarks")
 	flag.Parse()
 
 	if *check {
+		scalePath := *scaleOut
+		if scalePath == "" {
+			scalePath = "BENCH_scale.json"
+		}
 		ok := checkFile(*out, "BenchmarkTableBuild", tableBuildShape()) &&
 			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape()) &&
 			checkFile(*mroOut, "BenchmarkSemanticsTable", semanticsShape()) &&
 			checkFile(*lintOut, "BenchmarkLintRelint", lintRelintShape()) &&
-			checkFile(*imageOut, "BenchmarkImageLoad", imageShape())
+			checkFile(*imageOut, "BenchmarkImageLoad", imageShape()) &&
+			checkFile(scalePath, "BenchmarkScale", scaleShape())
 		if !ok {
 			os.Exit(1)
 		}
 		fmt.Println("benchmark JSON snapshots are structurally current")
+		return
+	}
+	if *scaleSmoke {
+		if err := runScaleSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: scale smoke:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -132,6 +157,9 @@ func main() {
 	writeReport(*mroOut, semanticsReport(backends))
 	writeReport(*lintOut, lintRelintReport())
 	writeReport(*imageOut, imageReport())
+	if *scaleOut != "" {
+		writeReport(*scaleOut, scaleReport())
+	}
 }
 
 // selectBackends resolves the -semantics flag against the family's
@@ -379,6 +407,101 @@ func imageReport() report {
 	return rep
 }
 
+// scaleReport runs the scale family once per strategy — a 100k-class
+// build is minutes, not microseconds, so each measurement is a single
+// timed run (iterations records 1 for builds, the applied edit count
+// for sessions) instead of a testing.Benchmark loop.
+func scaleReport() report {
+	rep := report{
+		Benchmark: "BenchmarkScale",
+		Unit:      "build strategies: ns_per_op is one whole-table build, peak_heap_bytes its transient heap above baseline; session strategies: ns_per_op is ns per edit of an edit→republish→probe-serve session (serial-carry is a bounded probe, normalized)",
+	}
+	for _, cfg := range harness.ScaleConfigs() {
+		cr := configResult{
+			Name:          cfg.Name,
+			Shape:         "giant",
+			Classes:       cfg.Classes,
+			MemberNames:   cfg.Classes, // the build hierarchy's |M| tracks |N|
+			Strategies:    map[string]strategyResult{},
+			PeakHeapBytes: map[string]uint64{},
+			BytesPerClass: map[string]float64{},
+			Republishes:   map[string]int{},
+		}
+		for _, r := range harness.MeasureScaleBuilds(cfg) {
+			cr.Strategies[r.Strategy] = strategyResult{
+				NsPerOp:    r.Duration.Nanoseconds(),
+				Iterations: 1,
+				Seconds:    r.Duration.Seconds(),
+			}
+			cr.PeakHeapBytes[r.Strategy] = r.PeakHeapBytes
+			cr.BytesPerClass[r.Strategy] = r.BytesPerClass
+			if r.Entries > 0 {
+				cr.Entries = r.Entries
+			}
+			fmt.Fprintf(os.Stderr, "%s/%s: %v (peak heap %d MiB)\n",
+				cfg.Name, r.Strategy, r.Duration, r.PeakHeapBytes>>20)
+		}
+		sessions, err := harness.MeasureScaleSessions(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, r := range sessions {
+			cr.Strategies[r.Strategy] = strategyResult{
+				NsPerOp:    r.NsPerEdit,
+				Iterations: r.Edits,
+				Seconds:    r.Total.Seconds(),
+			}
+			cr.PeakHeapBytes[r.Strategy] = r.PeakHeapBytes
+			cr.Republishes[r.Strategy] = r.Republishes
+			if r.Strategy == "bulk-carry" {
+				cr.CarriedEntries = r.Carried
+				cr.InvalidatedConeSz = r.Invalidated
+			}
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/edit over %d edits (%d republishes)\n",
+				cfg.Name, r.Strategy, r.NsPerEdit, r.Edits, r.Republishes)
+		}
+		cr.BulkVsSerialEdit = ratio(cr.Strategies["serial-carry"].NsPerOp, cr.Strategies["bulk-carry"].NsPerOp)
+		rep.Configs = append(rep.Configs, cr)
+	}
+	return rep
+}
+
+// runScaleSmoke is the CI-bounded scale check: one streamed 20k-class
+// build and one 100-edit bulk-carry session, with the structural
+// invariants asserted rather than timed.
+func runScaleSmoke() error {
+	cfg := harness.ScaleSmokeConfig()
+	builds := harness.MeasureScaleBuilds(cfg)
+	if len(builds) != 1 || builds[0].Strategy != "streamed-build" {
+		return fmt.Errorf("smoke config must run exactly the streamed build, got %d strategies", len(builds))
+	}
+	b := builds[0]
+	if b.Entries == 0 || b.Stream.Chunks < 1 {
+		return fmt.Errorf("degenerate streamed build: %+v", b.Stream)
+	}
+	if b.Stream.WorkingSetBytes > b.Stream.BudgetBytes {
+		return fmt.Errorf("streamed working set %d exceeds budget %d", b.Stream.WorkingSetBytes, b.Stream.BudgetBytes)
+	}
+	fmt.Printf("scale smoke: streamed %d classes, %d entries in %v (%d chunks, peak heap %d MiB, %.0f B/class)\n",
+		cfg.Classes, b.Entries, b.Duration, b.Stream.Chunks, b.PeakHeapBytes>>20, b.BytesPerClass)
+	sessions, err := harness.MeasureScaleSessions(cfg)
+	if err != nil {
+		return err
+	}
+	s := sessions[0]
+	wantRepub := (cfg.Edits + cfg.Batch - 1) / cfg.Batch
+	if s.Republishes != wantRepub {
+		return fmt.Errorf("bulk session republished %d times, want %d", s.Republishes, wantRepub)
+	}
+	if s.Carried == 0 {
+		return fmt.Errorf("bulk session carried no cells — warm carry did not engage")
+	}
+	fmt.Printf("scale smoke: %d edits in %d bulk republishes, %v total, last carry %d cells (%d invalidated)\n",
+		s.Edits, s.Republishes, s.Total, s.Carried, s.Invalidated)
+	return nil
+}
+
 func toStrategyResult(r testing.BenchmarkResult) strategyResult {
 	return strategyResult{
 		NsPerOp:     r.NsPerOp(),
@@ -449,6 +572,21 @@ func imageShape() familyShape {
 		var names []string
 		for _, s := range harness.ImageLoadStrategies() {
 			names = append(names, s.Name)
+		}
+		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+func scaleShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.ScaleConfigs() {
+		names := []string{"streamed-build", "bulk-carry"}
+		if cfg.BatchedBuild {
+			names = append(names, "batched-build")
+		}
+		if cfg.SerialProbe > 0 {
+			names = append(names, "serial-carry")
 		}
 		shape[cfg.Name] = names
 	}

@@ -115,6 +115,56 @@ func (s *Set) UnionWith(t *Set) bool {
 	return changed
 }
 
+// UnionInto ors every source set into dst in one word-major pass and
+// reports whether dst changed. It is the batch form of UnionWith for
+// the bulk-edit carry path: a batch of edits touching the same member
+// contributes one destination traversal total, not one per edit, and
+// each destination word is written at most once. All sets must share a
+// universe size. A nil source is skipped, so callers can pass
+// optionally-present cone sets without filtering first.
+func UnionInto(dst *Set, srcs ...*Set) bool {
+	changed := false
+	for _, t := range srcs {
+		if t == nil {
+			continue
+		}
+		dst.sameUniverse(t)
+	}
+	for i := range dst.words {
+		w := dst.words[i]
+		nw := w
+		for _, t := range srcs {
+			if t == nil {
+				continue
+			}
+			nw |= t.words[i]
+		}
+		if nw != w {
+			dst.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ClearWords zeroes the backing words in [lo, hi) — elements
+// [64·lo, 64·hi) leave the set. It is the range form of Clear used by
+// reusable chunk-local matrices (internal/core's streaming builder)
+// and by parallel cone zeroing, where each worker owns a disjoint word
+// range of one set. The range is clamped to the set's words, so
+// callers may pass hi = NumWords() of a conservatively sized peer.
+func (s *Set) ClearWords(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.words) {
+		hi = len(s.words)
+	}
+	for i := lo; i < hi; i++ {
+		s.words[i] = 0
+	}
+}
+
 // CountAnd returns |s ∩ t| without materialising the intersection —
 // the word-parallel "how many cached entries does this cone hit"
 // measure of the incremental invalidation path.

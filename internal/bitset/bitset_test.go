@@ -314,3 +314,151 @@ func TestMatrixRect(t *testing.T) {
 		t.Errorf("row universe = %d", m.Row(0).Len())
 	}
 }
+
+func TestUnionInto(t *testing.T) {
+	dst := New(300)
+	dst.Add(0)
+	dst.Add(299)
+	a, b, c := New(300), New(300), New(300)
+	a.Add(1)
+	a.Add(64)
+	b.Add(64)
+	b.Add(150)
+	c.Add(299) // already present
+	if !UnionInto(dst, a, b, nil, c) {
+		t.Error("UnionInto should report change")
+	}
+	for _, i := range []int{0, 1, 64, 150, 299} {
+		if !dst.Has(i) {
+			t.Errorf("union missing %d", i)
+		}
+	}
+	if got := dst.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if UnionInto(dst, a, b, c) {
+		t.Error("second UnionInto should report no change")
+	}
+	if UnionInto(dst) {
+		t.Error("UnionInto with no sources should report no change")
+	}
+	if UnionInto(dst, nil, nil) {
+		t.Error("UnionInto with nil sources should report no change")
+	}
+}
+
+func TestUnionIntoMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionInto with mismatched universes did not panic")
+		}
+	}()
+	UnionInto(New(64), New(64), New(65))
+}
+
+// Property: UnionInto(dst, s1..sk) membership equals the fold of
+// sequential UnionWith calls, and the changed report agrees.
+func TestQuickUnionIntoMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(400)
+		k := rng.Intn(5)
+		dst := New(n)
+		for i := 0; i < n/4; i++ {
+			dst.Add(rng.Intn(n))
+		}
+		srcs := make([]*Set, k)
+		for j := range srcs {
+			if rng.Intn(6) == 0 {
+				continue // leave a nil hole
+			}
+			s := New(n)
+			for i := 0; i < rng.Intn(n); i++ {
+				s.Add(rng.Intn(n))
+			}
+			srcs[j] = s
+		}
+		seq := dst.Clone()
+		seqChanged := false
+		for _, s := range srcs {
+			if s != nil && seq.UnionWith(s) {
+				seqChanged = true
+			}
+		}
+		if got := UnionInto(dst, srcs...); got != seqChanged {
+			t.Fatalf("iter %d: changed = %v, sequential = %v", iter, got, seqChanged)
+		}
+		if !dst.Equal(seq) {
+			t.Fatalf("iter %d: UnionInto diverges from sequential UnionWith", iter)
+		}
+	}
+}
+
+func TestClearWords(t *testing.T) {
+	s := New(300)
+	for i := 0; i < 300; i++ {
+		s.Add(i)
+	}
+	s.ClearWords(1, 3) // elements [64, 192)
+	for i := 0; i < 300; i++ {
+		want := i < 64 || i >= 192
+		if s.Has(i) != want {
+			t.Fatalf("Has(%d) = %v after ClearWords(1,3)", i, s.Has(i))
+		}
+	}
+	// Clamping: out-of-range bounds are safe no-ops at the edges.
+	s.ClearWords(-5, 100)
+	if !s.Empty() {
+		t.Error("ClearWords with clamped bounds should clear everything")
+	}
+	s.Add(0)
+	s.ClearWords(2, 1) // empty range
+	if !s.Has(0) {
+		t.Error("empty-range ClearWords should not modify the set")
+	}
+	s.ClearWords(0, s.NumWords())
+	if !s.Empty() {
+		t.Error("full-range ClearWords should equal Clear")
+	}
+}
+
+// Property: ClearWords(lo,hi) removes exactly the elements in
+// [64·lo, 64·hi) and nothing else.
+func TestQuickClearWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		model := map[int]bool{}
+		for i := 0; i < n/2; i++ {
+			x := rng.Intn(n)
+			s.Add(x)
+			model[x] = true
+		}
+		lo := rng.Intn(s.NumWords() + 1)
+		hi := rng.Intn(s.NumWords() + 2)
+		s.ClearWords(lo, hi)
+		for i := 0; i < n; i++ {
+			want := model[i] && !(i >= lo*64 && i < hi*64)
+			if s.Has(i) != want {
+				t.Fatalf("iter %d: Has(%d) = %v, want %v (lo=%d hi=%d)", iter, i, s.Has(i), want, lo, hi)
+			}
+		}
+	}
+}
+
+func BenchmarkUnionInto(b *testing.B) {
+	dst := New(1 << 17)
+	srcs := make([]*Set, 8)
+	for j := range srcs {
+		srcs[j] = New(1 << 17)
+		for i := j; i < 1<<17; i += 7 + j {
+			srcs[j].Add(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Clear()
+		UnionInto(dst, srcs...)
+	}
+}

@@ -2,8 +2,7 @@ package chg
 
 import (
 	"fmt"
-
-	"cpplookup/internal/bitset"
+	"sort"
 )
 
 // Builder accumulates classes, inheritance edges and member
@@ -170,34 +169,18 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, fmt.Errorf("chg: inheritance graph has a cycle through %s", b.cycleWitness(indeg))
 	}
 
-	// Closures, one pass in topological order (bases first):
-	//   Bases(D)        = ∪_{X ∈ direct(D)} Bases(X) ∪ {X}
-	//   VirtualBases(D) = ∪_{X ∈ direct(D)} VirtualBases(X)
-	//                     ∪ {X | edge X→D is virtual}
-	// The second recurrence is the paper's definition: X' is a virtual
-	// base of D iff some path X' → D begins with a virtual edge; any
-	// such path either is the single virtual edge X→D or factors
-	// through a direct base X with X' already a virtual base of X.
-	g.bases = bitset.NewMatrix(n)
-	g.virtuals = bitset.NewMatrix(n)
-	for _, d := range g.topo {
-		for _, e := range g.classes[d].bases {
-			g.bases.Set(int(d), int(e.Base))
-			g.bases.OrRow(int(d), int(e.Base))
-			g.virtuals.OrRow(int(d), int(e.Base))
-			if e.Kind == Virtual {
-				g.virtuals.Set(int(d), int(e.Base))
-			}
-		}
-	}
-	// Descendants closure: the transpose of bases. Row b is the set of
-	// classes that have b as a strict base — exactly the invalidation
-	// cone of an edit in b (lookup[D,m] can depend on a declaration in
-	// b only when b is an ancestor of D), and the reachability set the
-	// whole-hierarchy lint rules iterate.
-	g.descendants = bitset.NewMatrix(n)
-	for d := 0; d < n; d++ {
-		g.bases.Row(d).ForEach(func(b int) { g.descendants.Set(b, d) })
+	// Closures. At or below DenseClosureLimit the three dense matrices
+	// are materialized now, before the Graph escapes, so every accessor
+	// reads them without synchronization (byte-identical behavior to
+	// the original eager build). Above the limit only the sparse
+	// virtual-base lists are computed — the one closure the lookup
+	// kernel's hot path needs — and the matrices wait for their first
+	// accessor (see Graph.denseBases).
+	if n <= DenseClosureLimit {
+		g.closOnce.Do(g.materializeBaseClosures)
+		g.descOnce.Do(g.materializeDescendants)
+	} else {
+		g.vlists = buildVirtualLists(g)
 	}
 	// Builder must not be reused: the Graph owns the slices now.
 	b.classes = nil
@@ -213,6 +196,38 @@ func (b *Builder) MustBuild() *Graph {
 		panic(err)
 	}
 	return g
+}
+
+// buildVirtualLists runs the virtual-bases recurrence of
+// materializeBaseClosures over sorted per-class id lists instead of
+// dense rows: VirtualBases(D) = ∪_X direct(D) VirtualBases(X) ∪
+// {X | edge X→D virtual}. On realistic hierarchies the lists stay a
+// handful of entries long, so the whole closure is a few megabytes at
+// 100k classes where the dense matrix would be 1.25 GB.
+func buildVirtualLists(g *Graph) [][]ClassID {
+	vlists := make([][]ClassID, len(g.classes))
+	var scratch []ClassID
+	for _, d := range g.topo {
+		scratch = scratch[:0]
+		for _, e := range g.classes[d].bases {
+			scratch = append(scratch, vlists[e.Base]...)
+			if e.Kind == Virtual {
+				scratch = append(scratch, e.Base)
+			}
+		}
+		if len(scratch) == 0 {
+			continue
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		out := make([]ClassID, 0, len(scratch))
+		for i, c := range scratch {
+			if i == 0 || c != scratch[i-1] {
+				out = append(out, c)
+			}
+		}
+		vlists[d] = out
+	}
+	return vlists
 }
 
 func (b *Builder) internMember(name string) MemberID {

@@ -21,9 +21,21 @@ package chg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cpplookup/internal/bitset"
 )
+
+// DenseClosureLimit is the largest class count for which Build eagerly
+// materializes the three dense closure matrices (bases, virtual bases,
+// descendants). Each matrix costs n²/8 bytes — fine at the paper's
+// scale, but 1.25 GB apiece at 100k classes, and a streaming build
+// never reads two of them. Above the limit Build computes only the
+// per-class sorted virtual-base lists (the Lemma-4 dominance test's
+// input, which stays tiny on realistic hierarchies) and defers each
+// dense matrix to its first accessor. Tests lower this to force the
+// sparse path onto small fixtures.
+var DenseClosureLimit = 1 << 14
 
 // ClassID identifies a class in a Graph. IDs are dense: 0 … NumClasses-1.
 type ClassID int32
@@ -133,8 +145,100 @@ type Graph struct {
 	virtuals    *bitset.Matrix // row d: virtual bases of d
 	descendants *bitset.Matrix // row b: strict descendants of b (transpose of bases)
 
+	// Sparse-closure mode (NumClasses > DenseClosureLimit at Build
+	// time): vlists[d] is the sorted list of virtual bases of d, the
+	// matrices above start nil, and each materializes on first use via
+	// the sync.Onces. vlists itself is immutable after Build, so
+	// IsVirtualBase — the per-cell Lemma-4 probe — never touches a
+	// Once. In dense mode vlists is nil and Build runs both Onces
+	// before the Graph is published.
+	vlists   [][]ClassID
+	closOnce sync.Once // guards bases + virtuals
+	descOnce sync.Once // guards descendants (needs bases first)
+
 	numEdges        int
 	numVirtualEdges int
+}
+
+// SparseClosures reports whether the graph was built above
+// DenseClosureLimit: the dense closure matrices are materialized
+// lazily and the virtual-base test answers from sorted per-class
+// lists.
+func (g *Graph) SparseClosures() bool { return g.vlists != nil }
+
+// denseBases returns the bases closure matrix, materializing it (and
+// the virtual-bases matrix, which shares the same topo sweep) on first
+// use in sparse mode.
+func (g *Graph) denseBases() *bitset.Matrix {
+	g.closOnce.Do(g.materializeBaseClosures)
+	return g.bases
+}
+
+func (g *Graph) denseVirtuals() *bitset.Matrix {
+	g.closOnce.Do(g.materializeBaseClosures)
+	return g.virtuals
+}
+
+func (g *Graph) denseDescendants() *bitset.Matrix {
+	g.descOnce.Do(g.materializeDescendants)
+	return g.descendants
+}
+
+// materializeBaseClosures runs the two closure recurrences of
+// Builder.Build in one pass over the topological order:
+//
+//	Bases(D)        = ∪_{X ∈ direct(D)} Bases(X) ∪ {X}
+//	VirtualBases(D) = ∪_{X ∈ direct(D)} VirtualBases(X)
+//	                  ∪ {X | edge X→D is virtual}
+//
+// The second recurrence is the paper's definition: X' is a virtual
+// base of D iff some path X' → D begins with a virtual edge; any such
+// path either is the single virtual edge X→D or factors through a
+// direct base X with X' already a virtual base of X.
+func (g *Graph) materializeBaseClosures() {
+	n := len(g.classes)
+	bases := bitset.NewMatrix(n)
+	virtuals := bitset.NewMatrix(n)
+	for _, d := range g.topo {
+		for _, e := range g.classes[d].bases {
+			bases.Set(int(d), int(e.Base))
+			bases.OrRow(int(d), int(e.Base))
+			virtuals.OrRow(int(d), int(e.Base))
+			if e.Kind == Virtual {
+				virtuals.Set(int(d), int(e.Base))
+			}
+		}
+	}
+	g.bases, g.virtuals = bases, virtuals
+}
+
+// materializeDescendants transposes the bases closure: row b is the
+// set of classes that have b as a strict base — exactly the
+// invalidation cone of an edit in b (lookup[D,m] can depend on a
+// declaration in b only when b is an ancestor of D), and the
+// reachability set whole-hierarchy analyses iterate.
+func (g *Graph) materializeDescendants() {
+	db := g.denseBases()
+	n := len(g.classes)
+	desc := bitset.NewMatrix(n)
+	for d := 0; d < n; d++ {
+		db.Row(d).ForEach(func(b int) { desc.Set(b, d) })
+	}
+	g.descendants = desc
+}
+
+// containsClass reports membership in a sorted ClassID slice.
+func containsClass(xs []ClassID, c ClassID) bool {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(xs) && xs[lo] == c
 }
 
 // NumClasses returns |N|.
@@ -235,24 +339,29 @@ func (g *Graph) DeclaredMember(c ClassID, m MemberID) (Member, bool) {
 
 // IsBase reports whether b is a (strict, possibly indirect) base of d:
 // there is a nonempty CHG path b → d.
-func (g *Graph) IsBase(b, d ClassID) bool { return g.bases.Has(int(d), int(b)) }
+func (g *Graph) IsBase(b, d ClassID) bool { return g.denseBases().Has(int(d), int(b)) }
 
 // IsVirtualBase reports whether b is a virtual base of d: some path
-// b → d starts with a virtual edge.
+// b → d starts with a virtual edge. This is the constant-time Lemma-4
+// probe on the lookup hot path; in sparse-closure mode it answers from
+// the per-class sorted lists without ever materializing a matrix.
 func (g *Graph) IsVirtualBase(b, d ClassID) bool {
 	if b == Omega || d == Omega {
 		return false
+	}
+	if g.vlists != nil {
+		return containsClass(g.vlists[d], b)
 	}
 	return g.virtuals.Has(int(d), int(b))
 }
 
 // Bases returns the strict bases of d as a shared bit set (universe =
 // class ids). Do not modify.
-func (g *Graph) Bases(d ClassID) *bitset.Set { return g.bases.Row(int(d)) }
+func (g *Graph) Bases(d ClassID) *bitset.Set { return g.denseBases().Row(int(d)) }
 
 // VirtualBases returns the virtual bases of d as a shared bit set.
 // Do not modify.
-func (g *Graph) VirtualBases(d ClassID) *bitset.Set { return g.virtuals.Row(int(d)) }
+func (g *Graph) VirtualBases(d ClassID) *bitset.Set { return g.denseVirtuals().Row(int(d)) }
 
 // Descendants returns the strict descendants of b as a shared bit set
 // (universe = class ids): every class with b as a possibly-indirect
@@ -260,7 +369,7 @@ func (g *Graph) VirtualBases(d ClassID) *bitset.Set { return g.virtuals.Row(int(
 // invalidation cone of an edit to b's declarations, and the
 // reachability set whole-hierarchy analyses (chglint) iterate instead
 // of probing IsBase across all classes. Do not modify.
-func (g *Graph) Descendants(b ClassID) *bitset.Set { return g.descendants.Row(int(b)) }
+func (g *Graph) Descendants(b ClassID) *bitset.Set { return g.denseDescendants().Row(int(b)) }
 
 // Topo returns a topological order of the classes in which every base
 // precedes every class derived from it. Shared slice; do not modify.

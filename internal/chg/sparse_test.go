@@ -1,0 +1,132 @@
+package chg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomHierarchy builds a seeded DAG with mixed virtual/non-virtual
+// edges through fn twice — once per closure mode — so the two Graphs
+// are structurally identical.
+func randomHierarchy(seed int64, n int) func() *Graph {
+	return func() *Graph {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		ids := make([]ClassID, n)
+		for i := range ids {
+			ids[i] = b.Class("C" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)))
+		}
+		for i := 1; i < n; i++ {
+			nb := 1 + rng.Intn(3)
+			seen := map[ClassID]bool{}
+			for j := 0; j < nb; j++ {
+				base := ids[rng.Intn(i)]
+				if seen[base] {
+					continue
+				}
+				seen[base] = true
+				kind := NonVirtual
+				if rng.Intn(3) == 0 {
+					kind = Virtual
+				}
+				b.Base(ids[i], base, kind)
+			}
+		}
+		return b.MustBuild()
+	}
+}
+
+// TestSparseClosuresMatchDense pins the lazy sparse-closure mode
+// cell-for-cell against the eager dense build: every pairwise
+// IsBase/IsVirtualBase answer and every closure set must agree, and
+// the sparse graph must not have materialized a matrix just to answer
+// IsVirtualBase.
+func TestSparseClosuresMatchDense(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		mk := randomHierarchy(seed, 60)
+		dense := mk()
+		if dense.SparseClosures() {
+			t.Fatal("60-class graph unexpectedly sparse under default limit")
+		}
+
+		defer func(old int) { DenseClosureLimit = old }(DenseClosureLimit)
+		DenseClosureLimit = 8
+		sparse := mk()
+		DenseClosureLimit = 1 << 14
+		if !sparse.SparseClosures() {
+			t.Fatal("graph above lowered limit should be sparse")
+		}
+
+		n := dense.NumClasses()
+		// Phase 1: only IsVirtualBase — must not materialize anything.
+		for d := 0; d < n; d++ {
+			for b := 0; b < n; b++ {
+				got := sparse.IsVirtualBase(ClassID(b), ClassID(d))
+				want := dense.IsVirtualBase(ClassID(b), ClassID(d))
+				if got != want {
+					t.Fatalf("seed %d: IsVirtualBase(%d,%d) sparse=%v dense=%v", seed, b, d, got, want)
+				}
+			}
+		}
+		if sparse.bases != nil || sparse.virtuals != nil || sparse.descendants != nil {
+			t.Fatal("IsVirtualBase materialized a dense matrix in sparse mode")
+		}
+		if sparse.IsVirtualBase(Omega, 0) || sparse.IsVirtualBase(0, Omega) {
+			t.Fatal("Omega operand should never be a virtual base")
+		}
+
+		// Phase 2: the dense accessors materialize lazily and agree.
+		for d := 0; d < n; d++ {
+			for b := 0; b < n; b++ {
+				if got, want := sparse.IsBase(ClassID(b), ClassID(d)), dense.IsBase(ClassID(b), ClassID(d)); got != want {
+					t.Fatalf("seed %d: IsBase(%d,%d) sparse=%v dense=%v", seed, b, d, got, want)
+				}
+			}
+			if !sparse.Bases(ClassID(d)).Equal(dense.Bases(ClassID(d))) {
+				t.Fatalf("seed %d: Bases(%d) differ", seed, d)
+			}
+			if !sparse.VirtualBases(ClassID(d)).Equal(dense.VirtualBases(ClassID(d))) {
+				t.Fatalf("seed %d: VirtualBases(%d) differ", seed, d)
+			}
+			if !sparse.Descendants(ClassID(d)).Equal(dense.Descendants(ClassID(d))) {
+				t.Fatalf("seed %d: Descendants(%d) differ", seed, d)
+			}
+		}
+	}
+}
+
+// TestSparseClosuresConcurrentMaterialize hammers the lazy accessors
+// from many goroutines; under -race this checks the sync.Once gating.
+func TestSparseClosuresConcurrentMaterialize(t *testing.T) {
+	defer func(old int) { DenseClosureLimit = old }(DenseClosureLimit)
+	DenseClosureLimit = 8
+	g := randomHierarchy(5, 80)()
+	if !g.SparseClosures() {
+		t.Fatal("expected sparse mode")
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			ok := true
+			for i := 0; i < g.NumClasses(); i++ {
+				c := ClassID(i)
+				switch w % 4 {
+				case 0:
+					ok = ok && g.Bases(c).Count() >= 0
+				case 1:
+					ok = ok && g.Descendants(c).Count() >= 0
+				case 2:
+					ok = ok && !g.IsBase(c, c)
+				case 3:
+					_ = g.IsVirtualBase(c, ClassID((i+1)%g.NumClasses()))
+				}
+			}
+			done <- ok
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if !<-done {
+			t.Fatal("concurrent accessor reported impossible value")
+		}
+	}
+}

@@ -62,7 +62,7 @@ func (k *Kernel) BuildTableBatched(workers int) *Table {
 	if workers <= 1 {
 		sc := newBlockScratch(n)
 		for b := 0; b < nb; b++ {
-			k.fillBlock(t, mm, decl, b, sc)
+			k.fillBlock(t, mm, decl, b, sc, 0)
 		}
 		return t
 	}
@@ -78,7 +78,7 @@ func (k *Kernel) BuildTableBatched(workers int) *Table {
 				if b >= nb {
 					return
 				}
-				k.fillBlock(t, mm, decl, b, sc)
+				k.fillBlock(t, mm, decl, b, sc, 0)
 			}
 		}()
 	}
@@ -105,18 +105,22 @@ func newBlockScratch(n int) *blockScratch {
 // occupy a contiguous run of each class's sorted member list, the set
 // bits of the mask word map one-to-one onto consecutive result slots
 // starting at the run's lower bound — no per-member search.
-func (k *Kernel) fillBlock(t *Table, mm, decl *bitset.Matrix, b int, sc *blockScratch) {
+//
+// wordOff is the block index of mm/decl's first word: 0 when the
+// matrices cover the whole member universe (the batched build), b0
+// when they are a streaming chunk's window [64·b0, 64·b1).
+func (k *Kernel) fillBlock(t *Table, mm, decl *bitset.Matrix, b int, sc *blockScratch, wordOff int) {
 	g := k.g
 	n := g.NumClasses()
 	first := chg.MemberID(b * blockBits)
 	sc.touched = sc.touched[:0]
 	for _, c := range g.Topo() {
-		w := mm.Row(int(c)).Word(b)
+		w := mm.Row(int(c)).Word(b - wordOff)
 		if w == 0 {
 			continue
 		}
 		sc.touched = append(sc.touched, c)
-		dw := decl.Row(int(c)).Word(b)
+		dw := decl.Row(int(c)).Word(b - wordOff)
 		bases := g.DirectBases(c)
 		rs := t.results[c]
 		idx := memberLowerBound(t.members[c], first)
@@ -145,7 +149,7 @@ func (k *Kernel) fillBlock(t *Table, mm, decl *bitset.Matrix, b int, sc *blockSc
 	// Sparse clear: only the cells this block wrote, found by replaying
 	// the nonzero masks — O(entries filled), not O(64·|N|).
 	for _, c := range sc.touched {
-		w := mm.Row(int(c)).Word(b)
+		w := mm.Row(int(c)).Word(b - wordOff)
 		for ; w != 0; w &= w - 1 {
 			j := bits.TrailingZeros64(w)
 			sc.cols[j*n+int(c)] = 0

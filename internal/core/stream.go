@@ -1,0 +1,281 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpplookup/internal/bitset"
+	"cpplookup/internal/chg"
+)
+
+// Streaming table construction: the batched build of Figure 8 with a
+// bounded working set.
+//
+// BuildTableBatched materializes the full classes × member-names
+// membership and declaration matrices before filling a single entry —
+// 2·|N|·|M|/8 bytes of transient bits, which is 2.5 GB at 100k classes
+// × 100k member names and dwarfs the table it is building. The
+// streaming build slices the member universe into chunks of whole
+// 64-member blocks sized to a caller-set memory budget, and for each
+// chunk (1) re-runs the lines [6]–[9] membership sweep restricted to
+// the chunk's column window, reusing one pair of chunk-wide matrices
+// across all chunks, (2) extends each class's member list and result
+// row (chunks ascend by member id, so the lists stay sorted), and
+// (3) fills the chunk's blocks through the same fillBlock walk the
+// batched build uses, with the block index offset into the chunk
+// window. The recurrence Members[C] = M[C] ∪ ⋃ Members[X] is
+// column-independent, so restricting it to a window is exact, and the
+// total sweep cost across all chunks equals the monolithic sweep
+// (each edge ors the same number of words either way) — the budget
+// buys flat memory, not extra asymptotic work.
+
+// DefaultStreamBudget is the working-set budget BuildTableStreamed
+// uses when StreamOptions.MemoryBudget is unset: enough for ~250
+// blocks of chunk matrices at 100k classes after one worker's scratch.
+const DefaultStreamBudget int64 = 64 << 20
+
+// StreamOptions configures a streaming table build.
+type StreamOptions struct {
+	// Workers is the fill parallelism (≤ 0 means GOMAXPROCS). The
+	// membership sweeps are serial either way — they are a small
+	// fraction of build time.
+	Workers int
+	// MemoryBudget caps the transient working set in bytes: the chunk
+	// matrices plus all worker scratch columns (≤ 0 means
+	// DefaultStreamBudget). The chunk width is derived from it. The
+	// floor is one 64-member block and one worker — a budget below
+	// ~592 bytes/class is exceeded rather than made infeasible, and
+	// StreamStats.WorkingSetBytes reports the overrun.
+	MemoryBudget int64
+}
+
+// StreamStats reports what a streaming build did, per phase.
+type StreamStats struct {
+	Classes int // |N|
+	Members int // |M| (member-name universe)
+	Entries int // Σ|Members[C]| — table entries filled
+	Blocks  int // ⌈|M|/64⌉ member blocks total
+
+	Chunks      int // windows the member universe was sliced into
+	ChunkBlocks int // blocks per full chunk (working-set width)
+	Workers     int // fill workers used
+
+	BudgetBytes     int64 // the configured (or default) budget
+	WorkingSetBytes int64 // chunk matrices + worker scratch actually held
+
+	SweepTime time.Duration // total membership-sweep (+ list append) time
+	FillTime  time.Duration // total block-fill time
+}
+
+// BuildTableStreamed builds the same table as BuildTableBatched —
+// cell-for-cell, over the same pool — holding only a budget-bounded
+// slice of the membership matrices at a time.
+func (k *Kernel) BuildTableStreamed(opts StreamOptions) (*Table, StreamStats) {
+	return buildStreamed(k, opts)
+}
+
+// BuildSemTableStreamed is the streaming form of BuildSemTable: any
+// backend's whole table, built chunk-by-chunk under the same memory
+// budget. Dominance kernels fill through the word-batched block walk;
+// ClassResolver backends (C3, gxx) resolve each class's chunk-window
+// members in one call; any other backend falls back to a chunked
+// topological walk over Resolve.
+func BuildSemTableStreamed(s Semantics, opts StreamOptions) (*Table, StreamStats) {
+	return buildStreamed(s, opts)
+}
+
+func buildStreamed(s Semantics, opts StreamOptions) (*Table, StreamStats) {
+	g := s.Graph()
+	n := g.NumClasses()
+	t := &Table{
+		g:       g,
+		pool:    s.Pool(),
+		members: make([][]chg.MemberID, n),
+		results: make([][]Cell, n),
+	}
+	nb := (g.NumMemberNames() + blockBits - 1) / blockBits
+	stats := StreamStats{Classes: n, Members: g.NumMemberNames(), Blocks: nb}
+	if nb == 0 || n == 0 {
+		return t, stats
+	}
+
+	k, isKernel := s.(*Kernel)
+	cr, isCR := s.(ClassResolver)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nb {
+		workers = nb
+	}
+	budget := opts.MemoryBudget
+	if budget <= 0 {
+		budget = DefaultStreamBudget
+	}
+	// Bytes per chunk block: one word-column of each of the two
+	// matrices across all classes. Kernel scratch: 64 Cell columns per
+	// worker. Prefer shrinking the worker count over busting the
+	// budget when scratch alone would.
+	perBlock := int64(2 * 8 * n)
+	var perWorker int64
+	if isKernel {
+		perWorker = int64(blockBits * 8 * n)
+		for workers > 1 && int64(workers)*perWorker+perBlock > budget {
+			workers--
+		}
+	}
+	cb := int((budget - int64(workers)*perWorker) / perBlock)
+	if cb < 1 {
+		cb = 1
+	}
+	if cb > nb {
+		cb = nb
+	}
+	stats.ChunkBlocks = cb
+	stats.Workers = workers
+	stats.BudgetBytes = budget
+	stats.WorkingSetBytes = int64(cb)*perBlock + int64(workers)*perWorker
+
+	chunkBits := cb * blockBits
+	mm := bitset.NewMatrixRect(n, chunkBits)
+	decl := bitset.NewMatrixRect(n, chunkBits)
+	declIDs := sortedDeclIDs(g)
+	prevLen := make([]int, n)
+	zeros := make([]Cell, chunkBits)
+	var scs []*blockScratch
+	if isKernel {
+		scs = make([]*blockScratch, workers)
+		for i := range scs {
+			scs[i] = newBlockScratch(n)
+		}
+	}
+
+	for b0 := 0; b0 < nb; b0 += cb {
+		b1 := b0 + cb
+		if b1 > nb {
+			b1 = nb
+		}
+		firstID := chg.MemberID(b0 * blockBits)
+		lastID := chg.MemberID(b1 * blockBits)
+		start := time.Now()
+
+		// Window-restricted membership sweep. Full-row clears (not
+		// just the window's words) keep the final, narrower chunk from
+		// reading the previous chunk's bits out of the reused rows.
+		for _, c := range g.Topo() {
+			drow := decl.Row(int(c))
+			row := mm.Row(int(c))
+			drow.ClearWords(0, drow.NumWords())
+			row.ClearWords(0, row.NumWords())
+			ids := declIDs[c]
+			for _, id := range ids[memberLowerBound(ids, firstID):] {
+				if id >= lastID {
+					break
+				}
+				drow.Add(int(id - firstID))
+			}
+			row.UnionWith(drow)
+			for _, e := range g.DirectBases(c) {
+				row.UnionWith(mm.Row(int(e.Base)))
+			}
+		}
+		// Extend the member lists and result rows with this window's
+		// entries. Windows ascend by member id, so appending keeps
+		// each class's list sorted.
+		for c := 0; c < n; c++ {
+			prevLen[c] = len(t.members[c])
+			cnt := 0
+			mm.Row(c).ForEach(func(i int) {
+				t.members[c] = append(t.members[c], firstID+chg.MemberID(i))
+				cnt++
+			})
+			if cnt > 0 {
+				t.results[c] = append(t.results[c], zeros[:cnt]...)
+				stats.Entries += cnt
+			}
+		}
+		stats.SweepTime += time.Since(start)
+
+		start = time.Now()
+		switch {
+		case isKernel:
+			fillChunkBlocks(k, t, mm, decl, b0, b1, workers, scs)
+		case isCR:
+			semParallelFor(n, workers, func(i int) {
+				ms := t.members[i][prevLen[i]:]
+				if len(ms) == 0 {
+					return
+				}
+				cr.ResolveClass(chg.ClassID(i), ms, t.results[i][prevLen[i]:])
+			})
+		default:
+			for _, c := range g.Topo() {
+				ms := t.members[c][prevLen[c]:]
+				rs := t.results[c][prevLen[c]:]
+				for i, m := range ms {
+					rs[i] = s.Resolve(c, m, func(x chg.ClassID) Result { return t.Lookup(x, m) }).Cell()
+				}
+			}
+		}
+		stats.FillTime += time.Since(start)
+		stats.Chunks++
+	}
+	return t, stats
+}
+
+// fillChunkBlocks runs the batched block fill over the chunk's block
+// range [b0, b1), stealing blocks from an atomic counter exactly like
+// BuildTableBatched, against window-offset matrices.
+func fillChunkBlocks(k *Kernel, t *Table, mm, decl *bitset.Matrix, b0, b1, workers int, scs []*blockScratch) {
+	if workers > b1-b0 {
+		workers = b1 - b0
+	}
+	if workers <= 1 {
+		for b := b0; b < b1; b++ {
+			k.fillBlock(t, mm, decl, b, scs[0], b0)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(int64(b0))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sc *blockScratch) {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= b1 {
+					return
+				}
+				k.fillBlock(t, mm, decl, b, sc, b0)
+			}
+		}(scs[w])
+	}
+	wg.Wait()
+}
+
+// sortedDeclIDs returns each class's directly declared member ids in
+// ascending order — the per-window declaration source the streaming
+// sweep binary-searches instead of re-walking DeclaredMembers per
+// chunk.
+func sortedDeclIDs(g *chg.Graph) [][]chg.MemberID {
+	out := make([][]chg.MemberID, g.NumClasses())
+	for c := range out {
+		mems := g.DeclaredMembers(chg.ClassID(c))
+		if len(mems) == 0 {
+			continue
+		}
+		ids := make([]chg.MemberID, len(mems))
+		for i, m := range mems {
+			ids[i] = g.MustMemberID(m.Name)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[c] = ids
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"cpplookup/internal/bitset"
@@ -36,6 +38,17 @@ var (
 	}
 )
 
+// carryParallelFloor gates the parallel carry path: columns below this
+// many cells are copied and cone-cleared serially — goroutine fan-out
+// costs more than the work there. A var so tests can force the
+// parallel path onto small snapshots.
+var carryParallelFloor = 1 << 20
+
+// carryCopyStripe is the class-range granule workers steal during the
+// parallel bulk copy: big enough to amortize the counter bump, small
+// enough to balance uneven row costs.
+const carryCopyStripe = 1024
+
 // ConeEntry is one member name's invalidation cone, as computed by
 // incremental.Workspace.InvalidationConeSince: the classes whose
 // entries for Member may have changed since the predecessor snapshot.
@@ -65,6 +78,11 @@ type CarryStats struct {
 	// Columns reports the per-backend carry of every extra semantics
 	// column, in column order; nil for dominance-only snapshots.
 	Columns []ColumnCarry
+
+	// Workers is the parallelism the carry ran at: 1 for the serial
+	// path (small snapshots or SetCarryWorkers(1)), the work-stealing
+	// worker count otherwise.
+	Workers int
 }
 
 // ColumnCarry is one backend column's share of a warm carry.
@@ -102,7 +120,7 @@ func (e *Engine) UpdateCarried(name string, g *chg.Graph, cone []ConeEntry) (*Sn
 		return nil, fmt.Errorf("engine: hierarchy %q is not registered", name)
 	}
 	ent.version++
-	if snap, ok := carriedSnapshot(name, ent.version, g, ent.opts, ent.snap, cone); ok {
+	if snap, ok := carriedSnapshot(name, ent.version, g, ent.opts, ent.snap, cone, e.carryWorkers); ok {
 		ent.snap = snap
 	} else {
 		snap, err := newSnapshot(name, ent.version, core.NewKernel(g, ent.opts...))
@@ -149,58 +167,66 @@ func carryCompatible(old, new *chg.Graph) bool {
 }
 
 // carriedSnapshot builds the successor snapshot seeded from prev, or
-// reports ok=false when the graphs are not carry-compatible.
-func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Option, prev *Snapshot, cone []ConeEntry) (*Snapshot, bool) {
+// reports ok=false when the graphs are not carry-compatible. workers
+// caps the parallel copy/clear fan-out (≤ 0 means GOMAXPROCS); small
+// columns stay serial regardless.
+func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Option, prev *Snapshot, cone []ConeEntry, workers int) (*Snapshot, bool) {
 	if prev == nil || !carryCompatible(prev.Graph(), g) {
 		return nil, false
 	}
 	oldN, oldM := prev.Graph().NumClasses(), prev.numMembers
 	newM := g.NumMemberNames()
 
-	// Validate the cone's member ids once, up front.
+	// Validate the cone's member ids once, up front, and note whether
+	// the members are pairwise distinct: distinct members touch
+	// disjoint cells, the disjointness the parallel clear relies on.
+	// InvalidationConeSince emits one entry per member, so serving
+	// syncs always parallelize; a hand-built overlapping cone falls
+	// back to the serial clear.
+	distinctMembers := true
+	seenMember := make(map[chg.MemberID]bool, len(cone))
 	for _, ce := range cone {
 		if m := int(ce.Member); m < 0 || m >= newM {
 			return nil, false
 		}
+		if seenMember[ce.Member] {
+			distinctMembers = false
+		}
+		seenMember[ce.Member] = true
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	// Stage the carried cells directly in the successor's slices with
 	// plain stores: the snapshot is not published yet, so no other
 	// goroutine can observe it, and publication through the engine
-	// mutex orders these writes before any reader's first load. The
-	// predecessor is still live (its readers may be filling misses
-	// concurrently), so its side is read atomically.
+	// mutex orders these writes before any reader's first load (worker
+	// goroutines finish before carriedSnapshot returns, so their
+	// writes are ordered too). The predecessor is still live (its
+	// readers may be filling misses concurrently), so its side is read
+	// atomically.
 	//
 	// The same invalidation cone clears every backend column: all
 	// served semantics — dominance, C3, gxx — decide lookup[C,m] from
 	// the declarations over C's base closure only (carry compatibility
 	// pins the closure's edges), so an edit at (X, m) can change
 	// exactly ({X} ∪ descendants(X)) × {m} entries under each of them.
+	colWorkers := 1
+	if total := g.NumClasses() * newM; workers > 1 && total >= carryParallelFloor {
+		colWorkers = workers
+	}
 	carryColumn := func(src []uint64) (cells []uint64, carried, invalidated int) {
 		cells = make([]uint64, g.NumClasses()*newM)
-		for c := 0; c < oldN; c++ {
-			srow, dst := src[c*oldM:(c+1)*oldM], cells[c*newM:]
-			for m := range srow {
-				if w := atomic.LoadUint64(&srow[m]); w != 0 {
-					dst[m] = w
-					carried++
-				}
-			}
+		if colWorkers > 1 {
+			carried = carryCopyStriped(src, cells, oldN, oldM, newM, colWorkers)
+		} else {
+			carried = carryCopySerial(src, cells, oldN, oldM, newM)
 		}
-		for _, ce := range cone {
-			m := int(ce.Member)
-			if m >= oldM || ce.Classes == nil {
-				continue
-			}
-			ce.Classes.ForEach(func(c int) {
-				if c >= oldN {
-					return
-				}
-				if i := c*newM + m; cells[i] != 0 {
-					cells[i] = 0
-					invalidated++
-				}
-			})
+		if colWorkers > 1 && distinctMembers && len(cone) > 1 {
+			invalidated = coneClearStriped(cells, cone, oldN, newM, colWorkers)
+		} else {
+			invalidated = coneClearSerial(cells, cone, oldN, oldM, newM)
 		}
 		carried -= invalidated
 		return cells, carried, invalidated
@@ -225,7 +251,7 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 	// growth) plus cone-cleared cells — cannot have reached the
 	// compaction floor; steady-state serving republishes pay nothing.
 	pool := prev.pool
-	stats := CarryStats{Carried: carried, Invalidated: invalidated, PoolShared: true, Columns: colStats}
+	stats := CarryStats{Carried: carried, Invalidated: invalidated, PoolShared: true, Columns: colStats, Workers: colWorkers}
 	weighedLen, invalSince := prev.poolWeighedLen, prev.invalSinceWeigh+totalInvalidated
 	if pool.Len()-weighedLen+invalSince >= carryCompactMinGarbage {
 		// Weigh (and, if compacting, migrate) across the primary cells
@@ -284,4 +310,129 @@ func carriedSnapshot(name string, version uint64, g *chg.Graph, opts []core.Opti
 		poolWeighedLen:  weighedLen,
 		invalSinceWeigh: invalSince,
 	}, true
+}
+
+// carryCopySerial copies every nonzero predecessor cell into the
+// successor column (rows re-strided from oldM to newM words) and
+// returns the count. Source reads are atomic — the predecessor is
+// still serving.
+func carryCopySerial(src, cells []uint64, oldN, oldM, newM int) int {
+	carried := 0
+	for c := 0; c < oldN; c++ {
+		srow, dst := src[c*oldM:(c+1)*oldM], cells[c*newM:]
+		for m := range srow {
+			if w := atomic.LoadUint64(&srow[m]); w != 0 {
+				dst[m] = w
+				carried++
+			}
+		}
+	}
+	return carried
+}
+
+// carryCopyStriped is carryCopySerial fanned out over workers stealing
+// carryCopyStripe-sized class ranges from an atomic counter. Rows are
+// partitioned by class, so workers write disjoint cells.
+func carryCopyStriped(src, cells []uint64, oldN, oldM, newM, workers int) int {
+	var next, carried atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for {
+				c0 := int(next.Add(carryCopyStripe)) - carryCopyStripe
+				if c0 >= oldN {
+					break
+				}
+				c1 := c0 + carryCopyStripe
+				if c1 > oldN {
+					c1 = oldN
+				}
+				for c := c0; c < c1; c++ {
+					srow, dst := src[c*oldM:(c+1)*oldM], cells[c*newM:]
+					for m := range srow {
+						if w := atomic.LoadUint64(&srow[m]); w != 0 {
+							dst[m] = w
+							local++
+						}
+					}
+				}
+			}
+			carried.Add(int64(local))
+		}()
+	}
+	wg.Wait()
+	return int(carried.Load())
+}
+
+// coneClearSerial zeroes the invalidation cone — for each entry, the
+// member's cells at every cone class — and returns how many live cells
+// it cleared.
+func coneClearSerial(cells []uint64, cone []ConeEntry, oldN, oldM, newM int) int {
+	invalidated := 0
+	for _, ce := range cone {
+		m := int(ce.Member)
+		if m >= oldM || ce.Classes == nil {
+			continue
+		}
+		ce.Classes.ForEach(func(c int) {
+			if c >= oldN {
+				return
+			}
+			if i := c*newM + m; cells[i] != 0 {
+				cells[i] = 0
+				invalidated++
+			}
+		})
+	}
+	return invalidated
+}
+
+// coneClearStriped zeroes the cone with workers stealing whole entries
+// from an atomic counter: a bulk edit batch arrives as one entry per
+// edited member (InvalidationConeSince unions the batch's cones per
+// member first), and distinct members own disjoint cells, so entries
+// parallelize without coordination. The caller guarantees member
+// distinctness. Entries whose member the predecessor didn't know
+// (ce.Member ≥ oldM) still clear nothing of value — the copy never
+// wrote those cells — but walking them is harmless, so no oldM guard
+// is needed beyond the class bound.
+func coneClearStriped(cells []uint64, cone []ConeEntry, oldN, newM, workers int) int {
+	var next, invalidated atomic.Int64
+	var wg sync.WaitGroup
+	if workers > len(cone) {
+		workers = len(cone)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cone) {
+					break
+				}
+				ce := cone[i]
+				if ce.Classes == nil {
+					continue
+				}
+				m := int(ce.Member)
+				ce.Classes.ForEach(func(c int) {
+					if c >= oldN {
+						return
+					}
+					if j := c*newM + m; cells[j] != 0 {
+						cells[j] = 0
+						local++
+					}
+				})
+			}
+			invalidated.Add(int64(local))
+		}()
+	}
+	wg.Wait()
+	return int(invalidated.Load())
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"cpplookup/internal/bitset"
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/incremental"
@@ -322,4 +323,87 @@ func TestSyncRepublishCarryStress(t *testing.T) {
 	close(stop)
 	wg.Wait()
 	diffAgainstColdBuild(t, "final", snap, opts)
+}
+
+// The parallel carry path (striped copy + per-entry cone clear) must be
+// cell-for-cell identical to the serial path. carryParallelFloor is
+// forced down so small snapshots take the striped code; run under -race
+// to catch stripe overlap.
+func TestParallelCarryMatchesSerial(t *testing.T) {
+	defer func(old int) { carryParallelFloor = old }(carryParallelFloor)
+	carryParallelFloor = 1
+
+	for _, workers := range []int{1, 2, 5} {
+		rng := rand.New(rand.NewSource(int64(workers) * 777))
+		w, ids := randomEditableWorkspace(rng, 40)
+		names := []string{"m0", "m1", "m2", "m3", "m4"}
+		for i := 0; i < 30; i++ {
+			randomMemberEdit(rng, w, ids, names)
+		}
+		e := New()
+		e.SetCarryWorkers(workers)
+		b, snap, err := e.BindWorkspace("par", w, core.WithStaticRule())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 6; round++ {
+			warmSnapshot(snap)
+			for k := rng.Intn(4) + 1; k > 0; k-- {
+				randomMemberEdit(rng, w, ids, names)
+			}
+			snap, err = b.Sync()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := snap.Carry()
+			if workers > 1 && st.Workers < 2 {
+				t.Fatalf("workers=%d round %d: parallel path not taken, stats %+v", workers, round, st)
+			}
+			diffAgainstColdBuild(t, fmt.Sprintf("workers=%d round %d", workers, round), snap, []core.Option{core.WithStaticRule()})
+		}
+	}
+}
+
+// A hand-built cone with duplicate members must force the serial clear
+// (overlapping columns are not safe to stripe) and still be exact.
+func TestCarryDuplicateMemberConeServedSerially(t *testing.T) {
+	defer func(old int) { carryParallelFloor = old }(carryParallelFloor)
+	carryParallelFloor = 1
+
+	bld := chg.NewBuilder()
+	a := bld.Class("A")
+	bld.Method(a, "m")
+	c := bld.Class("C")
+	bld.Base(c, a, chg.NonVirtual)
+	g1 := bld.MustBuild()
+
+	bld2 := chg.NewBuilder()
+	a2 := bld2.Class("A")
+	bld2.Method(a2, "m")
+	c2 := bld2.Class("C")
+	bld2.Base(c2, a2, chg.NonVirtual)
+	bld2.Method(c2, "m")
+	g2 := bld2.MustBuild()
+
+	e := New()
+	e.SetCarryWorkers(4)
+	snap, err := e.Register("dup", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSnapshot(snap)
+	cone := bitset.New(g2.NumClasses())
+	cone.Add(int(c2))
+	dup := []ConeEntry{
+		{Member: 0, Classes: cone},
+		{Member: 0, Classes: cone}, // duplicate member: clear must go serial
+	}
+	snap2, err := e.UpdateCarried("dup", g2, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := snap2.Lookup(c2, 0); r.Def().L != c2 {
+		t.Fatalf("post-edit lookup = %v, want def at C", r)
+	}
+	diffAgainstColdBuild(t, "dup-cone", snap2, nil)
 }

@@ -41,6 +41,7 @@ func All() []Experiment {
 		{"E16", "Extension: resolution backends — dominance, C3/MRO, gxx through one cache path", RunE16},
 		{"E17", "Extension: cone-scoped incremental lint vs full re-analysis", RunE17},
 		{"E18", "Extension: zero-copy snapshot images — mmap warm start vs cold rebuild vs gob decode", RunE18},
+		{"E19", "Extension: 100k-class scale — streaming build and bulk-edit cone carry", RunE19},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

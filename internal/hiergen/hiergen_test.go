@@ -1,6 +1,7 @@
 package hiergen
 
 import (
+	"fmt"
 	"testing"
 
 	"cpplookup/internal/chg"
@@ -221,4 +222,75 @@ func TestSparseMembersShape(t *testing.T) {
 			t.Errorf("clamped member %d declared %d times, want 3", m, n)
 		}
 	}
+}
+
+// Giant must be deterministic, hit its class budget exactly, keep the
+// declaration budget bounded, and produce the advertised shape: a fat
+// interface layer, virtual edges, deep towers, and a power-law member
+// distribution (hot heads declared in many classes).
+func TestGiantShape(t *testing.T) {
+	cfg := GiantDefaults(3000)
+	g := Giant(cfg)
+	g2 := Giant(cfg)
+	if g.NumClasses() != cfg.Classes {
+		t.Fatalf("classes = %d, want %d", g.NumClasses(), cfg.Classes)
+	}
+	if g2.NumClasses() != g.NumClasses() || g2.NumMemberNames() != g.NumMemberNames() {
+		t.Fatal("Giant is not deterministic across calls")
+	}
+	decls, virt, maxBases := 0, 0, 0
+	declsPer := make([]int, g.NumMemberNames())
+	for c := 0; c < g.NumClasses(); c++ {
+		id := chg.ClassID(c)
+		ms := g.DeclaredMembers(id)
+		decls += len(ms)
+		for _, m := range as(ms) {
+			declsPer[m]++
+		}
+		bs := g.DirectBases(id)
+		if len(bs) > maxBases {
+			maxBases = len(bs)
+		}
+		for _, e := range bs {
+			if e.Base >= id {
+				t.Fatalf("class %d derives from later class %d", c, e.Base)
+			}
+			if e.Kind == chg.Virtual {
+				virt++
+			}
+		}
+	}
+	if bound := cfg.Interfaces*cfg.FatWidth + cfg.Decls; decls > bound {
+		t.Fatalf("decls = %d exceeds bound %d", decls, bound)
+	}
+	if virt == 0 {
+		t.Fatal("no virtual edges generated")
+	}
+	// Power law: the hottest name must be declared in far more classes
+	// than the median (Zipf head vs tail).
+	hot := 0
+	for _, d := range declsPer {
+		if d > hot {
+			hot = d
+		}
+	}
+	if hot < 20 {
+		t.Fatalf("hottest member declared in only %d classes; distribution not power-law", hot)
+	}
+	// Deterministic ids: member m17 must be id 17 (pre-interning).
+	if id, ok := g.MemberID("m17"); !ok || id != 17 {
+		t.Fatalf("member id drift: m17 -> %d, %v", id, ok)
+	}
+}
+
+// as maps declared members to their ids via the graph-independent name
+// convention m<k>.
+func as(ms []chg.Member) []int {
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		var k int
+		fmt.Sscanf(m.Name, "m%d", &k)
+		out[i] = k
+	}
+	return out
 }

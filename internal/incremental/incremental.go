@@ -77,6 +77,16 @@ var (
 	poolCompactMinGarbage = 128
 )
 
+// LazyConeLimit is the class count past which a workspace stops
+// maintaining dense per-class ancestor/descendant bitsets — 2·n²/64
+// words, ~2.5 GB at 100k classes, quadratic against the linear table
+// it guards — and switches to computing invalidation cones on demand
+// with a BFS over the derived lists. The BFS costs O(|cone| · degree)
+// per edit instead of O(n/64) words, which at scale is far smaller:
+// real cones are tiny fractions of the hierarchy. Crossing the limit
+// frees the dense sets; a var so tests can force either mode.
+var LazyConeLimit = 1 << 14
+
 // EditKind discriminates the logged hierarchy edits. Consumers that
 // maintain derived state per edit kind (e.g. a lint session deciding
 // which rule footprints to re-run) read these off EditsSince.
@@ -146,9 +156,15 @@ type Workspace struct {
 	// anc[D] = ∪ (anc[B] ∪ {B}) over direct bases B and adds D to
 	// desc[a] for each ancestor a. desc[X] is exactly the paper-given
 	// invalidation cone of an edit in X (minus X itself).
-	univ int
-	anc  []*bitset.Set
-	desc []*bitset.Set
+	// Past LazyConeLimit classes, lazy flips on: anc/desc are freed
+	// and cones are computed per edit by coneFrom's BFS over derived,
+	// reusing coneScratch and bfsQueue across edits.
+	univ        int
+	anc         []*bitset.Set
+	desc        []*bitset.Set
+	lazy        bool
+	coneScratch *bitset.Set
+	bfsQueue    []chg.ClassID
 
 	// The result cache: cols[m] is a packed-cell column indexed by
 	// class id, filled[m] the set of classes whose entry is valid.
@@ -228,12 +244,26 @@ func (w *Workspace) ID(name string) (chg.ClassID, bool) {
 	return id, ok
 }
 
-// Descendants returns the strict descendants of c as a shared bit set
-// over the workspace's internal universe (capacity ≥ NumClasses; only
-// valid class ids are ever set). Do not modify. The set is maintained
-// incrementally by AddClass and stays live-updated as classes are
-// added.
-func (w *Workspace) Descendants(c chg.ClassID) *bitset.Set { return w.desc[c] }
+// Descendants returns the strict descendants of c as a bit set over
+// the workspace's internal universe (capacity ≥ NumClasses; only
+// valid class ids are ever set). Below LazyConeLimit the set is the
+// incrementally maintained shared one — do not modify, it stays
+// live-updated as classes are added. Past the limit each call BFSes
+// the derived lists into a fresh set the caller owns.
+func (w *Workspace) Descendants(c chg.ClassID) *bitset.Set {
+	if w.lazy {
+		s := bitset.New(w.univ)
+		w.coneFrom(s, c)
+		s.Remove(int(c))
+		return s
+	}
+	return w.desc[c]
+}
+
+// LazyCones reports whether the workspace has crossed LazyConeLimit
+// and computes invalidation cones on demand instead of holding dense
+// descendant sets.
+func (w *Workspace) LazyCones() bool { return w.lazy }
 
 // ensureUniv grows the shared bitset universe (and every structure
 // indexed by class id over it) to hold at least n classes. Doubling
@@ -267,6 +297,9 @@ func (w *Workspace) ensureUniv(n int) {
 			w.cols[m] = nc
 		}
 	}
+	if w.coneScratch != nil {
+		w.coneScratch.Grow(nu)
+	}
 	w.univ = nu
 }
 
@@ -299,7 +332,10 @@ func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error)
 	w.byName[name] = id
 	w.ensureUniv(len(w.names))
 	vb := map[chg.ClassID]bool{}
-	a := bitset.New(w.univ)
+	var a *bitset.Set
+	if !w.lazy {
+		a = bitset.New(w.univ)
+	}
 	var edges []chg.Edge
 	for _, b := range bases {
 		kind := chg.NonVirtual
@@ -312,19 +348,64 @@ func (w *Workspace) AddClass(name string, bases []BaseDecl) (chg.ClassID, error)
 			vb[v] = true
 		}
 		w.derived[b.Class] = append(w.derived[b.Class], id)
-		a.Add(int(b.Class))
-		a.UnionWith(w.anc[b.Class])
+		if a != nil {
+			a.Add(int(b.Class))
+			a.UnionWith(w.anc[b.Class])
+		}
 	}
 	w.bases = append(w.bases, edges)
 	w.derived = append(w.derived, nil)
 	w.members = append(w.members, map[chg.MemberID]chg.Member{})
 	w.vbases = append(w.vbases, vb)
-	w.anc = append(w.anc, a)
-	w.desc = append(w.desc, bitset.New(w.univ))
-	a.ForEach(func(anc int) { w.desc[anc].Add(int(id)) })
+	if a != nil {
+		w.anc = append(w.anc, a)
+		w.desc = append(w.desc, bitset.New(w.univ))
+		a.ForEach(func(anc int) { w.desc[anc].Add(int(id)) })
+		if len(w.names) > LazyConeLimit {
+			// Crossing the limit: drop the quadratic dense sets and
+			// answer every later cone by BFS. Derived lists (already
+			// maintained) are the only structure the BFS needs.
+			w.lazy = true
+			w.anc, w.desc = nil, nil
+		}
+	}
 	w.logEdit(EditAddClass, id, 0)
 	w.edited()
 	return id, nil
+}
+
+// coneFrom unions {seeds} ∪ descendants(seeds) into out: an iterative
+// BFS over the derived lists, with out doubling as the visited set.
+// The queue is reused across calls.
+func (w *Workspace) coneFrom(out *bitset.Set, seeds ...chg.ClassID) {
+	q := w.bfsQueue[:0]
+	for _, s := range seeds {
+		if !out.Has(int(s)) {
+			out.Add(int(s))
+			q = append(q, s)
+		}
+	}
+	for len(q) > 0 {
+		c := q[len(q)-1]
+		q = q[:len(q)-1]
+		for _, d := range w.derived[c] {
+			if !out.Has(int(d)) {
+				out.Add(int(d))
+				q = append(q, d)
+			}
+		}
+	}
+	w.bfsQueue = q[:0]
+}
+
+// scratchCone returns the reusable, cleared cone scratch set.
+func (w *Workspace) scratchCone() *bitset.Set {
+	if w.coneScratch == nil {
+		w.coneScratch = bitset.New(w.univ)
+	} else {
+		w.coneScratch.ClearWords(0, w.coneScratch.NumWords())
+	}
+	return w.coneScratch
 }
 
 // edited marks the hierarchy as changed since the last Snapshot.
@@ -379,14 +460,23 @@ func (w *Workspace) RemoveMember(c chg.ClassID, name string) error {
 // reconstruct the cone later.
 func (w *Workspace) invalidate(kind EditKind, c chg.ClassID, m chg.MemberID) {
 	if f := w.filled[m]; f != nil {
-		n := f.CountAnd(w.desc[c])
-		if f.Has(int(c)) {
-			n++
-		}
-		if n > 0 {
-			w.stats.Invalidations += n
-			f.DifferenceWith(w.desc[c])
-			f.Remove(int(c))
+		if w.lazy {
+			cone := w.scratchCone()
+			w.coneFrom(cone, c)
+			if n := f.CountAnd(cone); n > 0 {
+				w.stats.Invalidations += n
+				f.DifferenceWith(cone)
+			}
+		} else {
+			n := f.CountAnd(w.desc[c])
+			if f.Has(int(c)) {
+				n++
+			}
+			if n > 0 {
+				w.stats.Invalidations += n
+				f.DifferenceWith(w.desc[c])
+				f.Remove(int(c))
+			}
 		}
 	}
 	w.logEdit(kind, c, m)
@@ -416,22 +506,33 @@ func (w *Workspace) InvalidationConeSince(since uint64) ([]MemberCone, bool) {
 	if since > w.gen || since < w.logFloor {
 		return nil, false
 	}
-	cones := make(map[chg.MemberID]*bitset.Set)
+	// Group the window's edits by member first, so each member's cone
+	// is produced in one batched operation — a single multi-word
+	// UnionInto over all seed descendant sets (eager), or one
+	// multi-source BFS (lazy) — instead of a union per edit. A bulk
+	// edit batch touching one member k times costs one pass, not k.
+	seedsByMember := make(map[chg.MemberID][]chg.ClassID)
 	for i := len(w.editLog) - 1; i >= 0 && w.editLog[i].gen > since; i-- {
 		e := w.editLog[i]
 		if e.Kind == EditAddClass {
 			continue // defines entries, invalidates none
 		}
-		s := cones[e.Member]
-		if s == nil {
-			s = bitset.New(w.univ)
-			cones[e.Member] = s
-		}
-		s.Add(int(e.Class))
-		s.UnionWith(w.desc[e.Class])
+		seedsByMember[e.Member] = append(seedsByMember[e.Member], e.Class)
 	}
-	out := make([]MemberCone, 0, len(cones))
-	for m, s := range cones {
+	out := make([]MemberCone, 0, len(seedsByMember))
+	descs := make([]*bitset.Set, 0, 8)
+	for m, seeds := range seedsByMember {
+		s := bitset.New(w.univ)
+		if w.lazy {
+			w.coneFrom(s, seeds...)
+		} else {
+			descs = descs[:0]
+			for _, c := range seeds {
+				s.Add(int(c))
+				descs = append(descs, w.desc[c])
+			}
+			bitset.UnionInto(s, descs...)
+		}
 		out = append(out, MemberCone{Member: m, Classes: s})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Member < out[j].Member })
