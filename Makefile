@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check verify golden golden-check bench-json bench-check scale-smoke
+.PHONY: build test race vet lint check verify golden golden-check bench-json bench-check scale-smoke devirt-smoke
 
 build:
 	$(GO) build ./...
@@ -27,19 +27,28 @@ lint:
 # BENCH_mro.json (whole-table build per resolution backend, divergent
 # cell counts), BENCH_lint.json (edit→re-lint round times, full vs
 # cone-scoped re-analysis), BENCH_image.json (warm start per strategy:
-# mmap-load vs cold rebuild vs gob decode), and BENCH_scale.json
+# mmap-load vs cold rebuild vs gob decode), BENCH_scale.json
 # (20k/50k/100k-class giant hierarchies: streamed vs batched whole-table
 # build with peak heap and bytes/class, plus 10k-edit sessions served
-# by bulk cone carry vs serial per-edit carry) — the cross-PR perf
-# trajectory record. The scale family alone takes minutes.
+# by bulk cone carry vs serial per-edit carry), and BENCH_devirt.json
+# (Zipf call-site streams drained by CHA resolution: single-call probe
+# vs batched vs parallel-batched ns/site, plus the stream's
+# monomorphic/polymorphic census) — the cross-PR perf trajectory
+# record. The scale and devirt families each take minutes.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json -image-o BENCH_image.json -scale-o BENCH_scale.json
+	$(GO) run ./cmd/benchjson -o BENCH_table_build.json -edit-o BENCH_edit_relookup.json -mro-o BENCH_mro.json -lint-o BENCH_lint.json -image-o BENCH_image.json -scale-o BENCH_scale.json -devirt-o BENCH_devirt.json
 
 # The CI-sized scale gate: a 20k-class streamed build plus a 100-edit
 # bulk-carry session, with the streaming invariants (chunked working
 # set within budget, republish count, carried cells) asserted.
 scale-smoke:
 	$(GO) run ./cmd/benchjson -scale-smoke
+
+# The CI-sized devirt gate: a 200k-site Zipf stream over a 20k-class
+# hierarchy, asserting batched throughput is at least the single-call
+# baseline and the monomorphic/fast-path counts are non-degenerate.
+devirt-smoke:
+	$(GO) run ./cmd/benchjson -devirt-smoke
 
 # Fail if the checked-in benchmark JSON snapshots no longer match the
 # current benchmark families structurally (configs/strategies renamed

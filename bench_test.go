@@ -530,6 +530,61 @@ func BenchmarkImageLoad(b *testing.B) {
 	}
 }
 
+// --- E20: bulk devirtualization queries ---
+
+// BenchmarkDevirt is the devirt benchmark family of E20 and
+// BENCH_devirt.json: draining a Zipf call-site stream through CHA
+// target resolution on a warm Giant snapshot, per strategy —
+// single-call (one cone walk plus one Lookup per receiver per site,
+// on the config's bounded probe), batched (ResolveBatch serial:
+// dedup + member-major sorted cone lookups + fast paths), and
+// parallel-batched (auto work-stealing workers). ns/op is ns per
+// drained site; the strategies drain different site counts (the
+// single-call probe vs the full stream), so compare ns/op, not
+// wall-clock. `make bench-json` captures the same family with
+// sites/sec and stream statistics as machine-readable JSON.
+func BenchmarkDevirt(b *testing.B) {
+	for _, cfg := range harness.DevirtConfigs() {
+		cfg := cfg
+		var sess *harness.DevirtSession // built lazily, shared by the config's sub-benchmarks
+		session := func(b *testing.B) *harness.DevirtSession {
+			if sess == nil {
+				var err error
+				if sess, err = harness.NewDevirtSession(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return sess
+		}
+		b.Run(cfg.Name+"/single-call", func(b *testing.B) {
+			s := session(b)
+			probe := cfg.SingleProbe
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.DrainSingle(probe)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*probe), "ns/site")
+		})
+		b.Run(cfg.Name+"/batched", func(b *testing.B) {
+			s := session(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.DrainBatched(false)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(s.Sites)), "ns/site")
+		})
+		b.Run(cfg.Name+"/parallel-batched", func(b *testing.B) {
+			s := session(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.DrainBatched(true)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(s.Sites)), "ns/site")
+		})
+		sess = nil
+	}
+}
+
 // --- Ablations ---
 
 func BenchmarkAblationNoKilling(b *testing.B) {

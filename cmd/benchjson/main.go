@@ -25,7 +25,12 @@
 // records the timing triple per warm-start strategy (mmap-load,
 // cold-rebuild, gob-decode — all restoring a fully warmed
 // three-backend cache), each strategy's persisted artifact size, and
-// the mmap speedups over both baselines.
+// the mmap speedups over both baselines. For the devirt family
+// (-devirt-o, skipped when empty — the 100k-class stream takes
+// minutes) it records ns per call site for each drain strategy
+// (single-call probe, batched, parallel-batched) over Zipf call-site
+// streams, the stream's monomorphic/polymorphic/unresolved census,
+// and the batched-over-single-call speedup.
 //
 // With -check, no benchmarks run: the existing JSON snapshots are
 // verified to structurally match the current families (benchmark
@@ -102,6 +107,21 @@ type configResult struct {
 	BytesPerClass    map[string]float64 `json:"bytes_per_class,omitempty"`
 	Republishes      map[string]int     `json:"republishes,omitempty"`
 	BulkVsSerialEdit float64            `json:"bulk_carry_speedup_vs_serial_per_edit,omitempty"`
+
+	// Devirt metrics (absent for the other families). ns_per_op is ns
+	// per call site (the single-call strategy is a bounded probe,
+	// normalized; iterations records the sites actually timed per run).
+	// The site census tallies the stream once through the batched
+	// resolver: monomorphic + polymorphic + unresolved == call_sites.
+	SitesPerSec      map[string]float64 `json:"sites_per_sec,omitempty"`
+	CallSites        int                `json:"call_sites,omitempty"`
+	UniqueSites      int                `json:"unique_sites,omitempty"`
+	MonomorphicSites int                `json:"monomorphic_sites,omitempty"`
+	PolymorphicSites int                `json:"polymorphic_sites,omitempty"`
+	UnresolvedSites  int                `json:"unresolved_sites,omitempty"`
+	FastPathSites    int                `json:"fast_path_sites,omitempty"`
+	BatchedVsSingle  float64            `json:"batched_speedup_vs_single_call,omitempty"`
+	ParallelVsBatch  float64            `json:"parallel_speedup_vs_batched,omitempty"`
 }
 
 type report struct {
@@ -118,7 +138,9 @@ func main() {
 	imageOut := flag.String("image-o", "BENCH_image.json", "image-load output file")
 	sems := flag.String("semantics", "", "comma-separated backends the cross-semantics family measures: dominance, c3, gxx (default all; a narrowed snapshot fails -check)")
 	scaleOut := flag.String("scale-o", "", "scale-family output file (e.g. BENCH_scale.json); empty skips the family — a 100k-class run takes minutes")
+	devirtOut := flag.String("devirt-o", "", "devirt-family output file (e.g. BENCH_devirt.json); empty skips the family — the 100k-class stream takes minutes")
 	scaleSmoke := flag.Bool("scale-smoke", false, "run only the bounded scale smoke (20k-class streamed build + 100-edit bulk-carry session) and verify its invariants; no JSON is written")
+	devirtSmoke := flag.Bool("devirt-smoke", false, "run only the bounded devirt smoke (200k-site stream over a 20k-class hierarchy) and verify its invariants; no JSON is written")
 	check := flag.Bool("check", false, "verify the JSON snapshots structurally match the current families instead of running benchmarks")
 	flag.Parse()
 
@@ -127,12 +149,17 @@ func main() {
 		if scalePath == "" {
 			scalePath = "BENCH_scale.json"
 		}
+		devirtPath := *devirtOut
+		if devirtPath == "" {
+			devirtPath = "BENCH_devirt.json"
+		}
 		ok := checkFile(*out, "BenchmarkTableBuild", tableBuildShape()) &&
 			checkFile(*editOut, "BenchmarkEditRelookup", editRelookupShape()) &&
 			checkFile(*mroOut, "BenchmarkSemanticsTable", semanticsShape()) &&
 			checkFile(*lintOut, "BenchmarkLintRelint", lintRelintShape()) &&
 			checkFile(*imageOut, "BenchmarkImageLoad", imageShape()) &&
-			checkFile(scalePath, "BenchmarkScale", scaleShape())
+			checkFile(scalePath, "BenchmarkScale", scaleShape()) &&
+			checkFile(devirtPath, "BenchmarkDevirt", devirtShape())
 		if !ok {
 			os.Exit(1)
 		}
@@ -142,6 +169,13 @@ func main() {
 	if *scaleSmoke {
 		if err := runScaleSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: scale smoke:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *devirtSmoke {
+		if err := runDevirtSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: devirt smoke:", err)
 			os.Exit(1)
 		}
 		return
@@ -159,6 +193,9 @@ func main() {
 	writeReport(*imageOut, imageReport())
 	if *scaleOut != "" {
 		writeReport(*scaleOut, scaleReport())
+	}
+	if *devirtOut != "" {
+		writeReport(*devirtOut, devirtReport())
 	}
 }
 
@@ -467,6 +504,93 @@ func scaleReport() report {
 	return rep
 }
 
+// devirtReport runs the devirt family once per strategy — each
+// measurement is harness.MeasureDevirt's own repeat-until-300ms mean
+// over the whole multi-million-site stream (the single-call strategy
+// is a bounded probe, normalized to ns/site), not a testing.Benchmark
+// loop.
+func devirtReport() report {
+	rep := report{
+		Benchmark: "BenchmarkDevirt",
+		Unit:      "ns_per_op is wall time per call site drained from a Zipf stream against a warm snapshot (single-call is a bounded probe, normalized); iterations records the sites timed per run",
+	}
+	for _, cfg := range harness.DevirtConfigs() {
+		cr := configResult{
+			Name:        cfg.Name,
+			Shape:       "giant",
+			Classes:     cfg.Classes,
+			MemberNames: cfg.MemberNames,
+			Strategies:  map[string]strategyResult{},
+			SitesPerSec: map[string]float64{},
+		}
+		ms, stats, err := harness.MeasureDevirt(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, m := range ms {
+			cr.Strategies[m.Strategy] = strategyResult{
+				NsPerOp:    m.NsPerSite,
+				Iterations: m.Sites,
+				Seconds:    m.Total.Seconds(),
+			}
+			cr.SitesPerSec[m.Strategy] = m.SitesPerSec
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/site over %d sites (%.2fM sites/sec)\n",
+				cfg.Name, m.Strategy, m.NsPerSite, m.Sites, m.SitesPerSec/1e6)
+		}
+		cr.CallSites = stats.Sites
+		cr.UniqueSites = stats.UniqueSites
+		cr.MonomorphicSites = stats.Monomorphic
+		cr.PolymorphicSites = stats.Polymorphic
+		cr.UnresolvedSites = stats.Unresolved
+		cr.FastPathSites = stats.FastPath
+		cr.BatchedVsSingle = ratio(cr.Strategies["single-call"].NsPerOp, cr.Strategies["batched"].NsPerOp)
+		cr.ParallelVsBatch = ratio(cr.Strategies["batched"].NsPerOp, cr.Strategies["parallel-batched"].NsPerOp)
+		rep.Configs = append(rep.Configs, cr)
+	}
+	return rep
+}
+
+// runDevirtSmoke is the CI-bounded devirt check: a 200k-site stream
+// over a 20k-class Giant hierarchy, asserting the batch path actually
+// beats the single-call baseline and the site census is coherent.
+func runDevirtSmoke() error {
+	cfg := harness.DevirtSmokeConfig()
+	ms, stats, err := harness.MeasureDevirt(cfg)
+	if err != nil {
+		return err
+	}
+	byName := map[string]harness.DevirtMeasurement{}
+	for _, m := range ms {
+		byName[m.Strategy] = m
+	}
+	single, okS := byName["single-call"]
+	batched, okB := byName["batched"]
+	if !okS || !okB {
+		return fmt.Errorf("missing strategies: got %d of 3", len(byName))
+	}
+	if batched.SitesPerSec < single.SitesPerSec {
+		return fmt.Errorf("batched throughput %.0f sites/sec below single-call %.0f",
+			batched.SitesPerSec, single.SitesPerSec)
+	}
+	if got := stats.Monomorphic + stats.Polymorphic + stats.Unresolved; got != stats.Sites {
+		return fmt.Errorf("site census sums to %d, want %d", got, stats.Sites)
+	}
+	if stats.Monomorphic == 0 {
+		return fmt.Errorf("no monomorphic sites on a Giant Zipf stream")
+	}
+	if stats.FastPath == 0 {
+		return fmt.Errorf("fast path never fired on a Giant Zipf stream")
+	}
+	fmt.Printf("devirt smoke: %d sites (%d unique pairs), batched %.2fM sites/sec vs single-call %.2fM (%.1fx)\n",
+		stats.Sites, stats.UniqueSites, batched.SitesPerSec/1e6, single.SitesPerSec/1e6,
+		batched.SitesPerSec/single.SitesPerSec)
+	fmt.Printf("devirt smoke: monomorphic %d (%.1f%%), polymorphic %d, unresolved %d, fast-path %d\n",
+		stats.Monomorphic, 100*float64(stats.Monomorphic)/float64(stats.Sites),
+		stats.Polymorphic, stats.Unresolved, stats.FastPath)
+	return nil
+}
+
 // runScaleSmoke is the CI-bounded scale check: one streamed 20k-class
 // build and one 100-edit bulk-carry session, with the structural
 // invariants asserted rather than timed.
@@ -589,6 +713,14 @@ func scaleShape() familyShape {
 			names = append(names, "serial-carry")
 		}
 		shape[cfg.Name] = names
+	}
+	return shape
+}
+
+func devirtShape() familyShape {
+	shape := familyShape{}
+	for _, cfg := range harness.DevirtConfigs() {
+		shape[cfg.Name] = []string{"single-call", "batched", "parallel-batched"}
 	}
 	return shape
 }

@@ -10,7 +10,16 @@
 //	hiergen -family wide -n 16
 //	hiergen -family ladder -n 8 -spread 4
 //	hiergen -family realistic -depth 8 -chain 3
+//	hiergen -family giant -n 2000 -members 128
 //	hiergen -family figure1|figure2|figure3|figure9
+//
+// With -callsites N the command emits, instead of source, a stream of
+// N Zipf-distributed virtual call sites ("Class::member" per line)
+// over the chosen hierarchy — the input format of cmd/devirt:
+//
+//	hiergen -family giant -n 2000 -members 128 > lib.cpp
+//	hiergen -family giant -n 2000 -members 128 -callsites 100000 -callseed 3 > calls.txt
+//	devirt -sites calls.txt lib.cpp
 package main
 
 import (
@@ -23,17 +32,19 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "random", "random|diamond|chain|wide|ladder|realistic|figure1|figure2|figure3|figure9")
-	n := flag.Int("n", 50, "class count (random/chain) or base count (wide) or rung count (ladder)")
+	family := flag.String("family", "random", "random|diamond|chain|wide|ladder|realistic|giant|figure1|figure2|figure3|figure9")
+	n := flag.Int("n", 50, "class count (random/giant/chain) or base count (wide) or rung count (ladder)")
 	k := flag.Int("k", 8, "diamond-chain depth")
 	seed := flag.Int64("seed", 1, "random seed")
 	virtualProb := flag.Float64("virtual", 0.3, "virtual-edge probability (random) or ≥0.5 means virtual (diamond)")
-	members := flag.Int("members", 4, "member-name pool size (random)")
+	members := flag.Int("members", 4, "member-name pool size (random; giant when > 0)")
 	memberProb := flag.Float64("memberprob", 0.3, "per-class member declaration probability (random)")
 	staticProb := flag.Float64("staticprob", 0, "probability a member is static (random)")
 	spread := flag.Int("spread", 2, "parallel ambiguous joints (ladder)")
 	depth := flag.Int("depth", 8, "layers (realistic)")
 	chainLen := flag.Int("chain", 3, "chain length per layer (realistic)")
+	callSites := flag.Int("callsites", 0, "emit this many Zipf call sites (Class::member lines) instead of source")
+	callSeed := flag.Int64("callseed", 1, "call-site stream seed")
 	flag.Parse()
 
 	var g *chg.Graph
@@ -58,6 +69,13 @@ func main() {
 		g = hiergen.AmbiguousLadder(*n, *spread)
 	case "realistic":
 		g = hiergen.Realistic(*depth, *chainLen)
+	case "giant":
+		cfg := hiergen.GiantDefaults(*n)
+		cfg.Seed = *seed
+		if *members > 0 {
+			cfg.MemberNames = *members
+		}
+		g = hiergen.Giant(cfg)
 	case "figure1":
 		g = hiergen.Figure1()
 	case "figure2":
@@ -69,6 +87,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "hiergen: unknown family %q\n", *family)
 		os.Exit(2)
+	}
+	if *callSites > 0 {
+		sites := hiergen.CallSites(g, *callSites, *callSeed)
+		if err := hiergen.WriteCallSites(os.Stdout, g, sites); err != nil {
+			fmt.Fprintf(os.Stderr, "hiergen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("// hiergen -family %s: %s\n", *family, g.ComputeStats())
 	if err := g.WriteSource(os.Stdout); err != nil {

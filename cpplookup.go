@@ -33,6 +33,7 @@ import (
 	"cpplookup/internal/chg"
 	"cpplookup/internal/core"
 	"cpplookup/internal/cpp/sema"
+	"cpplookup/internal/devirt"
 	"cpplookup/internal/diag"
 	"cpplookup/internal/engine"
 	"cpplookup/internal/interp"
@@ -153,6 +154,10 @@ type (
 	// WorkspaceBinding republishes an incremental workspace through an
 	// engine as new snapshot versions.
 	WorkspaceBinding = engine.WorkspaceBinding
+	// Query is one (class, member) pair of a Snapshot.LookupBatch
+	// batch — the bulk path that sorts queries member-major so cache
+	// reads stride sequentially and duplicates share one cell read.
+	Query = engine.Query
 )
 
 // NewEngine returns an empty concurrent query engine.
@@ -200,6 +205,27 @@ type (
 // cmd/chglint command wraps this with text, JSON, and SARIF output.
 func Lint(g *Graph, opts LintOptions) ([]LintDiagnostic, error) {
 	return lint.Run(engine.NewSnapshot(g, core.WithStaticRule(), core.WithTrackPaths()), opts)
+}
+
+// Devirtualization (see internal/devirt).
+type (
+	// Site is one virtual call site: the receiver's static type and
+	// the called member.
+	Site = devirt.Site
+	// DevirtResolution is a call site's class-hierarchy-analysis
+	// answer: the distinct defining classes the call can reach across
+	// the static type's descendant cone. One target = monomorphic.
+	DevirtResolution = devirt.Resolution
+	// DevirtResolver resolves call sites against a served snapshot,
+	// batching and deduplicating site streams through the sorted
+	// bulk lookup path.
+	DevirtResolver = devirt.Resolver
+)
+
+// NewDevirtResolver builds a resolver for one snapshot and one
+// resolution backend (the snapshot must serve it).
+func NewDevirtResolver(snap *Snapshot, id SemanticsID) (*DevirtResolver, error) {
+	return devirt.New(snap, id)
 }
 
 // Object model (see internal/layout and internal/interp).

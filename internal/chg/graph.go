@@ -371,6 +371,42 @@ func (g *Graph) VirtualBases(d ClassID) *bitset.Set { return g.denseVirtuals().R
 // of probing IsBase across all classes. Do not modify.
 func (g *Graph) Descendants(b ClassID) *bitset.Set { return g.denseDescendants().Row(int(b)) }
 
+// EachDescendant calls fn for every strict descendant of b, choosing
+// the cheapest traversal for the graph's closure mode: in dense mode
+// it walks the materialized Descendants row (ascending id order); in
+// sparse mode — NumClasses past DenseClosureLimit, where one closure
+// row costs an n²/8-byte matrix — it BFSes DirectDerived edges
+// instead (order unspecified, each descendant visited once). visited
+// and queue are caller-owned scratch for the BFS (visited is cleared
+// of the classes this call marked before returning; queue's grown
+// backing array is returned for reuse); dense mode ignores both. This
+// is the cone primitive bulk consumers (devirt's CHA target sets, the
+// same shape as incremental's invalidation cones) use to stay
+// memory-bounded at 100k classes.
+func (g *Graph) EachDescendant(b ClassID, visited *bitset.Set, queue []ClassID, fn func(ClassID)) []ClassID {
+	if !g.SparseClosures() {
+		g.Descendants(b).ForEach(func(d int) { fn(ClassID(d)) })
+		return queue
+	}
+	visited.Grow(len(g.classes))
+	queue = queue[:0]
+	visited.Add(int(b))
+	queue = append(queue, b)
+	for head := 0; head < len(queue); head++ {
+		for _, d := range g.classes[queue[head]].derived {
+			if !visited.Has(int(d)) {
+				visited.Add(int(d))
+				queue = append(queue, d)
+				fn(d)
+			}
+		}
+	}
+	for _, c := range queue {
+		visited.Remove(int(c))
+	}
+	return queue
+}
+
 // Topo returns a topological order of the classes in which every base
 // precedes every class derived from it. Shared slice; do not modify.
 func (g *Graph) Topo() []ClassID { return g.topo }

@@ -1,0 +1,245 @@
+package devirt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/engine"
+	"cpplookup/internal/hiergen"
+)
+
+var allSems = []core.SemanticsID{core.SemDominance, core.SemC3, core.SemGxx}
+
+func testGraphs() map[string]func() *chg.Graph {
+	return map[string]func() *chg.Graph{
+		"figure1": hiergen.Figure1,
+		"figure2": hiergen.Figure2,
+		"figure3": hiergen.Figure3,
+		"figure9": hiergen.Figure9,
+		"sparse":  func() *chg.Graph { return hiergen.SparseMembers(90, 150, 3, 7) },
+		"random": func() *chg.Graph {
+			return hiergen.Random(hiergen.RandomConfig{
+				Classes: 120, MaxBases: 3, VirtualProb: 0.3,
+				MemberNames: 10, MemberProb: 0.12, Seed: 23,
+			})
+		},
+		"giant": func() *chg.Graph {
+			return hiergen.Giant(hiergen.GiantConfig{
+				Classes: 500, MemberNames: 64, Interfaces: 6, FatWidth: 12,
+				TowerHeight: 3, ChainLen: 5, Decls: 700, VirtualProb: 0.35, Seed: 13,
+			})
+		},
+	}
+}
+
+// oracleTargets is the brute-force CHA oracle: enumerate the cone by
+// probing IsBase across every class, look each receiver up one at a
+// time, collect the distinct declaring classes of the Found results.
+func oracleTargets(t *testing.T, snap *engine.Snapshot, sem core.SemanticsID, c chg.ClassID, m chg.MemberID) Resolution {
+	t.Helper()
+	g := snap.Graph()
+	res := Resolution{Root: c, Member: m}
+	if !g.Valid(c) || m < 0 || int(m) >= g.NumMemberNames() {
+		return res
+	}
+	seen := map[chg.ClassID]struct{}{}
+	for d := 0; d < g.NumClasses(); d++ {
+		did := chg.ClassID(d)
+		if did != c && !g.IsBase(c, did) {
+			continue
+		}
+		res.Cone++
+		lr, ok := snap.LookupSem(sem, did, m)
+		if !ok {
+			t.Fatalf("backend %s not served", sem)
+		}
+		switch {
+		case lr.Found():
+			res.Resolved++
+			seen[lr.Class()] = struct{}{}
+		case lr.Ambiguous():
+			res.Ambiguous++
+		case lr.Failed():
+			res.Failed++
+		default:
+			res.Undefined++
+		}
+	}
+	for d := range seen {
+		res.Targets = append(res.Targets, d)
+	}
+	sort.Slice(res.Targets, func(i, j int) bool { return res.Targets[i] < res.Targets[j] })
+	res.Monomorphic = len(res.Targets) == 1
+	return res
+}
+
+func sameTargets(a, b []chg.ClassID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkAgainstOracle(t *testing.T, g *chg.Graph, name string) {
+	t.Helper()
+	snap := engine.NewSnapshot(g, core.WithSemantics(core.SemC3, core.SemGxx))
+	for _, sem := range allSems {
+		r, err := New(snap, sem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := New(snap, sem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.FullStats = true
+		for c := 0; c < g.NumClasses(); c++ {
+			for m := 0; m < g.NumMemberNames(); m++ {
+				cid, mid := chg.ClassID(c), chg.MemberID(m)
+				want := oracleTargets(t, snap, sem, cid, mid)
+				got := r.ResolveTargets(cid, mid)
+				if !sameTargets(got.Targets, want.Targets) {
+					t.Fatalf("%s/%s: targets of (%s, %s) = %v, want %v (fastpath=%v)",
+						name, sem, g.Name(cid), g.MemberName(mid), got.Targets, want.Targets, got.FastPath)
+				}
+				if got.Cone != want.Cone {
+					t.Fatalf("%s/%s: cone of (%s, %s) = %d, want %d",
+						name, sem, g.Name(cid), g.MemberName(mid), got.Cone, want.Cone)
+				}
+				if got.Monomorphic != want.Monomorphic {
+					t.Fatalf("%s/%s: monomorphic mismatch at (%s, %s)",
+						name, sem, g.Name(cid), g.MemberName(mid))
+				}
+				// The exact-tally path must agree with the oracle on
+				// every count, and the counts must cover the cone.
+				fres := full.ResolveTargets(cid, mid)
+				if fres.FastPath {
+					t.Fatalf("%s/%s: FullStats resolver took the fast path", name, sem)
+				}
+				if !sameTargets(fres.Targets, want.Targets) ||
+					fres.Resolved != want.Resolved || fres.Undefined != want.Undefined ||
+					fres.Ambiguous != want.Ambiguous || fres.Failed != want.Failed {
+					t.Fatalf("%s/%s: FullStats tallies of (%s, %s) = %+v, want %+v",
+						name, sem, g.Name(cid), g.MemberName(mid), fres, want)
+				}
+				if sum := fres.Resolved + fres.Undefined + fres.Ambiguous + fres.Failed; sum != fres.Cone {
+					t.Fatalf("%s/%s: tallies sum to %d over a %d-cone", name, sem, sum, fres.Cone)
+				}
+			}
+		}
+	}
+}
+
+// TestResolveTargetsOracle pins ResolveTargets against the
+// brute-force oracle on every fixture and seeded generator, all three
+// backends, with and without FullStats.
+func TestResolveTargetsOracle(t *testing.T) {
+	for name, build := range testGraphs() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) { checkAgainstOracle(t, build(), name) })
+	}
+}
+
+// TestResolveTargetsOracleSparseCones reruns the oracle pinning with
+// the graphs built past a lowered DenseClosureLimit, so cones come
+// from the BFS path of chg.EachDescendant instead of closure rows.
+func TestResolveTargetsOracleSparseCones(t *testing.T) {
+	old := chg.DenseClosureLimit
+	chg.DenseClosureLimit = 1
+	defer func() { chg.DenseClosureLimit = old }()
+
+	for _, name := range []string{"figure9", "random", "giant"} {
+		build := testGraphs()[name]
+		t.Run(name, func(t *testing.T) {
+			g := build()
+			if !g.SparseClosures() {
+				t.Fatal("graph built dense despite lowered DenseClosureLimit")
+			}
+			checkAgainstOracle(t, g, name+"-sparse")
+		})
+	}
+}
+
+// TestResolveBatch checks the batch path against the single-site one:
+// duplicated shuffled sites (plus invalid ids) under Workers 1 and 4,
+// every site's Resolution equal to its ResolveTargets answer.
+func TestResolveBatch(t *testing.T) {
+	g := testGraphs()["giant"]()
+	snap := engine.NewSnapshot(g, core.WithSemantics(core.SemC3, core.SemGxx))
+	rng := rand.New(rand.NewSource(4))
+
+	sites := make([]Site, 0, 4000)
+	for i := 0; i < 3600; i++ {
+		sites = append(sites, Site{
+			Class:  chg.ClassID(rng.Intn(g.NumClasses())),
+			Member: chg.MemberID(rng.Intn(g.NumMemberNames() / 4)), // force duplicates
+		})
+	}
+	for i := 0; i < 64; i++ {
+		sites = append(sites, Site{chg.ClassID(rng.Intn(g.NumClasses()+8) - 4), chg.MemberID(rng.Intn(g.NumMemberNames()+8) - 4)})
+	}
+	rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+
+	for _, sem := range allSems {
+		for _, workers := range []int{1, 4} {
+			r, err := New(snap, sem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Workers = workers
+			got := r.ResolveBatch(sites, nil)
+			if len(got) != len(sites) {
+				t.Fatalf("%d resolutions for %d sites", len(got), len(sites))
+			}
+			single, err := New(snap, sem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range sites {
+				want := single.ResolveTargets(s.Class, s.Member)
+				if got[i].Root != s.Class || got[i].Member != s.Member {
+					t.Fatalf("%s w=%d: resolution %d answers (%d,%d), site is (%d,%d)",
+						sem, workers, i, got[i].Root, got[i].Member, s.Class, s.Member)
+				}
+				if !sameTargets(got[i].Targets, want.Targets) || got[i].Cone != want.Cone ||
+					got[i].Monomorphic != want.Monomorphic {
+					t.Fatalf("%s w=%d: batch resolution %d disagrees with ResolveTargets", sem, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestResolverUnknownBackend: constructing against a backend the
+// snapshot does not serve fails.
+func TestResolverUnknownBackend(t *testing.T) {
+	snap := engine.NewSnapshot(hiergen.Figure1())
+	if _, err := New(snap, core.SemC3); err == nil {
+		t.Fatal("New accepted an unserved backend")
+	}
+}
+
+// TestResolveBatchAppend checks the append contract and empty input.
+func TestResolveBatchAppend(t *testing.T) {
+	snap := engine.NewSnapshot(hiergen.Figure9())
+	r, err := New(snap, core.SemDominance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []Resolution{{Root: -7}}
+	out := r.ResolveBatch([]Site{{0, 0}}, prefix)
+	if len(out) != 2 || out[0].Root != -7 {
+		t.Fatal("existing out elements disturbed")
+	}
+	if got := r.ResolveBatch(nil, nil); len(got) != 0 {
+		t.Fatal("empty batch produced resolutions")
+	}
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+	"cpplookup/internal/incremental"
+)
+
+// batchTestGraphs is the differential corpus: every figure fixture,
+// a sparse-member shape, seeded randoms, and a small Giant with all
+// its pathologies (fat interfaces, virtual diamond towers, Zipf
+// member skew).
+func batchTestGraphs() map[string]*chg.Graph {
+	return map[string]*chg.Graph{
+		"figure1": hiergen.Figure1(),
+		"figure2": hiergen.Figure2(),
+		"figure3": hiergen.Figure3(),
+		"figure9": hiergen.Figure9(),
+		"sparse":  hiergen.SparseMembers(120, 300, 3, 7),
+		"random": hiergen.Random(hiergen.RandomConfig{
+			Classes: 140, MaxBases: 3, VirtualProb: 0.3,
+			MemberNames: 12, MemberProb: 0.12, Seed: 41,
+		}),
+		// Kept small, and shaped to stay below the gxx backend's
+		// subobject blowup: a taller/denser tower config (e.g.
+		// TowerHeight 4, ChainLen 6, Seed 9) grows near-DefaultLimit
+		// subobject graphs whose per-query BFS takes minutes, and the
+		// whole package has to fit the test binary's 10-minute budget.
+		"giant": hiergen.Giant(hiergen.GiantConfig{
+			Classes: 500, MemberNames: 64, Interfaces: 6, FatWidth: 12,
+			TowerHeight: 3, ChainLen: 5, Decls: 700, VirtualProb: 0.35, Seed: 13,
+		}),
+	}
+}
+
+// batchTestQueries builds a shuffled query mix for g: every valid
+// pair once, a second shuffled copy of a third of them (duplicates),
+// and a sprinkle of invalid ids.
+func batchTestQueries(g *chg.Graph, rng *rand.Rand) []Query {
+	numC, numM := g.NumClasses(), g.NumMemberNames()
+	qs := make([]Query, 0, numC*numM+numC*numM/3+64)
+	for c := 0; c < numC; c++ {
+		for m := 0; m < numM; m++ {
+			qs = append(qs, Query{chg.ClassID(c), chg.MemberID(m)})
+		}
+	}
+	for i := 0; i < numC*numM/3; i++ {
+		qs = append(qs, Query{chg.ClassID(rng.Intn(numC)), chg.MemberID(rng.Intn(numM))})
+	}
+	for i := 0; i < 64; i++ {
+		qs = append(qs, Query{chg.ClassID(rng.Intn(numC+6) - 3), chg.MemberID(rng.Intn(numM+6) - 3)})
+	}
+	rng.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+	return qs
+}
+
+// TestLookupBatchDifferential pins LookupBatch cell-for-cell against
+// looped LookupSem on every fixture and seeded generator, for all
+// three backends, serial and forced-parallel.
+func TestLookupBatchDifferential(t *testing.T) {
+	sems := []core.SemanticsID{core.SemDominance, core.SemC3, core.SemGxx}
+	for name, g := range batchTestGraphs() {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2020))
+			qs := batchTestQueries(g, rng)
+			// One oracle serves every round: its answers depend only on
+			// the hierarchy, not on worker count.
+			oracle := NewSnapshot(g, core.WithSemantics(core.SemC3, core.SemGxx))
+			want := map[core.SemanticsID][]core.Result{}
+			for _, id := range sems {
+				ws := make([]core.Result, len(qs))
+				for i, q := range qs {
+					ws[i], _ = oracle.LookupSem(id, q.Class, q.Member)
+				}
+				want[id] = ws
+			}
+			for _, workers := range []int{1, 4} {
+				// Fresh snapshot per worker count so the parallel run
+				// also exercises the miss/fill path, not just warm reads.
+				snap := NewSnapshot(g, core.WithSemantics(core.SemC3, core.SemGxx))
+				for _, id := range sems {
+					got, ok := snap.LookupBatchSemWorkers(id, qs, nil, workers)
+					if !ok {
+						t.Fatalf("backend %s not served", id)
+					}
+					if len(got) != len(qs) {
+						t.Fatalf("%s: %d results for %d queries", id, len(got), len(qs))
+					}
+					for i, q := range qs {
+						if !got[i].Equal(want[id][i]) {
+							t.Fatalf("%s workers=%d: batch[%d] (%d,%d) disagrees with LookupSem",
+								id, workers, i, q.Class, q.Member)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLookupBatchOutAppend checks the append contract: results land
+// after existing elements of out, which are left untouched.
+func TestLookupBatchOutAppend(t *testing.T) {
+	g := hiergen.Figure9()
+	snap := NewSnapshot(g)
+	qs := []Query{{0, 0}, {1, 0}}
+	prefix := []core.Result{core.UndefinedResult()}
+	out := snap.LookupBatch(qs, prefix)
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	if out[0].Kind() != core.Undefined {
+		t.Fatal("existing out element was overwritten")
+	}
+	for i, q := range qs {
+		if !out[i+1].Equal(snap.Lookup(q.Class, q.Member)) {
+			t.Fatalf("appended result %d disagrees with Lookup", i)
+		}
+	}
+	if got := snap.LookupBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestLookupBatchUnknownBackend: a backend the snapshot was not built
+// to serve reports ok=false and leaves out unchanged.
+func TestLookupBatchUnknownBackend(t *testing.T) {
+	snap := NewSnapshot(hiergen.Figure1())
+	out, ok := snap.LookupBatchSem(core.SemC3, []Query{{0, 0}}, nil)
+	if ok {
+		t.Fatal("unserved backend reported ok")
+	}
+	if len(out) != 0 {
+		t.Fatalf("unserved backend wrote %d results", len(out))
+	}
+}
+
+// TestLookupBatchSmallForcedParallel drives the parallel path on a
+// batch far below batchParallelFloor by lowering the floor, proving
+// the worker split is correct at awkward stripe boundaries.
+func TestLookupBatchSmallForcedParallel(t *testing.T) {
+	oldFloor := batchParallelFloor
+	batchParallelFloor = 1
+	defer func() { batchParallelFloor = oldFloor }()
+
+	g := hiergen.SparseMembers(64, 96, 2, 3)
+	snap := NewSnapshot(g)
+	rng := rand.New(rand.NewSource(7))
+	qs := batchTestQueries(g, rng)
+	got := snap.LookupBatch(qs, nil)
+	for i, q := range qs {
+		if !got[i].Equal(snap.Lookup(q.Class, q.Member)) {
+			t.Fatalf("forced-parallel batch[%d] disagrees with Lookup", i)
+		}
+	}
+}
+
+// TestLookupBatchConcurrentRepublish races batch readers on held
+// snapshots against a writer republishing edits through a workspace
+// binding. Each reader verifies its whole batch against one-at-a-time
+// lookups on the same snapshot version it holds; under -race this
+// also proves batch reads never touch a successor's staging writes.
+func TestLookupBatchConcurrentRepublish(t *testing.T) {
+	g0 := hiergen.SparseMembers(100, 200, 3, 5)
+	ws, err := incremental.FromGraph(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New()
+	bind, snap0, err := eng.BindWorkspace("w", ws, core.WithSemantics(core.SemC3, core.SemGxx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := g0.Leaves()[0]
+
+	const readers = 6
+	const rounds = 40
+	snaps := make(chan *Snapshot, readers*rounds)
+	var wg sync.WaitGroup
+	errs := make(chan string, readers+1)
+
+	wg.Add(1)
+	go func() { // writer: keep republishing an oscillating edit
+		defer wg.Done()
+		on := false
+		for i := 0; i < rounds; i++ {
+			var err error
+			if on {
+				err = ws.RemoveMember(target, "batchtoggle")
+			} else {
+				err = ws.AddMember(target, chg.Member{Name: "batchtoggle", Kind: chg.Method})
+			}
+			on = !on
+			if err != nil {
+				errs <- "edit: " + err.Error()
+				return
+			}
+			s, err := bind.Sync()
+			if err != nil {
+				errs <- "sync: " + err.Error()
+				return
+			}
+			for r := 0; r < readers; r++ {
+				snaps <- s
+			}
+		}
+		close(snaps)
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for s := range snaps {
+				g := s.Graph()
+				qs := make([]Query, 200)
+				for i := range qs {
+					qs[i] = Query{chg.ClassID(rng.Intn(g.NumClasses())), chg.MemberID(rng.Intn(g.NumMemberNames()))}
+				}
+				for _, id := range []core.SemanticsID{core.SemDominance, core.SemC3, core.SemGxx} {
+					got, ok := s.LookupBatchSemWorkers(id, qs, nil, 1+rng.Intn(3))
+					if !ok {
+						errs <- "backend vanished mid-run"
+						return
+					}
+					for i, q := range qs {
+						want, _ := s.LookupSem(id, q.Class, q.Member)
+						if !got[i].Equal(want) {
+							errs <- "batch result diverged from LookupSem during republish storm"
+							return
+						}
+					}
+				}
+			}
+		}(int64(r + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	final, ok := eng.Snapshot("w")
+	if !ok || final.Version() <= snap0.Version() {
+		t.Fatal("no republish happened")
+	}
+	_ = bind
+}

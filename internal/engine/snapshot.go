@@ -180,10 +180,28 @@ func (s *Snapshot) Table() *core.Table {
 }
 
 // EachTableEntry calls fn for every (class, member) pair of the
-// snapshot's tabulated lookup function — classes in topological order,
-// member names in id order. This is the one deterministic iteration
-// order every whole-table consumer (chglint's rules, the ambiguity
-// listing) shares; the table is built once on first use.
+// snapshot's tabulated lookup function — classes in topological order
+// (the graph's Topo, fixed at construction), member names in
+// ascending id order within each class. This is the one deterministic
+// iteration order every whole-table consumer (chglint's rules, the
+// ambiguity listing) shares.
+//
+// Ordering contract: the sequence of (c, m, r) triples is a pure
+// function of the snapshot's hierarchy — identical across calls,
+// across goroutines, and across processes, regardless of what the
+// lazy Lookup cache holds or which concurrent Lookup/LookupBatch
+// fills are in flight. Iteration reads only the eager Table (built
+// once, on first use, from the immutable graph; never from the lazy
+// cells), so concurrent fills cannot interleave with or reorder it.
+// The results themselves are equally stable: a snapshot's cells are
+// computed once and never change. The determinism test in
+// tableiter_test.go pins both properties under a concurrent fill
+// storm and on a fully warmed snapshot.
+//
+// fn must not call back into EachTableEntry's own Table build
+// (Table/TableSem are safe — the build is complete by the time fn
+// runs), and a slow fn simply slows this caller; it never blocks
+// Lookup readers or fills.
 func (s *Snapshot) EachTableEntry(fn func(c chg.ClassID, m chg.MemberID, r core.Result)) {
 	t := s.Table()
 	for _, c := range s.k.Graph().Topo() {

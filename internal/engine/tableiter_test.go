@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cpplookup/internal/chg"
+	"cpplookup/internal/core"
+	"cpplookup/internal/hiergen"
+)
+
+// tableEntry is one recorded (class, member, result) triple of an
+// EachTableEntry pass.
+type tableEntry struct {
+	c chg.ClassID
+	m chg.MemberID
+	r core.Result
+}
+
+func recordTableEntries(s *Snapshot) []tableEntry {
+	var seq []tableEntry
+	s.EachTableEntry(func(c chg.ClassID, m chg.MemberID, r core.Result) {
+		seq = append(seq, tableEntry{c, m, r})
+	})
+	return seq
+}
+
+// TestEachTableEntryDeterministic pins EachTableEntry's ordering
+// contract: the (c, m, r) sequence is identical across repeated calls,
+// unaffected by concurrent lazy fills racing the iteration, and equal
+// on a frozen, fully warmed snapshot of the same hierarchy. It also
+// checks the documented order itself — classes in topo order, member
+// ids ascending within a class.
+func TestEachTableEntryDeterministic(t *testing.T) {
+	graphs := map[string]*chg.Graph{
+		"figure9": hiergen.Figure9(),
+		"random": hiergen.Random(hiergen.RandomConfig{
+			Classes: 150, MaxBases: 3, VirtualProb: 0.3,
+			MemberNames: 10, MemberProb: 0.12, Seed: 77,
+		}),
+	}
+	for name, g := range graphs {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			snap := NewSnapshot(g)
+			numC, numM := g.NumClasses(), g.NumMemberNames()
+
+			// A fill storm racing the first iteration: if EachTableEntry
+			// read the lazy cells, the interleaving would perturb what
+			// the callback sees. It must not.
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for !stop.Load() {
+						snap.Lookup(chg.ClassID(rng.Intn(numC)), chg.MemberID(rng.Intn(numM)))
+					}
+				}(int64(w + 1))
+			}
+			first := recordTableEntries(snap)
+			second := recordTableEntries(snap)
+			stop.Store(true)
+			wg.Wait()
+
+			if len(first) == 0 {
+				t.Fatal("EachTableEntry visited no entries")
+			}
+			assertSameSequence(t, "repeat call", first, second, g)
+
+			// The documented order: topo position never decreases, and
+			// member ids strictly ascend within one class's run.
+			topoPos := make([]int, numC)
+			for i, c := range g.Topo() {
+				topoPos[c] = i
+			}
+			for i := 1; i < len(first); i++ {
+				p, q := first[i-1], first[i]
+				switch {
+				case p.c == q.c:
+					if q.m <= p.m {
+						t.Fatalf("member ids not ascending within class %s: m%d after m%d",
+							g.Name(p.c), q.m, p.m)
+					}
+				case topoPos[q.c] <= topoPos[p.c]:
+					t.Fatalf("classes out of topo order: %s after %s", g.Name(q.c), g.Name(p.c))
+				}
+			}
+
+			// A frozen, fully warmed snapshot — every cell of every
+			// backend filled before iteration — must produce the very
+			// same sequence: the cache's state is invisible to the
+			// iteration order and to the results.
+			warm := NewSnapshot(g)
+			warm.WarmAll()
+			if got, want := warm.CachedEntries(), numC*numM; got != want {
+				t.Fatalf("WarmAll left the snapshot cold: %d of %d cells filled", got, want)
+			}
+			assertSameSequence(t, "fully warmed snapshot", first, recordTableEntries(warm), g)
+		})
+	}
+}
+
+func assertSameSequence(t *testing.T, label string, want, got []tableEntry, g *chg.Graph) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d entries vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].c != got[i].c || want[i].m != got[i].m {
+			t.Fatalf("%s: entry %d is (%s, m%d), want (%s, m%d)",
+				label, i, g.Name(got[i].c), got[i].m, g.Name(want[i].c), want[i].m)
+		}
+		if !want[i].r.Equal(got[i].r) {
+			t.Fatalf("%s: result differs at (%s, m%d)", label, g.Name(want[i].c), want[i].m)
+		}
+	}
+}

@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"E17", "Extension: cone-scoped incremental lint vs full re-analysis", RunE17},
 		{"E18", "Extension: zero-copy snapshot images — mmap warm start vs cold rebuild vs gob decode", RunE18},
 		{"E19", "Extension: 100k-class scale — streaming build and bulk-edit cone carry", RunE19},
+		{"E20", "Extension: bulk devirtualization — batched CHA target resolution for call-site streams", RunE20},
 		{"A1", "Ablation: killing definitions vs propagating everything", RunA1},
 		{"A2", "Ablation: (L,V) abstractions vs carrying full paths", RunA2},
 		{"A3", "Ablation: eager table vs lazy memoized lookup", RunA3},

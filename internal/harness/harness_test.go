@@ -42,7 +42,7 @@ func TestQualitativeExperiments(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
+	if len(all) != 24 {
 		t.Errorf("All = %d experiments", len(all))
 	}
 	if _, ok := Find("e6"); !ok {

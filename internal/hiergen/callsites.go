@@ -1,0 +1,63 @@
+package hiergen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cpplookup/internal/chg"
+)
+
+// CallSite is one generated virtual call site: member Member invoked
+// on a receiver of static type Class.
+type CallSite struct {
+	Class  chg.ClassID
+	Member chg.MemberID
+}
+
+// CallSites generates n seeded call sites over g's classes and member
+// names, shaped like a compiler's call-site stream over a large code
+// base: member names are Zipf-distributed (s = 1.3, matching Giant's
+// declaration skew — the hot interface methods are called
+// everywhere), and static receiver types are Zipf over class ids with
+// a gentler skew (s = 1.1), so the low-id classes — Giant's fat
+// interfaces and early tower layers — dominate as they do in code
+// written against interfaces. Duplicates are intended: they are what
+// the batch resolver's dedup path exists for.
+func CallSites(g *chg.Graph, n int, seed int64) []CallSite {
+	numC, numM := g.NumClasses(), g.NumMemberNames()
+	if n <= 0 || numC == 0 || numM == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	classZipf := rand.NewZipf(rng, 1.1, 8, uint64(numC-1))
+	var memberZipf *rand.Zipf
+	if numM > 1 {
+		memberZipf = rand.NewZipf(rng, 1.3, 1, uint64(numM-1))
+	}
+	sites := make([]CallSite, n)
+	for i := range sites {
+		var m uint64
+		if memberZipf != nil {
+			m = memberZipf.Uint64()
+		}
+		sites[i] = CallSite{
+			Class:  chg.ClassID(classZipf.Uint64()),
+			Member: chg.MemberID(m),
+		}
+	}
+	return sites
+}
+
+// WriteCallSites writes sites to w in the call-site file format the
+// devirt CLI reads: one "Class::member" qualified name per line.
+func WriteCallSites(w io.Writer, g *chg.Graph, sites []CallSite) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range sites {
+		if _, err := fmt.Fprintf(bw, "%s::%s\n", g.Name(s.Class), g.MemberName(s.Member)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

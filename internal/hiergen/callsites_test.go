@@ -1,0 +1,80 @@
+package hiergen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cpplookup/internal/chg"
+)
+
+func TestCallSites(t *testing.T) {
+	g := Giant(GiantConfig{
+		Classes: 400, MemberNames: 96, Interfaces: 4, FatWidth: 12,
+		TowerHeight: 3, ChainLen: 5, Decls: 500, VirtualProb: 0.3, Seed: 3,
+	})
+	const n = 20000
+	sites := CallSites(g, n, 7)
+	if len(sites) != n {
+		t.Fatalf("got %d sites, want %d", len(sites), n)
+	}
+	if again := CallSites(g, n, 7); len(again) != n || again[0] != sites[0] || again[n-1] != sites[n-1] {
+		t.Fatal("same seed did not reproduce the same stream")
+	}
+
+	classHits := make([]int, g.NumClasses())
+	memberHits := make([]int, g.NumMemberNames())
+	dup := map[CallSite]int{}
+	for _, s := range sites {
+		if !g.Valid(s.Class) || s.Member < 0 || int(s.Member) >= g.NumMemberNames() {
+			t.Fatalf("out-of-range site %+v", s)
+		}
+		classHits[s.Class]++
+		memberHits[s.Member]++
+		dup[s]++
+	}
+	// The Zipf skew must concentrate mass at the low ids (the fat
+	// interfaces / hot members) and produce heavy duplication — the
+	// stream shape the batch dedup path is built for.
+	lowClasses := 0
+	for c := 0; c < g.NumClasses()/10; c++ {
+		lowClasses += classHits[c]
+	}
+	if lowClasses < n/2 {
+		t.Fatalf("class skew too flat: %d of %d sites in the low decile", lowClasses, n)
+	}
+	if memberHits[0] < memberHits[len(memberHits)-1] {
+		t.Fatal("member skew inverted: hottest name colder than the tail")
+	}
+	if len(dup) == n {
+		t.Fatal("no duplicate sites in a Zipf stream")
+	}
+
+	if CallSites(g, 0, 1) != nil {
+		t.Fatal("n=0 should yield nil")
+	}
+}
+
+func TestWriteCallSites(t *testing.T) {
+	g := Figure9()
+	sites := []CallSite{{0, 0}, {chg.ClassID(g.NumClasses() - 1), chg.MemberID(g.NumMemberNames() - 1)}}
+	var buf bytes.Buffer
+	if err := WriteCallSites(&buf, g, sites); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(sites) {
+		t.Fatalf("wrote %d lines for %d sites", len(lines), len(sites))
+	}
+	for i, line := range lines {
+		name, member, ok := strings.Cut(line, "::")
+		if !ok {
+			t.Fatalf("line %d not qualified: %q", i, line)
+		}
+		c, ok1 := g.ID(name)
+		m, ok2 := g.MemberID(member)
+		if !ok1 || !ok2 || c != sites[i].Class || m != sites[i].Member {
+			t.Fatalf("line %d round-trips to (%v,%v), want %+v", i, c, m, sites[i])
+		}
+	}
+}
